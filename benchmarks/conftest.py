@@ -1,0 +1,48 @@
+"""Shared infrastructure for the reproduction benchmarks.
+
+Each benchmark regenerates one table or figure of the paper: it runs
+the experiment (once — these are system experiments, not
+micro-timings), prints the same rows/series the paper reports, writes
+them to ``benchmarks/results/<name>.txt``, and asserts the *shape*
+the paper claims (who wins, rough factors, where knees fall).
+
+Scaling: by default experiments are moderately scaled down so the
+whole suite runs in minutes; set ``REPRO_BENCH_FULL=1`` for
+paper-scale parameters.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "") == "1"
+
+
+class ResultSink:
+    """Collects printable experiment output and writes it to the
+    results directory (stdout is captured by pytest)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.lines = []
+
+    def row(self, text: str) -> None:
+        self.lines.append(text)
+        print(text)
+
+    def flush(self) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{self.name}.txt"
+        path.write_text("\n".join(self.lines) + "\n")
+
+
+@pytest.fixture
+def sink(request):
+    result = ResultSink(request.node.name)
+    yield result
+    result.flush()

@@ -1,0 +1,133 @@
+"""Sec. 4.3 ablation — synthetic cross traffic vs. real competing flows.
+
+The paper offers two ways to subject a service to competing traffic:
+run real generators in the VN mix (most accurate, costs emulation
+resources) or adjust pipe parameters from an analytical model (cheap,
+"introduces an emulation error that grows with the link utilization
+level"). This bench quantifies both claims: the foreground TCP
+throughput under real CBR competitors vs. the pipe-parameter model at
+several background utilizations, and the emulation-resource cost of
+each approach.
+"""
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.apps.netperf import TcpStream, UdpCbrSource, UdpSink
+from repro.core import (
+    CrossTrafficMatrix,
+    CrossTrafficModel,
+    DistillationMode,
+    EmulationConfig,
+    ExperimentPipeline,
+)
+from repro.engine import Simulator
+from repro.topology import NodeKind, Topology
+
+BOTTLENECK_BPS = 10e6
+
+
+def shared_bottleneck_topology():
+    """Foreground pair and background pair share one 10 Mb/s link."""
+    topology = Topology()
+    r1 = topology.add_node(NodeKind.STUB)
+    r2 = topology.add_node(NodeKind.STUB)
+    topology.add_link(r1.id, r2.id, BOTTLENECK_BPS, 0.010, queue_limit=100)
+    vns = {}
+    for name, router in (
+        ("fg_src", r1), ("bg_src", r1), ("fg_dst", r2), ("bg_dst", r2),
+    ):
+        node = topology.add_node(NodeKind.CLIENT, name=name)
+        topology.add_link(router.id, node.id, 100e6, 0.001)
+        vns[name] = node.id
+    return topology, vns
+
+
+def run_one(utilization: float, synthetic: bool):
+    """Foreground TCP goodput with background at the given
+    utilization of the bottleneck, injected really or synthetically."""
+    topology, names = shared_bottleneck_topology()
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .distill(DistillationMode.HOP_BY_HOP)
+        .run(EmulationConfig.reference())
+    )
+    node_to_vn = {vn.node_id: vn.vn_id for vn in emulation.vns}
+    vn = {name: node_to_vn[node] for name, node in names.items()}
+    background_bps = utilization * BOTTLENECK_BPS
+
+    source = None
+    if background_bps > 0:
+        if synthetic:
+            model = CrossTrafficModel(emulation)
+            matrix = CrossTrafficMatrix()
+            matrix.set_demand(vn["bg_src"], vn["bg_dst"], background_bps)
+            model.apply(matrix)
+        else:
+            UdpSink(emulation.vn(vn["bg_dst"]))
+            source = UdpCbrSource(
+                emulation.vn(vn["bg_src"]), vn["bg_dst"],
+                rate_bps=background_bps,
+            )
+
+    stream = TcpStream(emulation, vn["fg_src"], vn["fg_dst"])
+    sim.run(until=2.0)
+    stream.mark()
+    sim.run(until=8.0)
+    goodput = stream.throughput_bps()
+    stream.stop()
+    if source is not None:
+        source.stop()
+    return goodput, sim.events_dispatched
+
+
+def test_ablation_cross_traffic_fidelity(benchmark, sink):
+    utilizations = [0.0, 0.2, 0.4, 0.6, 0.8]
+
+    def run_all():
+        rows = []
+        for utilization in utilizations:
+            real, real_events = run_one(utilization, synthetic=False)
+            model, model_events = run_one(utilization, synthetic=True)
+            rows.append((utilization, real, model, real_events, model_events))
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    sink.row("Ablation: synthetic vs real cross traffic (foreground TCP goodput)")
+    sink.row(
+        f"{'util':>5} {'real(Mb/s)':>11} {'model(Mb/s)':>12} "
+        f"{'err%':>6} {'real_events':>12} {'model_events':>13}"
+    )
+    errors = {}
+    for utilization, real, model, real_events, model_events in rows:
+        error = abs(model - real) / real if real else 0.0
+        errors[utilization] = error
+        sink.row(
+            f"{utilization:>5.1f} {real/1e6:>11.2f} {model/1e6:>12.2f} "
+            f"{error*100:>5.1f}% {real_events:>12} {model_events:>13}"
+        )
+
+    by_util = {u: (real, model, re, me) for u, real, model, re, me in rows}
+
+    # No background: both identical (same code path).
+    real0, model0, _, _ = by_util[0.0]
+    assert model0 == pytest.approx(real0, rel=0.02)
+
+    # Both approaches take bandwidth away monotonically.
+    for series_index in (1, 2):
+        values = [row[series_index] for row in rows]
+        for earlier, later in zip(values, values[1:]):
+            assert later < earlier * 1.05
+
+    # The paper's two claims:
+    # (1) the model tracks real cross traffic well at low utilization...
+    assert errors[0.2] < 0.25
+    # ...with error growing as utilization rises (unresponsive
+    # background vs TCP that would have shared).
+    assert errors[0.8] > errors[0.2]
+
+    # (2) the model is far cheaper: no background packets at all.
+    _real, _model, real_events, model_events = by_util[0.8]
+    assert model_events < 0.6 * real_events

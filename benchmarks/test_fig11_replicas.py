@@ -1,0 +1,175 @@
+"""Figure 11 — replica count vs. client-perceived latency CDF.
+
+The paper (Sec. 5.2, topology of Fig. 10): four client clouds of 30
+VNs each (1 Mb/s access links) play a 2.5-minute web trace at 60-100
+requests/s against 1, 2, or 3 Apache replicas on a modified 320-node
+transit-stub topology (transit-transit 50 Mb/s / 50 ms, transit-stub
+25 Mb/s / 10 ms, stub-stub 10 Mb/s / 5 ms, servers on 100 Mb/s / 1 ms
+links). Shape targets:
+
+* one replica: interior contention produces a heavy latency tail
+  (the paper: ~10% of requests above 5 s);
+* a second replica largely eliminates the contention — a large
+  improvement across the distribution;
+* a third replica adds only marginal benefit.
+
+Server CPU is never the bottleneck (paper: ~10% utilization), so the
+experiment isolates network contention, which only works because the
+emulator models interior pipes.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.analysis import Cdf, synthesize_web_trace
+from repro.apps import TraceClient, WebServer
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import NodeKind, Topology
+
+CLIENTS_PER_CLOUD = 30
+
+
+def fig10_topology():
+    """The Figure 10 shape: a transit ring t0..t3, one 30-VN client
+    cloud per transit, three server attachment points, plus filler
+    stub domains to reach the ~320-node scale."""
+    topology = Topology("fig10")
+    transits = [topology.add_node(NodeKind.TRANSIT) for _ in range(4)]
+    for index in range(4):
+        topology.add_link(
+            transits[index].id,
+            transits[(index + 1) % 4].id,
+            50e6,
+            0.050,
+            queue_limit=100,
+        )
+
+    client_vn_ids = {}
+    for cloud in range(4):
+        stub = topology.add_node(NodeKind.STUB, cloud=f"C{cloud + 1}")
+        topology.add_link(transits[cloud].id, stub.id, 25e6, 0.010)
+        ids = []
+        for _ in range(CLIENTS_PER_CLOUD):
+            client = topology.add_node(NodeKind.CLIENT, cloud=f"C{cloud + 1}")
+            topology.add_link(stub.id, client.id, 1e6, 0.001)
+            ids.append(client.id)
+        client_vn_ids[cloud] = ids
+
+    server_ids = []
+    # R1 near t0 (between C1/C2 in the figure), R2 near t1, R3 near t3.
+    for transit_index in (0, 1, 3):
+        stub = topology.add_node(NodeKind.STUB, role="server-stub")
+        topology.add_link(transits[transit_index].id, stub.id, 25e6, 0.010)
+        server = topology.add_node(NodeKind.CLIENT, role="server")
+        topology.add_link(stub.id, server.id, 100e6, 0.001)
+        server_ids.append(server.id)
+
+    # Filler stub domains ("S" clouds with more complex internal
+    # connectivity): rings of stub routers per transit.
+    rng = random.Random(10)
+    for transit in transits:
+        for _ in range(2):
+            routers = [topology.add_node(NodeKind.STUB) for _ in range(22)]
+            for index, router in enumerate(routers):
+                neighbor = routers[(index + 1) % len(routers)]
+                topology.add_link(router.id, neighbor.id, 10e6, 0.005)
+            topology.add_link(transit.id, routers[0].id, 25e6, 0.010)
+    return topology, client_vn_ids, server_ids
+
+
+def run_experiment():
+    topology, client_node_ids, server_node_ids = fig10_topology()
+    duration = 150.0 if full_scale() else 60.0
+    # Response sizes calibrated so the 60-100 req/s trace offers on
+    # average ~the single server's 25 Mb/s interior attachment (mean
+    # ~40 KB -> ~26 Mb/s at 80 req/s): rate bursts push the shared
+    # interior pipe into sustained congestion, which is what produces
+    # the paper's single-server tail, while each client's private
+    # 1 Mb/s access stays under ~35% utilized so it never masks the
+    # effect.
+    trace = synthesize_web_trace(
+        random.Random(11),
+        duration_s=duration,
+        size_median_bytes=20_000,
+        size_sigma=1.2,
+        size_cap_bytes=300_000,
+    )
+
+    results = {}
+    for replicas in (1, 2, 3):
+        sim = Simulator()
+        emulation = (
+            ExperimentPipeline(sim)
+            .create(topology.copy())
+            .run(EmulationConfig.reference())
+        )
+        # Map topology node ids to VN indices.
+        node_to_vn = {vn.node_id: vn.vn_id for vn in emulation.vns}
+        server_vns = [node_to_vn[node] for node in server_node_ids]
+        for vn in server_vns:
+            WebServer(emulation, vn)
+
+        def server_for(cloud: int) -> int:
+            if replicas >= 2 and cloud in (0, 1):
+                return server_vns[1]  # C1, C2 -> R2
+            if replicas >= 3 and cloud == 3:
+                return server_vns[2]  # C4 -> R3
+            return server_vns[0]
+
+        clients = []
+        for cloud, node_ids in client_node_ids.items():
+            target = server_for(cloud)
+            for position, node_id in enumerate(node_ids):
+                client_index = cloud * CLIENTS_PER_CLOUD + position
+                requests = trace.slice_for_client(
+                    client_index, 4 * CLIENTS_PER_CLOUD
+                )
+                clients.append(
+                    TraceClient(emulation, node_to_vn[node_id], target, requests)
+                )
+        sim.run(until=duration + 60.0)
+        latencies = [
+            latency for client in clients for latency in client.latencies
+        ]
+        completed = sum(len(c.completed) for c in clients)
+        issued = sum(c.issued for c in clients)
+        results[replicas] = (latencies, completed, issued)
+    return results
+
+
+def test_fig11_replicas(benchmark, sink):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    sink.row("Figure 11: CDF of client-perceived latency (s) by replicas")
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9, 0.99)
+    sink.row(f"{'replicas':>9} " + " ".join(f"p{int(q*100):>5}" for q in quantiles))
+    cdfs = {}
+    for replicas, (latencies, completed, issued) in sorted(results.items()):
+        cdfs[replicas] = Cdf(latencies)
+        sink.row(
+            f"{replicas:>9} "
+            + " ".join(f"{cdfs[replicas].quantile(q):>6.2f}" for q in quantiles)
+            + f"   ({completed}/{issued} done)"
+        )
+
+    for replicas, (latencies, completed, issued) in results.items():
+        assert completed > 0.9 * issued, f"{replicas} replicas: many failures"
+
+    one, two, three = cdfs[1], cdfs[2], cdfs[3]
+
+    # One replica: a heavy contention tail (a nontrivial share of
+    # requests takes multi-second latencies).
+    assert one.quantile(0.9) > 1.0
+    assert one.fraction_below(5.0) < 0.99
+
+    # A second replica is a large improvement across the tail...
+    assert two.quantile(0.9) < one.quantile(0.9) * 0.6
+    assert two.quantile(0.75) < one.quantile(0.75)
+
+    # ...while the third is marginal by comparison.
+    improvement_2 = one.quantile(0.9) - two.quantile(0.9)
+    improvement_3 = two.quantile(0.9) - three.quantile(0.9)
+    assert improvement_3 < 0.5 * improvement_2
+    assert three.quantile(0.5) < two.quantile(0.5) * 1.25

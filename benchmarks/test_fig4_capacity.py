@@ -1,0 +1,70 @@
+"""Figure 4 — capacity of a single ModelNet core.
+
+The paper: packets/sec forwarded vs. number of 10 Mb/s TCP flows,
+one curve per emulated hop count (1, 2, 4, 8, 12). Shape targets:
+
+* linear scaling with offered load below saturation;
+* 1-hop saturation ~120 kpps, NIC-bound, CPU ~50% utilized;
+* >4 hops becomes CPU-bound (8 hops ~90 kpps in the paper);
+* saturation appears as *physical* drops, throttling the TCP flows.
+"""
+
+import pytest
+
+from benchmarks.capacity import measure_chain_capacity
+from benchmarks.conftest import full_scale
+
+
+def flow_points():
+    return [24, 48, 96, 120] if full_scale() else [24, 96, 120]
+
+
+def hop_points():
+    return [1, 2, 4, 8, 12] if full_scale() else [1, 2, 8, 12]
+
+
+def run_curves():
+    results = {}
+    for hops in hop_points():
+        for flows in flow_points():
+            results[(hops, flows)] = measure_chain_capacity(
+                flows, hops, warm_s=0.5, measure_s=1.0
+            )
+    return results
+
+
+def test_fig4_capacity(benchmark, sink):
+    results = benchmark.pedantic(run_curves, rounds=1, iterations=1)
+    sink.row("Figure 4: single-core capacity (pkts/sec)")
+    sink.row(f"{'hops':>5} {'flows':>6} {'kpps':>8} {'cpu%':>6} {'phys_drops':>11}")
+    for (hops, flows), r in sorted(results.items()):
+        sink.row(
+            f"{hops:>5} {flows:>6} {r.pps/1e3:>8.1f} "
+            f"{r.cpu_utilization*100:>5.0f}% {r.physical_drops:>11}"
+        )
+
+    flows_lo, flows_hi = flow_points()[0], flow_points()[-1]
+
+    # Below saturation: linear scaling with offered load (24 flows at
+    # 10 Mb/s each, ~1250 pkt/s data + delayed ACKs per flow).
+    low = results[(1, flows_lo)]
+    assert low.pps == pytest.approx(flows_lo * 1250, rel=0.15)
+    assert low.physical_drops == 0
+
+    # 1-hop saturation: NIC-bound near 120 kpps with CPU around 50%.
+    sat1 = results[(1, flows_hi)]
+    assert 100e3 < sat1.pps < 130e3
+    assert sat1.cpu_utilization < 0.65
+    assert sat1.physical_drops > 0
+
+    # 8-hop saturation: CPU-bound, lower than the 1-hop plateau.
+    sat8 = results[(8, flows_hi)]
+    assert sat8.pps < sat1.pps * 0.85
+    assert sat8.cpu_utilization > 0.75
+
+    # More hops cost more: capacity decreases monotonically in hops
+    # at saturation (within noise).
+    plateau = [results[(h, flows_hi)].pps for h in hop_points()]
+    assert plateau[0] > plateau[-1]
+    # 12 hops is worse than 8 (CPU-bound regime).
+    assert results[(12, flows_hi)].pps <= results[(8, flows_hi)].pps * 1.05

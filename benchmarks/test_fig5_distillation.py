@@ -1,0 +1,188 @@
+"""Figure 5 — effects of distillation on a ring topology.
+
+The paper: 20 routers in a 20 Mb/s ring, 20 VNs per router on 2 Mb/s
+access links; 200 random TCP flows. CDF of per-flow bandwidth under
+
+* hop-by-hop emulation — matches ns2 at 20 Mb/s: flows are
+  constrained by ring contention (offered ~27.5 Mb/s per transit
+  link), giving a broad spread of bandwidths;
+* end-to-end distillation — no interior contention: every flow gets
+  its full 2 Mb/s;
+* last-mile (walk-in=1) — contention modeled only on shared receiver
+  access links: ~64% of flows share a receiver and get <= 1 Mb/s,
+  the rest get 2 Mb/s; qualitatively matches ns2 with an 80 Mb/s
+  (well-provisioned) ring.
+
+Pipe-count accounting is also checked against the paper's numbers
+(420 target links, 79,800 end-to-end pipes, 590 last-mile pipes).
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import full_scale
+from repro.analysis import Cdf
+from repro.apps.netperf import TcpStream
+from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline, distill
+from repro.engine import Simulator
+from repro.topology import ring_topology
+
+NUM_FLOWS = 200
+MEASURE_S = 8.0
+
+
+def ring():
+    return ring_topology(
+        num_routers=20,
+        vns_per_router=20,
+        ring_bandwidth_bps=20e6,
+        vn_bandwidth_bps=2e6,
+    )
+
+
+def random_flows(rng):
+    """200 generator->receiver pairs.
+
+    The 400 VNs are evenly partitioned into generators (even index)
+    and receivers (odd index) on every router. Receiver routers are
+    drawn with locality calibrated so the 20 Mb/s ring runs ~2.5x
+    oversubscribed (broad, roughly even bandwidth spread as in the
+    paper's figure) while an 80 Mb/s ring is adequately provisioned
+    (the paper's "ns2 80 Mb/s" regime). Receivers are drawn with
+    replacement, so ~2/3 of flows share one, as in the paper.
+    """
+    receivers_by_router = {
+        router: [router * 20 + slot for slot in range(1, 20, 2)]
+        for router in range(20)
+    }
+    distances = [0, 1, 2, 3, 4, 5]
+    weights = [0.10, 0.20, 0.20, 0.20, 0.15, 0.15]  # E[|d|] ~ 2.55
+    flows = []
+    for router in range(20):
+        for slot in range(0, 20, 2):
+            sender = router * 20 + slot
+            distance = rng.choices(distances, weights)[0]
+            direction = rng.choice((-1, 1))
+            target_router = (router + direction * distance) % 20
+            receiver = rng.choice(receivers_by_router[target_router])
+            flows.append((sender, receiver))
+    return flows
+
+
+def measure_flow_bandwidths(mode, flows, ring_bw=20e6, reference=False,
+                            walk_in=1):
+    topology = ring_topology(
+        num_routers=20,
+        vns_per_router=20,
+        ring_bandwidth_bps=ring_bw,
+        vn_bandwidth_bps=2e6,
+    )
+    sim = Simulator()
+    config = (
+        EmulationConfig.reference() if reference else EmulationConfig()
+    )
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .distill(mode, walk_in=walk_in)
+        .assign(1)
+        .bind(20)
+        .run(config)
+    )
+    streams = [TcpStream(emulation, src, dst) for src, dst in flows]
+    sim.run(until=2.0)
+    for stream in streams:
+        stream.mark()
+    sim.run(until=2.0 + MEASURE_S)
+    rates = [stream.throughput_bps() for stream in streams]
+    for stream in streams:
+        stream.stop()
+    return rates
+
+
+def run_all():
+    rng = random.Random(42)
+    flows = random_flows(rng)
+    series = {}
+    series["hop-by-hop"] = measure_flow_bandwidths(
+        DistillationMode.HOP_BY_HOP, flows
+    )
+    series["ns2-proxy 20Mb"] = measure_flow_bandwidths(
+        DistillationMode.HOP_BY_HOP, flows, reference=True
+    )
+    series["ns2-proxy 80Mb"] = measure_flow_bandwidths(
+        DistillationMode.HOP_BY_HOP, flows, ring_bw=80e6, reference=True
+    )
+    series["last-mile"] = measure_flow_bandwidths(
+        DistillationMode.WALK_IN, flows
+    )
+    series["end-to-end"] = measure_flow_bandwidths(
+        DistillationMode.END_TO_END, flows
+    )
+    return flows, series
+
+
+def test_fig5_distillation(benchmark, sink):
+    flows, series = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    # --- pipe accounting (Sec. 4.1 text) -------------------------------
+    topology = ring()
+    assert topology.num_links == 420
+    e2e = distill(topology, DistillationMode.END_TO_END)
+    assert e2e.topology.num_links == 79_800
+    last_mile = distill(topology, DistillationMode.WALK_IN, walk_in=1)
+    assert last_mile.topology.num_links == 590
+    sink.row("Pipe accounting: target=420, end-to-end=79800, last-mile=590")
+
+    sink.row("")
+    sink.row("Figure 5: CDF of per-flow bandwidth (Kb/s)")
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9)
+    header = f"{'series':>16} " + " ".join(f"p{int(q*100):>2}" for q in quantiles)
+    sink.row(header)
+    for name, rates in series.items():
+        cdf = Cdf(rates)
+        row = f"{name:>16} " + " ".join(
+            f"{cdf.quantile(q)/1e3:>4.0f}" for q in quantiles
+        )
+        sink.row(row)
+
+    hop = Cdf(series["hop-by-hop"])
+    ns20 = Cdf(series["ns2-proxy 20Mb"])
+    ns80 = Cdf(series["ns2-proxy 80Mb"])
+    last = Cdf(series["last-mile"])
+    e2e_rates = Cdf(series["end-to-end"])
+
+    # End-to-end: no interior contention; only flows sharing a
+    # receiver fall short, median flow achieves ~full 2 Mb/s goodput.
+    assert e2e_rates.quantile(0.9) > 1.7e6
+
+    # Hop-by-hop shows a broad spread from ring contention: the
+    # median flow is well below 2 Mb/s and the spread is wide.
+    assert hop.quantile(0.5) < 1.5e6
+    assert hop.quantile(0.9) - hop.quantile(0.1) > 0.7e6
+
+    # Hop-by-hop emulation matches the exact (ns2 stand-in) run.
+    for q in (0.25, 0.5, 0.75):
+        assert hop.quantile(q) == pytest.approx(ns20.quantile(q), rel=0.25, abs=2e5)
+
+    # Last-mile resembles the well-provisioned (80 Mb/s) ring: no
+    # transit contention, so both sit well above the 20 Mb/s run at
+    # the median.
+    assert last.quantile(0.5) > hop.quantile(0.5)
+    assert last.quantile(0.5) == pytest.approx(
+        ns80.quantile(0.5), rel=0.3, abs=2.5e5
+    )
+
+    # The share of flows at full rate under last-mile roughly matches
+    # the fraction with a private receiver (~36% in the paper).
+    from collections import Counter
+
+    receiver_load = Counter(dst for _src, dst in flows)
+    private = sum(1 for _src, dst in flows if receiver_load[dst] == 1)
+    private_fraction = private / len(flows)
+    fraction_full = 1.0 - Cdf(series["last-mile"]).fraction_below(1.5e6)
+    # Every privately-received flow reaches full rate; TCP unfairness
+    # lets some sharing flows briefly exceed the fair split too, so
+    # the full-rate share sits at or somewhat above the private share.
+    assert private_fraction - 0.1 <= fraction_full <= private_fraction + 0.3

@@ -1,0 +1,83 @@
+"""Figure 7 — CFS download speed vs. prefetch window.
+
+The paper reproduces CFS's prefetch experiment: download speed of a
+1 MB file striped across 12 RON-condition nodes, as a function of the
+Chord prefetch window, run both with 12 VNs on 12 edge machines and
+with all 12 VNs multiplexed onto one machine. Shape targets:
+
+* speed rises steeply with the prefetch window (lookup/fetch
+  pipelining) and saturates by ~100-200 KB of prefetch;
+* speeds land in the tens-to-~200 KB/s range of the CFS paper;
+* the 1-machine and 12-machine configurations agree closely (the
+  multiplexing-fidelity claim).
+"""
+
+import pytest
+
+from benchmarks.cfs_common import FILE_BYTES, build_ron_emulation, cfs_download_speed
+from benchmarks.conftest import full_scale
+from repro.apps.cfs import CfsNetwork
+
+
+def run_curves():
+    windows = (
+        [8, 16, 24, 40, 64, 96, 128, 200]
+        if full_scale()
+        else [8, 24, 40, 96, 200]
+    )
+    curves = {}
+    for label, hosts in (("12-machines", 12), ("1-machine", 1)):
+        sim, emulation = build_ron_emulation(num_hosts=hosts)
+        network = CfsNetwork(emulation, list(range(12)))
+        # Average each window over the same fast-site clients so the
+        # curve varies with the window, not the downloader's access.
+        clients = [1, 2, 6]
+        speeds = {}
+        for window_kb in windows:
+            samples = []
+            for client in clients:
+                file_id = f"{label}-file-{window_kb}-c{client}"
+                network.store_file(file_id, FILE_BYTES)
+                speed = cfs_download_speed(
+                    sim, network, client, file_id, window_kb * 1024
+                )
+                if speed is not None:
+                    samples.append(speed)
+            speeds[window_kb] = sum(samples) / len(samples) if samples else None
+        curves[label] = speeds
+    return curves
+
+
+def test_fig7_cfs_prefetch(benchmark, sink):
+    curves = benchmark.pedantic(run_curves, rounds=1, iterations=1)
+    windows = sorted(curves["12-machines"])
+    sink.row("Figure 7: CFS download speed vs prefetch window (KB/s)")
+    sink.row(f"{'prefetch_KB':>12} {'12-machines':>12} {'1-machine':>10}")
+    for window in windows:
+        twelve = curves["12-machines"][window]
+        one = curves["1-machine"][window]
+        sink.row(
+            f"{window:>12} {twelve/1024 if twelve else 0:>12.1f} "
+            f"{one/1024 if one else 0:>10.1f}"
+        )
+
+    twelve = curves["12-machines"]
+    assert all(speed is not None for speed in twelve.values())
+
+    # Speed rises strongly with prefetch window...
+    assert twelve[max(windows)] > 2.5 * twelve[8]
+    # ...monotonically up to saturation (tolerate 15% noise).
+    ordered = [twelve[w] for w in windows]
+    for earlier, later in zip(ordered, ordered[1:]):
+        assert later > earlier * 0.85
+
+    # Speeds in the CFS paper's range (tens to ~250 KB/s).
+    assert 5 * 1024 < twelve[8] < 120 * 1024
+    assert 40 * 1024 < twelve[max(windows)] < 400 * 1024
+
+    # Multiplexing 12 VNs on one machine reproduces the 12-machine
+    # results closely.
+    for window in windows:
+        one = curves["1-machine"][window]
+        assert one is not None
+        assert one == pytest.approx(twelve[window], rel=0.35)

@@ -1,0 +1,61 @@
+"""Figure 8 — CDF of CFS download speed at several prefetch windows.
+
+The paper plots, for prefetch windows of 8, 24, and 40 KB, the CDF of
+1 MB download speeds over many (client, file) combinations, for both
+CFS-on-RON and CFS-on-ModelNet. Shape targets: the three CDFs are
+cleanly ordered (larger windows shift the whole distribution right),
+8 KB downloads cluster below ~50 KB/s, and 40 KB downloads mostly
+exceed 60 KB/s.
+"""
+
+import pytest
+
+from benchmarks.cfs_common import FILE_BYTES, build_ron_emulation, cfs_download_speed
+from benchmarks.conftest import full_scale
+from repro.analysis import Cdf
+from repro.apps.cfs import CfsNetwork
+
+WINDOWS_KB = (8, 24, 40)
+
+
+def run_downloads():
+    sim, emulation = build_ron_emulation(num_hosts=12)
+    network = CfsNetwork(emulation, list(range(12)))
+    clients = list(range(12)) if full_scale() else [0, 1, 3, 5, 6, 7, 9, 10]
+    results = {window: [] for window in WINDOWS_KB}
+    for window_kb in WINDOWS_KB:
+        for client in clients:
+            file_id = f"cdf-{window_kb}-{client}"
+            network.store_file(file_id, FILE_BYTES)
+            speed = cfs_download_speed(
+                sim, network, client, file_id, window_kb * 1024
+            )
+            if speed is not None:
+                results[window_kb].append(speed)
+    return results
+
+
+def test_fig8_cfs_cdf(benchmark, sink):
+    results = benchmark.pedantic(run_downloads, rounds=1, iterations=1)
+    sink.row("Figure 8: CDF of download speed by prefetch window (KB/s)")
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9)
+    sink.row(f"{'window':>7} " + " ".join(f"p{int(q*100):>3}" for q in quantiles))
+    cdfs = {}
+    for window_kb, speeds in results.items():
+        cdfs[window_kb] = Cdf(speeds)
+        sink.row(
+            f"{window_kb:>6}K "
+            + " ".join(f"{cdfs[window_kb].quantile(q)/1024:>4.0f}" for q in quantiles)
+        )
+
+    for window_kb in WINDOWS_KB:
+        assert len(results[window_kb]) >= 6
+
+    # Stochastic ordering: bigger windows dominate at every quantile.
+    for q in (0.25, 0.5, 0.75):
+        assert cdfs[8].quantile(q) < cdfs[24].quantile(q) < cdfs[40].quantile(q)
+
+    # Magnitudes in the CFS paper's bands.
+    assert cdfs[8].quantile(0.9) < 60 * 1024
+    assert cdfs[40].quantile(0.5) > 60 * 1024
+    assert cdfs[40].quantile(0.9) < 350 * 1024

@@ -1,0 +1,109 @@
+"""Figure 9 — CDFs of plain TCP transfer speed between RON sites.
+
+The paper transfers files of 8, 64, and 1164 KB between all pairs of
+RON nodes over plain TCP and plots the per-transfer speed CDF, on
+both the real testbed and ModelNet. Shape targets:
+
+* small transfers are much slower than large ones (handshake, slow
+  start, and delayed ACKs dominate an 8 KB transfer over wide-area
+  RTTs);
+* 1126 KB transfers approach path bandwidth: a wide spread from
+  ~30 KB/s (slow DSL/cable sites) up to ~300 KB/s;
+* the ordering 8 KB < 64 KB < 1126 KB holds across the CDF.
+"""
+
+import pytest
+
+from benchmarks.cfs_common import build_ron_emulation
+from benchmarks.conftest import full_scale
+from repro.analysis import Cdf
+
+SIZES = {"8KB": 8 * 1024, "64KB": 64 * 1024, "1126KB": 1126 * 1024}
+
+
+def tournament_rounds(n: int):
+    """Round-robin (circle method) rounds: each round pairs every
+    site at most once, so concurrent transfers never share an access
+    link. Both directions of a pairing run in the same round (the
+    access pipes are full duplex)."""
+    sites = list(range(n))
+    rounds = []
+    for _round in range(n - 1):
+        pairs = []
+        for index in range(n // 2):
+            a, b = sites[index], sites[n - 1 - index]
+            pairs.append((a, b))
+            pairs.append((b, a))
+        rounds.append(pairs)
+        sites = [sites[0]] + [sites[-1]] + sites[1:-1]
+    return rounds
+
+
+def run_transfers():
+    results = {label: [] for label in SIZES}
+    round_step = 1 if full_scale() else 2  # all 11 rounds vs every other
+    round_spacing = 90.0  # worst pair: 1126 KB at ~30 KB/s ~ 38 s
+    for label, size in SIZES.items():
+        sim, emulation = build_ron_emulation(num_hosts=12)
+        done = {}
+        port_counter = [20000]
+
+        def launch(src, dst, size=size):
+            port = port_counter[0]
+            port_counter[0] += 1
+            started = sim.now
+
+            def on_connection(conn):
+                conn.on_message = lambda c, m: done.__setitem__(
+                    (src, dst), sim.now - started
+                )
+
+            emulation.vn(dst).tcp_listen(port, on_connection)
+            emulation.vn(src).tcp_connect(
+                dst, port, on_established=lambda c: c.send(size, message="eof")
+            )
+
+        for round_index, pairs in enumerate(tournament_rounds(12)[::round_step]):
+            when = round_index * round_spacing
+            for src, dst in pairs:
+                sim.at(when, launch, src, dst)
+        sim.run(until=12 * round_spacing)
+        for (src, dst), elapsed in done.items():
+            results[label].append(size / elapsed)
+    return results
+
+
+def test_fig9_tcp_cdf(benchmark, sink):
+    results = benchmark.pedantic(run_transfers, rounds=1, iterations=1)
+    sink.row("Figure 9: CDF of TCP transfer speed by size (KB/s)")
+    quantiles = (0.1, 0.25, 0.5, 0.75, 0.9)
+    sink.row(f"{'size':>8} " + " ".join(f"p{int(q*100):>4}" for q in quantiles))
+    cdfs = {}
+    for label, speeds in results.items():
+        assert len(speeds) >= 50, f"{label}: too many transfers failed"
+        cdfs[label] = Cdf(speeds)
+        sink.row(
+            f"{label:>8} "
+            + " ".join(f"{cdfs[label].quantile(q)/1024:>5.0f}" for q in quantiles)
+        )
+
+    # Stochastic ordering by transfer size.
+    for q in (0.25, 0.5, 0.75):
+        assert (
+            cdfs["8KB"].quantile(q)
+            < cdfs["64KB"].quantile(q)
+            < cdfs["1126KB"].quantile(q)
+        )
+
+    # Large transfers approach path bandwidth: broad spread with the
+    # top decile in the hundreds of KB/s, the bottom held down by the
+    # slow sites.
+    big = cdfs["1126KB"]
+    assert big.quantile(0.9) > 120 * 1024
+    assert big.quantile(0.1) < 80 * 1024
+    assert big.quantile(0.9) < 450 * 1024
+    # Spread of roughly 3-4x between slow and fast paths.
+    assert big.quantile(0.9) > 2.5 * big.quantile(0.1)
+
+    # Small transfers are RTT-dominated: median well under 100 KB/s.
+    assert cdfs["8KB"].quantile(0.5) < 100 * 1024

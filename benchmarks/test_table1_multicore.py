@@ -1,0 +1,68 @@
+"""Table 1 — multi-core scalability vs. cross-core communication.
+
+The paper (4 cores, 1120 VNs on a star of 10 Mb/s pipes):
+
+    cross-core traffic   0%     25%    50%    75%    100%
+    throughput (kpps)    462.5  404.5  276.3  219.3  155.8
+
+Shape targets: 0% cross-core delivers ~4x the single-core 2-hop
+plateau, and throughput degrades monotonically by roughly 3x from 0%
+to 100% cross-core traffic.
+"""
+
+import pytest
+
+from benchmarks.capacity import measure_chain_capacity, measure_multicore_throughput
+from benchmarks.conftest import full_scale
+
+
+def run_table():
+    if full_scale():
+        num_vns, pipe_bps = 1120, 10e6  # the paper's exact setup
+    else:
+        num_vns, pipe_bps = 280, 40e6  # same offered pkts/sec, 1/4 VNs
+    fractions = [0.0, 0.25, 0.5, 0.75, 1.0]
+    rows = []
+    for fraction in fractions:
+        rows.append(
+            measure_multicore_throughput(
+                4,
+                fraction,
+                num_vns=num_vns,
+                pipe_bps=pipe_bps,
+                warm_s=0.5,
+                measure_s=0.5,
+            )
+        )
+    single = measure_chain_capacity(120, hops=2, warm_s=0.5, measure_s=0.5)
+    return rows, single
+
+
+def test_table1_multicore(benchmark, sink):
+    rows, single = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    sink.row("Table 1: 4-core throughput vs % cross-core traffic")
+    sink.row(f"{'cross%':>7} {'kpps':>8} {'tunnels':>9}")
+    for row in rows:
+        sink.row(
+            f"{row.cross_fraction*100:>6.0f}% {row.pps/1e3:>8.1f} {row.tunnels:>9}"
+        )
+    sink.row(f"single-core 2-hop reference: {single.pps/1e3:.1f} kpps")
+
+    by_fraction = {row.cross_fraction: row for row in rows}
+    # No tunneling at 0%, plenty at 100%.
+    assert by_fraction[0.0].tunnels == 0
+    assert by_fraction[1.0].tunnels > 0
+
+    # Monotone degradation with cross-core traffic.
+    pps = [row.pps for row in rows]
+    for earlier, later in zip(pps, pps[1:]):
+        assert later < earlier * 1.05
+
+    # ~3x degradation from 0% to 100% (paper: 462.5 -> 155.8).
+    ratio = by_fraction[0.0].pps / by_fraction[1.0].pps
+    assert 1.8 < ratio < 5.0
+
+    # 0% cross-core is ~4x a single core at the same per-path hop
+    # count (allowing generous tolerance for the scaled-down run).
+    speedup = by_fraction[0.0].pps / single.pps
+    assert speedup > 2.0

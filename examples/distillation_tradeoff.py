@@ -1,0 +1,82 @@
+"""The accuracy/scalability knob: distillation (paper Sec. 4.1).
+
+Distills the paper's ring topology three ways — full hop-by-hop,
+last-mile (walk-in = 1), and end-to-end — prints the pipe accounting,
+and runs the same TCP workload over each to show how abstracting the
+interior removes contention effects (and emulation cost).
+
+Run:  python examples/distillation_tradeoff.py
+"""
+
+import random
+
+from repro.analysis import summarize
+from repro.apps.netperf import TcpStream
+from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline, distill
+from repro.engine import Simulator
+from repro.topology import ring_topology
+
+
+def build_flows(rng, flows=60):
+    """Senders on even VN slots, receivers (with sharing) on odd."""
+    pairs = []
+    for sender in range(0, 2 * flows, 2):
+        receiver = rng.randrange(flows) * 2 + 1
+        pairs.append((sender, receiver))
+    return pairs
+
+
+def run(mode, flows, walk_in=1):
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(ring_topology(num_routers=10, vns_per_router=12))
+        .distill(mode, walk_in=walk_in)
+        .assign(1)
+        .bind(4)
+        .run(EmulationConfig.reference())
+    )
+    streams = [TcpStream(emulation, src, dst) for src, dst in flows]
+    sim.run(until=2.0)
+    for stream in streams:
+        stream.mark()
+    sim.run(until=8.0)
+    rates = [stream.throughput_bps() for stream in streams]
+    for stream in streams:
+        stream.stop()
+    return rates, sim.events_dispatched
+
+
+def main() -> None:
+    topology = ring_topology(num_routers=10, vns_per_router=12)
+    print(f"target: {topology}")
+    print(f"{'mode':>12} {'pipes':>7} {'preserved':>10} {'mesh':>6}")
+    for mode, kwargs in (
+        (DistillationMode.HOP_BY_HOP, {}),
+        (DistillationMode.WALK_IN, {"walk_in": 1}),
+        (DistillationMode.END_TO_END, {}),
+    ):
+        result = distill(topology, mode, **kwargs)
+        print(
+            f"{mode.value:>12} {result.total_pipes:>7} "
+            f"{result.preserved_links:>10} {result.mesh_links:>6}"
+        )
+
+    flows = build_flows(random.Random(2))
+    print("\nper-flow goodput under each distillation (60 TCP flows):")
+    for mode, label in (
+        (DistillationMode.HOP_BY_HOP, "hop-by-hop"),
+        (DistillationMode.WALK_IN, "last-mile"),
+        (DistillationMode.END_TO_END, "end-to-end"),
+    ):
+        rates, events = run(mode, flows)
+        stats = summarize([rate / 1e3 for rate in rates])
+        print(f"  {label:>11}: {stats}  [engine events: {events}]")
+    print(
+        "\nNote how end-to-end removes interior contention (flows reach "
+        "full rate)\nwhile costing far fewer emulation events per packet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — a virtual-time reproduction of ModelNet (OSDI 2002).
+
+"Scalability and Accuracy in a Large-Scale Network Emulator",
+Vahdat, Yocum, Walsh, Mahadevan, Kostić, Chase, and Becker.
+
+The usual entry points:
+
+>>> from repro.engine import Simulator
+>>> from repro.core import ExperimentPipeline, EmulationConfig
+>>> from repro.topology import ring_topology
+
+See README.md for the architecture overview, DESIGN.md for the system
+inventory and paper-substitution table, and EXPERIMENTS.md for
+paper-vs-measured results for every table and figure.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "engine",
+    "topology",
+    "routing",
+    "hardware",
+    "net",
+    "core",
+    "apps",
+    "analysis",
+    "tools",
+]

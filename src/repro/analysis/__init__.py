@@ -1,0 +1,18 @@
+"""Measurement and workload-analysis helpers used by experiments."""
+
+from repro.analysis.stats import (
+    Cdf,
+    percentile,
+    summarize,
+    Summary,
+)
+from repro.analysis.traces import WebTrace, synthesize_web_trace
+
+__all__ = [
+    "Cdf",
+    "percentile",
+    "summarize",
+    "Summary",
+    "WebTrace",
+    "synthesize_web_trace",
+]

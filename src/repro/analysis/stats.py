@@ -1,0 +1,92 @@
+"""Distribution summaries: CDFs and percentiles.
+
+Most of the paper's figures are CDFs of per-flow bandwidth or
+per-request latency; :class:`Cdf` renders the same row/series shape
+the figures plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """The ``fraction``-quantile (nearest-rank) of ``values``."""
+    if not values:
+        raise ValueError("percentile of empty data")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    rank = min(len(ordered) - 1, max(0, int(fraction * len(ordered))))
+    return ordered[rank]
+
+
+@dataclass
+class Summary:
+    """Standard sample statistics (see :func:`summarize`)."""
+
+    count: int
+    mean: float
+    minimum: float
+    median: float
+    p90: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} min={self.minimum:.4g} "
+            f"p50={self.median:.4g} p90={self.p90:.4g} p99={self.p99:.4g} "
+            f"max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Standard summary statistics of a sample."""
+    if not values:
+        raise ValueError("summary of empty data")
+    ordered = sorted(values)
+    return Summary(
+        count=len(ordered),
+        mean=sum(ordered) / len(ordered),
+        minimum=ordered[0],
+        median=percentile(ordered, 0.5),
+        p90=percentile(ordered, 0.9),
+        p99=percentile(ordered, 0.99),
+        maximum=ordered[-1],
+    )
+
+
+class Cdf:
+    """An empirical CDF over a sample."""
+
+    def __init__(self, values: Iterable[float]):
+        self.values = sorted(values)
+        if not self.values:
+            raise ValueError("CDF of empty data")
+
+    def fraction_below(self, x: float) -> float:
+        """P(X <= x)."""
+        import bisect
+
+        return bisect.bisect_right(self.values, x) / len(self.values)
+
+    def quantile(self, fraction: float) -> float:
+        return percentile(self.values, fraction)
+
+    def points(self, steps: int = 20) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for plotting/printing."""
+        n = len(self.values)
+        result = []
+        for index in range(steps + 1):
+            rank = min(n - 1, int(index * n / steps))
+            result.append((self.values[rank], (rank + 1) / n))
+        return result
+
+    def table(self, steps: int = 10, label: str = "value") -> str:
+        """A printable table of the CDF (the benches' output format)."""
+        lines = [f"{'pct':>6}  {label}"]
+        for value, fraction in self.points(steps):
+            lines.append(f"{fraction*100:>5.0f}%  {value:.4g}")
+        return "\n".join(lines)

@@ -1,0 +1,77 @@
+"""Synthetic web traces.
+
+The paper's replicated-web experiment plays back 2.5 minutes of a
+trace of IBM's main web site from February 2001 [5], with load
+varying between 60 and 100 requests/second. That trace is not public;
+this module synthesizes a trace with the same observable structure:
+a rate process wandering through the given band and heavy-tailed
+(lognormal body) response sizes typical of 2001-era web content.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Tuple
+
+
+@dataclass
+class WebTrace:
+    """A request trace: (arrival time, response size in bytes)."""
+
+    requests: List[Tuple[float, int]]
+    duration_s: float
+
+    @property
+    def count(self) -> int:
+        return len(self.requests)
+
+    def mean_rate(self) -> float:
+        return self.count / self.duration_s if self.duration_s else 0.0
+
+    def slice_for_client(self, client: int, num_clients: int) -> List[Tuple[float, int]]:
+        """Deal requests round-robin across client players."""
+        return [
+            request
+            for index, request in enumerate(self.requests)
+            if index % num_clients == client
+        ]
+
+
+def synthesize_web_trace(
+    rng: random.Random,
+    duration_s: float = 150.0,
+    rate_low: float = 60.0,
+    rate_high: float = 100.0,
+    size_median_bytes: int = 8_000,
+    size_sigma: float = 1.0,
+    size_cap_bytes: int = 1_000_000,
+) -> WebTrace:
+    """Generate a trace in the image of the paper's IBM workload.
+
+    The request rate follows a slow random walk bounded to
+    [rate_low, rate_high]; arrivals are Poisson at the prevailing
+    rate; response sizes are lognormal with the given median, capped
+    to keep the tail within 2001-era page weights.
+    """
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if not 0 < rate_low <= rate_high:
+        raise ValueError("need 0 < rate_low <= rate_high")
+    requests: List[Tuple[float, int]] = []
+    now = 0.0
+    rate = rng.uniform(rate_low, rate_high)
+    mu = math.log(size_median_bytes)
+    next_rate_change = 0.0
+    while now < duration_s:
+        if now >= next_rate_change:
+            rate = min(rate_high, max(rate_low, rate + rng.uniform(-10.0, 10.0)))
+            next_rate_change = now + 5.0
+        now += rng.expovariate(rate)
+        if now >= duration_s:
+            break
+        size = int(rng.lognormvariate(mu, size_sigma))
+        size = max(200, min(size_cap_bytes, size))
+        requests.append((now, size))
+    return WebTrace(requests=requests, duration_s=duration_s)

@@ -1,0 +1,76 @@
+"""Case-study applications run over the emulated network.
+
+These reimplement the workloads of the paper's evaluation:
+
+* :mod:`repro.apps.netperf` — the netperf/netserver load generators
+  used throughout Sec. 3 and 4 (TCP bulk streams, UDP CBR, and the
+  compute-per-byte senders of the VN-multiplexing study);
+* :mod:`repro.apps.rondata` — a synthetic RON-like 12-site wide-area
+  condition matrix (the published RON data is not shipped with the
+  paper);
+* :mod:`repro.apps.chord` / :mod:`repro.apps.cfs` — the Chord DHT
+  and a CFS/DHash-style block store with a prefetch window (Sec. 5.1);
+* :mod:`repro.apps.webserver` — static web servers and trace-playback
+  clients (Sec. 5.2);
+* :mod:`repro.apps.overlay` — an ACDC-style two-metric adaptive
+  overlay (Sec. 5.3);
+* :mod:`repro.apps.gnutella` — an unstructured peer-to-peer network
+  (the 10,000-VN study mentioned in Sec. 5);
+* :mod:`repro.apps.wireless` — the ad hoc wireless extension
+  (broadcast medium + mobility).
+"""
+
+from repro.apps.netperf import (
+    TcpStream,
+    UdpCbrSource,
+    UdpSink,
+    ComputePerByteSender,
+    ParetoOnOffSource,
+)
+from repro.apps.rondata import RonSite, ron_sites, ron_topology
+from repro.apps.rpc import RpcNode
+from repro.apps.chord import ChordNode, ChordRing, chord_id
+from repro.apps.cfs import CfsClient, CfsNetwork, BLOCK_BYTES
+from repro.apps.webserver import WebServer, TraceClient
+from repro.apps.overlay import AcdcOverlay, OverlayMember
+from repro.apps.gnutella import GnutellaNetwork, GnutellaNode
+from repro.apps.wireless import WirelessNetwork, WirelessNode, Waypoint
+from repro.apps.aodv import AodvRouter
+from repro.apps.cdn import (
+    CdnClient,
+    DnsRedirector,
+    ReplicaAgent,
+    deploy_cdn,
+)
+
+__all__ = [
+    "TcpStream",
+    "UdpCbrSource",
+    "UdpSink",
+    "ComputePerByteSender",
+    "ParetoOnOffSource",
+    "RonSite",
+    "ron_sites",
+    "ron_topology",
+    "RpcNode",
+    "ChordNode",
+    "ChordRing",
+    "chord_id",
+    "CfsClient",
+    "CfsNetwork",
+    "BLOCK_BYTES",
+    "WebServer",
+    "TraceClient",
+    "AcdcOverlay",
+    "OverlayMember",
+    "GnutellaNetwork",
+    "GnutellaNode",
+    "WirelessNetwork",
+    "WirelessNode",
+    "Waypoint",
+    "AodvRouter",
+    "CdnClient",
+    "DnsRedirector",
+    "ReplicaAgent",
+    "deploy_cdn",
+]

@@ -1,0 +1,203 @@
+"""AODV-style on-demand routing over the ad hoc wireless fabric.
+
+The paper's wireless extension handles the broadcast medium and
+mobility; an actual ad hoc *workload* needs a MANET routing protocol
+on top. This is a compact AODV (RFC 3561 in spirit): routes are
+discovered on demand by flooding a route request (RREQ); the
+destination unicasts a route reply (RREP) back along the reverse
+path; data then follows the forward path hop by hop. Stale routes
+(broken by mobility) surface as delivery failures and trigger
+re-discovery, so the protocol continuously exercises the fabric's
+topology churn.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps.wireless import WirelessNetwork, WirelessNode
+
+RREQ = "rreq"
+RREP = "rrep"
+DATA = "data"
+
+_request_ids = itertools.count()
+
+#: Discovered routes are considered fresh for this long.
+ROUTE_LIFETIME_S = 10.0
+DISCOVERY_TIMEOUT_S = 2.0
+MAX_DISCOVERY_RETRIES = 2
+
+
+class AodvNode:
+    """The AODV agent running on one wireless node."""
+
+    def __init__(self, router: "AodvRouter", node: WirelessNode):
+        self.router = router
+        self.node = node
+        self.sim = router.network.sim
+        #: dest -> (next_hop, hop_count, expires_at)
+        self.routes: Dict[int, Tuple[int, int, float]] = {}
+        self.seen_requests: set = set()
+        self.on_deliver: Optional[Callable] = None
+        node.on_receive = self._receive
+
+    # -- route table ----------------------------------------------------
+
+    def _learn(self, dest: int, next_hop: int, hops: int) -> None:
+        expiry = self.sim.now + ROUTE_LIFETIME_S
+        existing = self.routes.get(dest)
+        if existing is None or hops <= existing[1] or existing[2] < self.sim.now:
+            self.routes[dest] = (next_hop, hops, expiry)
+
+    def _route_to(self, dest: int) -> Optional[int]:
+        entry = self.routes.get(dest)
+        if entry is None or entry[2] < self.sim.now:
+            return None
+        return entry[0]
+
+    # -- frames ------------------------------------------------------------
+
+    def _receive(self, src_id: int, size: int, payload) -> None:
+        kind = payload[0]
+        if kind == RREQ:
+            self._handle_rreq(src_id, payload)
+        elif kind == RREP:
+            self._handle_rrep(src_id, payload)
+        elif kind == DATA:
+            self._handle_data(src_id, payload)
+
+    def _handle_rreq(self, src_id: int, payload) -> None:
+        _kind, request_id, origin, dest, hops = payload
+        if request_id in self.seen_requests:
+            return
+        self.seen_requests.add(request_id)
+        # Reverse route toward the origin via whoever relayed this.
+        self._learn(origin, src_id, hops + 1)
+        if self.node.node_id == dest:
+            self.router.rreqs_answered += 1
+            self.node.send_to(src_id, 64, (RREP, origin, dest, 0))
+            return
+        self.node.broadcast(64, (RREQ, request_id, origin, dest, hops + 1))
+
+    def _handle_rrep(self, src_id: int, payload) -> None:
+        _kind, origin, dest, hops = payload
+        self._learn(dest, src_id, hops + 1)
+        if self.node.node_id == origin:
+            self.router._route_found(origin, dest)
+            return
+        next_hop = self._route_to(origin)
+        if next_hop is not None:
+            self.node.send_to(next_hop, 64, (RREP, origin, dest, hops + 1))
+
+    def _handle_data(self, src_id: int, payload) -> None:
+        _kind, origin, dest, size, message, ttl = payload
+        if self.node.node_id == dest:
+            self.router.delivered += 1
+            if self.on_deliver is not None:
+                self.on_deliver(origin, size, message)
+            return
+        if ttl <= 0:
+            self.router.data_dropped += 1
+            return
+        next_hop = self._route_to(dest)
+        if next_hop is None:
+            self.router.data_dropped += 1
+            return
+        self.node.send_to(
+            next_hop, size, (DATA, origin, dest, size, message, ttl - 1)
+        )
+
+
+class AodvRouter:
+    """The AODV deployment across a wireless network."""
+
+    def __init__(self, network: WirelessNetwork):
+        self.network = network
+        self.nodes: Dict[int, AodvNode] = {
+            node.node_id: AodvNode(self, node) for node in network.nodes
+        }
+        self._waiting: Dict[Tuple[int, int], List[Callable]] = {}
+        self.discoveries = 0
+        self.rreqs_answered = 0
+        self.delivered = 0
+        self.data_dropped = 0
+
+    # -- discovery ---------------------------------------------------------
+
+    def discover(
+        self,
+        origin: int,
+        dest: int,
+        on_ready: Callable[[bool], None],
+        retries: int = MAX_DISCOVERY_RETRIES,
+    ) -> None:
+        """Find a route origin -> dest; ``on_ready(success)`` fires
+        when a route exists (or discovery gives up)."""
+        agent = self.nodes[origin]
+        if agent._route_to(dest) is not None:
+            on_ready(True)
+            return
+        key = (origin, dest)
+        waiters = self._waiting.setdefault(key, [])
+        waiters.append(on_ready)
+        if len(waiters) > 1:
+            return  # a discovery is already in flight
+        self._flood_request(origin, dest, retries)
+
+    def _flood_request(self, origin: int, dest: int, retries: int) -> None:
+        self.discoveries += 1
+        request_id = next(_request_ids)
+        agent = self.nodes[origin]
+        agent.seen_requests.add(request_id)
+        agent.node.broadcast(64, (RREQ, request_id, origin, dest, 0))
+        self.network.sim.schedule(
+            DISCOVERY_TIMEOUT_S, self._discovery_check, origin, dest, retries
+        )
+
+    def _discovery_check(self, origin: int, dest: int, retries: int) -> None:
+        key = (origin, dest)
+        if key not in self._waiting:
+            return  # already resolved
+        if self.nodes[origin]._route_to(dest) is not None:
+            self._route_found(origin, dest)
+        elif retries > 0:
+            self._flood_request(origin, dest, retries - 1)
+        else:
+            for waiter in self._waiting.pop(key, []):
+                waiter(False)
+
+    def _route_found(self, origin: int, dest: int) -> None:
+        for waiter in self._waiting.pop((origin, dest), []):
+            waiter(True)
+
+    # -- data ---------------------------------------------------------------
+
+    def send(
+        self,
+        origin: int,
+        dest: int,
+        size: int,
+        message=None,
+        ttl: int = 16,
+    ) -> None:
+        """Send application data, discovering a route if needed."""
+
+        def ready(success: bool) -> None:
+            if not success:
+                self.data_dropped += 1
+                return
+            next_hop = self.nodes[origin]._route_to(dest)
+            if next_hop is None:
+                self.data_dropped += 1
+                return
+            self.nodes[origin].node.send_to(
+                next_hop, size, (DATA, origin, dest, size, message, ttl)
+            )
+
+        self.discover(origin, dest, ready)
+
+    def delivery_ratio(self) -> float:
+        attempted = self.delivered + self.data_dropped
+        return self.delivered / attempted if attempted else 0.0

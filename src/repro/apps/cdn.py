@@ -1,0 +1,265 @@
+"""Dynamic request routing for replicated services (paper Sec. 5.2).
+
+The replicated-web experiment routes requests *manually* and the
+paper notes that "a more comprehensive experiment must support
+dynamic request routing decisions (e.g., leveraging DNS in a content
+distribution network)". This module supplies that machinery:
+
+* :class:`DnsRedirector` — an authoritative "DNS" server on a VN
+  answering resolution queries with a replica choice and a TTL;
+* policies — static primary, RTT-closest (from client-reported probe
+  measurements), and least-loaded (from replica load reports);
+* :class:`CdnClient` — a client-side resolver stub that caches the
+  answer for its TTL and issues web requests to the chosen replica.
+
+Everything is real traffic through the emulated network: probes,
+load reports, resolutions, and the HTTP transfers themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.apps.rpc import RpcNode
+from repro.apps.webserver import WebServer
+from repro.core.emulator import Emulation
+
+DNS_PORT = 9053
+
+POLICY_STATIC = "static"
+POLICY_CLOSEST = "closest"
+POLICY_LEAST_LOADED = "least-loaded"
+
+
+class ReplicaAgent:
+    """Runs beside a :class:`WebServer`, reporting load to the
+    redirector periodically."""
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_id: int,
+        server: WebServer,
+        redirector_vn: int,
+        report_period_s: float = 1.0,
+    ):
+        self.vn_id = vn_id
+        self.server = server
+        self.rpc = RpcNode(emulation.vn(vn_id), port=DNS_PORT)
+        self.redirector_vn = redirector_vn
+        self.report_period_s = report_period_s
+        self.sim = emulation.sim
+        self._last_served = 0
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._report()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _report(self) -> None:
+        if not self._running:
+            return
+        served = self.server.requests_served
+        recent = served - self._last_served
+        self._last_served = served
+        self.rpc.call(
+            self.redirector_vn,
+            "load_report",
+            (self.vn_id, recent),
+            size_bytes=64,
+            dst_port=DNS_PORT,
+        )
+        self.sim.schedule(self.report_period_s, self._report)
+
+
+class DnsRedirector:
+    """The authoritative redirector for one service name."""
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_id: int,
+        replicas: Sequence[int],
+        policy: str = POLICY_STATIC,
+        ttl_s: float = 5.0,
+    ):
+        if not replicas:
+            raise ValueError("need at least one replica")
+        if policy not in (POLICY_STATIC, POLICY_CLOSEST, POLICY_LEAST_LOADED):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.emulation = emulation
+        self.vn_id = vn_id
+        self.replicas = list(replicas)
+        self.policy = policy
+        self.ttl_s = ttl_s
+        self.rpc = RpcNode(emulation.vn(vn_id), port=DNS_PORT)
+        self.rpc.register("resolve", self._resolve)
+        self.rpc.register("load_report", self._load_report)
+        self.rpc.register("rtt_report", self._rtt_report)
+        self.resolutions = 0
+        #: replica -> recent request count (from load reports).
+        self._load: Dict[int, int] = {vn: 0 for vn in self.replicas}
+        #: (client, replica) -> measured RTT.
+        self._rtt: Dict[Tuple[int, int], float] = {}
+
+    # -- server side -----------------------------------------------------
+
+    def _resolve(self, src_vn: int, payload):
+        self.resolutions += 1
+        choice = self._choose(src_vn)
+        return (choice, self.ttl_s), 96
+
+    def _load_report(self, src_vn: int, payload):
+        replica, recent = payload
+        if replica in self._load:
+            self._load[replica] = recent
+        return None, 32
+
+    def _rtt_report(self, src_vn: int, payload):
+        replica, rtt = payload
+        self._rtt[(src_vn, replica)] = rtt
+        return None, 32
+
+    def _choose(self, client_vn: int) -> int:
+        if self.policy == POLICY_STATIC:
+            return self.replicas[0]
+        if self.policy == POLICY_LEAST_LOADED:
+            return min(self.replicas, key=lambda vn: (self._load[vn], vn))
+        # POLICY_CLOSEST: smallest reported RTT; unknown pairs rank
+        # behind any measured one, falling back to the primary.
+        def rank(replica: int):
+            rtt = self._rtt.get((client_vn, replica))
+            return (rtt is None, rtt if rtt is not None else 0.0, replica)
+
+        return min(self.replicas, key=rank)
+
+
+class CdnClient:
+    """The client-side stub: resolve (with TTL caching), probe
+    replicas for the closest policy, and issue web requests."""
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_id: int,
+        redirector_vn: int,
+    ):
+        self.emulation = emulation
+        self.sim = emulation.sim
+        self.vn_id = vn_id
+        self.redirector_vn = redirector_vn
+        self.rpc = RpcNode(emulation.vn(vn_id), port=DNS_PORT)
+        self._cached: Optional[int] = None
+        self._cache_expires = 0.0
+        #: (latency, size, replica) per completed request.
+        self.completed: List[Tuple[float, int, int]] = []
+        self.failed = 0
+
+    # -- probing (feeds the closest policy) ---------------------------------
+
+    def probe_replicas(self, replicas: Sequence[int]) -> None:
+        """Measure RTT to each replica and report to the redirector."""
+        for replica in replicas:
+            sent_at = self.sim.now
+
+            def report(payload, replica=replica, sent_at=sent_at) -> None:
+                rtt = self.sim.now - sent_at
+                self.rpc.call(
+                    self.redirector_vn,
+                    "rtt_report",
+                    (replica, rtt),
+                    size_bytes=48,
+                    dst_port=DNS_PORT,
+                )
+
+            self.rpc.call(
+                replica, "ping", None, size_bytes=48,
+                on_reply=report, dst_port=DNS_PORT,
+            )
+
+    # -- requests ---------------------------------------------------------------
+
+    def request(self, size: int) -> None:
+        """Fetch ``size`` bytes from the service (resolving first)."""
+        started = self.sim.now
+
+        def with_replica(replica: int) -> None:
+            state = {"done": False}
+
+            def established(conn):
+                conn.send(300, message=("get", size))
+
+            def message(conn, payload):
+                if not state["done"]:
+                    state["done"] = True
+                    self.completed.append((self.sim.now - started, size, replica))
+                    conn.close()
+
+            def closed(conn):
+                if not state["done"]:
+                    state["done"] = True
+                    self.failed += 1
+
+            self.emulation.vn(self.vn_id).tcp_connect(
+                replica,
+                80,
+                on_established=established,
+                on_message=message,
+                on_close=closed,
+            )
+
+        self._resolve(with_replica)
+
+    def _resolve(self, use: Callable[[int], None]) -> None:
+        if self._cached is not None and self.sim.now < self._cache_expires:
+            use(self._cached)
+            return
+
+        def answered(payload) -> None:
+            replica, ttl = payload
+            self._cached = replica
+            self._cache_expires = self.sim.now + ttl
+            use(replica)
+
+        def failed() -> None:
+            self.failed += 1
+
+        self.rpc.call(
+            self.redirector_vn,
+            "resolve",
+            None,
+            size_bytes=64,
+            on_reply=answered,
+            on_fail=failed,
+            dst_port=DNS_PORT,
+        )
+
+    @property
+    def latencies(self) -> List[float]:
+        return [latency for latency, _size, _replica in self.completed]
+
+
+def deploy_cdn(
+    emulation: Emulation,
+    redirector_vn: int,
+    replica_vns: Sequence[int],
+    policy: str = POLICY_CLOSEST,
+    ttl_s: float = 5.0,
+) -> Tuple[DnsRedirector, List[WebServer], List[ReplicaAgent]]:
+    """Stand up the redirector, web servers, and load-report agents."""
+    redirector = DnsRedirector(
+        emulation, redirector_vn, replica_vns, policy=policy, ttl_s=ttl_s
+    )
+    servers = []
+    agents = []
+    for vn in replica_vns:
+        server = WebServer(emulation, vn)
+        agent = ReplicaAgent(emulation, vn, server, redirector_vn)
+        agent.rpc.register("ping", lambda src, payload: (None, 32))
+        agent.start()
+        servers.append(server)
+        agents.append(agent)
+    return redirector, servers, agents

@@ -1,0 +1,188 @@
+"""CFS: cooperative file storage over Chord ([6], paper Sec. 5.1).
+
+Files are split into 8 KB blocks striped across the ring: block i of
+a file lives at the Chord successor of hash(file/i) (the DHash
+placement). A download resolves each block's owner with a Chord
+lookup, then fetches the block over a persistent TCP connection to
+that owner. The client keeps a *prefetch window* of outstanding
+block fetches — the knob the CFS paper's Figures 6-8 (our Figures
+7-8) sweep: small windows leave the path idle between fetches; large
+windows pipeline lookups and transfers across sites.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.chord import ChordRing, chord_id
+from repro.core.emulator import Emulation
+
+BLOCK_BYTES = 8192
+CFS_PORT = 9002
+REQUEST_BYTES = 96
+
+
+class _BlockServer:
+    """The per-node CFS server: stores blocks, serves them over TCP."""
+
+    def __init__(self, emulation: Emulation, vn_id: int):
+        self.vn_id = vn_id
+        self.blocks: set = set()
+        self.requests_served = 0
+        emulation.vn(vn_id).tcp_listen(CFS_PORT, self._accept)
+
+    def _accept(self, conn) -> None:
+        conn.on_message = self._request
+
+    def _request(self, conn, message) -> None:
+        kind, file_id, index = message
+        if kind != "get":
+            return
+        self.requests_served += 1
+        # Missing blocks are served anyway with a miss marker; CFS
+        # integrity checking is out of scope.
+        hit = (file_id, index) in self.blocks
+        conn.send(BLOCK_BYTES, message=("block", file_id, index, hit))
+
+
+class CfsNetwork:
+    """A CFS deployment: a Chord ring plus per-node block stores."""
+
+    def __init__(self, emulation: Emulation, vn_ids: List[int]):
+        self.emulation = emulation
+        self.ring = ChordRing(emulation, vn_ids)
+        self.servers: Dict[int, _BlockServer] = {
+            vn: _BlockServer(emulation, vn) for vn in vn_ids
+        }
+
+    @staticmethod
+    def block_key(file_id: str, index: int) -> int:
+        return chord_id(f"{file_id}/{index}")
+
+    def store_file(self, file_id: str, size_bytes: int) -> Dict[int, int]:
+        """Insert a file: each block goes to its Chord owner (by the
+        offline ground truth, standing in for insert traffic).
+        Returns {block index -> owner vn}."""
+        placement = {}
+        num_blocks = max(1, (size_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES)
+        for index in range(num_blocks):
+            owner = self.ring.owner_of(self.block_key(file_id, index))
+            self.servers[owner.vn_id].blocks.add((file_id, index))
+            placement[index] = owner.vn_id
+        return placement
+
+    def client(self, vn_id: int) -> "CfsClient":
+        return CfsClient(self, vn_id)
+
+
+class CfsClient:
+    """A downloading CFS node (itself a ring member)."""
+
+    def __init__(self, network: CfsNetwork, vn_id: int):
+        self.network = network
+        self.emulation = network.emulation
+        self.sim = network.emulation.sim
+        self.vn_id = vn_id
+        self._conns: Dict[int, object] = {}
+        self._conn_waiters: Dict[int, List] = {}
+        self.lookup_hops: List[int] = []
+
+    # -- connection cache ---------------------------------------------
+
+    def _with_connection(self, server_vn: int, use: Callable) -> None:
+        conn = self._conns.get(server_vn)
+        if conn is not None and conn.state == "established":
+            use(conn)
+            return
+        if server_vn in self._conn_waiters:
+            self._conn_waiters[server_vn].append(use)
+            return
+        self._conn_waiters[server_vn] = [use]
+
+        def established(new_conn) -> None:
+            self._conns[server_vn] = new_conn
+            waiters = self._conn_waiters.pop(server_vn, [])
+            for waiter in waiters:
+                waiter(new_conn)
+
+        self.emulation.vn(self.vn_id).tcp_connect(
+            server_vn, CFS_PORT, on_established=established
+        )
+
+    # -- download ----------------------------------------------------------
+
+    def download(
+        self,
+        file_id: str,
+        size_bytes: int,
+        prefetch_bytes: int = 24 * 1024,
+        on_done: Optional[Callable[[float], None]] = None,
+    ) -> dict:
+        """Fetch a file with the given prefetch window.
+
+        Returns a progress dict; ``on_done(speed_bytes_per_s)`` fires
+        at completion.
+        """
+        num_blocks = max(1, (size_bytes + BLOCK_BYTES - 1) // BLOCK_BYTES)
+        window = max(1, prefetch_bytes // BLOCK_BYTES)
+        state = {
+            "started_at": self.sim.now,
+            "next_block": 0,
+            "done_blocks": 0,
+            "num_blocks": num_blocks,
+            "outstanding": 0,
+            "finished": False,
+            "speed_bytes_s": None,
+        }
+
+        def issue_more() -> None:
+            while (
+                state["outstanding"] < window
+                and state["next_block"] < num_blocks
+            ):
+                index = state["next_block"]
+                state["next_block"] += 1
+                state["outstanding"] += 1
+                fetch(index)
+
+        def fetch(index: int) -> None:
+            key = CfsNetwork.block_key(file_id, index)
+
+            def have_owner(owner_vn: int, hops: int) -> None:
+                self.lookup_hops.append(hops)
+                self._with_connection(
+                    owner_vn, lambda conn: request(conn, index)
+                )
+
+            self.network.ring.lookup(
+                self.vn_id,
+                key,
+                on_done=have_owner,
+                on_fail=lambda: retry(index),
+            )
+
+        def retry(index: int) -> None:
+            self.sim.schedule(0.5, fetch, index)
+
+        def request(conn, index: int) -> None:
+            conn.on_message = received
+            conn.send(REQUEST_BYTES, message=("get", file_id, index))
+
+        def received(conn, message) -> None:
+            kind = message[0]
+            if kind != "block":
+                return
+            state["done_blocks"] += 1
+            state["outstanding"] -= 1
+            if state["done_blocks"] >= num_blocks and not state["finished"]:
+                state["finished"] = True
+                elapsed = self.sim.now - state["started_at"]
+                speed = size_bytes / elapsed if elapsed > 0 else float("inf")
+                state["speed_bytes_s"] = speed
+                if on_done is not None:
+                    on_done(speed)
+            else:
+                issue_more()
+
+        issue_more()
+        return state

@@ -1,0 +1,179 @@
+"""Chord: a distributed hash table ([20], the substrate under CFS).
+
+Nodes form a ring in a 2^m identifier space; each node keeps a finger
+table of up to m pointers. Lookups are iterative: the querying node
+asks successively closer nodes for the closest finger preceding the
+key until the key's successor is found — each step is an RPC through
+the emulated network, so lookup latency reflects real inter-site
+conditions.
+
+The ring is constructed in a converged state (fingers computed from
+full membership), matching the paper's CFS experiments, which run on
+a stable 12-node ring; join/stabilization churn is out of scope.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Dict, List, Optional
+
+from repro.apps.rpc import RpcNode
+from repro.core.emulator import Emulation
+
+CHORD_BITS = 16
+CHORD_PORT = 9001
+
+
+def chord_id(key: str, bits: int = CHORD_BITS) -> int:
+    """Hash a key into the 2^bits identifier space."""
+    digest = hashlib.sha1(key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % (1 << bits)
+
+
+def in_half_open(value: int, low: int, high: int, bits: int = CHORD_BITS) -> bool:
+    """value in (low, high] on the ring."""
+    space = 1 << bits
+    value, low, high = value % space, low % space, high % space
+    if low < high:
+        return low < value <= high
+    if low == high:
+        return True  # full circle
+    return value > low or value <= high
+
+
+class ChordNode:
+    """One Chord participant bound to a VN."""
+
+    def __init__(self, emulation: Emulation, vn_id: int, bits: int = CHORD_BITS):
+        self.vn_id = vn_id
+        self.bits = bits
+        self.node_id = chord_id(f"chord-node-{vn_id}", bits)
+        self.rpc = RpcNode(emulation.vn(vn_id), port=CHORD_PORT)
+        self.successor_vn: int = vn_id
+        self.successor_id: int = self.node_id
+        #: finger[i] = (finger_id, finger_vn) responsible for
+        #: node_id + 2^i.
+        self.fingers: List[tuple] = []
+        self.lookups_served = 0
+        self.rpc.register("closest_hop", self._closest_hop)
+
+    def _closest_hop(self, src_vn: int, payload):
+        """One iterative-lookup step: either the key is owned by our
+        successor, or we return the closest preceding finger."""
+        key = payload
+        self.lookups_served += 1
+        if in_half_open(key, self.node_id, self.successor_id, self.bits):
+            return ("done", self.successor_vn, self.successor_id), 64
+        hop_vn = self._closest_preceding(key)
+        return ("next", hop_vn, None), 64
+
+    def _closest_preceding(self, key: int) -> int:
+        for finger_id, finger_vn in reversed(self.fingers):
+            if finger_vn != self.vn_id and in_half_open(
+                finger_id, self.node_id, (key - 1) % (1 << self.bits), self.bits
+            ):
+                return finger_vn
+        return self.successor_vn
+
+
+class ChordRing:
+    """A converged Chord ring over a set of VNs."""
+
+    def __init__(self, emulation: Emulation, vn_ids: List[int], bits: int = CHORD_BITS):
+        if not vn_ids:
+            raise ValueError("a ring needs at least one node")
+        self.emulation = emulation
+        self.bits = bits
+        self.nodes: Dict[int, ChordNode] = {
+            vn: ChordNode(emulation, vn, bits) for vn in vn_ids
+        }
+        self._deduplicate_ids()
+        self._build_ring()
+        self.lookups = 0
+        self.lookup_failures = 0
+
+    def _deduplicate_ids(self) -> None:
+        """Hash collisions in a small id space would make successor
+        relationships ambiguous; re-salt colliding nodes (real Chord
+        avoids this with 160-bit ids)."""
+        taken: Dict[int, int] = {}
+        for vn in sorted(self.nodes):
+            node = self.nodes[vn]
+            salt = 0
+            while node.node_id in taken:
+                salt += 1
+                node.node_id = chord_id(f"chord-node-{vn}-salt{salt}", self.bits)
+            taken[node.node_id] = vn
+
+    def _build_ring(self) -> None:
+        ordered = sorted(self.nodes.values(), key=lambda n: n.node_id)
+        count = len(ordered)
+        for index, node in enumerate(ordered):
+            successor = ordered[(index + 1) % count]
+            node.successor_vn = successor.vn_id
+            node.successor_id = successor.node_id
+            fingers = []
+            for i in range(self.bits):
+                target = (node.node_id + (1 << i)) % (1 << self.bits)
+                owner = self._successor_of(ordered, target)
+                fingers.append((owner.node_id, owner.vn_id))
+            node.fingers = fingers
+
+    @staticmethod
+    def _successor_of(ordered: List[ChordNode], key: int) -> ChordNode:
+        for node in ordered:
+            if node.node_id >= key:
+                return node
+        return ordered[0]
+
+    def owner_of(self, key: int) -> ChordNode:
+        """Ground truth (used by tests and the store's setup)."""
+        ordered = sorted(self.nodes.values(), key=lambda n: n.node_id)
+        return self._successor_of(ordered, key % (1 << self.bits))
+
+    def lookup(
+        self,
+        from_vn: int,
+        key: int,
+        on_done: Callable[[int, int], None],
+        on_fail: Optional[Callable[[], None]] = None,
+        max_hops: int = 32,
+    ) -> None:
+        """Iteratively resolve ``key`` from ``from_vn``; ``on_done``
+        receives (owner_vn, hops taken)."""
+        self.lookups += 1
+        source = self.nodes[from_vn]
+        state = {"hops": 0}
+
+        def fail() -> None:
+            self.lookup_failures += 1
+            if on_fail is not None:
+                on_fail()
+
+        def step(target_vn: int) -> None:
+            state["hops"] += 1
+            if state["hops"] > max_hops:
+                fail()
+                return
+            source.rpc.call(
+                target_vn,
+                "closest_hop",
+                key,
+                size_bytes=64,
+                on_reply=handle,
+                on_fail=fail,
+                dst_port=CHORD_PORT,
+            )
+
+        def handle(reply) -> None:
+            kind, vn, _node_id = reply
+            if kind == "done":
+                on_done(vn, state["hops"])
+            else:
+                step(vn)
+
+        # Local shortcut: we own the key if it falls to our successor.
+        if in_half_open(key, source.node_id, source.successor_id, self.bits):
+            on_done(source.successor_vn, 0)
+            return
+        step(source._closest_preceding(key))

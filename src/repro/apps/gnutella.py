@@ -1,0 +1,278 @@
+"""A gnutella-style unstructured peer-to-peer network.
+
+The paper's largest single experiment evaluated "system evolution and
+connectivity of a 10,000 node network of unmodified gnutella clients"
+(Sec. 5). This module implements the 0.4-protocol essentials the
+study exercises: bootstrap joins, PING/PONG peer discovery with TTL,
+neighbor maintenance toward a degree target, and TTL-scoped QUERY
+flooding with hit routing, all over the emulated network.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.apps.rpc import RpcNode
+from repro.core.emulator import Emulation
+
+GNUTELLA_PORT = 9004
+DEFAULT_TTL = 4
+#: Discovery pings use a small scope: with a degree target of 4 a
+#: 2-hop ping already surfaces dozens of peers, and a network-wide
+#: ping flood per join would cost O(n^2) messages at scale.
+PING_TTL = 2
+
+_query_ids = itertools.count()
+
+
+class GnutellaNode:
+    """One servent."""
+
+    def __init__(self, network: "GnutellaNetwork", vn_id: int):
+        self.network = network
+        self.vn_id = vn_id
+        self.sim = network.emulation.sim
+        self.rpc = RpcNode(network.emulation.vn(vn_id), port=GNUTELLA_PORT)
+        self.neighbors: Set[int] = set()
+        self.keywords: Set[str] = set()
+        self.seen_pings: Set[int] = set()
+        self.seen_queries: Set[int] = set()
+        self.known_peers: Set[int] = set()
+        self.queries_forwarded = 0
+        self.rpc.register("connect", self._on_connect)
+        self.rpc.register("ping", self._on_ping)
+        self.rpc.register("query", self._on_query)
+        self.rpc.register("hit", self._on_hit)
+        self._hit_callbacks: Dict[int, object] = {}
+
+    # -- joining and discovery -----------------------------------------------
+
+    def _on_connect(self, src_vn: int, payload):
+        if len(self.neighbors) < self.network.max_degree:
+            self.neighbors.add(src_vn)
+            return ("ok",), 32
+        return ("busy", sorted(self.neighbors)), 64
+
+    def join(self, bootstrap_vn: int) -> None:
+        self._try_connect(bootstrap_vn, attempts_left=8)
+
+    def _try_connect(self, peer_vn: int, attempts_left: int) -> None:
+        if attempts_left <= 0 or peer_vn == self.vn_id:
+            return
+
+        def reply(payload) -> None:
+            if payload[0] == "ok":
+                self.neighbors.add(peer_vn)
+                if len(self.neighbors) < self.network.target_degree:
+                    self._discover_more()
+            else:
+                # Busy peer suggests its neighbors.
+                candidates = [p for p in payload[1] if p != self.vn_id]
+                if candidates:
+                    choice = self.network.rng.choice(candidates)
+                    self._try_connect(choice, attempts_left - 1)
+
+        self.rpc.call(
+            peer_vn,
+            "connect",
+            None,
+            size_bytes=48,
+            on_reply=reply,
+            dst_port=GNUTELLA_PORT,
+        )
+
+    def _discover_more(self) -> None:
+        ping_id = next(_query_ids)
+        self.seen_pings.add(ping_id)
+        for neighbor in list(self.neighbors):
+            self.rpc.call(
+                neighbor,
+                "ping",
+                (ping_id, self.vn_id, PING_TTL),
+                size_bytes=48,
+                on_reply=self._on_pong,
+                dst_port=GNUTELLA_PORT,
+            )
+
+    def _on_ping(self, src_vn: int, payload):
+        ping_id, origin, ttl = payload
+        if ping_id in self.seen_pings:
+            return ([],), 48
+        self.seen_pings.add(ping_id)
+        if ttl > 1:
+            for neighbor in list(self.neighbors):
+                if neighbor in (src_vn, origin):
+                    continue
+                self.rpc.call(
+                    neighbor,
+                    "ping",
+                    (ping_id, origin, ttl - 1),
+                    size_bytes=48,
+                    on_reply=self._on_pong,
+                    dst_port=GNUTELLA_PORT,
+                )
+        return ([self.vn_id] + sorted(self.neighbors),), 96
+
+    def _on_pong(self, payload) -> None:
+        (peers,) = payload
+        for peer in peers:
+            if peer != self.vn_id:
+                self.known_peers.add(peer)
+        # Top up degree from discovered peers.
+        if len(self.neighbors) < self.network.target_degree:
+            candidates = sorted(self.known_peers - self.neighbors - {self.vn_id})
+            if candidates:
+                self._try_connect(self.network.rng.choice(candidates), 2)
+
+    # -- querying -----------------------------------------------------------------
+
+    def query(self, keyword: str, on_hit=None, ttl: int = DEFAULT_TTL) -> int:
+        """Flood a keyword query; ``on_hit(holder, keyword)`` per hit."""
+        query_id = next(_query_ids)
+        self.seen_queries.add(query_id)
+        if on_hit is not None:
+            self._hit_callbacks[query_id] = on_hit
+        self.network.queries_issued += 1
+        for neighbor in list(self.neighbors):
+            self.rpc.call(
+                neighbor,
+                "query",
+                (query_id, self.vn_id, keyword, ttl),
+                size_bytes=80,
+                dst_port=GNUTELLA_PORT,
+            )
+        return query_id
+
+    def _on_query(self, src_vn: int, payload):
+        query_id, origin, keyword, ttl = payload
+        if query_id in self.seen_queries:
+            return None, 32
+        self.seen_queries.add(query_id)
+        self.queries_forwarded += 1
+        if keyword in self.keywords:
+            self.rpc.call(
+                origin,
+                "hit",
+                (query_id, self.vn_id, keyword),
+                size_bytes=96,
+                dst_port=GNUTELLA_PORT,
+            )
+        if ttl > 1:
+            for neighbor in list(self.neighbors):
+                if neighbor in (src_vn, origin):
+                    continue
+                self.rpc.call(
+                    neighbor,
+                    "query",
+                    (query_id, origin, keyword, ttl - 1),
+                    size_bytes=80,
+                    dst_port=GNUTELLA_PORT,
+                )
+        return None, 32
+
+    def _on_hit(self, src_vn: int, payload):
+        query_id, holder, keyword = payload
+        self.network.hits_received += 1
+        callback = self._hit_callbacks.get(query_id)
+        if callback is not None:
+            callback(holder, keyword)
+        return None, 32
+
+
+class GnutellaNetwork:
+    """A population of servents over one emulation."""
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_ids: Sequence[int],
+        target_degree: int = 4,
+        max_degree: int = 8,
+        rng: Optional[random.Random] = None,
+    ):
+        self.emulation = emulation
+        self.target_degree = target_degree
+        self.max_degree = max_degree
+        self.rng = rng or emulation.rng.stream("gnutella")
+        self.nodes: Dict[int, GnutellaNode] = {
+            vn: GnutellaNode(self, vn) for vn in vn_ids
+        }
+        self.queries_issued = 0
+        self.hits_received = 0
+
+    def staged_join(
+        self, interval_s: float = 0.05, retry_period_s: float = 2.0
+    ) -> None:
+        """Bring nodes up one by one, each bootstrapping off a random
+        already-started node (system evolution). A maintenance loop
+        re-joins nodes whose bootstrap attempt failed (e.g. every
+        contacted peer was at max degree), until the overlay has no
+        isolated servents."""
+        ordered = sorted(self.nodes)
+        sim = self.emulation.sim
+        for index, vn in enumerate(ordered[1:], start=1):
+            bootstrap = ordered[self.rng.randrange(index)]
+            sim.at(index * interval_s, self.nodes[vn].join, bootstrap)
+
+        join_done = len(ordered) * interval_s
+
+        def retry() -> None:
+            components = self.overlay_components()
+            largest = max(components, key=len)
+            if len(largest) == len(self.nodes):
+                return
+            anchors = sorted(largest)
+            # Stragglers: everything outside the main component (a
+            # failed join, or a small clique around one).
+            for component in components:
+                if component is largest:
+                    continue
+                for vn in sorted(component)[:2]:
+                    self.nodes[vn].join(self.rng.choice(anchors))
+            sim.schedule(retry_period_s, retry)
+
+        sim.at(join_done + retry_period_s, retry)
+
+    def place_content(self, keyword: str, copies: int) -> List[int]:
+        """Install a keyword at ``copies`` random nodes."""
+        holders = self.rng.sample(sorted(self.nodes), copies)
+        for vn in holders:
+            self.nodes[vn].keywords.add(keyword)
+        return holders
+
+    # -- connectivity analysis (the study's headline metric) ------------------
+
+    def overlay_components(self) -> List[Set[int]]:
+        """Connected components of the *overlay* graph (undirected
+        view of neighbor sets)."""
+        adjacency: Dict[int, Set[int]] = {vn: set() for vn in self.nodes}
+        for vn, node in self.nodes.items():
+            for neighbor in node.neighbors:
+                if neighbor in adjacency:
+                    adjacency[vn].add(neighbor)
+                    adjacency[neighbor].add(vn)
+        seen: Set[int] = set()
+        components: List[Set[int]] = []
+        for start in self.nodes:
+            if start in seen:
+                continue
+            stack, component = [start], set()
+            seen.add(start)
+            while stack:
+                current = stack.pop()
+                component.add(current)
+                for neighbor in adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            components.append(component)
+        return components
+
+    def largest_component_fraction(self) -> float:
+        components = self.overlay_components()
+        return max(len(c) for c in components) / len(self.nodes)
+
+    def mean_degree(self) -> float:
+        return sum(len(n.neighbors) for n in self.nodes.values()) / len(self.nodes)

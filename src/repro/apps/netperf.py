@@ -1,0 +1,303 @@
+"""netperf/netserver-style load generators.
+
+The paper's capacity, multi-core, and distillation experiments drive
+the emulator with netperf TCP streams; the VN-multiplexing study uses
+modified netperf/netserver processes exchanging 1500-byte UDP packets
+with a configurable amount of computation per packet (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import Callable, Optional
+
+from repro.core.emulator import Emulation, VirtualNode
+
+NETPERF_PORT = 12865
+
+
+class TcpStream:
+    """A long-running bulk TCP transfer between two VNs.
+
+    The sender keeps its socket buffer topped up so the connection is
+    always window- or bandwidth-limited, like netperf TCP_STREAM.
+    """
+
+    #: Unsent backlog below which another chunk is queued.
+    LOW_WATER = 256 * 1024
+    CHUNK = 1024 * 1024
+
+    #: emulation -> {(dst_vn, port): {src_vn: stream}}; lets many
+    #: streams share one receiver VN/port, as netserver does. Weakly
+    #: keyed so dead emulations release their streams (and a recycled
+    #: id() can never alias a stale registry).
+    _acceptors = weakref.WeakKeyDictionary()
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        src_vn: int,
+        dst_vn: int,
+        port: int = NETPERF_PORT,
+        start_at: float = 0.0,
+    ):
+        self.emulation = emulation
+        self.sim = emulation.sim
+        self.src_vn = src_vn
+        self.dst_vn = dst_vn
+        self.receiver_conn = None
+        self.sender_conn = None
+        self._topup_timer = None
+        self._marked_bytes = 0
+        self._marked_at = 0.0
+
+        per_emulation = TcpStream._acceptors.get(emulation)
+        if per_emulation is None:
+            per_emulation = {}
+            TcpStream._acceptors[emulation] = per_emulation
+        streams = per_emulation.get((dst_vn, port))
+        if streams is None:
+            streams = {}
+            per_emulation[(dst_vn, port)] = streams
+
+            def on_connection(conn):
+                stream = streams.get(conn.remote_vn)
+                if stream is not None:
+                    stream.receiver_conn = conn
+
+            emulation.vn(dst_vn).tcp_listen(port, on_connection)
+        if src_vn in streams:
+            raise ValueError(
+                f"duplicate TcpStream vn{src_vn}->vn{dst_vn}:{port}"
+            )
+        streams[src_vn] = self
+        if start_at > 0:
+            self.sim.at(start_at, self._connect, port)
+        else:
+            self._connect(port)
+
+    def _connect(self, port: int) -> None:
+        self.sender_conn = self.emulation.vn(self.src_vn).tcp_connect(
+            self.dst_vn, port, on_established=self._on_established
+        )
+
+    def _on_established(self, conn) -> None:
+        conn.send(self.CHUNK)
+        self._schedule_topup()
+
+    def _schedule_topup(self) -> None:
+        self._topup_timer = self.sim.schedule(0.05, self._topup)
+
+    def _topup(self) -> None:
+        conn = self.sender_conn
+        if conn is None or conn.state == "closed" or conn.fin_queued:
+            return
+        unsent = conn.bytes_sent - max(0, conn.snd_nxt - 1)
+        if unsent < self.LOW_WATER:
+            conn.send(self.CHUNK)
+        self._schedule_topup()
+
+    def stop(self) -> None:
+        if self._topup_timer is not None:
+            self._topup_timer.cancel()
+            self._topup_timer = None
+        if self.sender_conn is not None:
+            self.sender_conn.close()
+
+    # -- measurement -------------------------------------------------------
+
+    @property
+    def bytes_received(self) -> int:
+        return self.receiver_conn.bytes_received if self.receiver_conn else 0
+
+    def mark(self) -> None:
+        """Begin a measurement window."""
+        self._marked_bytes = self.bytes_received
+        self._marked_at = self.sim.now
+
+    def throughput_bps(self) -> float:
+        """Mean goodput since :meth:`mark`."""
+        elapsed = self.sim.now - self._marked_at
+        if elapsed <= 0:
+            return 0.0
+        return (self.bytes_received - self._marked_bytes) * 8.0 / elapsed
+
+
+class UdpSink:
+    """netserver's UDP side: counts datagrams and bytes."""
+
+    def __init__(self, vn: VirtualNode, port: int = NETPERF_PORT):
+        self.vn = vn
+        self.socket = vn.udp_socket(port=port, on_receive=self._receive)
+        self.bytes_received = 0
+        self.datagrams = 0
+
+    def _receive(self, src, sport, size, payload) -> None:
+        self.bytes_received += size
+        self.datagrams += 1
+
+
+class UdpCbrSource:
+    """Constant-bit-rate UDP sender (cross-traffic generator)."""
+
+    def __init__(
+        self,
+        vn: VirtualNode,
+        dst_vn: int,
+        rate_bps: float,
+        packet_bytes: int = 1000,
+        port: int = NETPERF_PORT,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        self.vn = vn
+        self.dst_vn = dst_vn
+        self.packet_bytes = packet_bytes
+        self.port = port
+        self.interval = packet_bytes * 8.0 / rate_bps
+        self.stop_at = stop_at
+        self.sent = 0
+        self.socket = vn.udp_socket()
+        self._stopped = False
+        vn.stack.sim.at(start_at, self._tick)
+
+    def _tick(self) -> None:
+        sim = self.vn.stack.sim
+        if self._stopped or (self.stop_at is not None and sim.now >= self.stop_at):
+            return
+        self.socket.send_to(self.dst_vn, self.port, self.packet_bytes)
+        self.sent += 1
+        sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class ParetoOnOffSource:
+    """Self-similar cross-traffic: a UDP on/off source with
+    Pareto-distributed burst and idle durations.
+
+    Aggregating many such sources produces the long-range-dependent
+    ("bursty") traffic real Internet links carry — the property that
+    makes real background traffic harder on queues than smooth CBR,
+    and the paper's first (most accurate, most expensive) option for
+    injecting competing traffic into the VN application mix.
+    """
+
+    def __init__(
+        self,
+        vn: VirtualNode,
+        dst_vn: int,
+        peak_rate_bps: float,
+        packet_bytes: int = 1000,
+        shape: float = 1.5,
+        mean_on_s: float = 0.5,
+        mean_off_s: float = 0.5,
+        port: int = NETPERF_PORT,
+        rng=None,
+        start_at: float = 0.0,
+        stop_at: Optional[float] = None,
+    ):
+        if peak_rate_bps <= 0:
+            raise ValueError("rate must be positive")
+        if shape <= 1.0:
+            raise ValueError("Pareto shape must exceed 1 (finite mean)")
+        self.vn = vn
+        self.dst_vn = dst_vn
+        self.packet_bytes = packet_bytes
+        self.port = port
+        self.interval = packet_bytes * 8.0 / peak_rate_bps
+        self.shape = shape
+        # Pareto scale giving the requested means: mean = xm*a/(a-1).
+        self._on_scale = mean_on_s * (shape - 1.0) / shape
+        self._off_scale = mean_off_s * (shape - 1.0) / shape
+        self.rng = rng or vn.stack.sim  # replaced below if a Simulator
+        if rng is None:
+            import random as _random
+
+            self.rng = _random.Random(vn.vn_id)
+        self.stop_at = stop_at
+        self.sent = 0
+        self.bursts = 0
+        self._stopped = False
+        self.socket = vn.udp_socket()
+        vn.stack.sim.at(start_at, self._start_burst)
+
+    def _pareto(self, scale: float) -> float:
+        return scale / (1.0 - self.rng.random()) ** (1.0 / self.shape)
+
+    def _done(self) -> bool:
+        sim = self.vn.stack.sim
+        return self._stopped or (
+            self.stop_at is not None and sim.now >= self.stop_at
+        )
+
+    def _start_burst(self) -> None:
+        if self._done():
+            return
+        self.bursts += 1
+        burst_end = self.vn.stack.sim.now + self._pareto(self._on_scale)
+        self._tick(burst_end)
+
+    def _tick(self, burst_end: float) -> None:
+        sim = self.vn.stack.sim
+        if self._done():
+            return
+        if sim.now >= burst_end:
+            sim.schedule(self._pareto(self._off_scale), self._start_burst)
+            return
+        self.socket.send_to(self.dst_vn, self.port, self.packet_bytes)
+        self.sent += 1
+        sim.schedule(self.interval, self._tick, burst_end)
+
+    def stop(self) -> None:
+        self._stopped = True
+
+
+class ComputePerByteSender:
+    """The Sec. 4.2 sender: transmit a 1500-byte UDP packet, then
+    spend ``instructions_per_byte * 1500`` instructions of host CPU
+    before the next packet.
+
+    Requires the emulation to model edge CPUs
+    (``EmulationConfig(model_edge_cpu=True)``); each sender is one VN
+    process contributing to the host's multiplexing degree.
+    """
+
+    PACKET_BYTES = 1500
+
+    def __init__(
+        self,
+        vn: VirtualNode,
+        dst_vn: int,
+        instructions_per_byte: float,
+        port: int = NETPERF_PORT,
+    ):
+        if vn.host.cpu is None:
+            raise RuntimeError(
+                "ComputePerByteSender needs model_edge_cpu=True"
+            )
+        self.vn = vn
+        self.dst_vn = dst_vn
+        self.port = port
+        self.instructions = instructions_per_byte * self.PACKET_BYTES
+        self.socket = vn.udp_socket()
+        self.sent = 0
+        self._stopped = False
+        self._loop()
+
+    def _loop(self) -> None:
+        if self._stopped:
+            return
+        self.socket.send_to(self.dst_vn, self.port, self.PACKET_BYTES)
+        self.sent += 1
+        # The inter-packet computation runs on the shared host CPU;
+        # the next send happens only when our slice retires.
+        self.vn.host.cpu.run(
+            ("vn", self.vn.vn_id), self.instructions, self._loop
+        )
+
+    def stop(self) -> None:
+        self._stopped = True

@@ -1,0 +1,350 @@
+"""An ACDC-style two-metric adaptive overlay ([9], paper Sec. 5.3).
+
+ACDC builds the lowest-*cost* overlay distribution tree that meets a
+target end-to-end *delay*, where cost and delay are independent
+metrics on the underlying IP network. Nodes periodically probe
+O(log n) random peers and re-parent to reduce cost while keeping
+delay under the application target; when network delay worsens (fault
+injection), nodes sacrifice cost to restore the delay bound.
+
+Delay is *measured* — probe RPCs through the emulated network, RTT/2
+plus the candidate's advertised delay to the root. Cost comes from
+the underlay's link-cost annotations along the current IP route (the
+configuration knowledge ACDC assumes). Heartbeats propagate each
+node's delay-to-root and root path down the tree; root paths prevent
+re-parenting onto a descendant (loops).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.apps.rpc import RpcNode
+from repro.core.emulator import Emulation
+from repro.routing.shortest_path import route_cost
+
+OVERLAY_PORT = 9003
+HEARTBEAT_S = 2.0
+PROBE_PERIOD_S = 10.0
+
+
+class OverlayMember:
+    """One overlay participant."""
+
+    def __init__(self, overlay: "AcdcOverlay", vn_id: int):
+        self.overlay = overlay
+        self.vn_id = vn_id
+        self.sim = overlay.emulation.sim
+        self.rpc = RpcNode(overlay.emulation.vn(vn_id), port=OVERLAY_PORT)
+        self.parent: Optional[int] = None
+        self.children: set = set()
+        self.delay_to_root = 0.0 if overlay.root_vn == vn_id else float("inf")
+        self.root_path: List[int] = [vn_id]
+        self.parent_switches = 0
+        self.rpc.register("probe", self._on_probe)
+        self.rpc.register("adopt", self._on_adopt)
+        self.rpc.register("orphan", self._on_orphan)
+        self.rpc.register("heartbeat", self._on_heartbeat)
+
+    @property
+    def is_root(self) -> bool:
+        return self.vn_id == self.overlay.root_vn
+
+    # -- server-side handlers ---------------------------------------------
+
+    def _on_probe(self, src_vn: int, payload):
+        return (self.delay_to_root, list(self.root_path)), 96
+
+    def _on_adopt(self, src_vn: int, payload):
+        self.children.add(src_vn)
+        return (self.delay_to_root, list(self.root_path)), 96
+
+    def _on_orphan(self, src_vn: int, payload):
+        self.children.discard(src_vn)
+        return None, 32
+
+    def _on_heartbeat(self, src_vn: int, payload):
+        if src_vn != self.parent:
+            return None, 32
+        parent_delay, parent_path, edge_delay = payload
+        if self.vn_id in parent_path:
+            # Stale information forming a loop: detach and rejoin.
+            self.sim.call_soon(self.overlay._rejoin, self.vn_id)
+            return None, 32
+        self.delay_to_root = parent_delay + edge_delay
+        self.root_path = parent_path + [self.vn_id]
+        return None, 32
+
+    # -- periodic behavior ----------------------------------------------------
+
+    def start(self) -> None:
+        jitter = self.overlay.rng.uniform(0.0, 1.0)
+        if self.is_root:
+            self.sim.schedule(jitter, self._heartbeat_loop)
+        else:
+            self.sim.schedule(jitter, self._heartbeat_loop)
+            self.sim.schedule(
+                self.overlay.rng.uniform(1.0, PROBE_PERIOD_S), self._probe_loop
+            )
+
+    def _heartbeat_loop(self) -> None:
+        if not self.overlay.running:
+            return
+        for child in list(self.children):
+            # Edge delay rides along so children track current
+            # conditions; measured lazily from the last probe, with
+            # the underlay oracle as the cold-start estimate.
+            edge_delay = self.overlay.measured_delay(child, self.vn_id)
+            self.rpc.call(
+                child,
+                "heartbeat",
+                (self.delay_to_root, list(self.root_path), edge_delay),
+                size_bytes=96,
+                dst_port=OVERLAY_PORT,
+            )
+        self.sim.schedule(HEARTBEAT_S, self._heartbeat_loop)
+
+    def _probe_loop(self) -> None:
+        if not self.overlay.running:
+            return
+        candidates = self.overlay.probe_candidates(self.vn_id)
+        state = {"pending": len(candidates), "best": None}
+        if not candidates:
+            self.sim.schedule(PROBE_PERIOD_S, self._probe_loop)
+            return
+
+        def probe(candidate: int) -> None:
+            sent_at = self.sim.now
+
+            def reply(payload) -> None:
+                cand_delay_root, cand_path = payload
+                rtt = self.sim.now - sent_at
+                one_way = rtt / 2.0
+                self.overlay._record_delay(self.vn_id, candidate, one_way)
+                consider(candidate, cand_delay_root + one_way, cand_path)
+                finish()
+
+            self.rpc.call(
+                candidate,
+                "probe",
+                None,
+                size_bytes=64,
+                on_reply=reply,
+                on_fail=finish,
+                dst_port=OVERLAY_PORT,
+            )
+
+        def consider(candidate, total_delay, cand_path) -> None:
+            if self.vn_id in cand_path:
+                return  # descendant: would form a loop
+            my_cost = self.overlay.edge_cost(self.vn_id, self.parent)
+            cand_cost = self.overlay.edge_cost(self.vn_id, candidate)
+            target = self.overlay.delay_target_s
+            best = state["best"]
+            if self.delay_to_root > target:
+                # Delay violated: take the fastest acceptable parent.
+                if total_delay < self.delay_to_root and (
+                    best is None or total_delay < best[1]
+                ):
+                    state["best"] = (candidate, total_delay, cand_cost, cand_path)
+            else:
+                # Meeting delay: reduce cost, staying within target.
+                # Hysteresis (>=10% improvement) damps re-parenting
+                # churn from noisy probe measurements.
+                if (
+                    cand_cost < 0.9 * my_cost
+                    and total_delay <= target
+                    and (best is None or cand_cost < best[2])
+                ):
+                    state["best"] = (candidate, total_delay, cand_cost, cand_path)
+
+        def finish() -> None:
+            state["pending"] -= 1
+            if state["pending"] == 0:
+                if state["best"] is not None:
+                    self._switch_parent(*state["best"])
+                self.sim.schedule(PROBE_PERIOD_S, self._probe_loop)
+
+        for candidate in candidates:
+            probe(candidate)
+
+    def _switch_parent(self, new_parent, total_delay, _cost, cand_path) -> None:
+        old_parent = self.parent
+        if new_parent == old_parent:
+            return
+        self.parent_switches += 1
+        self.parent = new_parent
+        self.delay_to_root = total_delay
+        self.root_path = cand_path + [self.vn_id]
+        if old_parent is not None:
+            self.rpc.call(old_parent, "orphan", None, size_bytes=32, dst_port=OVERLAY_PORT)
+        self.rpc.call(new_parent, "adopt", None, size_bytes=32, dst_port=OVERLAY_PORT)
+
+
+class AcdcOverlay:
+    """The overlay: membership, metrics oracle, and tree accounting."""
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        member_vns: Sequence[int],
+        delay_target_s: float = 1.5,
+        rng: Optional[random.Random] = None,
+    ):
+        if not member_vns:
+            raise ValueError("overlay needs members")
+        self.emulation = emulation
+        self.member_vns = list(member_vns)
+        self.root_vn = self.member_vns[0]
+        self.delay_target_s = delay_target_s
+        self.rng = rng or emulation.rng.stream("overlay")
+        self.running = False
+        self._measured: Dict[tuple, float] = {}
+        self.members: Dict[int, OverlayMember] = {
+            vn: OverlayMember(self, vn) for vn in self.member_vns
+        }
+        self._initial_join()
+
+    def _initial_join(self) -> None:
+        """Nodes join at a random point: each non-root member parents
+        on a random earlier member."""
+        for index, vn in enumerate(self.member_vns[1:], start=1):
+            parent_vn = self.member_vns[self.rng.randrange(index)]
+            member = self.members[vn]
+            member.parent = parent_vn
+            self.members[parent_vn].children.add(vn)
+        # Seed delay estimates from the oracle so the tree has finite
+        # delays before the first heartbeats propagate.
+        for vn in self.member_vns[1:]:
+            member = self.members[vn]
+            path_delay = 0.0
+            cursor = member
+            path = [vn]
+            while cursor.parent is not None:
+                path_delay += self.oracle_delay(cursor.vn_id, cursor.parent)
+                cursor = self.members[cursor.parent]
+                path.append(cursor.vn_id)
+            member.delay_to_root = path_delay
+            member.root_path = list(reversed(path))
+
+    def start(self) -> None:
+        self.running = True
+        for member in self.members.values():
+            member.start()
+
+    def stop(self) -> None:
+        self.running = False
+
+    # -- metric oracles -----------------------------------------------------
+
+    def _route(self, a: int, b: int):
+        return self.emulation.routing.route(
+            self.emulation.vns[a].node_id, self.emulation.vns[b].node_id
+        )
+
+    def oracle_delay(self, a: int, b: int) -> float:
+        route = self._route(a, b)
+        if route is None:
+            return float("inf")
+        return sum(hop.link.latency_s for hop in route)
+
+    def edge_cost(self, a: int, b: Optional[int]) -> float:
+        if b is None:
+            return 0.0
+        route = self._route(a, b)
+        if route is None:
+            return float("inf")
+        return route_cost(route)
+
+    def measured_delay(self, a: int, b: int) -> float:
+        key = (min(a, b), max(a, b))
+        value = self._measured.get(key)
+        if value is None:
+            return self.oracle_delay(a, b)
+        return value
+
+    def _record_delay(self, a: int, b: int, one_way: float) -> None:
+        self._measured[(min(a, b), max(a, b))] = one_way
+
+    def probe_candidates(self, vn: int) -> List[int]:
+        # O(lg n) probes per period, per the ACDC scalability goal; 2x
+        # the base-2 log explores enough to find low-cost parents in a
+        # few periods without growing per-node state beyond O(lg n).
+        count = max(2, 2 * int(math.ceil(math.log2(max(2, len(self.member_vns))))))
+        others = [m for m in self.member_vns if m != vn]
+        return self.rng.sample(others, min(count, len(others)))
+
+    def _rejoin(self, vn: int) -> None:
+        """Loop recovery: reattach directly under the root."""
+        member = self.members[vn]
+        old = member.parent
+        if old is not None:
+            self.members[old].children.discard(vn)
+            member.rpc.call(old, "orphan", None, size_bytes=32, dst_port=OVERLAY_PORT)
+        member.parent = self.root_vn
+        member.rpc.call(self.root_vn, "adopt", None, size_bytes=32, dst_port=OVERLAY_PORT)
+        member.delay_to_root = self.measured_delay(vn, self.root_vn)
+        member.root_path = [self.root_vn, vn]
+
+    # -- tree accounting (offline metrics for the figures) --------------------
+
+    def tree_cost(self) -> float:
+        return sum(
+            self.edge_cost(vn, member.parent)
+            for vn, member in self.members.items()
+            if member.parent is not None
+        )
+
+    def mst_cost(self) -> float:
+        """Minimum-cost spanning tree over the members' pairwise
+        costs (Prim), the paper's offline baseline."""
+        members = self.member_vns
+        in_tree = {members[0]}
+        total = 0.0
+        best: Dict[int, float] = {
+            vn: self.edge_cost(members[0], vn) for vn in members[1:]
+        }
+        while len(in_tree) < len(members):
+            vn = min(best, key=best.get)
+            total += best.pop(vn)
+            in_tree.add(vn)
+            for other in best:
+                cost = self.edge_cost(vn, other)
+                if cost < best[other]:
+                    best[other] = cost
+        return total
+
+    def spt_delay(self) -> float:
+        """Worst-case delay through the shortest-path tree (offline
+        baseline; with per-member direct-path delays this is the best
+        achievable maximum)."""
+        return max(
+            self.oracle_delay(self.root_vn, vn) for vn in self.member_vns[1:]
+        )
+
+    def max_delay(self) -> float:
+        """Worst currently-advertised delay to root (what the app
+        observes)."""
+        finite = [
+            member.delay_to_root
+            for member in self.members.values()
+            if member.delay_to_root != float("inf")
+        ]
+        return max(finite) if finite else float("inf")
+
+    def actual_max_delay(self) -> float:
+        """Worst *actual* tree-path delay via the oracle (ground
+        truth for the figure)."""
+        worst = 0.0
+        for vn, member in self.members.items():
+            delay = 0.0
+            cursor = member
+            seen = set()
+            while cursor.parent is not None and cursor.vn_id not in seen:
+                seen.add(cursor.vn_id)
+                delay += self.oracle_delay(cursor.vn_id, cursor.parent)
+                cursor = self.members[cursor.parent]
+            worst = max(worst, delay)
+        return worst

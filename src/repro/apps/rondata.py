@@ -1,0 +1,132 @@
+"""A synthetic RON-like wide-area condition matrix.
+
+The CFS experiments (paper Sec. 5.1) convert the published RON [1]
+inter-site measurements — bandwidth, latency, and loss between all
+pairs of ~15 Internet sites — into a ModelNet topology. The raw RON
+matrix is not distributed with the paper, so this module synthesizes
+a 12-site matrix with the same structure: sites clustered into North
+American and European regions, intra-region latencies of 5-40 ms,
+transcontinental 35-50 ms, transatlantic 70-95 ms; university-class
+sites behind 1-3 Mb/s effective access capacity (matching the TCP
+transfer speeds the CFS paper reports, up to ~300 KB/s) and a few
+slow DSL/cable sites at 0.3-1.2 Mb/s, again matching RON's
+well-known cable-modem nodes; and small non-zero loss on long paths.
+
+Topologically, each site is a client behind an *access link* carrying
+its capacity, and site gateways are pairwise connected by
+high-bandwidth pipes carrying the measured pair latency and loss.
+This matches how an end-to-end matrix behaves physically: concurrent
+transfers to one site share that site's access link, while distinct
+site pairs do not otherwise contend.
+
+Generation is deterministic given the seed, so experiments are
+reproducible; latency/loss are symmetric like published RON summaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.topology.graph import NodeKind, Topology
+
+
+@dataclass(frozen=True)
+class RonSite:
+    """One wide-area site."""
+
+    name: str
+    region: str  # "us-east", "us-west", "europe"
+    slow: bool  # cable/DSL-class connectivity
+
+
+#: Twelve sites in the image of the RON testbed's deployment.
+_SITES = [
+    RonSite("ma-east", "us-east", False),
+    RonSite("ny-univ", "us-east", False),
+    RonSite("nc-univ", "us-east", False),
+    RonSite("pa-univ", "us-east", False),
+    RonSite("ma-cable", "us-east", True),
+    RonSite("ut-univ", "us-west", False),
+    RonSite("ca-univ", "us-west", False),
+    RonSite("wa-univ", "us-west", False),
+    RonSite("ca-dsl", "us-west", True),
+    RonSite("nl-univ", "europe", False),
+    RonSite("uk-univ", "europe", False),
+    RonSite("gr-univ", "europe", False),
+]
+
+_REGION_LATENCY_MS = {
+    frozenset(["us-east"]): (5, 25),
+    frozenset(["us-west"]): (5, 25),
+    frozenset(["europe"]): (10, 40),
+    frozenset(["us-east", "us-west"]): (35, 50),
+    frozenset(["us-east", "europe"]): (70, 90),
+    frozenset(["us-west", "europe"]): (80, 95),
+}
+
+#: Access latency charged on each site's last hop; the remaining pair
+#: latency rides on the gateway-to-gateway pipe.
+_ACCESS_LATENCY_S = 0.001
+
+#: Gateway pipes are effectively unconstrained ("the Internet core is
+#: well-provisioned"); access links carry the measured capacity.
+_CORE_BANDWIDTH = 100e6
+
+
+def ron_sites() -> List[RonSite]:
+    """The 12 synthetic sites."""
+    return list(_SITES)
+
+
+def ron_topology(seed: int = 0, queue_limit: int = 50) -> Tuple[Topology, List[RonSite]]:
+    """Build the RON-like topology.
+
+    Client node ids are 0..11 (VN i = site i); node 12+i is site i's
+    gateway. Pair (i, j) conditions live on the gateway mesh link.
+    """
+    rng = random.Random(seed)
+    sites = ron_sites()
+    n = len(sites)
+    topology = Topology("ron-synthetic")
+
+    def access_bw(site: RonSite) -> float:
+        if site.slow:
+            return rng.uniform(0.3e6, 1.2e6)
+        return rng.uniform(1.0e6, 3.0e6)
+
+    clients = []
+    gateways = []
+    for index, site in enumerate(sites):
+        client = topology.add_node(
+            NodeKind.CLIENT, site=site.name, region=site.region
+        )
+        clients.append(client)
+    for index, site in enumerate(sites):
+        gateway = topology.add_node(NodeKind.STUB, site=site.name)
+        gateways.append(gateway)
+        topology.add_link(
+            clients[index].id,
+            gateway.id,
+            access_bw(site),
+            _ACCESS_LATENCY_S,
+            queue_limit=queue_limit,
+        )
+
+    for i in range(n):
+        for j in range(i + 1, n):
+            a, b = sites[i], sites[j]
+            low, high = _REGION_LATENCY_MS[frozenset([a.region, b.region])]
+            pair_latency = rng.uniform(low, high) / 1e3
+            base = 0.0005 if a.region == b.region else 0.002
+            pair_loss = min(0.02, rng.expovariate(1.0 / base))
+            topology.add_link(
+                gateways[i].id,
+                gateways[j].id,
+                _CORE_BANDWIDTH,
+                max(1e-4, pair_latency - 2 * _ACCESS_LATENCY_S),
+                pair_loss,
+                queue_limit=queue_limit,
+            )
+    return topology, sites

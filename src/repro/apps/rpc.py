@@ -1,0 +1,124 @@
+"""A small UDP request/response RPC layer for the case-study apps.
+
+Chord lookups, gnutella control traffic, and overlay probes all need
+request/response messaging with timeouts and retries over the
+emulated (lossy!) network. Payloads are Python objects plus an
+explicit wire size, consistent with the by-size packet model.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.core.emulator import VirtualNode
+
+RPC_PORT = 9000
+
+_rpc_ids = itertools.count()
+
+
+class RpcNode:
+    """RPC endpoint bound to one VN.
+
+    Handlers are registered per method name and receive
+    ``(src_vn, payload)``; their return value (``payload, size``)
+    is sent back as the response. Calls take ``on_reply(payload)``
+    and optional ``on_fail()`` callbacks.
+    """
+
+    def __init__(self, vn: VirtualNode, port: int = RPC_PORT):
+        self.vn = vn
+        self.sim = vn.stack.sim
+        self.port = port
+        self.socket = vn.udp_socket(port=port, on_receive=self._receive)
+        self._handlers: Dict[str, Callable] = {}
+        self._pending: Dict[int, Tuple[Callable, Optional[Callable], Any]] = {}
+        self.calls_sent = 0
+        self.calls_served = 0
+        self.retries = 0
+        self.failures = 0
+
+    def register(self, method: str, handler: Callable) -> None:
+        """``handler(src_vn, payload) -> (reply_payload, reply_size)``"""
+        self._handlers[method] = handler
+
+    def call(
+        self,
+        dst_vn: int,
+        method: str,
+        payload: Any = None,
+        size_bytes: int = 64,
+        on_reply: Optional[Callable] = None,
+        on_fail: Optional[Callable] = None,
+        timeout_s: float = 1.0,
+        retries: int = 3,
+        dst_port: Optional[int] = None,
+    ) -> None:
+        """Issue a request; retries on timeout, then ``on_fail``."""
+        rpc_id = next(_rpc_ids)
+        state = {"attempts": 0}
+        dst_port = dst_port if dst_port is not None else self.port
+
+        def send() -> None:
+            state["attempts"] += 1
+            self.calls_sent += 1
+            if state["attempts"] > 1:
+                self.retries += 1
+            self.socket.send_to(
+                dst_vn,
+                dst_port,
+                size_bytes,
+                payload=("req", rpc_id, method, payload),
+            )
+            state["timer"] = self.sim.schedule(timeout_s, expire)
+
+        def expire() -> None:
+            if rpc_id not in self._pending:
+                return
+            if state["attempts"] <= retries:
+                send()
+            else:
+                del self._pending[rpc_id]
+                self.failures += 1
+                if on_fail is not None:
+                    on_fail()
+
+        self._pending[rpc_id] = (on_reply, on_fail, state)
+        send()
+
+    def _receive(self, src_vn: int, sport: int, size: int, message) -> None:
+        if not isinstance(message, tuple) or len(message) != 4:
+            return
+        kind, rpc_id, method, payload = message
+        if kind == "req":
+            handler = self._handlers.get(method)
+            if handler is None:
+                return
+            self.calls_served += 1
+            result = handler(src_vn, payload)
+            if result is None:
+                reply_payload, reply_size = None, 32
+            else:
+                reply_payload, reply_size = result
+            self.socket.send_to(
+                src_vn, sport, reply_size, payload=("rsp", rpc_id, method, reply_payload)
+            )
+        elif kind == "rsp":
+            entry = self._pending.pop(rpc_id, None)
+            if entry is None:
+                return  # late duplicate
+            on_reply, _on_fail, state = entry
+            timer = state.get("timer")
+            if timer is not None:
+                timer.cancel()
+            if on_reply is not None:
+                on_reply(payload)
+
+    def close(self) -> None:
+        self.socket.close()
+        for rpc_id, (_reply, _fail, state) in self._pending.items():
+            timer = state.get("timer")
+            if timer is not None:
+                timer.cancel()
+        self._pending.clear()

@@ -1,0 +1,125 @@
+"""Replicated web service: servers and trace-playback clients.
+
+Paper Sec. 5.2: clients play back a web trace in real time against
+one or more Apache replicas; the measured quantity is the CDF of
+client-perceived latency (request start to response completion) as a
+function of the number of replicas. Requests are HTTP/1.0-style: one
+TCP connection per request, the response size taken from the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.emulator import Emulation
+
+HTTP_PORT = 80
+REQUEST_BYTES = 300
+
+
+class WebServer:
+    """A static-content server on one VN.
+
+    ``service_time_s`` models per-request server work (the paper
+    reports its Apache boxes at ~10% CPU, i.e. not the bottleneck, so
+    the default is small but non-zero).
+    """
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_id: int,
+        port: int = HTTP_PORT,
+        service_time_s: float = 0.001,
+    ):
+        self.emulation = emulation
+        self.sim = emulation.sim
+        self.vn_id = vn_id
+        self.service_time_s = service_time_s
+        self.requests_served = 0
+        self.bytes_served = 0
+        emulation.vn(vn_id).tcp_listen(port, self._accept)
+
+    def _accept(self, conn) -> None:
+        conn.on_message = self._request
+
+    def _request(self, conn, message) -> None:
+        kind, size = message
+        if kind != "get":
+            return
+        self.requests_served += 1
+        self.bytes_served += size
+        self.sim.schedule(self.service_time_s, self._respond, conn, size)
+
+    def _respond(self, conn, size: int) -> None:
+        if conn.state == "closed":
+            return
+        conn.send(size, message=("rsp", size))
+        conn.close()
+
+
+class TraceClient:
+    """Plays back a slice of a request trace from one VN.
+
+    Each request opens a fresh connection to the client's assigned
+    server, sends a small request naming the response size, and
+    records the latency when the full response has arrived.
+    """
+
+    def __init__(
+        self,
+        emulation: Emulation,
+        vn_id: int,
+        server_vn: int,
+        requests: Sequence[Tuple[float, int]],
+        port: int = HTTP_PORT,
+        start_at: float = 0.0,
+    ):
+        self.emulation = emulation
+        self.sim = emulation.sim
+        self.vn_id = vn_id
+        self.server_vn = server_vn
+        self.port = port
+        #: (latency_s, size) per completed request.
+        self.completed: List[Tuple[float, int]] = []
+        self.failed = 0
+        self.issued = 0
+        for offset, size in requests:
+            self.sim.at(start_at + offset, self._issue, size)
+
+    def redirect(self, server_vn: int) -> None:
+        """Point future requests at a different replica (the manual
+        request-routing step of the paper's experiments)."""
+        self.server_vn = server_vn
+
+    def _issue(self, size: int) -> None:
+        self.issued += 1
+        started = self.sim.now
+        state = {"done": False}
+
+        def established(conn) -> None:
+            conn.send(REQUEST_BYTES, message=("get", size))
+
+        def message(conn, payload) -> None:
+            if state["done"]:
+                return
+            state["done"] = True
+            self.completed.append((self.sim.now - started, size))
+            conn.close()
+
+        def closed(conn) -> None:
+            if not state["done"]:
+                state["done"] = True
+                self.failed += 1
+
+        self.emulation.vn(self.vn_id).tcp_connect(
+            self.server_vn,
+            self.port,
+            on_established=established,
+            on_message=message,
+            on_close=closed,
+        )
+
+    @property
+    def latencies(self) -> List[float]:
+        return [latency for latency, _size in self.completed]

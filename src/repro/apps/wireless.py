@@ -1,0 +1,280 @@
+"""Ad hoc wireless emulation (paper Sec. 5, final case study).
+
+The paper extended ModelNet to "support the broadcast nature of
+wireless communication (packet transmission consumes bandwidth at
+all nodes within communication range of the sender) and node
+mobility (topology change is the rule rather than the exception)".
+
+This module implements that extension as a dedicated fabric:
+
+* nodes occupy positions on a plane and share a radio channel;
+* a transmission occupies the medium at *every* node within range of
+  the sender for its full airtime; a receiver hit by two overlapping
+  transmissions sees a collision and drops both;
+* senders carrier-sense their local medium and defer while busy;
+* waypoint mobility moves nodes continuously, so the connectivity
+  graph changes as the rule rather than the exception.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.simulator import Simulator
+
+
+@dataclass
+class Waypoint:
+    """Random-waypoint mobility parameters."""
+
+    speed_low: float = 1.0  # m/s
+    speed_high: float = 5.0
+    pause_s: float = 2.0
+
+
+class WirelessNode:
+    """One radio node."""
+
+    def __init__(self, network: "WirelessNetwork", node_id: int, x: float, y: float):
+        self.network = network
+        self.node_id = node_id
+        self.x = x
+        self.y = y
+        self.on_receive: Optional[Callable] = None
+        #: The local medium is busy until this time (carrier sense).
+        self.medium_busy_until = 0.0
+        #: Ongoing receptions: (end_time, sender); two overlapping ->
+        #: collision.
+        self._receiving: List[Tuple[float, int]] = []
+        self.sent = 0
+        self.received = 0
+        self.collisions = 0
+        self._backlog: List[Tuple[int, Optional[int], object]] = []
+
+    # -- geometry -----------------------------------------------------------
+
+    def distance_to(self, other: "WirelessNode") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def in_range(self, other: "WirelessNode") -> bool:
+        return self.distance_to(other) <= self.network.range_m
+
+    # -- sending ----------------------------------------------------------------
+
+    def broadcast(self, size_bytes: int, payload=None) -> None:
+        """Queue a broadcast; sent when the local medium is free."""
+        self._backlog.append((size_bytes, None, payload, 0))
+        self._try_send()
+
+    def send_to(self, dst_id: int, size_bytes: int, payload=None) -> None:
+        """Unicast is physically a broadcast others ignore. Like
+        802.11, unicast frames that miss their ACK (collision, or the
+        target moved away) are retransmitted a bounded number of
+        times with backoff."""
+        self._backlog.append((size_bytes, dst_id, payload, 0))
+        self._try_send()
+
+    def _requeue(self, size_bytes: int, dst_id: int, payload, attempt: int) -> None:
+        self._backlog.insert(0, (size_bytes, dst_id, payload, attempt))
+        self._try_send()
+
+    def _try_send(self) -> None:
+        if not self._backlog:
+            return
+        sim = self.network.sim
+        if self.medium_busy_until > sim.now:
+            # Defer until carrier clears (plus tiny random backoff).
+            backoff = self.network.rng.uniform(0.0, self.network.slot_s)
+            sim.at(self.medium_busy_until + backoff, self._try_send)
+            return
+        size_bytes, dst_id, payload, attempt = self._backlog.pop(0)
+        self.sent += 1
+        self.network._transmit(self, size_bytes, dst_id, payload, attempt)
+
+
+class WirelessNetwork:
+    """A shared-medium wireless fabric with mobility."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        area_m: float = 300.0,
+        range_m: float = 100.0,
+        bitrate_bps: float = 2e6,  # 802.11 (1997) class
+        num_nodes: int = 0,
+        rng: Optional[random.Random] = None,
+    ):
+        self.sim = sim
+        self.area_m = area_m
+        self.range_m = range_m
+        self.bitrate_bps = bitrate_bps
+        self.rng = rng or random.Random(0)
+        self.slot_s = 20e-6
+        self.propagation_s = 1e-6
+        #: 802.11-style link-layer retransmissions for unicast frames.
+        self.unicast_retries = 4
+        self.retransmissions = 0
+        self.nodes: List[WirelessNode] = []
+        self.transmissions = 0
+        self.deliveries = 0
+        self.collision_losses = 0
+        for _ in range(num_nodes):
+            self.add_node(
+                self.rng.uniform(0, area_m), self.rng.uniform(0, area_m)
+            )
+
+    def add_node(self, x: float, y: float) -> WirelessNode:
+        node = WirelessNode(self, len(self.nodes), x, y)
+        self.nodes.append(node)
+        return node
+
+    # -- the broadcast medium ---------------------------------------------------
+
+    def airtime(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.bitrate_bps
+
+    def _transmit(
+        self, sender: WirelessNode, size_bytes: int, dst_id, payload,
+        attempt: int = 0,
+    ) -> None:
+        """Transmission consumes bandwidth at all nodes in range of
+        the sender (the paper's wireless-broadcast semantics)."""
+        self.transmissions += 1
+        now = self.sim.now
+        duration = self.airtime(size_bytes)
+        end = now + duration
+        sender.medium_busy_until = max(sender.medium_busy_until, end)
+        outcome = {"acked": dst_id is None}
+        for other in self.nodes:
+            if other is sender or not sender.in_range(other):
+                continue
+            other.medium_busy_until = max(other.medium_busy_until, end)
+            collided = any(
+                existing_end > now for existing_end, _src in other._receiving
+            )
+            other._receiving.append((end, sender.node_id))
+            if collided:
+                other.collisions += 1
+                self.collision_losses += 1
+                continue
+            self.sim.at(
+                end + self.propagation_s,
+                self._deliver,
+                sender.node_id,
+                other.node_id,
+                dst_id,
+                size_bytes,
+                payload,
+                end,
+                outcome,
+            )
+        if dst_id is not None and attempt < self.unicast_retries:
+            # ACK check slightly after delivery resolution.
+            self.sim.at(
+                end + 2 * self.propagation_s,
+                self._ack_check,
+                sender.node_id,
+                dst_id,
+                size_bytes,
+                payload,
+                attempt,
+                outcome,
+            )
+
+    def _ack_check(
+        self, sender_id, dst_id, size_bytes, payload, attempt, outcome
+    ) -> None:
+        if outcome["acked"]:
+            return
+        self.retransmissions += 1
+        self.nodes[sender_id]._requeue(size_bytes, dst_id, payload, attempt + 1)
+
+    def _deliver(
+        self, src_id, receiver_id, dst_id, size_bytes, payload, end,
+        outcome=None,
+    ) -> None:
+        receiver = self.nodes[receiver_id]
+        # A collision that started after we scheduled delivery also
+        # destroys the frame.
+        overlapping = [
+            1
+            for rend, rsrc in receiver._receiving
+            if rsrc != src_id and rend > end - self.airtime(size_bytes)
+        ]
+        receiver._receiving = [
+            (rend, rsrc) for rend, rsrc in receiver._receiving if rend > self.sim.now
+        ]
+        if overlapping:
+            receiver.collisions += 1
+            self.collision_losses += 1
+            return
+        if dst_id is not None and dst_id != receiver_id:
+            return  # unicast frame overheard and discarded
+        if outcome is not None and dst_id == receiver_id:
+            outcome["acked"] = True
+        receiver.received += 1
+        self.deliveries += 1
+        if receiver.on_receive is not None:
+            receiver.on_receive(src_id, size_bytes, payload)
+
+    # -- mobility -------------------------------------------------------------------
+
+    def start_mobility(self, waypoint: Waypoint, tick_s: float = 0.5) -> None:
+        """Random-waypoint movement for every node."""
+        for node in self.nodes:
+            self._next_leg(node, waypoint, tick_s)
+
+    def _next_leg(self, node: WirelessNode, waypoint: Waypoint, tick_s: float) -> None:
+        target_x = self.rng.uniform(0, self.area_m)
+        target_y = self.rng.uniform(0, self.area_m)
+        speed = self.rng.uniform(waypoint.speed_low, waypoint.speed_high)
+        distance = math.hypot(target_x - node.x, target_y - node.y)
+        duration = distance / speed if speed > 0 else waypoint.pause_s
+        steps = max(1, int(duration / tick_s))
+        dx = (target_x - node.x) / steps
+        dy = (target_y - node.y) / steps
+
+        def step(remaining: int) -> None:
+            node.x += dx
+            node.y += dy
+            if remaining > 1:
+                self.sim.schedule(tick_s, step, remaining - 1)
+            else:
+                self.sim.schedule(
+                    waypoint.pause_s, self._next_leg, node, waypoint, tick_s
+                )
+
+        self.sim.schedule(tick_s, step, steps)
+
+    # -- analysis ----------------------------------------------------------------------
+
+    def connectivity_graph(self) -> Dict[int, List[int]]:
+        """Current in-range adjacency."""
+        adjacency: Dict[int, List[int]] = {n.node_id: [] for n in self.nodes}
+        for i, a in enumerate(self.nodes):
+            for b in self.nodes[i + 1 :]:
+                if a.in_range(b):
+                    adjacency[a.node_id].append(b.node_id)
+                    adjacency[b.node_id].append(a.node_id)
+        return adjacency
+
+    def partition_count(self) -> int:
+        """Number of connected components in the current in-range graph."""
+        adjacency = self.connectivity_graph()
+        seen, components = set(), 0
+        for start in adjacency:
+            if start in seen:
+                continue
+            components += 1
+            stack = [start]
+            seen.add(start)
+            while stack:
+                current = stack.pop()
+                for neighbor in adjacency[current]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+        return components

@@ -1,0 +1,148 @@
+"""Assignment: partitioning the distilled topology across core nodes.
+
+The paper uses a greedy k-clusters assignment: for k cores, randomly
+select k nodes of the distilled topology as seeds, then greedily
+select links from each cluster's current connected component in a
+round-robin fashion (Sec. 2.1). The ideal assignment — minimizing
+cross-core descriptor traffic under the offered load — is
+NP-complete; this heuristic keeps clusters connected so most
+consecutive pipes on a route share a core.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.topology.graph import Link, Topology, TopologyError
+
+
+class Assignment:
+    """A mapping of topology links (and hence pipes) to core indices."""
+
+    def __init__(self, num_cores: int, link_to_core: Dict[int, int]):
+        if num_cores < 1:
+            raise TopologyError("need at least one core")
+        for link_id, core in link_to_core.items():
+            if not 0 <= core < num_cores:
+                raise TopologyError(
+                    f"link {link_id} assigned to invalid core {core}"
+                )
+        self.num_cores = num_cores
+        self.link_to_core = dict(link_to_core)
+
+    def core_of(self, link_id: int) -> int:
+        return self.link_to_core[link_id]
+
+    def links_of_core(self, core: int) -> List[int]:
+        return sorted(
+            link_id
+            for link_id, owner in self.link_to_core.items()
+            if owner == core
+        )
+
+    def load_balance(self) -> List[int]:
+        """Links per core (a crude emulation-load proxy)."""
+        counts = [0] * self.num_cores
+        for core in self.link_to_core.values():
+            counts[core] += 1
+        return counts
+
+    def __repr__(self) -> str:
+        return f"<Assignment cores={self.num_cores} balance={self.load_balance()}>"
+
+
+def single_core(topology: Topology) -> Assignment:
+    """Everything on core 0."""
+    return Assignment(1, {link_id: 0 for link_id in topology.links})
+
+
+def greedy_k_clusters(
+    topology: Topology,
+    num_cores: int,
+    rng: random.Random,
+) -> Assignment:
+    """The paper's greedy k-clusters heuristic."""
+    if num_cores < 1:
+        raise TopologyError("need at least one core")
+    if num_cores == 1:
+        return single_core(topology)
+    node_ids = sorted(topology.nodes)
+    if len(node_ids) < num_cores:
+        raise TopologyError(
+            f"{num_cores} cores but only {len(node_ids)} topology nodes"
+        )
+    seeds = rng.sample(node_ids, num_cores)
+    cluster_nodes: List[Set[int]] = [{seed} for seed in seeds]
+    link_to_core: Dict[int, int] = {}
+    unassigned: Set[int] = set(topology.links)
+
+    def adjacent_unassigned(cluster: Set[int]) -> Optional[Link]:
+        # Deterministic scan order for reproducibility.
+        for node_id in sorted(cluster):
+            for link in topology.links_of(node_id):
+                if link.id in unassigned:
+                    return link
+        return None
+
+    while unassigned:
+        for core_index in range(num_cores):
+            if not unassigned:
+                break
+            link = adjacent_unassigned(cluster_nodes[core_index])
+            if link is None:
+                # This cluster's component is exhausted: re-seed it on
+                # a fresh link so every cluster still takes one link
+                # per round (keeps emulation load balanced).
+                link = topology.links[min(unassigned)]
+            link_to_core[link.id] = core_index
+            unassigned.discard(link.id)
+            cluster_nodes[core_index].add(link.a)
+            cluster_nodes[core_index].add(link.b)
+    return Assignment(num_cores, link_to_core)
+
+
+def assign_by_vn_groups(
+    topology: Topology,
+    groups: Sequence[Sequence[int]],
+) -> Assignment:
+    """Explicit assignment used by controlled experiments (Table 1):
+    each group of client nodes claims its access links; remaining
+    links go to the core with the fewest links."""
+    num_cores = len(groups)
+    node_to_core: Dict[int, int] = {}
+    for core_index, group in enumerate(groups):
+        for node_id in group:
+            node_to_core[node_id] = core_index
+    link_to_core: Dict[int, int] = {}
+    leftovers: List[int] = []
+    for link in topology.links.values():
+        core = node_to_core.get(link.a, node_to_core.get(link.b))
+        if core is None:
+            leftovers.append(link.id)
+        else:
+            link_to_core[link.id] = core
+    counts = [0] * num_cores
+    for core in link_to_core.values():
+        counts[core] += 1
+    for link_id in sorted(leftovers):
+        target = counts.index(min(counts))
+        link_to_core[link_id] = target
+        counts[target] += 1
+    return Assignment(num_cores, link_to_core)
+
+
+def cross_core_hops(topology: Topology, assignment: Assignment, routes) -> float:
+    """Fraction of consecutive-pipe pairs (across ``routes``) whose
+    pipes live on different cores — the metric the assignment tries
+    to minimize."""
+    crossings = 0
+    pairs = 0
+    for route in routes:
+        for earlier, later in zip(route, route[1:]):
+            pairs += 1
+            if assignment.core_of(earlier.link.id) != assignment.core_of(
+                later.link.id
+            ):
+                crossings += 1
+    return crossings / pairs if pairs else 0.0

@@ -1,0 +1,436 @@
+"""The Run phase: wiring cores, edge hosts, VN stacks, and routing.
+
+:class:`Emulation` is the public entry point for running traffic
+through a distilled topology. It owns:
+
+* two pipes per topology link (one per direction), stamped with
+  owners from the Assignment;
+* one :class:`~repro.core.node.CoreNode` per core, with physical NIC
+  links when the physical layer is modeled;
+* one :class:`EdgeHost` per physical edge node from the Binding, with
+  uplink/downlink wires and (optionally) an edge CPU;
+* one :class:`VirtualNode` (and :class:`~repro.net.sockets.NetStack`)
+  per VN.
+
+Two fidelity regimes are supported via :class:`EmulationConfig`:
+
+* **full** (default) — tick-quantized scheduling, core CPU and NIC
+  models, physical cluster links: reproduces the paper's capacity
+  and accuracy behaviour, including physical drops under overload;
+* **reference** (``EmulationConfig.reference()``) — exact event
+  times, infinite hardware: the stand-in for the paper's ns2
+  validation runs, and the cheap mode for application-level studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.assign import Assignment, greedy_k_clusters, single_core
+from repro.core.bind import Binding, bind_vns
+from repro.core.monitor import EmulationMonitor
+from repro.core.node import CoreNode
+from repro.core.pipe import Pipe
+from repro.core.pod import PipeOwnershipDirectory
+from repro.engine.randomness import RngRegistry
+from repro.engine.simulator import Simulator
+from repro.hardware.calibration import (
+    CoreSpec,
+    DEFAULT_CORE_SPEC,
+    DEFAULT_EDGE_SPEC,
+    EdgeHostSpec,
+)
+from repro.hardware.cpu import EdgeCpu
+from repro.hardware.links import PhysicalLink
+from repro.net.packet import Packet
+from repro.net.sockets import NetStack
+from repro.net.tcp import TcpParams
+from repro.routing.service import CachedRouting, DynamicRouting
+from repro.topology.graph import Topology, TopologyError
+
+
+@dataclass
+class EmulationConfig:
+    """Knobs for one emulation run."""
+
+    num_cores: int = 1
+    num_hosts: int = 1
+    tick_s: float = 1e-4
+    debt_handling: bool = False
+    payload_caching: bool = True
+    model_physical: bool = True
+    model_edge_cpu: bool = False
+    binding_strategy: str = "contiguous"
+    routing_weight: str = "latency"
+    core_spec: CoreSpec = field(default_factory=lambda: DEFAULT_CORE_SPEC)
+    edge_spec: EdgeHostSpec = field(default_factory=lambda: DEFAULT_EDGE_SPEC)
+    tcp_params: Optional[TcpParams] = None
+    seed: int = 0
+
+    @classmethod
+    def reference(cls, **overrides) -> "EmulationConfig":
+        """Exact-time, infinite-hardware configuration (the ns2
+        stand-in)."""
+        config = cls(
+            tick_s=0.0,
+            model_physical=False,
+            model_edge_cpu=False,
+        )
+        return replace(config, **overrides)
+
+    @property
+    def exact(self) -> bool:
+        return not self.model_physical
+
+
+class VirtualNode:
+    """One VN: a unique IP, a topology attachment point, a host, and
+    a network stack."""
+
+    __slots__ = ("vn_id", "node_id", "host", "stack")
+
+    def __init__(self, vn_id: int, node_id: int, host, stack: NetStack):
+        self.vn_id = vn_id
+        self.node_id = node_id
+        self.host = host
+        self.stack = stack
+
+    @property
+    def ip(self) -> str:
+        return self.stack.ip
+
+    def udp_socket(self, *args, **kwargs):
+        return self.stack.udp_socket(*args, **kwargs)
+
+    def tcp_listen(self, *args, **kwargs):
+        return self.stack.tcp_listen(*args, **kwargs)
+
+    def tcp_connect(self, *args, **kwargs):
+        return self.stack.tcp_connect(*args, **kwargs)
+
+    def __repr__(self) -> str:
+        return f"<VN {self.vn_id} node={self.node_id}>"
+
+
+class EdgeHost:
+    """A physical edge node hosting one or more VNs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        index: int,
+        spec: EdgeHostSpec,
+        core: CoreNode,
+        emulation: "Emulation",
+        model_cpu: bool,
+    ):
+        self.sim = sim
+        self.index = index
+        self.spec = spec
+        self.core = core
+        self.emulation = emulation
+        self.uplink = PhysicalLink(
+            sim,
+            spec.nic_bps,
+            spec.link_latency_s,
+            spec.nic_queue_slots,
+            framing_bytes=spec.framing_bytes,
+            name=f"edge{index}-up",
+        )
+        self.downlink = PhysicalLink(
+            sim,
+            spec.nic_bps,
+            spec.link_latency_s,
+            spec.nic_queue_slots,
+            framing_bytes=spec.framing_bytes,
+            name=f"edge{index}-down",
+        )
+        self.cpu: Optional[EdgeCpu] = EdgeCpu(sim, spec) if model_cpu else None
+        self.vns: List[VirtualNode] = []
+
+    def send_from_vn(self, packet: Packet) -> None:
+        """A resident VN's stack emitted a packet."""
+        if self.cpu is not None:
+            self.cpu.run_seconds(
+                ("vn", packet.src),
+                self.spec.per_packet_stack_s,
+                self._uplink_send,
+                packet,
+            )
+        else:
+            self._uplink_send(packet)
+
+    def _uplink_send(self, packet: Packet) -> None:
+        accepted = self.uplink.send(
+            packet.size_bytes, self._reach_core, packet
+        )
+        if not accepted:
+            self.emulation.monitor.uplink_drop()
+
+    def _reach_core(self, packet: Packet) -> None:
+        if self.core.ingress_link is not None:
+            accepted = self.core.ingress_link.send(
+                packet.size_bytes, self.core.ingress_packet, packet
+            )
+            if not accepted:
+                self.emulation.monitor.uplink_drop()
+        else:
+            self.core.ingress_packet(packet)
+
+    def receive_from_switch(self, packet: Packet) -> None:
+        """A packet exiting the emulated network arrives on our wire."""
+        self.downlink.send(packet.size_bytes, self._to_stack, packet)
+
+    def _to_stack(self, packet: Packet) -> None:
+        if self.cpu is not None:
+            self.cpu.run_seconds(
+                ("vn", packet.dst),
+                self.spec.per_packet_stack_s,
+                self.emulation.deliver_to_vn,
+                packet,
+            )
+        else:
+            self.emulation.deliver_to_vn(packet)
+
+    def __repr__(self) -> str:
+        return f"<EdgeHost {self.index} vns={len(self.vns)} core={self.core.index}>"
+
+
+class Emulation:
+    """A running ModelNet instance over a distilled topology."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        topology: Topology,
+        config: Optional[EmulationConfig] = None,
+        assignment: Optional[Assignment] = None,
+        binding: Optional[Binding] = None,
+        routing=None,
+    ):
+        self.sim = sim
+        self.topology = topology
+        self.config = config or EmulationConfig()
+        self.rng = RngRegistry(self.config.seed)
+        self.loss_rng = self.rng.stream("pipe-loss")
+        self.monitor = EmulationMonitor()
+
+        # --- pipes: one per link direction --------------------------------
+        self.pipes: Dict[Tuple[int, int], Pipe] = {}
+        pipe_id = 0
+        for link in sorted(topology.links.values(), key=lambda l: l.id):
+            for direction, (src, dst) in enumerate(
+                ((link.a, link.b), (link.b, link.a))
+            ):
+                pipe = Pipe(
+                    pipe_id,
+                    link.bandwidth_bps,
+                    link.latency_s,
+                    link.loss_rate,
+                    link.queue_limit,
+                    qdisc=self._make_qdisc(link),
+                    link_id=link.id,
+                    src_node=src,
+                    dst_node=dst,
+                )
+                pipe.up = link.up
+                self.pipes[(link.id, direction)] = pipe
+                pipe_id += 1
+
+        # --- assignment & POD ----------------------------------------------
+        if assignment is None:
+            if self.config.num_cores == 1:
+                assignment = single_core(topology)
+            else:
+                assignment = greedy_k_clusters(
+                    topology, self.config.num_cores, self.rng.stream("assign")
+                )
+        if assignment.num_cores != self.config.num_cores:
+            self.config.num_cores = assignment.num_cores
+        self.assignment = assignment
+        self.pod = PipeOwnershipDirectory(assignment)
+        self.pod.install(self.pipes.values())
+
+        # --- routing ---------------------------------------------------------
+        # Default: the "perfect routing protocol" (instant shortest
+        # paths). Pass an emulated protocol (e.g.
+        # core.routing_emulation.DistanceVectorRouting) to capture
+        # convergence dynamics instead.
+        if routing is None:
+            routing = DynamicRouting(
+                CachedRouting(topology, self.config.routing_weight)
+            )
+        self.routing = routing
+        self._route_pipes: Dict[Tuple[int, int], Optional[Tuple[Pipe, ...]]] = {}
+        self.routing.on_change(self._route_pipes.clear)
+
+        # --- cores -----------------------------------------------------------
+        self.cores: List[CoreNode] = []
+        for index in range(self.config.num_cores):
+            core = CoreNode(
+                sim,
+                index,
+                self.config.core_spec,
+                self,
+                exact=self.config.exact,
+                debt_handling=self.config.debt_handling,
+            )
+            if self.config.model_physical:
+                core.ingress_link = PhysicalLink(
+                    sim,
+                    self.config.core_spec.nic_bps,
+                    self.config.core_spec.switch_latency_s,
+                    self.config.core_spec.switch_queue_slots,
+                    name=f"core{index}-in",
+                )
+                core.egress_link = PhysicalLink(
+                    sim,
+                    self.config.core_spec.nic_bps,
+                    self.config.core_spec.switch_latency_s,
+                    self.config.core_spec.switch_queue_slots,
+                    name=f"core{index}-out",
+                )
+            self.cores.append(core)
+
+        # --- binding, hosts, VNs ----------------------------------------------
+        if binding is None:
+            binding = bind_vns(
+                topology,
+                self.config.num_hosts,
+                self.config.num_cores,
+                self.config.binding_strategy,
+            )
+        self.binding = binding
+        self.hosts: List[EdgeHost] = [
+            EdgeHost(
+                sim,
+                host_index,
+                self.config.edge_spec,
+                self.cores[binding.host_to_core[host_index]],
+                self,
+                self.config.model_edge_cpu,
+            )
+            for host_index in range(binding.num_hosts)
+        ]
+
+        self.vns: List[VirtualNode] = []
+        self._node_of_vn: List[int] = list(binding.vn_nodes)
+        self._vn_of_node: Dict[int, int] = {}
+        for vn_id, node_id in enumerate(binding.vn_nodes):
+            if node_id not in topology.nodes:
+                raise TopologyError(f"binding references unknown node {node_id}")
+            host = self.hosts[binding.vn_to_host[vn_id]]
+            stack = NetStack(sim, vn_id, tcp_params=self.config.tcp_params)
+            vn = VirtualNode(vn_id, node_id, host, stack)
+            if self.config.model_physical:
+                stack.attach(host.send_from_vn)
+            else:
+                stack.attach(self._direct_transmit)
+            host.vns.append(vn)
+            self.vns.append(vn)
+            self._vn_of_node[node_id] = vn_id
+            if host.cpu is not None:
+                host.cpu.register(("vn", vn_id))
+
+    # ------------------------------------------------------------------
+    # Fabric interface
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _make_qdisc(link):
+        """Per-link queueing discipline: FIFO drop-tail by default;
+        ``qdisc="red"`` in the link attrs selects RED, with optional
+        red_min_th/red_max_th/red_max_p overrides (dummynet-style)."""
+        from repro.core.queues import DropTailQueue, REDQueue
+
+        if link.attrs.get("qdisc") == "red":
+            return REDQueue(
+                min_th_frac=link.attrs.get("red_min_th", 0.25),
+                max_th_frac=link.attrs.get("red_max_th", 0.75),
+                max_p=link.attrs.get("red_max_p", 0.1),
+            )
+        return DropTailQueue()
+
+    def _direct_transmit(self, packet: Packet) -> None:
+        """Reference mode: packets enter the entry core instantly."""
+        core = self.cores[self.binding.core_of_vn(packet.src)]
+        core.ingress_packet(packet)
+
+    def lookup_pipes(self, src_vn: int, dst_vn: int) -> Optional[Tuple[Pipe, ...]]:
+        """The core's route lookup: VN pair to ordered pipe list."""
+        key = (src_vn, dst_vn)
+        cached = self._route_pipes.get(key, _MISSING)
+        if cached is not _MISSING:
+            return cached
+        route = self.routing.route(
+            self._node_of_vn[src_vn], self._node_of_vn[dst_vn]
+        )
+        if route is None:
+            self._route_pipes[key] = None
+            return None
+        pipes = tuple(self._pipe_for_hop(hop) for hop in route)
+        self._route_pipes[key] = pipes
+        return pipes
+
+    def _pipe_for_hop(self, hop) -> Pipe:
+        direction = 0 if hop.src == hop.link.a else 1
+        return self.pipes[(hop.link.id, direction)]
+
+    def host_of_vn(self, vn_id: int) -> EdgeHost:
+        return self.hosts[self.binding.vn_to_host[vn_id]]
+
+    def deliver_to_vn(self, packet: Packet) -> None:
+        self.vns[packet.dst].stack.deliver(packet)
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+
+    def vn(self, vn_id: int) -> VirtualNode:
+        return self.vns[vn_id]
+
+    @property
+    def num_vns(self) -> int:
+        return len(self.vns)
+
+    def pipes_of_link(self, link_id: int) -> Tuple[Pipe, Pipe]:
+        """(a->b, b->a) pipes of a topology link."""
+        return self.pipes[(link_id, 0)], self.pipes[(link_id, 1)]
+
+    def set_link_params(self, link_id: int, **params) -> None:
+        """Adjust both directions of a link's pipes at runtime."""
+        for pipe in self.pipes_of_link(link_id):
+            pipe.set_params(**params)
+
+    def set_link_up(self, link_id: int, up: bool) -> None:
+        """Fail or recover a link: pipes stop accepting packets and
+        routes are recomputed instantaneously (the "perfect routing
+        protocol" assumption)."""
+        link = self.topology.links[link_id]
+        for pipe in self.pipes_of_link(link_id):
+            pipe.up = up
+            if not up:
+                pipe.flush()
+        if up:
+            self.routing.link_recovered(link)
+        else:
+            self.routing.link_failed(link)
+
+    def virtual_drops(self) -> int:
+        return sum(
+            pipe.drops_overflow + pipe.drops_random + pipe.drops_down
+            for pipe in self.pipes.values()
+        )
+
+    def accuracy_report(self):
+        return self.monitor.report(virtual_drops=self.virtual_drops())
+
+    def __repr__(self) -> str:
+        return (
+            f"<Emulation vns={self.num_vns} pipes={len(self.pipes)} "
+            f"cores={len(self.cores)} hosts={len(self.hosts)}>"
+        )
+
+
+_MISSING = object()

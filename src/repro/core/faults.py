@@ -1,0 +1,213 @@
+"""Fault injection and dynamic network changes (paper Sec. 4.3).
+
+Users can direct ModelNet to change the bandwidth, delay, and loss
+rate of a set of links according to a specified probability
+distribution every x seconds, and to fail/recover links and nodes
+(with instantaneous shortest-path recomputation). Random stress tests
+"identify conditions under which services will fail".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.core.emulator import Emulation
+
+
+@dataclass
+class LinkPerturbation:
+    """A recurring random perturbation applied to a set of links.
+
+    Every ``period_s``, a fraction ``link_fraction`` of the candidate
+    links is chosen and each has its latency scaled by a factor drawn
+    uniformly from ``latency_scale`` (and similarly for bandwidth and
+    loss, when given). Scales are relative to the link's *original*
+    parameters, so perturbations do not compound. This directly
+    models the ACDC experiment: "increase the delay on 25% of
+    randomly chosen IP links by between 0-25% every 25 seconds".
+    """
+
+    period_s: float
+    link_fraction: float = 0.25
+    latency_scale: tuple = (1.0, 1.25)
+    bandwidth_scale: Optional[tuple] = None
+    loss_add: Optional[tuple] = None
+
+
+class FaultInjector:
+    """Schedules dynamic link changes and failures on an emulation."""
+
+    def __init__(self, emulation: Emulation, rng: Optional[random.Random] = None):
+        self.emulation = emulation
+        self.rng = rng or emulation.rng.stream("faults")
+        self._originals = {
+            link_id: (link.bandwidth_bps, link.latency_s, link.loss_rate)
+            for link_id, link in emulation.topology.links.items()
+        }
+        self.perturbations_applied = 0
+        self.failures_injected = 0
+        self._active: List = []
+
+    # -- one-shot events ------------------------------------------------
+
+    def fail_link_at(self, when: float, link_id: int) -> None:
+        self.emulation.sim.at(when, self._fail_link, link_id)
+
+    def recover_link_at(self, when: float, link_id: int) -> None:
+        self.emulation.sim.at(when, self._recover_link, link_id)
+
+    def fail_node_at(self, when: float, node_id: int) -> None:
+        """Fail all links incident to a topology node."""
+        self.emulation.sim.at(when, self._fail_node, node_id)
+
+    def recover_node_at(self, when: float, node_id: int) -> None:
+        self.emulation.sim.at(when, self._recover_node, node_id)
+
+    def partition_at(
+        self, when: float, link_ids: Sequence[int]
+    ) -> None:
+        """Fail a cut set of links at once (a network partition)."""
+        def apply() -> None:
+            for link_id in link_ids:
+                self._fail_link(link_id)
+        self.emulation.sim.at(when, apply)
+
+    def _fail_link(self, link_id: int) -> None:
+        self.failures_injected += 1
+        self.emulation.set_link_up(link_id, False)
+
+    def _recover_link(self, link_id: int) -> None:
+        self.emulation.set_link_up(link_id, True)
+
+    def _fail_node(self, node_id: int) -> None:
+        for link in self.emulation.topology.links_of(node_id):
+            self._fail_link(link.id)
+
+    def _recover_node(self, node_id: int) -> None:
+        for link in self.emulation.topology.links_of(node_id):
+            self._recover_link(link.id)
+
+    # -- recurring perturbations -------------------------------------------
+
+    def start_perturbation(
+        self,
+        perturbation: LinkPerturbation,
+        start_s: float,
+        stop_s: float,
+        link_ids: Optional[Sequence[int]] = None,
+        on_applied: Optional[Callable[[List[int]], None]] = None,
+    ) -> None:
+        """Apply ``perturbation`` every period within [start, stop);
+        at ``stop_s`` all affected links revert to their original
+        parameters."""
+        if link_ids is None:
+            link_ids = sorted(self.emulation.topology.links)
+        link_ids = list(link_ids)
+
+        def fire(when: float) -> None:
+            if when >= stop_s:
+                self._restore(link_ids)
+                return
+            self._apply_once(perturbation, link_ids, on_applied)
+            self.emulation.sim.at(when + perturbation.period_s, fire, when + perturbation.period_s)
+
+        self.emulation.sim.at(start_s, fire, start_s)
+
+    def _apply_once(
+        self,
+        perturbation: LinkPerturbation,
+        link_ids: Sequence[int],
+        on_applied: Optional[Callable[[List[int]], None]],
+    ) -> None:
+        count = max(1, int(round(perturbation.link_fraction * len(link_ids))))
+        chosen = self.rng.sample(list(link_ids), min(count, len(link_ids)))
+        for link_id in chosen:
+            base_bw, base_lat, base_loss = self._originals[link_id]
+            params = {}
+            low, high = perturbation.latency_scale
+            params["latency_s"] = base_lat * self.rng.uniform(low, high)
+            if perturbation.bandwidth_scale is not None:
+                low, high = perturbation.bandwidth_scale
+                params["bandwidth_bps"] = max(
+                    1.0, base_bw * self.rng.uniform(low, high)
+                )
+            if perturbation.loss_add is not None:
+                low, high = perturbation.loss_add
+                params["loss_rate"] = min(
+                    0.99, base_loss + self.rng.uniform(low, high)
+                )
+            self._set_link(link_id, params)
+        self.perturbations_applied += 1
+        if on_applied:
+            on_applied(sorted(chosen))
+
+    def _set_link(self, link_id: int, params: dict) -> None:
+        """Update both the emulated pipes and the topology link (so
+        latency-weighted routing and offline metrics see the change)."""
+        self.emulation.set_link_params(link_id, **params)
+        link = self.emulation.topology.links[link_id]
+        if "latency_s" in params:
+            link.latency_s = params["latency_s"]
+        if "bandwidth_bps" in params:
+            link.bandwidth_bps = params["bandwidth_bps"]
+        if "loss_rate" in params:
+            link.loss_rate = params["loss_rate"]
+
+    # -- random stress tests -------------------------------------------------
+
+    def random_stress(
+        self,
+        start_s: float,
+        stop_s: float,
+        mean_failure_interval_s: float = 10.0,
+        mean_outage_s: float = 3.0,
+        perturbation: Optional[LinkPerturbation] = None,
+        protect: Optional[Sequence[int]] = None,
+    ) -> int:
+        """Schedule a randomized stress scenario (paper Sec. 4.3:
+        "random stress tests are useful because it is often just as
+        important to identify conditions under which services will
+        fail").
+
+        Random links fail at exponential intervals and recover after
+        exponential outages; a recurring parameter perturbation can
+        run alongside. ``protect`` lists link ids never failed (e.g.
+        a service's only access link). Returns the number of outages
+        scheduled; the schedule is deterministic given the injector's
+        RNG.
+        """
+        candidates = [
+            link_id
+            for link_id in sorted(self.emulation.topology.links)
+            if not protect or link_id not in set(protect)
+        ]
+        if not candidates:
+            raise ValueError("no links eligible for stress")
+        outages = 0
+        now = start_s
+        while True:
+            now += self.rng.expovariate(1.0 / mean_failure_interval_s)
+            if now >= stop_s:
+                break
+            link_id = self.rng.choice(candidates)
+            outage = self.rng.expovariate(1.0 / mean_outage_s)
+            self.fail_link_at(now, link_id)
+            self.recover_link_at(min(stop_s, now + outage), link_id)
+            outages += 1
+        if perturbation is not None:
+            self.start_perturbation(perturbation, start_s, stop_s)
+        return outages
+
+    def _restore(self, link_ids: Sequence[int]) -> None:
+        for link_id in link_ids:
+            base_bw, base_lat, base_loss = self._originals[link_id]
+            self._set_link(
+                link_id,
+                {
+                    "bandwidth_bps": base_bw,
+                    "latency_s": base_lat,
+                    "loss_rate": base_loss,
+                },
+            )

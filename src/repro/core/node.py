@@ -1,0 +1,306 @@
+"""The ModelNet core router (paper Sec. 2.2, Fig. 3).
+
+A core node performs two principal tasks: it processes "hardware
+interrupts" to retrieve packets from its NIC ring, and its scheduler
+moves packets from pipe to pipe at every clock tick. The scheduler
+runs at strictly higher priority, so under CPU saturation the NIC
+ring overflows and packets are dropped *physically* rather than
+emulated inaccurately — the paper's central accuracy invariant.
+
+The cost model (per-packet ingress, per-hop scheduling, tunneling)
+comes from :class:`repro.hardware.calibration.CoreSpec`. With
+``exact=True`` the node models an infinitely fast core with no tick
+quantization — the reference mode used for ns2-style comparison runs
+and for application studies where core hardware is not the subject.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.core.packet import PacketDescriptor
+from repro.core.pipe import INFINITY, Pipe
+from repro.core.scheduler import PipeScheduler
+from repro.hardware.calibration import CoreSpec
+from repro.hardware.links import PhysicalLink
+
+# Ring work-item tags.
+INGRESS = 0  # a fresh packet from an edge node
+TUNNEL_IN = 1  # a descriptor arriving from a peer core
+DELIVER = 2  # a payload-caching delivery order returning to the entry core
+
+
+class CoreNode:
+    """One core router."""
+
+    def __init__(
+        self,
+        sim,
+        index: int,
+        spec: CoreSpec,
+        emulation,
+        exact: bool = False,
+        debt_handling: bool = False,
+    ):
+        self.sim = sim
+        self.index = index
+        self.spec = spec
+        self.emulation = emulation
+        self.exact = exact
+        self.debt_handling = debt_handling
+        self.scheduler = PipeScheduler(0.0 if exact else spec.tick_s)
+        self._ring: Deque[Tuple[int, object]] = deque()
+        self._wake_event = None
+        self._wake_time = INFINITY
+        self._last_wake = 0.0
+        self._cpu_backlog = 0.0
+        self.cpu_busy_s = 0.0
+        self.packets_processed = 0
+        self.hops_processed = 0
+        #: Optional (prev_pipe_id, next_pipe_id) -> packet counter,
+        #: installed by the dynamic reassigner to learn the traffic's
+        #: pipe adjacency ("evolving communication patterns").
+        self.pair_tracker: Optional[dict] = None
+        self.tunnels_sent = 0
+        self.tunnels_received = 0
+        # Physical NIC links, attached by the emulation when the
+        # physical layer is modeled.
+        self.ingress_link: Optional[PhysicalLink] = None
+        self.egress_link: Optional[PhysicalLink] = None
+
+    # ------------------------------------------------------------------
+    # Physical arrival paths
+    # ------------------------------------------------------------------
+
+    def physical_ingress(self, tag: int, item) -> None:
+        """A packet/descriptor reached this core's NIC: join the
+        receive ring, or be dropped physically if the ring is full."""
+        if self.exact:
+            self._process_item(tag, item, self.sim.now)
+            return
+        if len(self._ring) >= self.spec.nic_ring_slots:
+            self.emulation.monitor.ring_drop()
+            return
+        self._ring.append((tag, item))
+        wake = self.scheduler.quantize(self.sim.now)
+        if wake <= self.sim.now:
+            wake = self.sim.now
+        self._ensure_wake(wake)
+
+    def ingress_packet(self, packet) -> None:
+        """Entry point for fresh edge traffic (ipfw intercept)."""
+        self.physical_ingress(INGRESS, packet)
+
+    # ------------------------------------------------------------------
+    # The kernel loop
+    # ------------------------------------------------------------------
+
+    def _ensure_wake(self, time: float) -> None:
+        # Debt handling can produce already-matured deadlines; service
+        # them at the current instant.
+        time = max(time, self.sim.now)
+        if self._wake_event is not None and self._wake_time <= time:
+            return
+        if self._wake_event is not None:
+            self._wake_event.cancel()
+        self._wake_time = time
+        self._wake_event = self.sim.at(time, self._wake)
+
+    def _reschedule_wake(self) -> None:
+        wake = self.scheduler.next_wake()
+        if self._ring:
+            tick = self.spec.tick_s
+            wake = min(wake, self.sim.now + tick)
+        if wake < INFINITY:
+            self._ensure_wake(wake)
+
+    def _wake(self) -> None:
+        now = self.sim.now
+        self._wake_event = None
+        self._wake_time = INFINITY
+        tick = self.spec.tick_s
+
+        # CPU backlog decays with elapsed wall (virtual) time.
+        elapsed = now - self._last_wake
+        self._last_wake = now
+        self._cpu_backlog = max(0.0, self._cpu_backlog - elapsed)
+
+        spent = 0.0
+        # 1) Scheduler pass: highest priority, always runs to completion.
+        for _pipe, exits in self.scheduler.collect(now):
+            for descriptor in exits:
+                spent += self.spec.per_hop_s
+                self.hops_processed += 1
+                spent += self._descriptor_exited(descriptor, now)
+
+        # 2) Interrupt pass: drain the NIC ring with whatever CPU
+        #    remains in this tick.
+        budget = tick - self._cpu_backlog - spent
+        while self._ring:
+            cost = self._item_cost(*self._ring[0])
+            if budget < cost:
+                break
+            tag, item = self._ring.popleft()
+            budget -= cost
+            spent += cost
+            self._process_item(tag, item, now)
+
+        self.cpu_busy_s += spent
+        self._cpu_backlog = max(0.0, self._cpu_backlog + spent - tick)
+        self._reschedule_wake()
+
+    def _item_cost(self, tag: int, item=None) -> float:
+        if tag == INGRESS:
+            return self.spec.per_packet_s
+        if tag == TUNNEL_IN:
+            cost = self.spec.tunnel_recv_s
+            if not self.emulation.config.payload_caching and item is not None:
+                # The packet body came along: pay the memcpy.
+                cost += self.spec.tunnel_byte_s * item.packet.size_bytes
+            return cost
+        return self.spec.deliver_order_s
+
+    def _process_item(self, tag: int, item, now: float) -> None:
+        if tag == INGRESS:
+            self._admit_packet(item, now)
+        elif tag == TUNNEL_IN:
+            self.tunnels_received += 1
+            self._offer(item, now)
+        else:  # DELIVER: payload-caching order back at the entry core
+            self._deliver_local(item)
+
+    # ------------------------------------------------------------------
+    # Packet admission and movement
+    # ------------------------------------------------------------------
+
+    def _admit_packet(self, packet, now: float) -> None:
+        pipes = self.emulation.lookup_pipes(packet.src, packet.dst)
+        if pipes is None:
+            self.emulation.monitor.packet_unroutable()
+            return
+        self.packets_processed += 1
+        self.emulation.monitor.packet_entered()
+        descriptor = PacketDescriptor(packet, pipes, self.index, now)
+        if not pipes:
+            # Source and destination share an attachment point.
+            self._complete(descriptor, now)
+            return
+        if self.pair_tracker is not None:
+            # Pseudo-source -1-k encodes "entered at core k": a first
+            # pipe owned elsewhere is also a crossing.
+            key = (-1 - self.index, pipes[0].id)
+            self.pair_tracker[key] = self.pair_tracker.get(key, 0) + 1
+        self._offer(descriptor, now)
+
+    def _offer(self, descriptor: PacketDescriptor, now: float) -> None:
+        """Place a descriptor on its current pipe, tunneling first if
+        the pipe belongs to a different core."""
+        pipe = descriptor.current_pipe
+        if pipe.owner != self.index:
+            self._tunnel(descriptor, pipe.owner)
+            return
+        sched_arrival = descriptor.ideal_time if self.debt_handling else now
+        accepted = pipe.arrival(
+            descriptor, sched_arrival, descriptor.ideal_time, self.emulation.loss_rng
+        )
+        if accepted:
+            self.scheduler.notify(pipe)
+            self._reschedule_wake()
+        # A refusal is a virtual drop, already counted by the pipe.
+
+    def _descriptor_exited(self, descriptor: PacketDescriptor, now: float) -> float:
+        """Handle a pipe exit; returns extra CPU spent (tunnel sends)."""
+        previous_pipe = descriptor.current_pipe
+        if descriptor.advance():
+            next_pipe = descriptor.current_pipe
+            if self.pair_tracker is not None:
+                key = (previous_pipe.id, next_pipe.id)
+                self.pair_tracker[key] = self.pair_tracker.get(key, 0) + 1
+            if next_pipe.owner != self.index:
+                self._tunnel(descriptor, next_pipe.owner)
+                cost = self.spec.tunnel_send_s
+                if not self.emulation.config.payload_caching:
+                    cost += self.spec.tunnel_byte_s * descriptor.packet.size_bytes
+                return cost
+            sched_arrival = descriptor.ideal_time if self.debt_handling else now
+            accepted = next_pipe.arrival(
+                descriptor,
+                sched_arrival,
+                descriptor.ideal_time,
+                self.emulation.loss_rng,
+            )
+            if accepted:
+                self.scheduler.notify(next_pipe)
+            return 0.0
+        return self._complete(descriptor, now)
+
+    def _tunnel(self, descriptor: PacketDescriptor, owner: int) -> None:
+        """Forward a descriptor to the core owning its next pipe."""
+        descriptor.tunnel_hops += 1
+        self.tunnels_sent += 1
+        self.emulation.monitor.packet_tunneled()
+        target = self.emulation.cores[owner]
+        if self.exact or self.egress_link is None:
+            target.physical_ingress(TUNNEL_IN, descriptor)
+            return
+        if self.emulation.config.payload_caching:
+            size = self.spec.descriptor_bytes
+        else:
+            size = descriptor.packet.size_bytes
+        ok = self.egress_link.send(
+            size, target.physical_ingress, TUNNEL_IN, descriptor
+        )
+        if not ok:
+            self.emulation.monitor.egress_drop()
+
+    def _complete(self, descriptor: PacketDescriptor, now: float) -> float:
+        """A descriptor finished its last pipe on this core."""
+        self.emulation.monitor.packet_exited(descriptor.ideal_time, now)
+        if (
+            self.emulation.config.payload_caching
+            and descriptor.entry_core != self.index
+            and not self.exact
+        ):
+            # Payload stayed at the entry core [22]: send it the
+            # delivery order; the body never crossed the core fabric.
+            entry = self.emulation.cores[descriptor.entry_core]
+            if self.egress_link is not None:
+                ok = self.egress_link.send(
+                    self.spec.descriptor_bytes,
+                    entry.physical_ingress,
+                    DELIVER,
+                    descriptor,
+                )
+                if not ok:
+                    self.emulation.monitor.egress_drop()
+                return self.spec.deliver_order_s
+            entry.physical_ingress(DELIVER, descriptor)
+            return self.spec.deliver_order_s
+        self._deliver_local(descriptor)
+        return 0.0
+
+    def _deliver_local(self, descriptor: PacketDescriptor) -> None:
+        """Push the buffered packet out of this core toward the edge
+        host of the destination VN."""
+        packet = descriptor.packet
+        if self.exact or self.egress_link is None:
+            self.emulation.deliver_to_vn(packet)
+            return
+        host = self.emulation.host_of_vn(packet.dst)
+        ok = self.egress_link.send(
+            packet.size_bytes, host.receive_from_switch, packet
+        )
+        if not ok:
+            self.emulation.monitor.egress_drop()
+
+    # ------------------------------------------------------------------
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` the core CPU was busy."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.cpu_busy_s / elapsed_s)
+
+    def __repr__(self) -> str:
+        return f"<CoreNode {self.index} ring={len(self._ring)}>"

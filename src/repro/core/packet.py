@@ -1,0 +1,75 @@
+"""Packet descriptors: the by-reference handles the core moves.
+
+"Packets move through the pipes and queues by reference; a core node
+never copies packet data" (paper Sec. 2). A descriptor references the
+buffered packet, records the route (ordered list of pipes), and
+tracks two clocks:
+
+* the *scheduled* clock — actual times at the tick-quantized
+  scheduler granularity;
+* the *ideal* clock — the exact (unquantized) times the emulation
+  should produce, used for accuracy accounting and for the paper's
+  proposed packet-debt correction.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.net.packet import Packet
+
+
+class PacketDescriptor:
+    """A packet traversing the emulated pipe network."""
+
+    __slots__ = (
+        "packet",
+        "pipes",
+        "hop_index",
+        "entry_core",
+        "entered_at",
+        "ideal_time",
+        "tunnel_hops",
+    )
+
+    def __init__(
+        self,
+        packet: Packet,
+        pipes: Tuple,
+        entry_core: int,
+        entered_at: float,
+    ):
+        self.packet = packet
+        self.pipes = pipes
+        self.hop_index = 0
+        self.entry_core = entry_core
+        self.entered_at = entered_at
+        #: Exact exit time of the most recent pipe (or the entry time
+        #: before any pipe has been traversed).
+        self.ideal_time = entered_at
+        #: Number of core-to-core crossings this descriptor has made.
+        self.tunnel_hops = 0
+
+    @property
+    def current_pipe(self):
+        """The pipe this descriptor occupies (or will enter next)."""
+        return self.pipes[self.hop_index]
+
+    @property
+    def remaining_hops(self) -> int:
+        return len(self.pipes) - self.hop_index
+
+    def advance(self) -> bool:
+        """Step to the next pipe; returns True if one exists."""
+        self.hop_index += 1
+        return self.hop_index < len(self.pipes)
+
+    @property
+    def done(self) -> bool:
+        return self.hop_index >= len(self.pipes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Descriptor pkt#{self.packet.id} hop {self.hop_index}/"
+            f"{len(self.pipes)}>"
+        )

@@ -1,0 +1,213 @@
+"""Pipes: emulated links with a bandwidth queue and a delay line.
+
+Mechanics follow dummynet as extended by the paper (Sec. 2.2): when a
+packet (descriptor) arrives at a pipe it is dropped on randomized
+loss or queue overflow; otherwise its *dequeue* time is computed from
+the sizes of all earlier queued packets and the pipe bandwidth. On
+dequeue the packet transfers to the delay line, where it waits the
+pipe's latency before exiting.
+
+Each pipe maintains the computation twice:
+
+* in *scheduled* time — driven by the arrival times the (possibly
+  tick-quantized) scheduler observed; this determines actual behavior;
+* in *ideal* time — exact arithmetic, used for accuracy accounting
+  and for packet-debt correction when enabled.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.packet import PacketDescriptor
+from repro.core.queues import DropTailQueue
+
+INFINITY = float("inf")
+
+
+class Pipe:
+    """One unidirectional emulated link."""
+
+    __slots__ = (
+        "id",
+        "link_id",
+        "src_node",
+        "dst_node",
+        "bandwidth_bps",
+        "latency_s",
+        "loss_rate",
+        "queue_limit",
+        "qdisc",
+        "owner",
+        "up",
+        "_free_at",
+        "_ideal_free_at",
+        "_bw_queue",
+        "_delay_line",
+        "_sched_hint",
+        "arrivals",
+        "departures",
+        "drops_overflow",
+        "drops_random",
+        "drops_down",
+        "bytes_through",
+    )
+
+    def __init__(
+        self,
+        pipe_id: int,
+        bandwidth_bps: float,
+        latency_s: float,
+        loss_rate: float = 0.0,
+        queue_limit: int = 50,
+        qdisc=None,
+        link_id: int = -1,
+        src_node: int = -1,
+        dst_node: int = -1,
+    ):
+        self.id = pipe_id
+        self.link_id = link_id
+        self.src_node = src_node
+        self.dst_node = dst_node
+        self.bandwidth_bps = float(bandwidth_bps)
+        self.latency_s = float(latency_s)
+        self.loss_rate = float(loss_rate)
+        self.queue_limit = int(queue_limit)
+        self.qdisc = qdisc or DropTailQueue()
+        self.owner = 0
+        self.up = True
+        self._free_at = 0.0
+        self._ideal_free_at = 0.0
+        # (descriptor, dequeue_time, ideal_exit_time)
+        self._bw_queue: Deque[Tuple[PacketDescriptor, float, float]] = deque()
+        # (descriptor, exit_time, ideal_exit_time)
+        self._delay_line: Deque[Tuple[PacketDescriptor, float, float]] = deque()
+        self._sched_hint = INFINITY  # deadline the scheduler knows about
+        self.arrivals = 0
+        self.departures = 0
+        self.drops_overflow = 0
+        self.drops_random = 0
+        self.drops_down = 0
+        self.bytes_through = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def backlog_pkts(self) -> int:
+        """Packets waiting for (or in) transmission."""
+        return len(self._bw_queue)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets anywhere inside the pipe."""
+        return len(self._bw_queue) + len(self._delay_line)
+
+    def transmission_time(self, size_bytes: int) -> float:
+        return size_bytes * 8.0 / self.bandwidth_bps
+
+    def arrival(
+        self,
+        descriptor: PacketDescriptor,
+        now: float,
+        ideal_now: float,
+        rng=None,
+    ) -> bool:
+        """Offer a descriptor to this pipe at scheduled time ``now``
+        (``ideal_now`` is the exact-arithmetic arrival). Returns False
+        on a virtual drop."""
+        self.arrivals += 1
+        if not self.up:
+            self.drops_down += 1
+            return False
+        if self.loss_rate > 0.0 and rng is not None and rng.random() < self.loss_rate:
+            self.drops_random += 1
+            return False
+        if not self.qdisc.admit(len(self._bw_queue), self.queue_limit, now, rng):
+            self.drops_overflow += 1
+            return False
+        tx = self.transmission_time(descriptor.packet.size_bytes)
+        dequeue_at = max(now, self._free_at) + tx
+        self._free_at = dequeue_at
+        ideal_dequeue = max(ideal_now, self._ideal_free_at) + tx
+        self._ideal_free_at = ideal_dequeue
+        ideal_exit = ideal_dequeue + self.latency_s
+        descriptor.ideal_time = ideal_exit
+        self._bw_queue.append((descriptor, dequeue_at, ideal_exit))
+        self.bytes_through += descriptor.packet.size_bytes
+        return True
+
+    def next_deadline(self) -> float:
+        """Earliest future event in this pipe: a dequeue into the
+        delay line or an exit from it."""
+        deadline = INFINITY
+        if self._bw_queue:
+            deadline = self._bw_queue[0][1]
+        if self._delay_line:
+            deadline = min(deadline, self._delay_line[0][1])
+        return deadline
+
+    def service(self, now: float) -> List[PacketDescriptor]:
+        """Advance pipe state to ``now``; return descriptors that have
+        fully exited (dequeued and served their latency)."""
+        while self._bw_queue and self._bw_queue[0][1] <= now:
+            descriptor, dequeue_at, ideal_exit = self._bw_queue.popleft()
+            self._delay_line.append(
+                (descriptor, dequeue_at + self.latency_s, ideal_exit)
+            )
+        exits: List[PacketDescriptor] = []
+        while self._delay_line and self._delay_line[0][1] <= now:
+            descriptor, _exit_at, ideal_exit = self._delay_line.popleft()
+            descriptor.ideal_time = ideal_exit
+            self.departures += 1
+            exits.append(descriptor)
+        return exits
+
+    def flush(self) -> int:
+        """Drop everything queued or in flight (a link that dies takes
+        its queue with it). Returns the number of packets lost."""
+        lost = len(self._bw_queue) + len(self._delay_line)
+        self._bw_queue.clear()
+        self._delay_line.clear()
+        self.drops_down += lost
+        self._free_at = 0.0
+        self._ideal_free_at = 0.0
+        return lost
+
+    # ------------------------------------------------------------------
+    # Dynamic reconfiguration (cross traffic, faults)
+    # ------------------------------------------------------------------
+
+    def set_params(
+        self,
+        bandwidth_bps: Optional[float] = None,
+        latency_s: Optional[float] = None,
+        loss_rate: Optional[float] = None,
+        queue_limit: Optional[int] = None,
+    ) -> None:
+        """Adjust pipe parameters in place. In-flight packets keep
+        their already-computed times (dummynet semantics); new
+        arrivals see the new parameters."""
+        if bandwidth_bps is not None:
+            if bandwidth_bps <= 0:
+                raise ValueError("bandwidth must be positive")
+            self.bandwidth_bps = float(bandwidth_bps)
+        if latency_s is not None:
+            if latency_s < 0:
+                raise ValueError("latency must be >= 0")
+            self.latency_s = float(latency_s)
+        if loss_rate is not None:
+            if not 0.0 <= loss_rate < 1.0:
+                raise ValueError("loss rate must be in [0, 1)")
+            self.loss_rate = float(loss_rate)
+        if queue_limit is not None:
+            if queue_limit < 1:
+                raise ValueError("queue limit must be >= 1")
+            self.queue_limit = int(queue_limit)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Pipe {self.id} {self.src_node}->{self.dst_node} "
+            f"{self.bandwidth_bps/1e6:g}Mb/s {self.latency_s*1e3:g}ms "
+            f"q={self.backlog_pkts}/{self.queue_limit}>"
+        )

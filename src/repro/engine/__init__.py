@@ -1,0 +1,28 @@
+"""Discrete-event simulation kernel.
+
+Every component of the ModelNet reproduction — pipes, schedulers, CPU
+models, TCP stacks, applications — runs on top of this kernel. Time is
+virtual: the :class:`Simulator` maintains a clock and an event heap, and
+advances the clock to the timestamp of each event as it fires.
+
+Two programming styles are supported and may be mixed freely:
+
+* callback style — ``sim.schedule(delay, fn, *args)`` runs ``fn`` after
+  ``delay`` simulated seconds;
+* process style — ``sim.spawn(generator)`` runs a generator coroutine
+  that ``yield``s delays, :class:`Signal` objects, or other processes.
+"""
+
+from repro.engine.simulator import Event, Simulator, SimulationError
+from repro.engine.process import Process, Signal, Interrupt
+from repro.engine.randomness import RngRegistry
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "SimulationError",
+    "Process",
+    "Signal",
+    "Interrupt",
+    "RngRegistry",
+]

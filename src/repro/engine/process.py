@@ -1,0 +1,160 @@
+"""Generator-based processes on top of the event loop.
+
+A process is a generator that yields one of:
+
+* a number — sleep that many simulated seconds;
+* a :class:`Signal` — suspend until the signal fires; the value passed
+  to :meth:`Signal.fire` becomes the value of the ``yield`` expression;
+* another :class:`Process` — suspend until that process finishes; its
+  return value becomes the value of the ``yield`` expression;
+* ``None`` — yield the CPU and resume at the same virtual time (after
+  already-queued events).
+
+Processes are started with ``Simulator.spawn`` (installed by this
+module onto :class:`~repro.engine.simulator.Simulator`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.engine.simulator import Simulator, SimulationError
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`."""
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Signal:
+    """A one-shot or repeating wakeup point for processes.
+
+    Callback listeners (added with :meth:`listen`) are also supported,
+    which lets callback-style and process-style code interoperate.
+    """
+
+    __slots__ = ("_sim", "_waiters", "_listeners", "fired", "value")
+
+    def __init__(self, sim: Simulator):
+        self._sim = sim
+        self._waiters: list[Process] = []
+        self._listeners: list[Callable[[Any], None]] = []
+        self.fired = False
+        self.value: Any = None
+
+    def listen(self, fn: Callable[[Any], None]) -> None:
+        """Invoke ``fn(value)`` each time the signal fires."""
+        self._listeners.append(fn)
+
+    def fire(self, value: Any = None) -> None:
+        """Wake all waiting processes and invoke listeners.
+
+        Processes waiting at fire time are resumed via the event queue
+        at the current instant, so firing is safe from any context.
+        """
+        self.fired = True
+        self.value = value
+        waiters, self._waiters = self._waiters, []
+        for process in waiters:
+            self._sim.call_soon(process._resume, value)
+        for fn in self._listeners:
+            self._sim.call_soon(fn, value)
+
+    def _add_waiter(self, process: "Process") -> None:
+        if self.fired:
+            # A signal that has already fired resumes immediately with
+            # its stored value (useful for Process.done joins).
+            self._sim.call_soon(process._resume, self.value)
+        else:
+            self._waiters.append(process)
+
+
+class Process:
+    """A running generator coroutine. Create via ``sim.spawn(gen)``."""
+
+    def __init__(self, sim: Simulator, gen: Generator, name: str = ""):
+        self._sim = sim
+        self._gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self.done = Signal(sim)
+        self.finished = False
+        self.result: Any = None
+        self._sleep_event = None
+        sim.call_soon(self._resume, None)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current
+        instant (cancelling any pending sleep)."""
+        if self.finished:
+            return
+        if self._sleep_event is not None:
+            self._sleep_event.cancel()
+            self._sleep_event = None
+        self._sim.call_soon(self._throw, Interrupt(cause))
+
+    def _throw(self, exc: BaseException) -> None:
+        if self.finished:
+            return
+        try:
+            target = self._gen.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle the interrupt: treat as exit.
+            self._finish(None)
+            return
+        self._wait_on(target)
+
+    def _resume(self, value: Any) -> None:
+        if self.finished:
+            return
+        self._sleep_event = None
+        try:
+            target = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        self._wait_on(target)
+
+    def _wait_on(self, target: Any) -> None:
+        if target is None:
+            self._sim.call_soon(self._resume, None)
+        elif isinstance(target, (int, float)):
+            self._sleep_event = self._sim.schedule(float(target), self._resume, None)
+        elif isinstance(target, Signal):
+            target._add_waiter(self)
+        elif isinstance(target, Process):
+            target.done._add_waiter(self)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value {target!r}"
+            )
+
+    def _finish(self, result: Any) -> None:
+        self.finished = True
+        self.result = result
+        self.done.fire(result)
+
+    def __repr__(self) -> str:
+        state = "finished" if self.finished else "running"
+        return f"<Process {self.name} {state}>"
+
+
+def _spawn(self: Simulator, gen: Generator, name: str = "") -> Process:
+    """Start a generator as a simulation process."""
+    return Process(self, gen, name)
+
+
+def _signal(self: Simulator) -> Signal:
+    """Create a new :class:`Signal` bound to this simulator."""
+    return Signal(self)
+
+
+# Install process-style helpers on Simulator so user code only ever
+# needs a Simulator instance in hand.
+Simulator.spawn = _spawn
+Simulator.signal = _signal

@@ -1,0 +1,163 @@
+"""The event loop: a clock and a heap of timestamped callbacks."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. scheduling in
+    the past or running a simulator that is already running)."""
+
+
+class Event:
+    """A scheduled callback.
+
+    Returned by :meth:`Simulator.schedule` and :meth:`Simulator.at` so
+    the caller can cancel the callback before it fires. Cancelled
+    events stay in the heap but are skipped when popped; this makes
+    cancellation O(1), which matters for TCP retransmission timers
+    that are cancelled on nearly every ACK.
+    """
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing. Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers don't pin large objects
+        # (packets, sockets) until the heap drains past them.
+        self.fn = None
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {state}>"
+
+
+class Simulator:
+    """A discrete-event simulator with a virtual clock.
+
+    The clock starts at 0.0 and only moves forward, jumping to the
+    timestamp of each event as it is dispatched. All times are float
+    seconds.
+    """
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[Event] = []
+        self._seq = 0
+        self._running = False
+        self._stopped = False
+        self._dispatched = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events fired so far (for instrumentation)."""
+        return self._dispatched
+
+    @property
+    def pending(self) -> int:
+        """Number of events still in the heap (including cancelled)."""
+        return len(self._heap)
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule {delay}s in the past")
+        return self.at(self._now + delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at absolute virtual time ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        self._seq += 1
+        event = Event(time, self._seq, fn, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def call_soon(self, fn: Callable, *args: Any) -> Event:
+        """Run ``fn(*args)`` at the current time, after pending events
+        already scheduled for this instant."""
+        return self.at(self._now, fn, *args)
+
+    def stop(self) -> None:
+        """Ask a running :meth:`run` to return after the current event."""
+        self._stopped = True
+
+    def step(self) -> bool:
+        """Dispatch the single next non-cancelled event.
+
+        Returns False when the heap is exhausted.
+        """
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._dispatched += 1
+            fn, args = event.fn, event.args
+            event.fn = None
+            event.args = ()
+            fn(*args)
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Dispatch events until the heap is empty or the clock would
+        pass ``until``.
+
+        If ``until`` is given and the simulation still has future
+        events when it is reached, the clock is left exactly at
+        ``until`` (events at later times remain pending and a
+        subsequent ``run`` continues from there). Returns the final
+        clock value.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if until is not None and until < self._now:
+            raise SimulationError(
+                f"cannot run until t={until}, already at t={self._now}"
+            )
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap and not self._stopped:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self._now = event.time
+                self._dispatched += 1
+                fn, args = event.fn, event.args
+                event.fn = None
+                event.args = ()
+                fn(*args)
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now

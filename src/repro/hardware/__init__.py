@@ -1,0 +1,39 @@
+"""Simulated cluster hardware.
+
+ModelNet's published capacity and accuracy numbers are properties of
+its testbed: 1.4 GHz P-III core routers with gigabit NICs, 1 GHz edge
+nodes on 100 Mb/s Ethernet, and a switched gigabit fabric. In this
+virtual-time reproduction those components are explicit cost models:
+
+* :class:`PhysicalLink` — serialization + queueing on real wires
+  (edge uplinks, the core's gigabit NIC, core-to-core trunks);
+* :class:`EdgeCpu` — the edge host CPU with per-packet stack cost and
+  context-switch overhead that grows with multiplexing degree
+  (drives the Fig. 6 experiment);
+* :mod:`repro.hardware.calibration` — the constants, documented
+  against the paper's measured numbers.
+
+The *core* CPU accounting (tick budgets, scheduler-over-interrupt
+priority) lives with the core node in :mod:`repro.core.node`, using
+the specs defined here.
+"""
+
+from repro.hardware.calibration import (
+    CoreSpec,
+    EdgeHostSpec,
+    DEFAULT_CORE_SPEC,
+    DEFAULT_EDGE_SPEC,
+    GIGABIT_EDGE_SPEC,
+)
+from repro.hardware.links import PhysicalLink
+from repro.hardware.cpu import EdgeCpu
+
+__all__ = [
+    "CoreSpec",
+    "EdgeHostSpec",
+    "DEFAULT_CORE_SPEC",
+    "DEFAULT_EDGE_SPEC",
+    "GIGABIT_EDGE_SPEC",
+    "PhysicalLink",
+    "EdgeCpu",
+]

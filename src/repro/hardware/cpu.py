@@ -1,0 +1,119 @@
+"""The edge-host CPU model.
+
+Edge nodes multiplex many VN processes over one CPU (paper Sec. 4.2).
+:class:`EdgeCpu` serializes submitted work FIFO: each item costs its
+instruction count at the host's instruction rate, plus a context
+switch whenever the serving process changes. The context-switch cost
+grows logarithmically with the number of registered processes,
+modeling cache/TLB pollution at higher multiplexing degrees — the
+effect behind the falling knees of Fig. 6.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from repro.engine.simulator import Simulator
+from repro.hardware.calibration import DEFAULT_EDGE_SPEC, EdgeHostSpec
+
+
+class EdgeCpu:
+    """A single edge-host CPU shared by that host's VN processes."""
+
+    def __init__(self, sim: Simulator, spec: EdgeHostSpec = DEFAULT_EDGE_SPEC):
+        self.sim = sim
+        self.spec = spec
+        self._queue: Deque[Tuple[Any, float, Callable, tuple]] = deque()
+        self._busy = False
+        self._last_task: Any = None
+        self._tasks: set = set()
+        self.busy_s = 0.0
+        self.context_switches = 0
+        self.items_executed = 0
+
+    # -- process registry ---------------------------------------------
+
+    def register(self, task_id: Any) -> None:
+        """Declare a process (VN) as resident on this host."""
+        self._tasks.add(task_id)
+
+    def unregister(self, task_id: Any) -> None:
+        self._tasks.discard(task_id)
+
+    @property
+    def process_count(self) -> int:
+        return max(1, len(self._tasks))
+
+    def context_switch_cost(self) -> float:
+        """Cost of one context switch at the current multiplexing
+        degree: base + log-term (cache footprint eviction)."""
+        n = self.process_count
+        if n <= 1:
+            return 0.0
+        return (
+            self.spec.context_switch_base_s
+            + self.spec.context_switch_log_s * math.log(n)
+        )
+
+    # -- work submission -------------------------------------------------
+
+    def run(
+        self,
+        task_id: Any,
+        instructions: float,
+        done_fn: Optional[Callable] = None,
+        *args: Any,
+    ) -> None:
+        """Execute ``instructions`` on behalf of ``task_id``; invoke
+        ``done_fn(*args)`` when the work retires. Work is served FIFO
+        (one CPU, run-to-completion slices)."""
+        if instructions < 0:
+            raise ValueError("instruction count must be >= 0")
+        seconds = instructions / self.spec.instructions_per_s
+        self._queue.append((task_id, seconds, done_fn, args))
+        if not self._busy:
+            self._serve_next()
+
+    def run_seconds(
+        self,
+        task_id: Any,
+        seconds: float,
+        done_fn: Optional[Callable] = None,
+        *args: Any,
+    ) -> None:
+        """Like :meth:`run` but with the cost given directly in CPU
+        seconds (used for fixed kernel costs)."""
+        if seconds < 0:
+            raise ValueError("cost must be >= 0")
+        self._queue.append((task_id, seconds, done_fn, args))
+        if not self._busy:
+            self._serve_next()
+
+    def _serve_next(self) -> None:
+        if not self._queue:
+            self._busy = False
+            return
+        self._busy = True
+        task_id, seconds, done_fn, args = self._queue.popleft()
+        if task_id != self._last_task and self._last_task is not None:
+            switch = self.context_switch_cost()
+            if switch > 0.0:
+                seconds += switch
+                self.context_switches += 1
+        self._last_task = task_id
+        self.busy_s += seconds
+        self.items_executed += 1
+        self.sim.schedule(seconds, self._retire, done_fn, args)
+
+    def _retire(self, done_fn: Optional[Callable], args: tuple) -> None:
+        if done_fn is not None:
+            done_fn(*args)
+        self._serve_next()
+
+    def utilization(self, elapsed_s: float) -> float:
+        """Fraction of ``elapsed_s`` spent busy."""
+        if elapsed_s <= 0:
+            return 0.0
+        return min(1.0, self.busy_s / elapsed_s)

@@ -1,0 +1,88 @@
+"""Physical wires: serialization, bounded queues, drops.
+
+A :class:`PhysicalLink` models one direction of a real cable/switch
+port in the hosting cluster (not an emulated pipe!): packets are
+serialized at the wire rate, wait in a bounded FIFO when the wire is
+busy, and are dropped when the queue is full. These are the places
+where the paper's *physical* drops happen — distinct from the
+emulated "virtual" drops inside pipes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.engine.simulator import Simulator
+
+
+class PhysicalLink:
+    """One direction of a physical link.
+
+    ``send`` returns True if the packet was accepted (it will be
+    delivered via the callback after serialization + latency) and
+    False if the transmit queue overflowed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float,
+        latency_s: float = 20e-6,
+        queue_limit: int = 256,
+        framing_bytes: int = 0,
+        name: str = "",
+    ):
+        if rate_bps <= 0:
+            raise ValueError("link rate must be positive")
+        self.sim = sim
+        self.rate_bps = float(rate_bps)
+        self.latency_s = float(latency_s)
+        self.queue_limit = int(queue_limit)
+        self.framing_bytes = int(framing_bytes)
+        self.name = name
+        self._free_at = 0.0
+        self._queued = 0
+        self.accepted = 0
+        self.dropped = 0
+        self.bytes_sent = 0
+
+    @property
+    def queued(self) -> int:
+        """Packets accepted but not yet fully serialized."""
+        return self._queued
+
+    def busy_until(self) -> float:
+        """Time at which the wire becomes idle."""
+        return self._free_at
+
+    def send(self, size_bytes: int, deliver_fn: Callable, *args: Any) -> bool:
+        """Transmit ``size_bytes``; invoke ``deliver_fn(*args)`` on
+        arrival at the far end. False (and a drop) on queue overflow."""
+        now = self.sim.now
+        if self._queued >= self.queue_limit:
+            self.dropped += 1
+            return False
+        wire_bytes = size_bytes + self.framing_bytes
+        start = max(now, self._free_at)
+        done = start + wire_bytes * 8.0 / self.rate_bps
+        self._free_at = done
+        self._queued += 1
+        self.accepted += 1
+        self.bytes_sent += wire_bytes
+        self.sim.at(done, self._serialized)
+        self.sim.at(done + self.latency_s, deliver_fn, *args)
+        return True
+
+    def _serialized(self) -> None:
+        self._queued -= 1
+
+    def utilization(self, since: float, now: float) -> float:
+        """Rough utilization proxy: fraction of wall time the wire has
+        been committed, over [since, now]."""
+        if now <= since:
+            return 0.0
+        busy = min(self._free_at, now) - since
+        return max(0.0, min(1.0, busy / (now - since)))
+
+    def __repr__(self) -> str:
+        return f"<PhysicalLink {self.name or hex(id(self))} {self.rate_bps/1e6:g}Mb/s>"

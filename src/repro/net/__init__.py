@@ -1,0 +1,50 @@
+"""Per-VN network stacks: addressing, UDP, and TCP Reno/NewReno.
+
+In the real ModelNet, edge nodes run unmodified OS network stacks and
+a preload library interposes on socket calls to bind endpoints to VN
+addresses (paper Sec. 2.1). In this virtual-time reproduction the OS
+stack itself is a substrate we implement: :class:`NetStack` is the
+per-VN stack, handing packets to whatever fabric it is bound to (the
+ModelNet core, or a test fabric).
+
+The TCP implementation is segment-level Reno with NewReno partial-ACK
+recovery, delayed ACKs, Jacobson/Karels RTO estimation, and Karn's
+algorithm — enough fidelity that congestion behaviour through emulated
+pipes drives the paper's figures the same way real TCP did.
+"""
+
+from repro.net.addr import vn_ip, parse_vn_ip, AddressError
+from repro.net.packet import Packet, PROTO_TCP, PROTO_UDP, IP_HEADER_BYTES
+from repro.net.sockets import NetStack, SocketError, UdpSocket, TcpListener
+from repro.net.tcp import TcpConnection, TcpParams
+from repro.net.loopback import LoopbackFabric
+from repro.net.interpose import (
+    NameService,
+    VnEnvironment,
+    PerSocketVnMapper,
+    interpose,
+)
+from repro.net.conntrace import ConnectionSample, ConnectionTracer
+
+__all__ = [
+    "vn_ip",
+    "parse_vn_ip",
+    "AddressError",
+    "Packet",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "IP_HEADER_BYTES",
+    "NetStack",
+    "SocketError",
+    "UdpSocket",
+    "TcpListener",
+    "TcpConnection",
+    "TcpParams",
+    "LoopbackFabric",
+    "NameService",
+    "VnEnvironment",
+    "PerSocketVnMapper",
+    "interpose",
+    "ConnectionSample",
+    "ConnectionTracer",
+]

@@ -1,0 +1,45 @@
+"""VN addressing: the 10.0.0.0/8 space of the paper.
+
+All VNs bind to addresses of the form 10.a.b.c; the ipfw rule in the
+core intercepts exactly this prefix. Internally a VN is identified by
+a small integer index; these helpers render and parse the dotted form
+(used in logs, configs, and the interposition layer).
+"""
+
+from __future__ import annotations
+
+
+class AddressError(ValueError):
+    """Raised for addresses outside the emulated 10/8 space."""
+
+
+_MAX_VN = 2**24 - 1
+
+
+def vn_ip(vn_id: int) -> str:
+    """The 10.a.b.c address of VN ``vn_id`` (0 -> 10.0.0.1).
+
+    The host octets encode ``vn_id + 1`` so no VN maps to the network
+    address 10.0.0.0.
+    """
+    if not 0 <= vn_id < _MAX_VN:
+        raise AddressError(f"VN id {vn_id} out of range")
+    value = vn_id + 1
+    return f"10.{(value >> 16) & 0xFF}.{(value >> 8) & 0xFF}.{value & 0xFF}"
+
+
+def parse_vn_ip(address: str) -> int:
+    """Inverse of :func:`vn_ip`."""
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise AddressError(f"malformed address {address!r}")
+    try:
+        octets = [int(part) for part in parts]
+    except ValueError:
+        raise AddressError(f"malformed address {address!r}") from None
+    if octets[0] != 10 or any(not 0 <= octet <= 255 for octet in octets):
+        raise AddressError(f"{address!r} is not in the emulated 10/8 space")
+    value = (octets[1] << 16) | (octets[2] << 8) | octets[3]
+    if value == 0:
+        raise AddressError("10.0.0.0 is the network address, not a VN")
+    return value - 1

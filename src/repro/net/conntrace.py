@@ -1,0 +1,132 @@
+"""Per-connection TCP tracing (a tcptrace/ss analog).
+
+Evaluating services on the emulator often comes down to "what did TCP
+do?" — :class:`ConnectionTracer` samples one connection's congestion
+state over time and derives the series the classic tools plot:
+cwnd/ssthresh evolution, RTT estimates, and a time-sequence summary.
+Sampling is polling-based (no hooks in the data path), so tracing has
+no effect on the traced connection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.net.tcp import TcpConnection
+
+
+@dataclass(frozen=True)
+class ConnectionSample:
+    """One point-in-time snapshot of a connection's state."""
+
+    time: float
+    cwnd: float
+    ssthresh: float
+    srtt: Optional[float]
+    rto: float
+    bytes_acked: int
+    in_recovery: bool
+    timeouts: int
+    retransmitted: int
+
+
+class ConnectionTracer:
+    """Samples a :class:`TcpConnection` at a fixed period."""
+
+    def __init__(
+        self,
+        connection: TcpConnection,
+        period_s: float = 0.05,
+        start: bool = True,
+    ):
+        if period_s <= 0:
+            raise ValueError("period must be positive")
+        self.connection = connection
+        self.sim = connection.sim
+        self.period_s = period_s
+        self.samples: List[ConnectionSample] = []
+        self._running = False
+        if start:
+            self.start()
+
+    def start(self) -> None:
+        """Begin (or resume) sampling."""
+        if self._running:
+            return
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop sampling (the collected samples remain)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        conn = self.connection
+        self.samples.append(
+            ConnectionSample(
+                time=self.sim.now,
+                cwnd=conn.cwnd,
+                ssthresh=conn.ssthresh,
+                srtt=conn.srtt,
+                rto=conn.rto,
+                bytes_acked=conn.bytes_acked,
+                in_recovery=conn.in_recovery,
+                timeouts=conn.timeouts,
+                retransmitted=conn.segments_retransmitted,
+            )
+        )
+        if conn.state == "closed":
+            self._running = False
+            return
+        self.sim.schedule(self.period_s, self._tick)
+
+    # -- derived series ---------------------------------------------------
+
+    def cwnd_series(self) -> List[tuple]:
+        """(time, cwnd bytes) points."""
+        return [(s.time, s.cwnd) for s in self.samples]
+
+    def rtt_series(self) -> List[tuple]:
+        """(time, smoothed RTT) points, once estimates exist."""
+        return [(s.time, s.srtt) for s in self.samples if s.srtt is not None]
+
+    def goodput_series(self) -> List[tuple]:
+        """(time, bytes/sec) between consecutive samples."""
+        series = []
+        for earlier, later in zip(self.samples, self.samples[1:]):
+            elapsed = later.time - earlier.time
+            if elapsed > 0:
+                series.append(
+                    (
+                        later.time,
+                        (later.bytes_acked - earlier.bytes_acked) / elapsed,
+                    )
+                )
+        return series
+
+    def max_cwnd(self) -> float:
+        """Largest congestion window observed."""
+        return max((s.cwnd for s in self.samples), default=0.0)
+
+    def recovery_fraction(self) -> float:
+        """Fraction of samples taken inside loss recovery."""
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s.in_recovery) / len(self.samples)
+
+    def summary(self) -> str:
+        """A one-line human-readable digest of the trace."""
+        last = self.samples[-1] if self.samples else None
+        if last is None:
+            return "<no samples>"
+        rtts = [s.srtt for s in self.samples if s.srtt is not None]
+        mean_rtt = sum(rtts) / len(rtts) if rtts else float("nan")
+        return (
+            f"samples={len(self.samples)} max_cwnd={self.max_cwnd():.0f}B "
+            f"mean_srtt={mean_rtt*1e3:.1f}ms acked={last.bytes_acked}B "
+            f"rexmit={last.retransmitted} rtos={last.timeouts} "
+            f"recovery={self.recovery_fraction()*100:.0f}%"
+        )

@@ -1,0 +1,154 @@
+"""The library-interposition analog (paper Sec. 2.1 and 4.2).
+
+ModelNet preloads a shim that wraps bind/connect/sendto/... and the
+name-resolution calls so unmodified applications transparently use
+their VN's 10.x.y.z address. In this reproduction applications are
+Python objects, so the shim becomes an explicit *environment*: a
+:class:`VnEnvironment` scopes an application instance to one VN,
+resolving hostnames through the emulation-wide naming registry and
+opening sockets on that VN's stack.
+
+Sec. 4.2 also describes "a variant of the socket interposition
+library that maps each open socket to a different VN", letting one
+process host many VNs efficiently; :class:`PerSocketVnMapper`
+implements that variant.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, Optional
+
+from repro.net.addr import AddressError, parse_vn_ip, vn_ip
+
+
+class NameService:
+    """Emulation-wide hostname registry (the gethostbyname shim)."""
+
+    def __init__(self):
+        self._by_name: Dict[str, int] = {}
+        self._by_vn: Dict[int, str] = {}
+
+    def register(self, vn_id: int, hostname: str) -> None:
+        """Bind ``hostname`` to a VN (idempotent; conflicts raise)."""
+        if hostname in self._by_name and self._by_name[hostname] != vn_id:
+            raise AddressError(f"hostname {hostname!r} already registered")
+        self._by_name[hostname] = vn_id
+        self._by_vn[vn_id] = hostname
+
+    def gethostbyname(self, hostname: str) -> str:
+        """hostname -> dotted VN address (raises like a failed DNS
+        lookup on unknown names)."""
+        vn = self._by_name.get(hostname)
+        if vn is None:
+            # Dotted addresses resolve to themselves, as libc does.
+            parse_vn_ip(hostname)
+            return hostname
+        return vn_ip(vn)
+
+    def gethostbyaddr(self, address: str) -> str:
+        """Reverse lookup: dotted VN address -> hostname."""
+        vn = parse_vn_ip(address)
+        hostname = self._by_vn.get(vn)
+        if hostname is None:
+            raise AddressError(f"no reverse mapping for {address}")
+        return hostname
+
+    def resolve_vn(self, name_or_address: str) -> int:
+        """hostname or dotted address -> VN id."""
+        vn = self._by_name.get(name_or_address)
+        if vn is not None:
+            return vn
+        return parse_vn_ip(name_or_address)
+
+
+class VnEnvironment:
+    """The view an interposed application process has of the world:
+    its own hostname/address, name resolution, and sockets that are
+    automatically bound to its VN."""
+
+    def __init__(self, emulation, vn_id: int, names: NameService):
+        self.emulation = emulation
+        self.vn_id = vn_id
+        self.names = names
+
+    # -- identity (uname/gethostname shims) ------------------------------
+
+    @property
+    def ip(self) -> str:
+        return vn_ip(self.vn_id)
+
+    def gethostname(self) -> str:
+        return self.names._by_vn.get(self.vn_id, self.ip)
+
+    def gethostbyname(self, hostname: str) -> str:
+        return self.names.gethostbyname(hostname)
+
+    # -- sockets, pre-bound to this VN ------------------------------------
+
+    def udp_socket(self, port: Optional[int] = None, on_receive=None):
+        return self.emulation.vn(self.vn_id).udp_socket(
+            port=port, on_receive=on_receive
+        )
+
+    def tcp_listen(self, port: int, on_connection):
+        return self.emulation.vn(self.vn_id).tcp_listen(port, on_connection)
+
+    def tcp_connect(self, host: str, port: int, **callbacks):
+        """connect() by hostname or dotted address."""
+        remote_vn = self.names.resolve_vn(host)
+        return self.emulation.vn(self.vn_id).tcp_connect(
+            remote_vn, port, **callbacks
+        )
+
+    def sendto(self, socket, host: str, port: int, size: int, payload=None):
+        """sendto() with interposed name resolution."""
+        socket.send_to(self.names.resolve_vn(host), port, size, payload)
+
+
+class PerSocketVnMapper:
+    """The Sec. 4.2 variant: one application process drives many VNs,
+    with each newly opened socket mapped to the next VN round-robin.
+
+    Useful for efficient load generators (e.g. a single event-driven
+    web client process emulating a whole client cloud)."""
+
+    def __init__(self, emulation, vn_ids: Iterable[int], names: NameService):
+        self.emulation = emulation
+        self.vn_ids = list(vn_ids)
+        if not self.vn_ids:
+            raise ValueError("mapper needs at least one VN")
+        self.names = names
+        self._cycle = itertools.cycle(self.vn_ids)
+        self.sockets_opened = 0
+
+    def next_vn(self) -> int:
+        self.sockets_opened += 1
+        return next(self._cycle)
+
+    def udp_socket(self, port: Optional[int] = None, on_receive=None):
+        return self.emulation.vn(self.next_vn()).udp_socket(
+            port=port, on_receive=on_receive
+        )
+
+    def tcp_connect(self, host: str, port: int, **callbacks):
+        remote_vn = self.names.resolve_vn(host)
+        return self.emulation.vn(self.next_vn()).tcp_connect(
+            remote_vn, port, **callbacks
+        )
+
+
+def interpose(emulation, hostnames: Optional[Dict[int, str]] = None):
+    """Build a :class:`NameService` (optionally pre-registering
+    ``{vn_id: hostname}``) and one environment per VN.
+
+    Returns (names, [VnEnvironment per VN]).
+    """
+    names = NameService()
+    if hostnames:
+        for vn_id, hostname in sorted(hostnames.items()):
+            names.register(vn_id, hostname)
+    environments = [
+        VnEnvironment(emulation, vn.vn_id, names) for vn in emulation.vns
+    ]
+    return names, environments

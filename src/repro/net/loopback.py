@@ -1,0 +1,88 @@
+"""A trivial test fabric: fixed-delay, optionally lossy delivery.
+
+Used by unit tests and micro-examples to exercise stacks and TCP
+without the full ModelNet core. Supports per-pair delay, uniform random
+loss, and a per-pair bandwidth cap (a single bottleneck serializer),
+which is enough to provoke every TCP code path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.engine.simulator import Simulator
+from repro.net.packet import Packet
+from repro.net.sockets import NetStack
+
+
+class LoopbackFabric:
+    """Connects a set of stacks with configurable delay/loss/bandwidth."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        delay_s: float = 0.01,
+        loss_rate: float = 0.0,
+        bandwidth_bps: Optional[float] = None,
+        jitter_s: float = 0.0,
+        rng=None,
+    ):
+        self.sim = sim
+        self.delay_s = delay_s
+        self.loss_rate = loss_rate
+        self.bandwidth_bps = bandwidth_bps
+        #: Uniform per-packet delay jitter; enough of it reorders
+        #: packets, exercising receivers' out-of-order machinery.
+        self.jitter_s = jitter_s
+        self.rng = rng
+        self._stacks: Dict[int, NetStack] = {}
+        self._pair_delay: Dict[Tuple[int, int], float] = {}
+        self._free_at: Dict[Tuple[int, int], float] = {}
+        self.delivered = 0
+        self.dropped = 0
+        self.drop_filter: Optional[Callable[[Packet], bool]] = None
+
+    def stack(self, vn_id: int, **kwargs) -> NetStack:
+        """Create (or fetch) the stack for ``vn_id`` and attach it."""
+        stack = self._stacks.get(vn_id)
+        if stack is None:
+            stack = NetStack(self.sim, vn_id, **kwargs)
+            stack.attach(self.transmit)
+            self._stacks[vn_id] = stack
+        return stack
+
+    def set_delay(self, a: int, b: int, delay_s: float) -> None:
+        """Override the one-way delay between a pair (both directions)."""
+        self._pair_delay[(a, b)] = delay_s
+        self._pair_delay[(b, a)] = delay_s
+
+    def transmit(self, packet: Packet) -> None:
+        """Fabric entry point: apply loss/delay/bandwidth, deliver."""
+        if packet.dst not in self._stacks:
+            self.dropped += 1
+            return
+        if self.drop_filter is not None and self.drop_filter(packet):
+            self.dropped += 1
+            return
+        if self.loss_rate > 0.0 and self.rng is not None:
+            if self.rng.random() < self.loss_rate:
+                self.dropped += 1
+                return
+        delay = self._pair_delay.get((packet.src, packet.dst), self.delay_s)
+        if self.jitter_s > 0.0 and self.rng is not None:
+            delay += self.rng.uniform(0.0, self.jitter_s)
+        if self.bandwidth_bps:
+            key = (packet.src, packet.dst)
+            start = max(self.sim.now, self._free_at.get(key, 0.0))
+            done = start + packet.size_bytes * 8.0 / self.bandwidth_bps
+            self._free_at[key] = done
+            delay += done - self.sim.now
+        self.sim.schedule(delay, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        stack = self._stacks.get(packet.dst)
+        if stack is None:
+            self.dropped += 1
+            return
+        self.delivered += 1
+        stack.deliver(packet)

@@ -1,0 +1,53 @@
+"""Network packets.
+
+A :class:`Packet` is an IP datagram between two VNs. The payload is a
+transport segment object; packet *data* is never represented — like
+the ModelNet core, which moves packets by reference and never copies
+payload bytes, we track only sizes.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+PROTO_TCP = "tcp"
+PROTO_UDP = "udp"
+
+#: Combined IP + transport header bytes charged to every packet.
+IP_HEADER_BYTES = 40
+
+_packet_ids = itertools.count()
+
+
+class Packet:
+    """An IP datagram from VN ``src`` to VN ``dst``.
+
+    ``size_bytes`` is the full wire size including headers; ``segment``
+    is the transport-layer object (TcpSegment / UdpDatagram).
+    """
+
+    __slots__ = ("id", "src", "dst", "size_bytes", "proto", "segment", "created_at")
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        size_bytes: int,
+        proto: str,
+        segment: Any = None,
+        created_at: float = 0.0,
+    ):
+        self.id = next(_packet_ids)
+        self.src = src
+        self.dst = dst
+        self.size_bytes = int(size_bytes)
+        self.proto = proto
+        self.segment = segment
+        self.created_at = created_at
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.id} {self.proto} vn{self.src}->vn{self.dst} "
+            f"{self.size_bytes}B>"
+        )

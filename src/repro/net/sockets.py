@@ -1,0 +1,247 @@
+"""Per-VN network stacks and the socket-level API.
+
+A :class:`NetStack` is the emulated OS network stack of one VN. It is
+bound to a *fabric* — anything with a ``transmit(packet)`` entry point
+that eventually calls :meth:`NetStack.deliver` on the destination
+stack. In a full emulation the fabric is the ModelNet core; in unit
+tests it is :class:`~repro.net.loopback.LoopbackFabric`.
+
+This layer plays the role of the paper's library-interposition trick:
+applications name peers by VN id and the stack stamps the right
+10.x.y.z source address on every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.engine.simulator import Simulator
+from repro.net.addr import vn_ip
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, PROTO_UDP, Packet
+from repro.net.tcp import SYN_SENT, FLAG_SYN, TcpConnection, TcpParams, TcpSegment
+
+EPHEMERAL_BASE = 49152
+
+
+class SocketError(RuntimeError):
+    """Raised for invalid socket operations (port in use, ...)."""
+
+
+class UdpDatagram:
+    """Transport payload of a UDP packet."""
+
+    __slots__ = ("sport", "dport", "payload", "payload_len")
+
+    def __init__(self, sport: int, dport: int, payload: Any, payload_len: int):
+        self.sport = sport
+        self.dport = dport
+        self.payload = payload
+        self.payload_len = payload_len
+
+
+class UdpSocket:
+    """Connectionless datagram socket bound to one VN port."""
+
+    def __init__(self, stack: "NetStack", port: int):
+        self.stack = stack
+        self.port = port
+        self.on_receive: Optional[Callable] = None
+        self.datagrams_sent = 0
+        self.datagrams_received = 0
+        self.bytes_received = 0
+        self._closed = False
+
+    def send_to(
+        self,
+        dst_vn: int,
+        dst_port: int,
+        payload_bytes: int,
+        payload: Any = None,
+    ) -> None:
+        """Send a datagram of ``payload_bytes`` to (dst_vn, dst_port)."""
+        if self._closed:
+            raise SocketError("send on closed socket")
+        if payload_bytes < 0:
+            raise ValueError("payload size must be >= 0")
+        datagram = UdpDatagram(self.port, dst_port, payload, payload_bytes)
+        packet = Packet(
+            self.stack.vn_id,
+            dst_vn,
+            payload_bytes + IP_HEADER_BYTES,
+            PROTO_UDP,
+            datagram,
+            created_at=self.stack.sim.now,
+        )
+        self.datagrams_sent += 1
+        self.stack.transmit(packet)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.stack._udp_ports.pop(self.port, None)
+
+    def _deliver(self, src_vn: int, datagram: UdpDatagram) -> None:
+        self.datagrams_received += 1
+        self.bytes_received += datagram.payload_len
+        if self.on_receive:
+            self.on_receive(src_vn, datagram.sport, datagram.payload_len, datagram.payload)
+
+
+class TcpListener:
+    """A passive TCP endpoint accepting connections on one port."""
+
+    def __init__(self, stack: "NetStack", port: int, on_connection: Callable):
+        self.stack = stack
+        self.port = port
+        self.on_connection = on_connection
+        self.accepted = 0
+        self._closed = False
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self.stack._tcp_listeners.pop(self.port, None)
+
+
+class NetStack:
+    """The emulated network stack of a single VN."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        vn_id: int,
+        tcp_params: Optional[TcpParams] = None,
+    ):
+        self.sim = sim
+        self.vn_id = vn_id
+        self.ip = vn_ip(vn_id)
+        self.tcp_params = tcp_params or TcpParams()
+        self._transmit_fn: Optional[Callable[[Packet], None]] = None
+        self._udp_ports: Dict[int, UdpSocket] = {}
+        self._tcp_listeners: Dict[int, TcpListener] = {}
+        self._connections: Dict[Tuple[int, int, int], TcpConnection] = {}
+        self._next_ephemeral = EPHEMERAL_BASE
+        self.packets_sent = 0
+        self.packets_received = 0
+
+    # -- fabric binding -------------------------------------------------
+
+    def attach(self, transmit_fn: Callable[[Packet], None]) -> None:
+        """Bind this stack to a fabric's transmit entry point."""
+        self._transmit_fn = transmit_fn
+
+    def transmit(self, packet: Packet) -> None:
+        if self._transmit_fn is None:
+            raise SocketError(f"stack vn{self.vn_id} is not attached to a fabric")
+        self.packets_sent += 1
+        self._transmit_fn(packet)
+
+    def deliver(self, packet: Packet) -> None:
+        """Called by the fabric when a packet arrives for this VN."""
+        self.packets_received += 1
+        if packet.proto == PROTO_UDP:
+            datagram = packet.segment
+            socket = self._udp_ports.get(datagram.dport)
+            if socket is not None:
+                socket._deliver(packet.src, datagram)
+            return
+        if packet.proto == PROTO_TCP:
+            self._deliver_tcp(packet.src, packet.segment)
+
+    def _deliver_tcp(self, src_vn: int, segment: TcpSegment) -> None:
+        key = (segment.dport, src_vn, segment.sport)
+        connection = self._connections.get(key)
+        if connection is not None:
+            connection.handle_segment(src_vn, segment)
+            return
+        if segment.flags & FLAG_SYN and not segment.ack_seq:
+            listener = self._tcp_listeners.get(segment.dport)
+            if listener is not None and not listener._closed:
+                connection = TcpConnection(
+                    self,
+                    segment.dport,
+                    src_vn,
+                    segment.sport,
+                    self.tcp_params,
+                    passive=True,
+                )
+                self._connections[key] = connection
+                listener.accepted += 1
+                listener.on_connection(connection)
+                connection.handle_segment(src_vn, segment)
+        # Segments for unknown connections are dropped silently (the
+        # RST machinery is not modeled).
+
+    # -- sockets ----------------------------------------------------------
+
+    def _allocate_port(self) -> int:
+        for _ in range(65536 - EPHEMERAL_BASE):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral >= 65536:
+                self._next_ephemeral = EPHEMERAL_BASE
+            if port not in self._udp_ports and not any(
+                key[0] == port for key in self._connections
+            ):
+                return port
+        raise SocketError("out of ephemeral ports")
+
+    def udp_socket(
+        self,
+        port: Optional[int] = None,
+        on_receive: Optional[Callable] = None,
+    ) -> UdpSocket:
+        """Open a UDP socket, on ``port`` or an ephemeral one."""
+        if port is None:
+            port = self._allocate_port()
+        if port in self._udp_ports:
+            raise SocketError(f"UDP port {port} in use on vn{self.vn_id}")
+        socket = UdpSocket(self, port)
+        socket.on_receive = on_receive
+        self._udp_ports[port] = socket
+        return socket
+
+    def tcp_listen(self, port: int, on_connection: Callable) -> TcpListener:
+        """Accept TCP connections on ``port``; ``on_connection(conn)``
+        fires for each new connection (install callbacks there)."""
+        if port in self._tcp_listeners:
+            raise SocketError(f"TCP port {port} already listening on vn{self.vn_id}")
+        listener = TcpListener(self, port, on_connection)
+        self._tcp_listeners[port] = listener
+        return listener
+
+    def tcp_connect(
+        self,
+        remote_vn: int,
+        remote_port: int,
+        on_established: Optional[Callable] = None,
+        on_receive: Optional[Callable] = None,
+        on_message: Optional[Callable] = None,
+        on_close: Optional[Callable] = None,
+        local_port: Optional[int] = None,
+    ) -> TcpConnection:
+        """Active-open a TCP connection to (remote_vn, remote_port)."""
+        if local_port is None:
+            local_port = self._allocate_port()
+        key = (local_port, remote_vn, remote_port)
+        if key in self._connections:
+            raise SocketError(f"connection {key} already exists")
+        connection = TcpConnection(
+            self, local_port, remote_vn, remote_port, self.tcp_params
+        )
+        connection.on_established = on_established
+        connection.on_receive = on_receive
+        connection.on_message = on_message
+        connection.on_close = on_close
+        self._connections[key] = connection
+        connection.open()
+        return connection
+
+    def _connection_closed(self, connection: TcpConnection) -> None:
+        key = (connection.local_port, connection.remote_vn, connection.remote_port)
+        existing = self._connections.get(key)
+        if existing is connection:
+            del self._connections[key]
+
+    def __repr__(self) -> str:
+        return f"<NetStack vn{self.vn_id} ip={self.ip}>"

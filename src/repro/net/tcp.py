@@ -1,0 +1,804 @@
+"""Segment-level TCP: Reno congestion control with NewReno recovery.
+
+This plays the role of the Linux 2.4 stacks on the paper's edge nodes.
+Features implemented (and exercised by the evaluation figures):
+
+* three-way handshake with SYN retransmission;
+* slow start / congestion avoidance / fast retransmit / fast recovery,
+  with NewReno partial-ACK handling;
+* Jacobson/Karels RTO estimation with Karn's algorithm and exponential
+  backoff;
+* delayed ACKs (every second segment or a 200 ms timer), immediate
+  duplicate ACKs on out-of-order data;
+* receiver window advertisement (the application consumes instantly,
+  so no persist timer is needed);
+* FIN-based close in both directions.
+
+Data is modeled as byte *counts*, never byte contents. Applications
+can attach a message object to a write; the object is delivered by the
+peer's ``on_message`` callback when the last byte of that write
+arrives in order — this is the framing layer the case-study
+applications (CFS, web, overlays) speak over TCP.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.net.packet import IP_HEADER_BYTES, PROTO_TCP, Packet
+
+FLAG_SYN = 0x1
+FLAG_ACK = 0x2
+FLAG_FIN = 0x4
+FLAG_RST = 0x8
+
+# Connection states.
+CLOSED = "closed"
+LISTEN = "listen"
+SYN_SENT = "syn-sent"
+SYN_RCVD = "syn-rcvd"
+ESTABLISHED = "established"
+FIN_WAIT = "fin-wait"
+CLOSE_WAIT = "close-wait"
+LAST_ACK = "last-ack"
+TIME_WAIT = "time-wait"
+
+
+class TcpParams:
+    """Tunable constants, defaulting to paper-era (2002) stacks."""
+
+    __slots__ = (
+        "mss",
+        "init_cwnd_segments",
+        "rcv_wnd",
+        "min_rto",
+        "max_rto",
+        "initial_rto",
+        "delack_delay",
+        "dupack_threshold",
+        "max_syn_retries",
+        "sack",
+    )
+
+    def __init__(
+        self,
+        mss: int = 1460,
+        init_cwnd_segments: int = 2,
+        rcv_wnd: int = 65535,
+        min_rto: float = 0.2,
+        max_rto: float = 60.0,
+        initial_rto: float = 1.0,
+        delack_delay: float = 0.1,
+        dupack_threshold: int = 3,
+        max_syn_retries: int = 6,
+        sack: bool = False,
+    ):
+        # NB: delack_delay must stay clearly below min_rto, or a
+        # transfer's final odd segment waits out the peer's delayed
+        # ACK and fires a spurious retransmission timeout.
+        self.mss = mss
+        self.init_cwnd_segments = init_cwnd_segments
+        self.rcv_wnd = rcv_wnd
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.initial_rto = initial_rto
+        self.delack_delay = delack_delay
+        self.dupack_threshold = dupack_threshold
+        self.max_syn_retries = max_syn_retries
+        #: RFC 2018 selective acknowledgments: receivers advertise
+        #: out-of-order runs; senders retransmit only the holes.
+        self.sack = sack
+
+    @classmethod
+    def modern(cls, **overrides) -> "TcpParams":
+        """A SACK-enabled parameter set (late-2002 Linux defaults)."""
+        overrides.setdefault("sack", True)
+        return cls(**overrides)
+
+
+class TcpSegment:
+    """One TCP segment. ``messages`` carries (end_seq, object) framing
+    markers for application writes ending inside this segment."""
+
+    __slots__ = (
+        "sport",
+        "dport",
+        "seq",
+        "ack_seq",
+        "flags",
+        "wnd",
+        "payload_len",
+        "messages",
+        "sack_blocks",
+    )
+
+    def __init__(
+        self,
+        sport: int,
+        dport: int,
+        seq: int,
+        ack_seq: int,
+        flags: int,
+        wnd: int,
+        payload_len: int = 0,
+        messages: Optional[List[Tuple[int, Any]]] = None,
+        sack_blocks: Optional[List[Tuple[int, int]]] = None,
+    ):
+        self.sport = sport
+        self.dport = dport
+        self.seq = seq
+        self.ack_seq = ack_seq
+        self.flags = flags
+        self.wnd = wnd
+        self.payload_len = payload_len
+        self.messages = messages
+        self.sack_blocks = sack_blocks
+
+    def __repr__(self) -> str:
+        names = []
+        for bit, name in ((FLAG_SYN, "SYN"), (FLAG_ACK, "ACK"), (FLAG_FIN, "FIN"), (FLAG_RST, "RST")):
+            if self.flags & bit:
+                names.append(name)
+        return (
+            f"<Seg {'|'.join(names) or 'DATA'} seq={self.seq} "
+            f"ack={self.ack_seq} len={self.payload_len}>"
+        )
+
+
+class TcpConnection:
+    """One endpoint of a TCP connection between two VNs.
+
+    Created via ``NetStack.tcp_connect`` (active open) or handed to a
+    listener's ``on_connection`` callback (passive open). Application
+    callbacks:
+
+    * ``on_established(conn)`` — handshake completed;
+    * ``on_receive(conn, nbytes)`` — in-order bytes delivered;
+    * ``on_message(conn, obj)`` — a framed application write arrived;
+    * ``on_close(conn)`` — the peer closed its direction (EOF).
+    """
+
+    def __init__(
+        self,
+        stack,
+        local_port: int,
+        remote_vn: int,
+        remote_port: int,
+        params: TcpParams,
+        passive: bool = False,
+    ):
+        self.stack = stack
+        self.sim = stack.sim
+        self.params = params
+        self.local_port = local_port
+        self.remote_vn = remote_vn
+        self.remote_port = remote_port
+
+        self.state = LISTEN if passive else CLOSED
+        self.on_established: Optional[Callable] = None
+        self.on_receive: Optional[Callable] = None
+        self.on_message: Optional[Callable] = None
+        self.on_close: Optional[Callable] = None
+
+        mss = params.mss
+        # --- send state (sequence space: SYN occupies seq 0; data
+        # starts at 1; FIN occupies one number after the last byte).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.snd_buf_end = 1  # next free sequence number for app data
+        self.cwnd = float(params.init_cwnd_segments * mss)
+        self.ssthresh = float(params.rcv_wnd)
+        self.peer_wnd = params.rcv_wnd
+        self.dupacks = 0
+        self.in_recovery = False
+        self.recover = 0
+        self.fin_queued = False
+        self.fin_seq: Optional[int] = None
+        self._msg_ends: List[Tuple[int, Any]] = []  # sorted by end seq
+        #: SACK scoreboard: merged (start, end) runs the peer holds.
+        self._sacked: List[Tuple[int, int]] = []
+        self._rexmit_point = 0  # next hole to repair this recovery
+
+        # --- RTO state
+        self.srtt: Optional[float] = None
+        self.rttvar = 0.0
+        self.rto = params.initial_rto
+        self._rtt_seq: Optional[int] = None
+        self._rtt_time = 0.0
+        self._rxt_timer = None
+        self._backoff = 0
+        self._syn_tries = 0
+        self._rxt_attempts = 0
+        self.max_rxt_attempts = 12
+
+        # --- receive state
+        self.rcv_nxt = 0
+        self._ooo: List[Tuple[int, int]] = []  # merged (start, end) runs
+        self._ooo_msgs: Dict[int, Any] = {}
+        self._fin_received_seq: Optional[int] = None
+        self._ack_pending = 0
+        self._delack_timer = None
+        self._peer_closed = False
+        self._local_fin_acked = False
+
+        # --- counters (app-visible accounting)
+        self.bytes_sent = 0  # app bytes queued for send
+        self.bytes_acked = 0
+        self.bytes_received = 0
+        self.segments_sent = 0
+        self.segments_retransmitted = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.established_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+
+    def open(self) -> None:
+        """Active open: send SYN."""
+        if self.state is not CLOSED:
+            raise RuntimeError(f"open() in state {self.state}")
+        self.state = SYN_SENT
+        self._send_syn()
+
+    def send(self, nbytes: int, message: Any = None) -> None:
+        """Queue ``nbytes`` of application data. If ``message`` is not
+        None it is delivered to the peer's ``on_message`` when the
+        write's final byte arrives in order."""
+        if nbytes <= 0:
+            raise ValueError("send size must be positive")
+        if self.fin_queued:
+            raise RuntimeError("send after close")
+        self.snd_buf_end += nbytes
+        self.bytes_sent += nbytes
+        if message is not None:
+            self._msg_ends.append((self.snd_buf_end, message))
+        if self.state is ESTABLISHED:
+            self._try_send()
+
+    def close(self) -> None:
+        """Close the sending direction once queued data drains."""
+        if self.fin_queued:
+            return
+        self.fin_queued = True
+        if self.state in (ESTABLISHED, CLOSE_WAIT):
+            self._try_send()
+
+    def abort(self) -> None:
+        """Drop the connection immediately (RST semantics, local)."""
+        self._enter_closed()
+
+    @property
+    def is_open(self) -> bool:
+        return self.state in (ESTABLISHED, CLOSE_WAIT, FIN_WAIT)
+
+    @property
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    # ------------------------------------------------------------------
+    # Segment transmission
+    # ------------------------------------------------------------------
+
+    def _transmit(self, segment: TcpSegment, payload_len: int) -> None:
+        packet = Packet(
+            self.stack.vn_id,
+            self.remote_vn,
+            payload_len + IP_HEADER_BYTES,
+            PROTO_TCP,
+            segment,
+            created_at=self.sim.now,
+        )
+        self.segments_sent += 1
+        self.stack.transmit(packet)
+
+    def _rcv_wnd(self) -> int:
+        buffered = sum(end - start for start, end in self._ooo)
+        return max(0, self.params.rcv_wnd - buffered)
+
+    def _send_syn(self) -> None:
+        flags = FLAG_SYN if self.state is SYN_SENT else (FLAG_SYN | FLAG_ACK)
+        ack = self.rcv_nxt if flags & FLAG_ACK else 0
+        segment = TcpSegment(
+            self.local_port, self.remote_port, 0, ack, flags, self._rcv_wnd()
+        )
+        self._transmit(segment, 0)
+        self.snd_nxt = max(self.snd_nxt, 1)
+        self._arm_rxt()
+
+    def _send_ack(self) -> None:
+        self._cancel_delack()
+        self._ack_pending = 0
+        sack_blocks = None
+        if self.params.sack and self._ooo:
+            # Up to three runs, nearest the cumulative ACK first.
+            sack_blocks = self._ooo[:3]
+        segment = TcpSegment(
+            self.local_port,
+            self.remote_port,
+            self.snd_nxt,
+            self.rcv_nxt,
+            FLAG_ACK,
+            self._rcv_wnd(),
+            sack_blocks=sack_blocks,
+        )
+        self._transmit(segment, 0)
+
+    def _messages_in(self, start: int, end: int) -> Optional[List[Tuple[int, Any]]]:
+        if not self._msg_ends:
+            return None
+        selected = [
+            (mark, message)
+            for mark, message in self._msg_ends
+            if start < mark <= end
+        ]
+        return selected or None
+
+    def _send_data_segment(self, seq: int, length: int) -> None:
+        segment = TcpSegment(
+            self.local_port,
+            self.remote_port,
+            seq,
+            self.rcv_nxt,
+            FLAG_ACK,
+            self._rcv_wnd(),
+            payload_len=length,
+            messages=self._messages_in(seq, seq + length),
+        )
+        self._cancel_delack()
+        self._ack_pending = 0
+        self._transmit(segment, length)
+
+    def _send_fin(self) -> None:
+        assert self.fin_seq is not None
+        segment = TcpSegment(
+            self.local_port,
+            self.remote_port,
+            self.fin_seq,
+            self.rcv_nxt,
+            FLAG_FIN | FLAG_ACK,
+            self._rcv_wnd(),
+        )
+        self._transmit(segment, 0)
+
+    def _effective_window(self) -> int:
+        return int(min(self.cwnd, self.peer_wnd))
+
+    # -- SACK scoreboard ---------------------------------------------------
+
+    def _merge_sack(self, blocks) -> None:
+        runs = self._sacked + [
+            (start, end) for start, end in blocks if end > self.snd_una
+        ]
+        runs.sort()
+        merged: List[Tuple[int, int]] = []
+        for run in runs:
+            if merged and run[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], run[1]))
+            else:
+                merged.append(run)
+        self._sacked = merged[:32]
+
+    def _prune_sacked(self) -> None:
+        self._sacked = [
+            (max(start, self.snd_una), end)
+            for start, end in self._sacked
+            if end > self.snd_una
+        ]
+
+    def _sacked_bytes(self) -> int:
+        return sum(end - start for start, end in self._sacked)
+
+    def _retransmit_hole(self) -> bool:
+        """SACK loss repair: retransmit one segment from the lowest
+        un-SACKed hole at or above the recovery pointer. Only data
+        *below* the highest SACKed byte is considered lost (data above
+        it is merely in flight — RFC 3517's IsLost, simplified).
+        Returns True if something was retransmitted."""
+        if not self._sacked:
+            return False
+        seq = max(self.snd_una, self._rexmit_point)
+        for start, end in self._sacked:
+            if seq < start:
+                break
+            if seq < end:
+                seq = end
+        if seq >= min(self.snd_nxt, self._sacked[-1][1]):
+            return False
+        limit = self.snd_nxt
+        for start, _end in self._sacked:
+            if start > seq:
+                limit = min(limit, start)
+                break
+        length = min(self.params.mss, limit - seq)
+        self._rexmit_point = seq + length
+        self.segments_retransmitted += 1
+        self._rtt_seq = None
+        if self.fin_seq is not None and seq >= self.fin_seq:
+            self._send_fin()
+        else:
+            end = min(seq + length, self.snd_buf_end)
+            if end > seq:
+                self._send_data_segment(seq, end - seq)
+        return True
+
+    def _try_send(self) -> None:
+        """Send as much new data (and finally the FIN) as the window
+        allows."""
+        mss = self.params.mss
+        window = self._effective_window()
+        sent_any = False
+        while self.snd_nxt < self.snd_buf_end:
+            in_flight = self.snd_nxt - self.snd_una - (
+                self._sacked_bytes() if self.params.sack else 0
+            )
+            available = window - in_flight
+            if available < min(mss, self.snd_buf_end - self.snd_nxt):
+                break
+            length = min(mss, self.snd_buf_end - self.snd_nxt, available)
+            if length <= 0:
+                break
+            seq = self.snd_nxt
+            self.snd_nxt += length
+            if self._rtt_seq is None:
+                self._rtt_seq = seq + length
+                self._rtt_time = self.sim.now
+            self._send_data_segment(seq, length)
+            sent_any = True
+        if (
+            self.fin_queued
+            and self.fin_seq is None
+            and self.snd_nxt == self.snd_buf_end
+            and self.snd_nxt - self.snd_una <= window
+        ):
+            self.fin_seq = self.snd_nxt
+            self.snd_nxt += 1
+            self._send_fin()
+            sent_any = True
+            if self.state is ESTABLISHED:
+                self.state = FIN_WAIT
+            elif self.state is CLOSE_WAIT:
+                self.state = LAST_ACK
+        if sent_any:
+            self._arm_rxt(only_if_unset=True)
+
+    def _retransmit_one(self, seq: int) -> None:
+        """Retransmit the single segment starting at ``seq``."""
+        self.segments_retransmitted += 1
+        self._rtt_seq = None  # Karn: no sample across retransmission
+        if self.fin_seq is not None and seq >= self.fin_seq:
+            self._send_fin()
+            return
+        end = min(seq + self.params.mss, self.snd_buf_end)
+        length = end - seq
+        if length > 0:
+            self._send_data_segment(seq, length)
+        elif seq == 0:
+            self._send_syn()
+
+    # ------------------------------------------------------------------
+    # Timers
+    # ------------------------------------------------------------------
+
+    def _arm_rxt(self, only_if_unset: bool = False) -> None:
+        if only_if_unset and self._rxt_timer is not None:
+            return
+        self._cancel_rxt()
+        timeout = self.rto * (2**self._backoff)
+        timeout = min(timeout, self.params.max_rto)
+        self._rxt_timer = self.sim.schedule(timeout, self._on_rxt_timeout)
+
+    def _cancel_rxt(self) -> None:
+        if self._rxt_timer is not None:
+            self._rxt_timer.cancel()
+            self._rxt_timer = None
+
+    def _on_rxt_timeout(self) -> None:
+        self._rxt_timer = None
+        if self.state in (SYN_SENT, SYN_RCVD):
+            self._syn_tries += 1
+            if self._syn_tries > self.params.max_syn_retries:
+                self._enter_closed()
+                return
+            self._backoff += 1
+            self._send_syn()
+            return
+        if self.snd_una >= self.snd_nxt:
+            return  # nothing outstanding
+        self._rxt_attempts += 1
+        if self._rxt_attempts > self.max_rxt_attempts:
+            self._enter_closed()
+            return
+        self.timeouts += 1
+        mss = self.params.mss
+        self.ssthresh = max(self.flight_size / 2.0, 2.0 * mss)
+        self.cwnd = float(mss)
+        self.dupacks = 0
+        self.in_recovery = False
+        self._sacked = []  # renege-safe: forget SACK state on RTO
+        self._rexmit_point = 0
+        self._backoff = min(self._backoff + 1, 12)
+        self._retransmit_one(self.snd_una)
+        self._arm_rxt()
+
+    def _arm_delack(self) -> None:
+        if self._delack_timer is None:
+            self._delack_timer = self.sim.schedule(
+                self.params.delack_delay, self._on_delack
+            )
+
+    def _cancel_delack(self) -> None:
+        if self._delack_timer is not None:
+            self._delack_timer.cancel()
+            self._delack_timer = None
+
+    def _on_delack(self) -> None:
+        self._delack_timer = None
+        if self._ack_pending:
+            self._send_ack()
+
+    # ------------------------------------------------------------------
+    # Segment reception
+    # ------------------------------------------------------------------
+
+    def handle_segment(self, src_vn: int, segment: TcpSegment) -> None:
+        """Entry point from the stack's demultiplexer."""
+        if self.state is CLOSED:
+            return
+        flags = segment.flags
+        if flags & FLAG_RST:
+            self._enter_closed()
+            return
+        if flags & FLAG_SYN:
+            self._handle_syn(segment)
+            return
+        if flags & FLAG_ACK:
+            self._handle_ack(segment)
+        if segment.payload_len > 0 or flags & FLAG_FIN:
+            self._handle_data(segment)
+
+    def _handle_syn(self, segment: TcpSegment) -> None:
+        if self.state is SYN_SENT and segment.flags & FLAG_ACK:
+            # SYN+ACK for our SYN.
+            self.rcv_nxt = segment.seq + 1
+            self.snd_una = max(self.snd_una, segment.ack_seq)
+            self.peer_wnd = segment.wnd
+            self._cancel_rxt()
+            self._backoff = 0
+            self._establish()
+            self._send_ack()
+            self._try_send()
+        elif self.state in (LISTEN, SYN_RCVD):
+            # Fresh or retransmitted SYN from the peer.
+            self.rcv_nxt = segment.seq + 1
+            self.peer_wnd = segment.wnd
+            if self.state is LISTEN:
+                self.state = SYN_RCVD
+            self._send_syn()
+        elif self.state is ESTABLISHED:
+            # Retransmitted SYN after our lost SYN+ACK's ACK: re-ack.
+            self._send_ack()
+
+    def _establish(self) -> None:
+        self.state = ESTABLISHED
+        self.established_at = self.sim.now
+        self.snd_una = max(self.snd_una, 1)
+        self.snd_nxt = max(self.snd_nxt, 1)
+        self.rcv_nxt = max(self.rcv_nxt, 1)
+        if self.on_established:
+            self.on_established(self)
+
+    def _handle_ack(self, segment: TcpSegment) -> None:
+        ack = segment.ack_seq
+        self.peer_wnd = segment.wnd
+        if self.state is SYN_RCVD and ack >= 1:
+            self._cancel_rxt()
+            self._backoff = 0
+            self._establish()
+
+        if ack > self.snd_nxt:
+            return  # acks data we never sent; ignore
+        mss = self.params.mss
+        if self.params.sack and segment.sack_blocks:
+            self._merge_sack(segment.sack_blocks)
+
+        if ack > self.snd_una:
+            acked = ack - self.snd_una
+            self._account_acked(ack)
+            # RTT sample (Karn's algorithm handled via _rtt_seq reset).
+            if self._rtt_seq is not None and ack >= self._rtt_seq:
+                self._rtt_sample(self.sim.now - self._rtt_time)
+                self._rtt_seq = None
+            self._backoff = 0
+            self._rxt_attempts = 0
+            if self.in_recovery:
+                if ack >= self.recover:
+                    # Full ACK: leave recovery, deflate.
+                    self.in_recovery = False
+                    self.dupacks = 0
+                    self.cwnd = self.ssthresh
+                    self.snd_una = ack
+                    self._rexmit_point = 0
+                else:
+                    # Partial ACK: repair the next hole (SACK-guided
+                    # when available, NewReno otherwise).
+                    self.snd_una = ack
+                    self.cwnd = max(self.cwnd - acked + mss, float(mss))
+                    if not (self.params.sack and self._retransmit_hole()):
+                        self._retransmit_one(ack)
+                    self._arm_rxt()
+            else:
+                self.dupacks = 0
+                if self.cwnd < self.ssthresh:
+                    self.cwnd += mss
+                else:
+                    self.cwnd += mss * mss / self.cwnd
+                self.snd_una = ack
+            self._prune_sacked()
+            # FIN acked?
+            if self.fin_seq is not None and ack > self.fin_seq:
+                self._local_fin_acked = True
+                self._maybe_finish_close()
+            if self.snd_una < self.snd_nxt:
+                self._arm_rxt()
+            else:
+                self._cancel_rxt()
+            self._try_send()
+        elif (
+            ack == self.snd_una
+            and self.snd_una < self.snd_nxt
+            and segment.payload_len == 0
+            and not segment.flags & FLAG_FIN
+        ):
+            self.dupacks += 1
+            if self.dupacks == self.params.dupack_threshold and not self.in_recovery:
+                self.in_recovery = True
+                self.recover = self.snd_nxt
+                self._rexmit_point = self.snd_una
+                self.ssthresh = max(self.flight_size / 2.0, 2.0 * mss)
+                self.cwnd = self.ssthresh + 3.0 * mss
+                self.fast_retransmits += 1
+                if not (self.params.sack and self._retransmit_hole()):
+                    self._retransmit_one(self.snd_una)
+                self._arm_rxt()
+            elif self.in_recovery:
+                self.cwnd += mss  # window inflation
+                if self.params.sack:
+                    # SACK pipe: keep repairing holes while the
+                    # window has room for them.
+                    pipe = self.snd_nxt - self.snd_una - self._sacked_bytes()
+                    if pipe < self._effective_window():
+                        self._retransmit_hole()
+                self._try_send()
+        else:
+            self._try_send()
+
+    def _account_acked(self, ack: int) -> None:
+        data_end = min(ack, self.snd_buf_end)
+        data_start = min(self.snd_una, self.snd_buf_end)
+        newly = max(0, data_end - max(1, data_start))
+        self.bytes_acked += newly
+        if self._msg_ends:
+            self._msg_ends = [
+                (mark, msg) for mark, msg in self._msg_ends if mark > ack
+            ]
+
+    def _rtt_sample(self, rtt: float) -> None:
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            err = rtt - self.srtt
+            self.srtt += 0.125 * err
+            self.rttvar += 0.25 * (abs(err) - self.rttvar)
+        self.rto = max(
+            self.params.min_rto,
+            min(self.srtt + 4.0 * self.rttvar, self.params.max_rto),
+        )
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+
+    def _handle_data(self, segment: TcpSegment) -> None:
+        if self.state in (SYN_SENT, LISTEN):
+            return
+        start = segment.seq
+        end = start + segment.payload_len
+        if segment.flags & FLAG_FIN:
+            self._fin_received_seq = end
+            end += 1
+        if segment.messages:
+            for mark, message in segment.messages:
+                self._ooo_msgs.setdefault(mark, message)
+        if end <= self.rcv_nxt:
+            # Entirely duplicate; re-ack so the sender can make progress.
+            self._send_ack()
+            return
+        if start > self.rcv_nxt:
+            # Hole: buffer and emit an immediate duplicate ACK.
+            self._insert_ooo(start, end)
+            self._send_ack()
+            return
+        # In-order (possibly overlapping) delivery.
+        delivered_to = max(end, self.rcv_nxt)
+        delivered_to = self._absorb_ooo(delivered_to)
+        filled_hole = bool(self._ooo) or end < delivered_to
+        self._deliver_in_order(delivered_to)
+        if filled_hole:
+            self._send_ack()
+        else:
+            self._ack_pending += 1
+            if self._ack_pending >= 2 or self._fin_received_seq is not None:
+                self._send_ack()
+            else:
+                self._arm_delack()
+
+    def _insert_ooo(self, start: int, end: int) -> None:
+        runs = self._ooo + [(start, end)]
+        runs.sort()
+        merged: List[Tuple[int, int]] = []
+        for run in runs:
+            if merged and run[0] <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], run[1]))
+            else:
+                merged.append(run)
+        self._ooo = merged
+
+    def _absorb_ooo(self, delivered_to: int) -> int:
+        remaining: List[Tuple[int, int]] = []
+        for start, end in self._ooo:
+            if start <= delivered_to:
+                delivered_to = max(delivered_to, end)
+            else:
+                remaining.append((start, end))
+        self._ooo = remaining
+        return delivered_to
+
+    def _deliver_in_order(self, new_rcv_nxt: int) -> None:
+        old = self.rcv_nxt
+        self.rcv_nxt = new_rcv_nxt
+        fin_seq = self._fin_received_seq
+        data_end = new_rcv_nxt
+        if fin_seq is not None and new_rcv_nxt > fin_seq:
+            data_end = fin_seq
+        nbytes = max(0, data_end - max(1, old))
+        if nbytes > 0:
+            self.bytes_received += nbytes
+            if self.on_receive:
+                self.on_receive(self, nbytes)
+            if self._ooo_msgs:
+                ready = sorted(
+                    mark for mark in self._ooo_msgs if mark <= self.rcv_nxt
+                )
+                for mark in ready:
+                    message = self._ooo_msgs.pop(mark)
+                    if self.on_message:
+                        self.on_message(self, message)
+        if fin_seq is not None and self.rcv_nxt > fin_seq and not self._peer_closed:
+            self._peer_closed = True
+            if self.state is ESTABLISHED:
+                self.state = CLOSE_WAIT
+            if self.on_close:
+                self.on_close(self)
+            self._maybe_finish_close()
+
+    def _maybe_finish_close(self) -> None:
+        if self._peer_closed and self._local_fin_acked:
+            self._enter_closed()
+
+    def _enter_closed(self) -> None:
+        if self.state is CLOSED:
+            return
+        self.state = CLOSED
+        self._cancel_rxt()
+        self._cancel_delack()
+        self.stack._connection_closed(self)
+
+    def __repr__(self) -> str:
+        return (
+            f"<TcpConnection vn{self.stack.vn_id}:{self.local_port} -> "
+            f"vn{self.remote_vn}:{self.remote_port} {self.state}>"
+        )

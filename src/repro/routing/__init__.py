@@ -1,0 +1,47 @@
+"""Route computation over target topologies.
+
+The Binding phase pre-computes shortest-path routes among all pairs of
+VNs and installs them in a routing matrix on each core node
+(:class:`PrecomputedRouting`, the paper's O(n^2) design). The paper's
+proposed alternative — a hash-based cache of routes for active flows,
+computed on demand with Dijkstra — is :class:`CachedRouting`.
+:class:`DynamicRouting` layers the "perfect routing protocol"
+assumption on top: on any link/node failure it instantaneously
+recomputes shortest paths.
+"""
+
+from repro.routing.shortest_path import (
+    Hop,
+    Route,
+    RouteError,
+    dijkstra,
+    extract_route,
+    route_latency,
+    route_bottleneck_bandwidth,
+    route_reliability,
+    route_cost,
+)
+from repro.routing.service import (
+    RoutingService,
+    PrecomputedRouting,
+    CachedRouting,
+    DynamicRouting,
+)
+from repro.routing.hierarchical import HierarchicalRouting
+
+__all__ = [
+    "Hop",
+    "Route",
+    "RouteError",
+    "dijkstra",
+    "extract_route",
+    "route_latency",
+    "route_bottleneck_bandwidth",
+    "route_reliability",
+    "route_cost",
+    "RoutingService",
+    "PrecomputedRouting",
+    "CachedRouting",
+    "DynamicRouting",
+    "HierarchicalRouting",
+]

@@ -1,0 +1,133 @@
+"""Dijkstra shortest paths and route utilities."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.topology.graph import Link, Topology
+
+
+class RouteError(RuntimeError):
+    """Raised when a requested route cannot be produced."""
+
+
+class Hop:
+    """One directed traversal of a link, from ``src`` to ``dst``."""
+
+    __slots__ = ("link", "src", "dst")
+
+    def __init__(self, link: Link, src: int, dst: int):
+        self.link = link
+        self.src = src
+        self.dst = dst
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Hop):
+            return NotImplemented
+        return (
+            self.link is other.link
+            and self.src == other.src
+            and self.dst == other.dst
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.link), self.src, self.dst))
+
+    def __repr__(self) -> str:
+        return f"<Hop {self.src}->{self.dst} via link {self.link.id}>"
+
+
+Route = Tuple[Hop, ...]
+
+WeightSpec = Union[str, Callable[[Link], float]]
+
+
+def _weight_fn(weight: WeightSpec) -> Callable[[Link], float]:
+    if callable(weight):
+        return weight
+    if weight == "latency":
+        return lambda link: link.latency_s
+    if weight == "hops":
+        return lambda link: 1.0
+    if weight == "cost":
+        return lambda link: link.cost
+    raise RouteError(f"unknown weight spec {weight!r}")
+
+
+def dijkstra(
+    topology: Topology,
+    source: int,
+    weight: WeightSpec = "latency",
+) -> Tuple[Dict[int, float], Dict[int, Hop]]:
+    """Single-source shortest paths over up links.
+
+    Returns ``(dist, prev)`` where ``prev[node]`` is the :class:`Hop`
+    by which ``node`` is reached on its shortest path from ``source``.
+    Unreachable nodes are absent from both maps... except ``source``
+    itself, present in ``dist`` with distance 0 and absent from
+    ``prev``.
+    """
+    weigh = _weight_fn(weight)
+    dist: Dict[int, float] = {source: 0.0}
+    prev: Dict[int, Hop] = {}
+    visited: set[int] = set()
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in visited:
+            continue
+        visited.add(node)
+        for neighbor, link in topology.neighbors(node):
+            if neighbor in visited:
+                continue
+            candidate = d + weigh(link)
+            if candidate < dist.get(neighbor, float("inf")):
+                dist[neighbor] = candidate
+                prev[neighbor] = Hop(link, node, neighbor)
+                heapq.heappush(heap, (candidate, neighbor))
+    return dist, prev
+
+
+def extract_route(prev: Dict[int, Hop], source: int, dest: int) -> Optional[Route]:
+    """Materialize the route from a ``prev`` map; None if unreachable.
+
+    A route from a node to itself is the empty tuple.
+    """
+    if dest == source:
+        return ()
+    if dest not in prev:
+        return None
+    hops: List[Hop] = []
+    node = dest
+    while node != source:
+        hop = prev[node]
+        hops.append(hop)
+        node = hop.src
+    hops.reverse()
+    return tuple(hops)
+
+
+def route_latency(route: Route) -> float:
+    """Sum of link propagation latencies along the route."""
+    return sum(hop.link.latency_s for hop in route)
+
+
+def route_bottleneck_bandwidth(route: Route) -> float:
+    """Minimum link bandwidth along the route (inf for empty routes)."""
+    if not route:
+        return float("inf")
+    return min(hop.link.bandwidth_bps for hop in route)
+
+
+def route_reliability(route: Route) -> float:
+    """Product of link reliabilities (1 - loss) along the route."""
+    reliability = 1.0
+    for hop in route:
+        reliability *= hop.link.reliability
+    return reliability
+
+
+def route_cost(route: Route) -> float:
+    """Sum of abstract link costs along the route."""
+    return sum(hop.link.cost for hop in route)

@@ -1,0 +1,5 @@
+"""Command-line tools for the Create and Distill phases."""
+
+from repro.tools.cli import main
+
+__all__ = ["main"]

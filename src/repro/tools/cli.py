@@ -1,0 +1,291 @@
+"""repro-net: the topology toolbox.
+
+The paper's Create phase "includes filters to convert all of these
+formats to GML" and lets users annotate graphs with attributes their
+source lacks. This CLI provides those offline steps:
+
+.. code-block:: sh
+
+    repro-net generate ring --routers 20 --vns 20 -o ring.gml
+    repro-net generate transit-stub --seed 3 -o ts.gml
+    repro-net info ts.gml
+    repro-net annotate ts.gml --seed 1 -o annotated.gml
+    repro-net distill ring.gml --mode last-mile -o distilled.gml
+    repro-net route ts.gml --src 40 --dst 90
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from repro.core.distill import DistillationMode, distill
+from repro.routing import CachedRouting, route_latency
+from repro.topology import (
+    LinkKind,
+    annotate_links,
+    classify_link,
+    dumbbell_topology,
+    load_gml,
+    ring_topology,
+    save_gml,
+    star_topology,
+    transit_stub_topology,
+    TransitStubSpec,
+    waxman_topology,
+)
+from repro.topology.annotate import LinkClassParams
+
+_MODES = {
+    "hop-by-hop": DistillationMode.HOP_BY_HOP,
+    "last-mile": DistillationMode.WALK_IN,
+    "walk-in": DistillationMode.WALK_IN,
+    "end-to-end": DistillationMode.END_TO_END,
+}
+
+
+def _cmd_generate(args) -> int:
+    rng = random.Random(args.seed)
+    if args.shape == "ring":
+        topology = ring_topology(num_routers=args.routers, vns_per_router=args.vns)
+    elif args.shape == "star":
+        topology = star_topology(args.vns)
+    elif args.shape == "dumbbell":
+        topology = dumbbell_topology(clients_per_side=args.vns)
+    elif args.shape == "waxman":
+        topology = waxman_topology(args.routers, rng, clients_per_router=args.vns)
+    elif args.shape == "transit-stub":
+        topology = transit_stub_topology(
+            TransitStubSpec(
+                transit_nodes_per_domain=args.routers,
+                clients_per_stub_node=max(1, args.vns),
+            ),
+            rng,
+        )
+    else:  # pragma: no cover - argparse restricts choices
+        raise ValueError(args.shape)
+    save_gml(topology, args.output)
+    print(f"wrote {topology.num_nodes} nodes / {topology.num_links} links to {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    topology = load_gml(args.input)
+    print(f"name:    {topology.name}")
+    print(f"nodes:   {topology.num_nodes} ({len(topology.clients())} clients)")
+    print(f"links:   {topology.num_links}")
+    print(f"connected: {topology.is_connected()}")
+    by_class = {}
+    for link in topology.links.values():
+        by_class.setdefault(classify_link(topology, link), []).append(link)
+    for link_class, links in sorted(by_class.items(), key=lambda kv: kv[0].value):
+        bandwidths = sorted(l.bandwidth_bps for l in links)
+        print(
+            f"  {link_class.value:>16}: {len(links):>5} links, "
+            f"bw {bandwidths[0]/1e6:g}-{bandwidths[-1]/1e6:g} Mb/s"
+        )
+    return 0
+
+
+def _cmd_annotate(args) -> int:
+    topology = load_gml(args.input)
+    params = {
+        LinkKind.TRANSIT_TRANSIT: LinkClassParams(
+            bandwidth_bps=(args.transit_bw * 1e6,) * 2,
+            latency_s=(0.050, 0.050),
+            cost=(20, 40),
+        ),
+        LinkKind.STUB_TRANSIT: LinkClassParams(
+            bandwidth_bps=(args.stub_bw * 1e6,) * 2,
+            latency_s=(0.010, 0.010),
+            cost=(10, 20),
+        ),
+        LinkKind.STUB_STUB: LinkClassParams(
+            bandwidth_bps=(args.stub_bw * 1e6,) * 2,
+            latency_s=(0.005, 0.005),
+            cost=(1, 5),
+        ),
+        LinkKind.CLIENT_STUB: LinkClassParams(
+            bandwidth_bps=(args.client_bw * 1e6,) * 2,
+            latency_s=(0.001, 0.001),
+        ),
+    }
+    count = annotate_links(topology, params, random.Random(args.seed))
+    save_gml(topology, args.output)
+    print(f"annotated {count} links -> {args.output}")
+    return 0
+
+
+def _cmd_distill(args) -> int:
+    topology = load_gml(args.input)
+    mode = _MODES[args.mode]
+    result = distill(topology, mode, walk_in=args.walk_in, walk_out=args.walk_out)
+    save_gml(result.topology, args.output)
+    print(
+        f"{args.mode}: {result.total_pipes} pipes "
+        f"(preserved {result.preserved_links}, mesh {result.mesh_links}, "
+        f"collapsed {result.collapsed_links}) -> {args.output}"
+    )
+    return 0
+
+
+def _cmd_route(args) -> int:
+    topology = load_gml(args.input)
+    routing = CachedRouting(topology)
+    route = routing.route(args.src, args.dst)
+    if route is None:
+        print(f"no route from {args.src} to {args.dst}")
+        return 1
+    path = [str(args.src)] + [str(hop.dst) for hop in route]
+    print(" -> ".join(path))
+    print(f"{len(route)} hops, {route_latency(route) * 1e3:.2f} ms")
+    return 0
+
+
+def _cmd_emulate(args) -> int:
+    """Run netperf-style TCP flows over a GML topology and report."""
+    from repro.apps.netperf import TcpStream
+    from repro.core import EmulationConfig, ExperimentPipeline
+    from repro.engine import Simulator
+
+    topology = load_gml(args.input)
+    sim = Simulator()
+    pipeline = (
+        ExperimentPipeline(sim, seed=args.seed)
+        .create(topology)
+        .distill(_MODES[args.mode], walk_in=args.walk_in)
+        .assign(args.cores)
+        .bind(max(1, args.cores))
+    )
+    emulation = pipeline.run(EmulationConfig())
+    clients = list(range(emulation.num_vns))
+    rng = random.Random(args.seed)
+    flows = min(args.flows, len(clients) // 2)
+    streams = []
+    available = list(clients)
+    rng.shuffle(available)
+    for _ in range(flows):
+        src = available.pop()
+        dst = available.pop()
+        streams.append(TcpStream(emulation, src, dst))
+    sim.run(until=args.seconds)
+    print(f"distilled pipes: {pipeline.distillation.total_pipes}")
+    for index, stream in enumerate(streams):
+        print(
+            f"flow {index}: vn{stream.src_vn}->vn{stream.dst_vn} "
+            f"{stream.bytes_received * 8 / args.seconds / 1e6:.3f} Mb/s"
+        )
+    print(emulation.accuracy_report())
+    return 0
+
+
+def _cmd_import(args) -> int:
+    from repro.topology.importers import (
+        attach_clients,
+        from_adjacency_list,
+        from_bgp_paths,
+    )
+
+    with open(args.input) as handle:
+        text = handle.read()
+    if args.format == "caida":
+        topology = from_adjacency_list(text)
+    else:
+        topology = from_bgp_paths(text)
+    if args.clients > 0:
+        attach_clients(
+            topology, args.clients, random.Random(args.seed),
+            edge_degree_at_most=3,
+        )
+    save_gml(topology, args.output)
+    print(
+        f"imported {topology.num_nodes} nodes / {topology.num_links} links "
+        f"({len(topology.clients())} clients) -> {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The repro-net argument parser (one subcommand per phase tool)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-net", description="ModelNet topology toolbox"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a topology as GML")
+    generate.add_argument(
+        "shape",
+        choices=["ring", "star", "dumbbell", "waxman", "transit-stub"],
+    )
+    generate.add_argument("--routers", type=int, default=10)
+    generate.add_argument("--vns", type=int, default=4)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="summarize a GML topology")
+    info.add_argument("input")
+    info.set_defaults(func=_cmd_info)
+
+    annotate = sub.add_parser("annotate", help="assign link attributes by class")
+    annotate.add_argument("input")
+    annotate.add_argument("--seed", type=int, default=0)
+    annotate.add_argument("--transit-bw", type=float, default=155.0, help="Mb/s")
+    annotate.add_argument("--stub-bw", type=float, default=45.0, help="Mb/s")
+    annotate.add_argument("--client-bw", type=float, default=2.0, help="Mb/s")
+    annotate.add_argument("-o", "--output", required=True)
+    annotate.set_defaults(func=_cmd_annotate)
+
+    distill_cmd = sub.add_parser("distill", help="distill a topology")
+    distill_cmd.add_argument("input")
+    distill_cmd.add_argument("--mode", choices=sorted(_MODES), default="last-mile")
+    distill_cmd.add_argument("--walk-in", type=int, default=1)
+    distill_cmd.add_argument("--walk-out", type=int, default=0)
+    distill_cmd.add_argument("-o", "--output", required=True)
+    distill_cmd.set_defaults(func=_cmd_distill)
+
+    route = sub.add_parser("route", help="shortest path between two nodes")
+    route.add_argument("input")
+    route.add_argument("--src", type=int, required=True)
+    route.add_argument("--dst", type=int, required=True)
+    route.set_defaults(func=_cmd_route)
+
+    import_cmd = sub.add_parser(
+        "import", help="convert CAIDA/BGP text formats to GML"
+    )
+    import_cmd.add_argument("input")
+    import_cmd.add_argument(
+        "--format", choices=["caida", "bgp"], default="caida"
+    )
+    import_cmd.add_argument(
+        "--clients", type=int, default=0,
+        help="clients to attach per edge AS (0 = none)",
+    )
+    import_cmd.add_argument("--seed", type=int, default=0)
+    import_cmd.add_argument("-o", "--output", required=True)
+    import_cmd.set_defaults(func=_cmd_import)
+
+    emulate = sub.add_parser(
+        "emulate", help="run TCP flows over a GML topology and report"
+    )
+    emulate.add_argument("input")
+    emulate.add_argument("--mode", choices=sorted(_MODES), default="hop-by-hop")
+    emulate.add_argument("--walk-in", type=int, default=1)
+    emulate.add_argument("--cores", type=int, default=1)
+    emulate.add_argument("--flows", type=int, default=4)
+    emulate.add_argument("--seconds", type=float, default=3.0)
+    emulate.add_argument("--seed", type=int, default=0)
+    emulate.set_defaults(func=_cmd_emulate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

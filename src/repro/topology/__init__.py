@@ -1,0 +1,64 @@
+"""Target-network topology model and generators (the Create phase).
+
+A :class:`Topology` is an undirected graph whose nodes are clients
+(virtual-node attachment points), stub routers, or transit routers —
+the transit-stub taxonomy of Calvert/Doar/Zegura used by the paper —
+and whose links carry the attributes the emulator needs: bandwidth,
+latency, loss rate, queue bound, and an abstract cost metric.
+
+Topologies come from the GML reader (:mod:`repro.topology.gml`), the
+synthetic generators (:mod:`repro.topology.generators`), or the
+GT-ITM-style transit-stub generator
+(:mod:`repro.topology.transit_stub`).
+"""
+
+from repro.topology.graph import (
+    LinkKind,
+    NodeKind,
+    Node,
+    Link,
+    Topology,
+    TopologyError,
+)
+from repro.topology.gml import parse_gml, to_gml, load_gml, save_gml
+from repro.topology.generators import (
+    chain_topology,
+    dumbbell_topology,
+    full_mesh_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+from repro.topology.transit_stub import TransitStubSpec, transit_stub_topology
+from repro.topology.annotate import annotate_links, classify_link
+from repro.topology.importers import (
+    attach_clients,
+    from_adjacency_list,
+    from_bgp_paths,
+)
+
+__all__ = [
+    "LinkKind",
+    "NodeKind",
+    "Node",
+    "Link",
+    "Topology",
+    "TopologyError",
+    "parse_gml",
+    "to_gml",
+    "load_gml",
+    "save_gml",
+    "chain_topology",
+    "dumbbell_topology",
+    "full_mesh_topology",
+    "ring_topology",
+    "star_topology",
+    "waxman_topology",
+    "TransitStubSpec",
+    "transit_stub_topology",
+    "annotate_links",
+    "classify_link",
+    "attach_clients",
+    "from_adjacency_list",
+    "from_bgp_paths",
+]

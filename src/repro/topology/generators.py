@@ -1,0 +1,264 @@
+"""Synthetic topology generators.
+
+These cover the shapes the paper's evaluation uses directly:
+
+* chains of pipes (Sec. 3.2 capacity experiment, 1-12 hops);
+* the star used in the multi-core experiment (Table 1);
+* the ring-of-routers with attached VNs used for distillation (Fig. 5);
+* full meshes (the RON-style end-to-end condition matrices, Figs. 7-9);
+* dumbbells (classic congestion validation);
+* Waxman random graphs (a stand-in for BRITE-style generators [12]).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Callable, List, Optional, Sequence
+
+from repro.topology.graph import NodeKind, Topology
+
+
+def chain_topology(
+    num_client_pairs: int,
+    hops: int,
+    bandwidth_bps: float = 10e6,
+    latency_s: float = 0.010,
+    loss_rate: float = 0.0,
+    queue_limit: int = 50,
+) -> Topology:
+    """``num_client_pairs`` disjoint sender/receiver pairs, each joined
+    by a private chain of ``hops`` identical pipes.
+
+    The end-to-end latency of each path is ``latency_s`` (split evenly
+    across hops), matching the Sec. 3.2 setup where varying the hop
+    count varies emulation work but not path characteristics.
+    """
+    if hops < 1:
+        raise ValueError("hops must be >= 1")
+    topology = Topology(f"chain-{hops}hop")
+    per_hop_latency = latency_s / hops
+    for _ in range(num_client_pairs):
+        sender = topology.add_node(NodeKind.CLIENT, role="sender")
+        previous = sender.id
+        for _hop in range(hops - 1):
+            router = topology.add_node(NodeKind.STUB)
+            topology.add_link(
+                previous,
+                router.id,
+                bandwidth_bps,
+                per_hop_latency,
+                loss_rate,
+                queue_limit,
+            )
+            previous = router.id
+        receiver = topology.add_node(NodeKind.CLIENT, role="receiver")
+        topology.add_link(
+            previous,
+            receiver.id,
+            bandwidth_bps,
+            per_hop_latency,
+            loss_rate,
+            queue_limit,
+        )
+    return topology
+
+
+def star_topology(
+    num_clients: int,
+    bandwidth_bps: float = 10e6,
+    latency_s: float = 0.005,
+    loss_rate: float = 0.0,
+    queue_limit: int = 50,
+) -> Topology:
+    """All clients hang off one central transit node: every path is
+    exactly two pipes, as in the Table 1 multi-core experiment."""
+    topology = Topology("star")
+    hub = topology.add_node(NodeKind.TRANSIT)
+    for _ in range(num_clients):
+        client = topology.add_node(NodeKind.CLIENT)
+        topology.add_link(
+            hub.id, client.id, bandwidth_bps, latency_s, loss_rate, queue_limit
+        )
+    return topology
+
+
+def ring_topology(
+    num_routers: int = 20,
+    vns_per_router: int = 20,
+    ring_bandwidth_bps: float = 20e6,
+    ring_latency_s: float = 0.002,
+    vn_bandwidth_bps: float = 2e6,
+    vn_latency_s: float = 0.001,
+    queue_limit: int = 50,
+) -> Topology:
+    """The Fig. 5 distillation topology: a ring of routers, each with
+    directly attached VN clients."""
+    if num_routers < 3:
+        raise ValueError("a ring needs at least 3 routers")
+    topology = Topology("ring")
+    routers = [topology.add_node(NodeKind.STUB) for _ in range(num_routers)]
+    for index, router in enumerate(routers):
+        neighbor = routers[(index + 1) % num_routers]
+        topology.add_link(
+            router.id,
+            neighbor.id,
+            ring_bandwidth_bps,
+            ring_latency_s,
+            queue_limit=queue_limit,
+        )
+    for router in routers:
+        for _ in range(vns_per_router):
+            client = topology.add_node(NodeKind.CLIENT)
+            topology.add_link(
+                router.id,
+                client.id,
+                vn_bandwidth_bps,
+                vn_latency_s,
+                queue_limit=queue_limit,
+            )
+    return topology
+
+
+def dumbbell_topology(
+    clients_per_side: int,
+    access_bandwidth_bps: float = 10e6,
+    access_latency_s: float = 0.001,
+    bottleneck_bandwidth_bps: float = 1.5e6,
+    bottleneck_latency_s: float = 0.020,
+    queue_limit: int = 50,
+) -> Topology:
+    """The classic shared-bottleneck shape used to validate congestion
+    emulation: n senders and n receivers joined by one slow link."""
+    topology = Topology("dumbbell")
+    left = topology.add_node(NodeKind.STUB, side="left")
+    right = topology.add_node(NodeKind.STUB, side="right")
+    topology.add_link(
+        left.id,
+        right.id,
+        bottleneck_bandwidth_bps,
+        bottleneck_latency_s,
+        queue_limit=queue_limit,
+    )
+    for side, router in (("left", left), ("right", right)):
+        for _ in range(clients_per_side):
+            client = topology.add_node(NodeKind.CLIENT, side=side)
+            topology.add_link(
+                router.id,
+                client.id,
+                access_bandwidth_bps,
+                access_latency_s,
+                queue_limit=queue_limit,
+            )
+    return topology
+
+
+def full_mesh_topology(
+    num_clients: int,
+    bandwidth_fn: Callable[[int, int], float],
+    latency_fn: Callable[[int, int], float],
+    loss_fn: Optional[Callable[[int, int], float]] = None,
+    queue_limit: int = 50,
+) -> Topology:
+    """A direct link between every client pair, with per-pair
+    attributes supplied by callables over (i, j) with i < j.
+
+    This is how measured end-to-end condition matrices (e.g. the RON
+    inter-site data of Sec. 5.1) become topologies.
+    """
+    topology = Topology("mesh")
+    clients = [topology.add_node(NodeKind.CLIENT) for _ in range(num_clients)]
+    for i in range(num_clients):
+        for j in range(i + 1, num_clients):
+            loss = loss_fn(i, j) if loss_fn else 0.0
+            topology.add_link(
+                clients[i].id,
+                clients[j].id,
+                bandwidth_fn(i, j),
+                latency_fn(i, j),
+                loss,
+                queue_limit,
+            )
+    return topology
+
+
+def waxman_topology(
+    num_routers: int,
+    rng: random.Random,
+    alpha: float = 0.4,
+    beta: float = 0.4,
+    clients_per_router: int = 0,
+    router_bandwidth_bps: float = 45e6,
+    client_bandwidth_bps: float = 2e6,
+    latency_per_unit_s: float = 0.030,
+    queue_limit: int = 50,
+) -> Topology:
+    """A Waxman random graph: routers placed uniformly in the unit
+    square, with edge probability ``alpha * exp(-d / (beta * L))``.
+
+    Link latency is proportional to Euclidean distance, like the
+    BRITE/GT-ITM family of generators the paper lists as topology
+    sources. A spanning backbone is added first so the result is
+    always connected.
+    """
+    if num_routers < 2:
+        raise ValueError("need at least 2 routers")
+    topology = Topology("waxman")
+    positions: List[tuple[float, float]] = []
+    routers = []
+    for _ in range(num_routers):
+        router = topology.add_node(NodeKind.STUB)
+        routers.append(router)
+        positions.append((rng.random(), rng.random()))
+
+    def distance(i: int, j: int) -> float:
+        (x1, y1), (x2, y2) = positions[i], positions[j]
+        return math.hypot(x1 - x2, y1 - y2)
+
+    def latency(i: int, j: int) -> float:
+        # Floor keeps zero-distance pairs from producing zero-latency
+        # links, which would break bandwidth-delay accounting.
+        return max(1e-4, distance(i, j) * latency_per_unit_s)
+
+    # Random spanning tree for connectivity.
+    order = list(range(num_routers))
+    rng.shuffle(order)
+    for position in range(1, num_routers):
+        i = order[position]
+        j = order[rng.randrange(position)]
+        topology.add_link(
+            routers[i].id,
+            routers[j].id,
+            router_bandwidth_bps,
+            latency(i, j),
+            queue_limit=queue_limit,
+        )
+
+    max_distance = math.sqrt(2.0)
+    for i in range(num_routers):
+        for j in range(i + 1, num_routers):
+            if topology.link_between(routers[i].id, routers[j].id):
+                continue
+            probability = alpha * math.exp(
+                -distance(i, j) / (beta * max_distance)
+            )
+            if rng.random() < probability:
+                topology.add_link(
+                    routers[i].id,
+                    routers[j].id,
+                    router_bandwidth_bps,
+                    latency(i, j),
+                    queue_limit=queue_limit,
+                )
+
+    for router in routers:
+        for _ in range(clients_per_router):
+            client = topology.add_node(NodeKind.CLIENT)
+            topology.add_link(
+                router.id,
+                client.id,
+                client_bandwidth_bps,
+                1e-3,
+                queue_limit=queue_limit,
+            )
+    return topology

@@ -1,0 +1,188 @@
+"""GML (graph modeling language) import/export.
+
+The paper's Create phase converts every topology source — Internet
+traces, BGP dumps, synthetic generators — into GML, optionally
+annotated with attributes the source did not provide. This module
+implements a small, strict GML dialect:
+
+.. code-block:: none
+
+    graph [
+      name "ring"
+      node [ id 0 kind "client" ]
+      node [ id 1 kind "stub" ]
+      edge [
+        source 0 target 1
+        bandwidth 2000000.0 latency 0.001 loss 0.0 queue 50 cost 1.0
+      ]
+    ]
+
+Unknown keys on nodes and edges are preserved in ``attrs``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Tuple, Union
+
+from repro.topology.graph import NodeKind, Topology, TopologyError
+
+_TOKEN_RE = re.compile(r'"(?:[^"\\]|\\.)*"|\[|\]|[^\s\[\]]+')
+
+GmlValue = Union[int, float, str, "GmlDict"]
+GmlDict = Dict[str, List["GmlValue"]]
+
+
+def _tokenize(text: str) -> List[str]:
+    tokens = []
+    for line in text.splitlines():
+        stripped = line.split("#", 1)[0]
+        tokens.extend(_TOKEN_RE.findall(stripped))
+    return tokens
+
+
+def _parse_value(token: str) -> Union[int, float, str]:
+    if token.startswith('"'):
+        return token[1:-1].replace('\\"', '"')
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        return token
+
+
+def _parse_dict(tokens: List[str], pos: int) -> Tuple[GmlDict, int]:
+    result: GmlDict = {}
+    while pos < len(tokens):
+        token = tokens[pos]
+        if token == "]":
+            return result, pos + 1
+        key = token
+        pos += 1
+        if pos >= len(tokens):
+            raise TopologyError(f"GML: key {key!r} has no value")
+        if tokens[pos] == "[":
+            value, pos = _parse_dict(tokens, pos + 1)
+        else:
+            value = _parse_value(tokens[pos])
+            pos += 1
+        result.setdefault(key, []).append(value)
+    return result, pos
+
+
+def _first(record: GmlDict, key: str, default: Any = None) -> Any:
+    values = record.get(key)
+    if not values:
+        return default
+    return values[0]
+
+
+def parse_gml(text: str) -> Topology:
+    """Parse GML text into a :class:`Topology`."""
+    tokens = _tokenize(text)
+    document, _ = _parse_dict(tokens, 0)
+    graph = _first(document, "graph")
+    if not isinstance(graph, dict):
+        raise TopologyError("GML: no graph [...] block")
+
+    topology = Topology(str(_first(graph, "name", "topology")))
+    reserved_node = {"id", "kind", "label"}
+    for record in graph.get("node", []):
+        if not isinstance(record, dict):
+            raise TopologyError("GML: node must be a block")
+        node_id = _first(record, "id")
+        if node_id is None:
+            raise TopologyError("GML: node without id")
+        kind = NodeKind.parse(str(_first(record, "kind", "client")))
+        attrs = {
+            key: values[0]
+            for key, values in record.items()
+            if key not in reserved_node
+        }
+        label = _first(record, "label")
+        if label is not None:
+            attrs["label"] = label
+        topology.add_node(kind, node_id=int(node_id), **attrs)
+
+    reserved_edge = {
+        "source",
+        "target",
+        "bandwidth",
+        "latency",
+        "loss",
+        "queue",
+        "cost",
+    }
+    for record in graph.get("edge", []):
+        if not isinstance(record, dict):
+            raise TopologyError("GML: edge must be a block")
+        source = _first(record, "source")
+        target = _first(record, "target")
+        if source is None or target is None:
+            raise TopologyError("GML: edge without source/target")
+        attrs = {
+            key: values[0]
+            for key, values in record.items()
+            if key not in reserved_edge
+        }
+        topology.add_link(
+            int(source),
+            int(target),
+            bandwidth_bps=float(_first(record, "bandwidth", 1e6)),
+            latency_s=float(_first(record, "latency", 0.001)),
+            loss_rate=float(_first(record, "loss", 0.0)),
+            queue_limit=int(_first(record, "queue", 50)),
+            cost=float(_first(record, "cost", 1.0)),
+            **attrs,
+        )
+    return topology
+
+
+def to_gml(topology: Topology) -> str:
+    """Serialize a :class:`Topology` to GML text."""
+    lines = ["graph ["]
+    lines.append(f'  name "{topology.name}"')
+    for node in sorted(topology.nodes.values(), key=lambda n: n.id):
+        parts = [f"id {node.id}", f'kind "{node.kind.value}"']
+        for key, value in sorted(node.attrs.items()):
+            parts.append(f"{key} {_format_value(value)}")
+        lines.append(f"  node [ {' '.join(parts)} ]")
+    for link in sorted(topology.links.values(), key=lambda l: l.id):
+        parts = [
+            f"source {link.a}",
+            f"target {link.b}",
+            f"bandwidth {link.bandwidth_bps!r}",
+            f"latency {link.latency_s!r}",
+            f"loss {link.loss_rate!r}",
+            f"queue {link.queue_limit}",
+            f"cost {link.cost!r}",
+        ]
+        for key, value in sorted(link.attrs.items()):
+            parts.append(f"{key} {_format_value(value)}")
+        lines.append(f"  edge [ {' '.join(parts)} ]")
+    lines.append("]")
+    return "\n".join(lines) + "\n"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return f'"{value}"'
+    if isinstance(value, (int, float)):
+        return repr(value)
+    escaped = str(value).replace('"', '\\"')
+    return f'"{escaped}"'
+
+
+def load_gml(path: str) -> Topology:
+    """Read a topology from a GML file."""
+    with open(path) as handle:
+        return parse_gml(handle.read())
+
+
+def save_gml(topology: Topology, path: str) -> None:
+    """Write a topology to a GML file."""
+    with open(path, "w") as handle:
+        handle.write(to_gml(topology))

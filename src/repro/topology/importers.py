@@ -1,0 +1,148 @@
+"""Importers for real-world topology sources (paper Sec. 2.1).
+
+"Sources of target topologies include Internet traces (e.g., from
+Caida), BGP dumps, and synthetic topology generators. ModelNet
+includes filters to convert all of these formats to GML."
+
+Two widely-used textual formats are supported:
+
+* **adjacency lists** (CAIDA AS-links style): one ``AS1 AS2`` pair
+  per line, optionally with trailing annotations which are ignored;
+* **BGP path dumps**: one AS path per line (``701 1239 3356 7018``);
+  an edge is inferred between each consecutive AS pair, the standard
+  topology-inference reading of table dumps.
+
+AS-level graphs carry no link attributes, so imported nodes arrive as
+transit routers with placeholder links — run them through
+:func:`repro.topology.annotate.annotate_links` (or ``repro-net
+annotate``) and :func:`attach_clients` to make them emulatable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+from repro.topology.graph import NodeKind, Topology, TopologyError
+
+#: Placeholder attributes for inferred AS-AS links.
+_DEFAULT_BANDWIDTH = 155e6
+_DEFAULT_LATENCY = 0.010
+
+
+class _AsRegistry:
+    """Maps external AS numbers to dense node ids."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        self._ids: Dict[str, int] = {}
+
+    def node_for(self, token: str) -> int:
+        node_id = self._ids.get(token)
+        if node_id is None:
+            node = self.topology.add_node(NodeKind.TRANSIT, asn=token)
+            node_id = node.id
+            self._ids[token] = node_id
+        return node_id
+
+
+def from_adjacency_list(text: str, name: str = "caida-import") -> Topology:
+    """Parse CAIDA-style ``AS1 AS2 [...]`` lines into a topology.
+
+    Lines starting with ``#`` and blank lines are skipped; duplicate
+    and reversed pairs collapse to a single link; self-loops are
+    rejected.
+    """
+    topology = Topology(name)
+    registry = _AsRegistry(topology)
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) < 2:
+            raise TopologyError(
+                f"line {line_number}: expected 'AS1 AS2', got {line!r}"
+            )
+        a, b = parts[0], parts[1]
+        if a == b:
+            raise TopologyError(f"line {line_number}: self-loop on AS {a}")
+        node_a = registry.node_for(a)
+        node_b = registry.node_for(b)
+        if topology.link_between(node_a, node_b) is None:
+            topology.add_link(
+                node_a, node_b, _DEFAULT_BANDWIDTH, _DEFAULT_LATENCY
+            )
+    if topology.num_nodes == 0:
+        raise TopologyError("no adjacencies found")
+    return topology
+
+
+def from_bgp_paths(text: str, name: str = "bgp-import") -> Topology:
+    """Infer an AS graph from BGP path lines.
+
+    AS-path prepending (repeated consecutive ASes) is collapsed, as
+    real inference pipelines do.
+    """
+    topology = Topology(name)
+    registry = _AsRegistry(topology)
+    saw_any = False
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        hops = line.split()
+        deduped = [hops[0]]
+        for token in hops[1:]:
+            if token != deduped[-1]:
+                deduped.append(token)
+        if len(deduped) < 2:
+            continue
+        saw_any = True
+        for a, b in zip(deduped, deduped[1:]):
+            node_a = registry.node_for(a)
+            node_b = registry.node_for(b)
+            if topology.link_between(node_a, node_b) is None:
+                topology.add_link(
+                    node_a, node_b, _DEFAULT_BANDWIDTH, _DEFAULT_LATENCY
+                )
+    if not saw_any:
+        raise TopologyError("no usable AS paths found")
+    return topology
+
+
+def attach_clients(
+    topology: Topology,
+    clients_per_edge_as: int,
+    rng: random.Random,
+    bandwidth_bps: float = 1e6,
+    latency_s: float = 0.001,
+    edge_degree_at_most: int = 2,
+) -> int:
+    """Give an imported AS graph VN attachment points.
+
+    Client nodes are attached to *edge* ASes (degree <=
+    ``edge_degree_at_most``), mirroring how stub networks host end
+    systems. Returns the number of clients created.
+    """
+    if clients_per_edge_as < 1:
+        raise TopologyError("clients_per_edge_as must be >= 1")
+    edge_ases = [
+        node.id
+        for node in sorted(topology.nodes.values(), key=lambda n: n.id)
+        if node.kind is NodeKind.TRANSIT
+        and topology.degree(node.id) <= edge_degree_at_most
+    ]
+    created = 0
+    for as_node in edge_ases:
+        for _ in range(clients_per_edge_as):
+            client = topology.add_node(NodeKind.CLIENT, attached_as=as_node)
+            topology.add_link(
+                as_node, client.id, bandwidth_bps, latency_s
+            )
+            created += 1
+    if created == 0:
+        raise TopologyError(
+            "no edge ASes found to host clients; raise edge_degree_at_most"
+        )
+    return created

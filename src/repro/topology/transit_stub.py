@@ -1,0 +1,151 @@
+"""A GT-ITM-style transit-stub topology generator.
+
+The paper's replicated-web experiment uses a "modified 320-node
+transit-stub topology" and the ACDC experiment a "600-node GT-ITM
+transit-stub topology". This generator follows the structure of
+Calvert/Doar/Zegura [3]: a small core of interconnected transit
+domains, each transit router sponsoring several stub domains, with
+client nodes hanging off stub routers.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.topology.annotate import LinkClassParams
+from repro.topology.graph import LinkKind, NodeKind, Topology
+
+
+def _default_link_params() -> Dict[LinkKind, LinkClassParams]:
+    """Defaults follow Figure 10 of the paper: transit-transit
+    50 Mb/s 50 ms, transit-stub 25 Mb/s 10 ms, stub-stub 10 Mb/s 5 ms,
+    client access 1 Mb/s 1 ms."""
+    return {
+        LinkKind.TRANSIT_TRANSIT: LinkClassParams(
+            bandwidth_bps=(50e6, 50e6), latency_s=(0.050, 0.050), cost=(20, 40)
+        ),
+        LinkKind.STUB_TRANSIT: LinkClassParams(
+            bandwidth_bps=(25e6, 25e6), latency_s=(0.010, 0.010), cost=(10, 20)
+        ),
+        LinkKind.STUB_STUB: LinkClassParams(
+            bandwidth_bps=(10e6, 10e6), latency_s=(0.005, 0.005), cost=(1, 5)
+        ),
+        LinkKind.CLIENT_STUB: LinkClassParams(
+            bandwidth_bps=(1e6, 1e6), latency_s=(0.001, 0.001), cost=(1, 1)
+        ),
+    }
+
+
+@dataclass
+class TransitStubSpec:
+    """Shape and attribute parameters for :func:`transit_stub_topology`."""
+
+    transit_domains: int = 1
+    transit_nodes_per_domain: int = 4
+    transit_extra_edge_prob: float = 0.3
+    stub_domains_per_transit_node: int = 3
+    stub_nodes_per_domain: int = 4
+    stub_extra_edge_prob: float = 0.3
+    clients_per_stub_node: int = 1
+    link_params: Dict[LinkKind, LinkClassParams] = field(
+        default_factory=_default_link_params
+    )
+
+    @property
+    def expected_nodes(self) -> int:
+        transits = self.transit_domains * self.transit_nodes_per_domain
+        stubs = (
+            transits
+            * self.stub_domains_per_transit_node
+            * self.stub_nodes_per_domain
+        )
+        return transits + stubs + stubs * self.clients_per_stub_node
+
+
+def _connected_random_domain(
+    topology: Topology,
+    kind: NodeKind,
+    size: int,
+    extra_edge_prob: float,
+    link_params: LinkClassParams,
+    rng: random.Random,
+    domain_tag: str,
+) -> List[int]:
+    """Create ``size`` nodes of ``kind`` joined by a random spanning
+    tree plus extra random edges; returns the node ids."""
+    ids: List[int] = []
+    for _ in range(size):
+        node = topology.add_node(kind, domain=domain_tag)
+        ids.append(node.id)
+    for position in range(1, size):
+        attach_to = ids[rng.randrange(position)]
+        sampled = link_params.sample(rng)
+        topology.add_link(ids[position], attach_to, **sampled)
+    for i in range(size):
+        for j in range(i + 1, size):
+            if topology.link_between(ids[i], ids[j]):
+                continue
+            if rng.random() < extra_edge_prob:
+                topology.add_link(ids[i], ids[j], **link_params.sample(rng))
+    return ids
+
+
+def transit_stub_topology(spec: TransitStubSpec, rng: random.Random) -> Topology:
+    """Generate a connected transit-stub topology per ``spec``."""
+    topology = Topology("transit-stub")
+    tt_params = spec.link_params[LinkKind.TRANSIT_TRANSIT]
+    ts_params = spec.link_params[LinkKind.STUB_TRANSIT]
+    ss_params = spec.link_params[LinkKind.STUB_STUB]
+    cs_params = spec.link_params[LinkKind.CLIENT_STUB]
+
+    transit_domains: List[List[int]] = []
+    for domain_index in range(spec.transit_domains):
+        ids = _connected_random_domain(
+            topology,
+            NodeKind.TRANSIT,
+            spec.transit_nodes_per_domain,
+            spec.transit_extra_edge_prob,
+            tt_params,
+            rng,
+            f"transit-{domain_index}",
+        )
+        transit_domains.append(ids)
+
+    # Interconnect transit domains in a chain (plus the chain is enough
+    # for connectivity; GT-ITM uses sparse inter-domain links).
+    for index in range(1, len(transit_domains)):
+        a = rng.choice(transit_domains[index - 1])
+        b = rng.choice(transit_domains[index])
+        topology.add_link(a, b, **tt_params.sample(rng))
+
+    stub_index = 0
+    for domain in transit_domains:
+        for transit_id in domain:
+            for _ in range(spec.stub_domains_per_transit_node):
+                stub_ids = _connected_random_domain(
+                    topology,
+                    NodeKind.STUB,
+                    spec.stub_nodes_per_domain,
+                    spec.stub_extra_edge_prob,
+                    ss_params,
+                    rng,
+                    f"stub-{stub_index}",
+                )
+                stub_index += 1
+                gateway = rng.choice(stub_ids)
+                topology.add_link(transit_id, gateway, **ts_params.sample(rng))
+                for stub_id in stub_ids:
+                    for _ in range(spec.clients_per_stub_node):
+                        client = topology.add_node(
+                            NodeKind.CLIENT,
+                            domain=topology.node(stub_id).attrs["domain"],
+                        )
+                        topology.add_link(
+                            stub_id, client.id, **cs_params.sample(rng)
+                        )
+
+    for link in topology.links.values():
+        link.attrs.setdefault("annotated", True)
+    return topology

@@ -1,0 +1,66 @@
+"""Tests for CDFs and summaries."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis import Cdf, percentile, summarize
+
+
+def test_percentile_basics():
+    values = list(range(1, 101))
+    assert percentile(values, 0.0) == 1
+    assert percentile(values, 0.5) == 51
+    assert percentile(values, 1.0) == 100
+
+
+def test_percentile_validation():
+    with pytest.raises(ValueError):
+        percentile([], 0.5)
+    with pytest.raises(ValueError):
+        percentile([1], 1.5)
+
+
+def test_summary_fields():
+    summary = summarize([4.0, 1.0, 3.0, 2.0])
+    assert summary.count == 4
+    assert summary.mean == pytest.approx(2.5)
+    assert summary.minimum == 1.0
+    assert summary.maximum == 4.0
+    assert "n=4" in str(summary)
+
+
+def test_cdf_fraction_below():
+    cdf = Cdf([1, 2, 3, 4])
+    assert cdf.fraction_below(0) == 0.0
+    assert cdf.fraction_below(2) == 0.5
+    assert cdf.fraction_below(10) == 1.0
+
+
+def test_cdf_quantile_and_points():
+    cdf = Cdf(range(100))
+    assert cdf.quantile(0.9) == 90
+    points = cdf.points(steps=4)
+    assert points[0][0] == 0
+    assert points[-1] == (99, 1.0)
+
+
+def test_cdf_empty_rejected():
+    with pytest.raises(ValueError):
+        Cdf([])
+
+
+def test_cdf_table_renders():
+    table = Cdf([1.0, 2.0, 3.0]).table(steps=2, label="speed")
+    assert "speed" in table
+    assert "100%" in table
+
+
+@given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200))
+def test_property_cdf_monotone(values):
+    cdf = Cdf(values)
+    points = cdf.points(steps=10)
+    xs = [x for x, _ in points]
+    fractions = [f for _, f in points]
+    assert xs == sorted(xs)
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)

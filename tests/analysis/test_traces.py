@@ -1,0 +1,48 @@
+"""Tests for the synthetic web trace generator."""
+
+import random
+
+import pytest
+
+from repro.analysis import synthesize_web_trace
+
+
+def test_trace_rate_within_band():
+    trace = synthesize_web_trace(random.Random(1))
+    assert trace.duration_s == 150.0
+    assert 55 <= trace.mean_rate() <= 105
+
+
+def test_trace_sizes_plausible():
+    trace = synthesize_web_trace(random.Random(2))
+    sizes = [size for _t, size in trace.requests]
+    assert all(200 <= size <= 1_000_000 for size in sizes)
+    sizes.sort()
+    median = sizes[len(sizes) // 2]
+    assert 4_000 <= median <= 16_000  # around the 8 KB target
+
+
+def test_trace_times_sorted_within_duration():
+    trace = synthesize_web_trace(random.Random(3), duration_s=30.0)
+    times = [t for t, _s in trace.requests]
+    assert times == sorted(times)
+    assert times[-1] < 30.0
+
+
+def test_trace_deterministic():
+    a = synthesize_web_trace(random.Random(7))
+    b = synthesize_web_trace(random.Random(7))
+    assert a.requests == b.requests
+
+
+def test_slice_for_client_partitions():
+    trace = synthesize_web_trace(random.Random(4), duration_s=20.0)
+    slices = [trace.slice_for_client(c, 4) for c in range(4)]
+    assert sum(len(s) for s in slices) == trace.count
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        synthesize_web_trace(random.Random(1), duration_s=0)
+    with pytest.raises(ValueError):
+        synthesize_web_trace(random.Random(1), rate_low=0)

@@ -1,0 +1,34 @@
+"""Shared fixtures for application tests: small reference-mode
+emulations that are fast to run."""
+
+import pytest
+
+from repro.apps.rondata import ron_topology
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import star_topology
+
+
+@pytest.fixture
+def star_emulation():
+    """8 VNs on a 10 Mb/s star, reference mode."""
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(star_topology(8, bandwidth_bps=10e6, latency_s=0.005))
+        .run(EmulationConfig.reference())
+    )
+    return sim, emulation
+
+
+@pytest.fixture
+def ron_emulation():
+    """The 12-site synthetic RON mesh, reference mode."""
+    sim = Simulator()
+    topology, sites = ron_topology(seed=1)
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .run(EmulationConfig.reference())
+    )
+    return sim, emulation, sites

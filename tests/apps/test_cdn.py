@@ -1,0 +1,138 @@
+"""Tests for DNS-style dynamic request routing."""
+
+import pytest
+
+from repro.apps.cdn import (
+    POLICY_CLOSEST,
+    POLICY_LEAST_LOADED,
+    POLICY_STATIC,
+    CdnClient,
+    DnsRedirector,
+    deploy_cdn,
+)
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import NodeKind, Topology
+
+
+def two_sided_topology():
+    """Clients near replica A, far from replica B, plus a redirector."""
+    topology = Topology()
+    hub_near = topology.add_node(NodeKind.STUB)
+    hub_far = topology.add_node(NodeKind.STUB)
+    topology.add_link(hub_near.id, hub_far.id, 50e6, 0.050)
+    ids = {}
+    for name, hub in (
+        ("client0", hub_near), ("client1", hub_near),
+        ("replica_near", hub_near), ("redirector", hub_near),
+        ("replica_far", hub_far),
+    ):
+        node = topology.add_node(NodeKind.CLIENT, name=name)
+        topology.add_link(hub.id, node.id, 10e6, 0.002)
+        ids[name] = node.id
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .run(EmulationConfig.reference())
+    )
+    node_to_vn = {vn.node_id: vn.vn_id for vn in emulation.vns}
+    vns = {name: node_to_vn[node_id] for name, node_id in ids.items()}
+    return sim, emulation, vns
+
+
+def test_static_policy_always_primary():
+    sim, emulation, vns = two_sided_topology()
+    redirector, servers, agents = deploy_cdn(
+        emulation,
+        vns["redirector"],
+        [vns["replica_far"], vns["replica_near"]],
+        policy=POLICY_STATIC,
+    )
+    client = CdnClient(emulation, vns["client0"], vns["redirector"])
+    for _ in range(3):
+        client.request(10_000)
+    sim.run(until=10.0)
+    assert len(client.completed) == 3
+    assert {replica for _l, _s, replica in client.completed} == {
+        vns["replica_far"]
+    }
+
+
+def test_closest_policy_picks_nearby_replica():
+    sim, emulation, vns = two_sided_topology()
+    replicas = [vns["replica_far"], vns["replica_near"]]
+    redirector, servers, agents = deploy_cdn(
+        emulation, vns["redirector"], replicas, policy=POLICY_CLOSEST
+    )
+    client = CdnClient(emulation, vns["client0"], vns["redirector"])
+    client.probe_replicas(replicas)
+    sim.run(until=2.0)  # probes + reports land
+    client.request(10_000)
+    sim.run(until=10.0)
+    assert client.completed
+    assert client.completed[0][2] == vns["replica_near"]
+
+
+def test_closest_beats_static_on_latency():
+    results = {}
+    for policy in (POLICY_STATIC, POLICY_CLOSEST):
+        sim, emulation, vns = two_sided_topology()
+        replicas = [vns["replica_far"], vns["replica_near"]]
+        deploy_cdn(emulation, vns["redirector"], replicas, policy=policy)
+        client = CdnClient(emulation, vns["client0"], vns["redirector"])
+        client.probe_replicas(replicas)
+        sim.run(until=2.0)
+        client.request(50_000)
+        sim.run(until=20.0)
+        results[policy] = client.latencies[0]
+    assert results[POLICY_CLOSEST] < results[POLICY_STATIC] * 0.7
+
+
+def test_least_loaded_balances():
+    sim, emulation, vns = two_sided_topology()
+    replicas = [vns["replica_near"], vns["replica_far"]]
+    redirector, servers, agents = deploy_cdn(
+        emulation, vns["redirector"], replicas,
+        policy=POLICY_LEAST_LOADED, ttl_s=0.5,
+    )
+    clients = [
+        CdnClient(emulation, vns[name], vns["redirector"])
+        for name in ("client0", "client1")
+    ]
+    # A steady request stream; load reports shift the answer between
+    # replicas over time.
+    for index in range(20):
+        for client in clients:
+            sim.at(1.0 + index * 0.6, client.request, 5_000)
+    sim.run(until=30.0)
+    served = {vn: server.requests_served for vn, server in zip(replicas, servers)}
+    total = sum(served.values())
+    assert total == 40
+    # Neither replica starves.
+    assert min(served.values()) >= 0.2 * total
+
+
+def test_ttl_caching_limits_resolutions():
+    sim, emulation, vns = two_sided_topology()
+    redirector, servers, agents = deploy_cdn(
+        emulation, vns["redirector"], [vns["replica_near"]],
+        policy=POLICY_STATIC, ttl_s=60.0,
+    )
+    client = CdnClient(emulation, vns["client0"], vns["redirector"])
+    for index in range(10):
+        sim.at(0.5 + index * 0.2, client.request, 2_000)
+    sim.run(until=20.0)
+    assert len(client.completed) == 10
+    assert redirector.resolutions == 1  # the cache answered the rest
+
+
+def test_policy_validation():
+    sim, emulation, vns = two_sided_topology()
+    with pytest.raises(ValueError):
+        DnsRedirector(emulation, vns["redirector"], [], policy=POLICY_STATIC)
+    with pytest.raises(ValueError):
+        DnsRedirector(
+            emulation, vns["redirector"], [vns["replica_near"]],
+            policy="coin-flip",
+        )

@@ -1,0 +1,119 @@
+"""Tests for Chord and CFS over the emulated RON mesh."""
+
+import pytest
+
+from repro.apps import BLOCK_BYTES, CfsNetwork, ChordRing, chord_id
+from repro.apps.chord import in_half_open
+
+
+def test_in_half_open_interval_arithmetic():
+    bits = 4  # space of 16
+    assert in_half_open(5, 3, 8, bits)
+    assert not in_half_open(3, 3, 8, bits)
+    assert in_half_open(8, 3, 8, bits)
+    # Wrapping interval (14, 2]
+    assert in_half_open(15, 14, 2, bits)
+    assert in_half_open(1, 14, 2, bits)
+    assert not in_half_open(5, 14, 2, bits)
+    # Full circle
+    assert in_half_open(9, 6, 6, bits)
+
+
+def test_chord_id_stable_and_bounded():
+    a = chord_id("block-1")
+    assert a == chord_id("block-1")
+    assert 0 <= a < (1 << 16)
+    assert chord_id("block-1") != chord_id("block-2")
+
+
+def test_ring_structure(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    ring = ChordRing(emulation, list(range(12)))
+    ordered = sorted(ring.nodes.values(), key=lambda n: n.node_id)
+    for index, node in enumerate(ordered):
+        successor = ordered[(index + 1) % len(ordered)]
+        assert node.successor_vn == successor.vn_id
+        assert len(node.fingers) == 16
+
+
+def test_owner_of_matches_successor_rule(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    ring = ChordRing(emulation, list(range(12)))
+    ordered = sorted(ring.nodes.values(), key=lambda n: n.node_id)
+    key = (ordered[3].node_id + 1) % (1 << 16)
+    assert ring.owner_of(key).vn_id == ordered[4].vn_id
+    # A key above the top wraps to the lowest node.
+    key = (ordered[-1].node_id + 1) % (1 << 16)
+    if key > ordered[-1].node_id:
+        assert ring.owner_of(key).vn_id == ordered[0].vn_id
+
+
+def test_lookup_finds_correct_owner(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    ring = ChordRing(emulation, list(range(12)))
+    results = []
+    keys = [chord_id(f"key-{i}") for i in range(20)]
+    for key in keys:
+        ring.lookup(
+            0, key, on_done=lambda vn, hops, k=key: results.append((k, vn, hops))
+        )
+    sim.run(until=30.0)
+    assert len(results) == 20
+    for key, vn, hops in results:
+        assert ring.owner_of(key).vn_id == vn
+        assert hops <= 16
+
+
+def test_lookup_takes_network_time(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    ring = ChordRing(emulation, list(range(12)))
+    done_at = []
+    key = chord_id("needs-hops")
+    ring.lookup(0, key, on_done=lambda vn, hops: done_at.append(sim.now))
+    sim.run(until=30.0)
+    assert done_at
+    # Unless resolved locally, at least one wide-area RTT elapsed.
+    assert done_at[0] == 0.0 or done_at[0] > 0.005
+
+
+def test_cfs_store_places_blocks_at_owners(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    network = CfsNetwork(emulation, list(range(12)))
+    placement = network.store_file("file-A", 1_000_000)
+    assert len(placement) == 123  # ceil(1 MB / 8 KB)
+    for index, owner_vn in placement.items():
+        key = CfsNetwork.block_key("file-A", index)
+        assert network.ring.owner_of(key).vn_id == owner_vn
+        assert ("file-A", index) in network.servers[owner_vn].blocks
+    # Striping: blocks land on many sites.
+    assert len(set(placement.values())) >= 6
+
+
+def test_cfs_download_completes_and_reports_speed(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    network = CfsNetwork(emulation, list(range(12)))
+    network.store_file("file-A", 256_000)
+    speeds = []
+    client = network.client(0)
+    client.download(
+        "file-A", 256_000, prefetch_bytes=24_576, on_done=speeds.append
+    )
+    sim.run(until=120.0)
+    assert speeds, "download did not finish"
+    assert 5_000 < speeds[0] < 2_000_000  # plausible KB/s range
+
+
+def test_cfs_larger_prefetch_is_faster(ron_emulation):
+    sim, emulation, _sites = ron_emulation
+    network = CfsNetwork(emulation, list(range(12)))
+    network.store_file("file-B", 512_000)
+    speeds = {}
+    for label, window, client_vn in (("small", 8_192, 1), ("large", 65_536, 2)):
+        done = []
+        network.client(client_vn).download(
+            "file-B", 512_000, prefetch_bytes=window, on_done=done.append
+        )
+        sim.run(until=sim.now + 300.0)
+        assert done
+        speeds[label] = done[0]
+    assert speeds["large"] > 1.5 * speeds["small"]

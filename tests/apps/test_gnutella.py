@@ -1,0 +1,78 @@
+"""Tests for the gnutella-style unstructured P2P network."""
+
+import pytest
+
+from repro.apps import GnutellaNetwork
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import star_topology
+
+
+def build_network(n=30, target_degree=3):
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(star_topology(n, bandwidth_bps=10e6, latency_s=0.005))
+        .run(EmulationConfig.reference())
+    )
+    network = GnutellaNetwork(
+        emulation, list(range(n)), target_degree=target_degree
+    )
+    return sim, network
+
+
+def test_staged_join_builds_connected_overlay():
+    sim, network = build_network(n=30)
+    network.staged_join(interval_s=0.05)
+    sim.run(until=30.0)
+    assert network.largest_component_fraction() > 0.95
+    assert network.mean_degree() >= 1.5
+
+
+def test_degree_respects_max():
+    sim, network = build_network(n=30)
+    network.staged_join(interval_s=0.05)
+    sim.run(until=30.0)
+    for node in network.nodes.values():
+        assert len(node.neighbors) <= network.max_degree + 1
+
+
+def test_query_reaches_content():
+    sim, network = build_network(n=30)
+    network.staged_join(interval_s=0.05)
+    sim.run(until=30.0)
+    holders = network.place_content("song.mp3", copies=6)
+    hits = []
+    querier = min(set(network.nodes) - set(holders))
+    network.nodes[querier].query(
+        "song.mp3", on_hit=lambda holder, kw: hits.append(holder)
+    )
+    sim.run(until=60.0)
+    assert hits, "flooded query found no replica"
+    assert set(hits) <= set(holders)
+
+
+def test_ttl_bounds_flood_scope():
+    sim, network = build_network(n=30)
+    network.staged_join(interval_s=0.05)
+    sim.run(until=30.0)
+    network.place_content("rare.bin", copies=1)
+    querier = 0
+    network.nodes[querier].query("rare.bin", ttl=1)
+    sim.run(until=40.0)
+    # TTL 1 floods only direct neighbors.
+    reached = sum(
+        1 for node in network.nodes.values() if node.queries_forwarded > 0
+    )
+    assert reached <= len(network.nodes[querier].neighbors)
+
+
+def test_duplicate_suppression():
+    sim, network = build_network(n=20)
+    network.staged_join(interval_s=0.05)
+    sim.run(until=20.0)
+    network.nodes[0].query("anything", ttl=6)
+    sim.run(until=40.0)
+    # Each node forwards a given query at most once.
+    for node in network.nodes.values():
+        assert len(node.seen_queries) <= 2  # the one query (+ own issue)

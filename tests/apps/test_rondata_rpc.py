@@ -1,0 +1,143 @@
+"""Tests for the synthetic RON matrix and the RPC layer."""
+
+import pytest
+
+from repro.apps import RpcNode, ron_sites, ron_topology
+from repro.net import LoopbackFabric
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+
+
+# ------------------------------------------------------------- RON data
+
+def test_ron_shape():
+    topology, sites = ron_topology(seed=0)
+    assert len(sites) == 12
+    assert topology.num_nodes == 24  # 12 sites + 12 gateways
+    assert topology.num_links == 12 + 66  # access links + gateway mesh
+    assert len(topology.clients()) == 12
+
+
+def test_ron_deterministic():
+    a, _ = ron_topology(seed=5)
+    b, _ = ron_topology(seed=5)
+    for link_id in a.links:
+        assert a.links[link_id].latency_s == b.links[link_id].latency_s
+
+
+def test_ron_pair_latency_structure():
+    from repro.routing import CachedRouting, route_latency
+
+    topology, sites = ron_topology(seed=0)
+    routing = CachedRouting(topology, weight="latency")
+    for i in range(12):
+        for j in range(i + 1, 12):
+            a, b = sites[i], sites[j]
+            ms = route_latency(routing.route(i, j)) * 1e3
+            if a.region == b.region:
+                assert ms <= 40.5
+            elif {a.region, b.region} == {"us-east", "us-west"}:
+                assert 34 <= ms <= 51
+            else:
+                assert 69 <= ms <= 96
+
+
+def test_ron_access_bandwidth_structure():
+    topology, sites = ron_topology(seed=0)
+    for index, site in enumerate(sites):
+        access = topology.links_of(index)[0]
+        if site.slow:
+            assert access.bandwidth_bps <= 1.2e6
+        else:
+            assert 1.0e6 <= access.bandwidth_bps <= 3.0e6
+    for link in topology.links.values():
+        assert 0.0 <= link.loss_rate <= 0.02
+
+
+# ------------------------------------------------------------------ RPC
+
+def rpc_pair(loss=0.0, seed=0):
+    import random
+
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.01, loss_rate=loss, rng=random.Random(seed)
+    )
+    emu_vn = type("FakeVN", (), {})
+    # RpcNode only needs .udp_socket and .stack.sim; wrap stacks.
+    class VnShim:
+        def __init__(self, stack):
+            self.stack = stack
+
+        def udp_socket(self, **kwargs):
+            return self.stack.udp_socket(**kwargs)
+
+    server = RpcNode(VnShim(fabric.stack(1)))
+    client = RpcNode(VnShim(fabric.stack(0)))
+    return sim, client, server
+
+
+def test_rpc_roundtrip():
+    sim, client, server = rpc_pair()
+    server.register("echo", lambda src, payload: ((payload, src), 64))
+    replies = []
+    client.call(1, "echo", "hello", on_reply=replies.append)
+    sim.run(until=1.0)
+    assert replies == [("hello", 0)]
+    assert server.calls_served == 1
+
+
+def test_rpc_retry_recovers_from_loss():
+    sim, client, server = rpc_pair(loss=0.4, seed=3)
+    server.register("echo", lambda src, payload: (payload, 64))
+    replies = []
+    fails = []
+    for index in range(20):
+        client.call(
+            1,
+            "echo",
+            index,
+            on_reply=replies.append,
+            on_fail=lambda: fails.append(1),
+            timeout_s=0.1,
+            retries=8,
+        )
+    sim.run(until=30.0)
+    assert len(replies) + len(fails) == 20
+    assert len(replies) >= 18  # retries recover almost everything
+    assert client.retries > 0
+
+
+def test_rpc_failure_after_retries_exhausted():
+    sim, client, server = rpc_pair()
+    # No handler registered: requests are ignored, so calls time out.
+    failures = []
+    client.call(
+        1, "missing", None, on_fail=lambda: failures.append(1),
+        timeout_s=0.05, retries=2,
+    )
+    sim.run(until=5.0)
+    assert failures == [1]
+    assert client.failures == 1
+
+
+def test_rpc_through_real_emulation():
+    sim = Simulator()
+    topology, _sites = ron_topology(seed=1)
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .run(EmulationConfig.reference())
+    )
+    server = RpcNode(emulation.vn(3))
+    client = RpcNode(emulation.vn(0))
+    server.register("add", lambda src, payload: (payload + 1, 64))
+    replies = []
+    client.call(3, "add", 41, on_reply=lambda value: replies.append((value, sim.now)))
+    sim.run(until=2.0)
+    assert replies[0][0] == 42
+    from repro.routing import CachedRouting, route_latency
+
+    routing = CachedRouting(topology, weight="latency")
+    one_way = route_latency(routing.route(0, 3))
+    assert replies[0][1] >= 2 * one_way  # a real round trip

@@ -1,0 +1,102 @@
+"""Tests for the web server and trace-playback clients."""
+
+import random
+
+import pytest
+
+from repro.analysis import synthesize_web_trace
+from repro.apps import TraceClient, WebServer
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import star_topology
+
+
+def build_star(n=6, bw=10e6):
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(star_topology(n, bandwidth_bps=bw, latency_s=0.005))
+        .run(EmulationConfig.reference())
+    )
+    return sim, emulation
+
+
+def test_single_request_latency():
+    sim, emulation = build_star()
+    server = WebServer(emulation, 0)
+    client = TraceClient(emulation, 1, 0, [(0.5, 20_000)])
+    sim.run(until=5.0)
+    assert server.requests_served == 1
+    assert len(client.completed) == 1
+    latency, size = client.completed[0]
+    assert size == 20_000
+    # Handshake RTT + request + ~20 KB over 10 Mb/s with 10 ms RTTs.
+    assert 0.03 < latency < 0.5
+
+
+def test_latency_grows_with_size():
+    sim, emulation = build_star()
+    WebServer(emulation, 0)
+    small = TraceClient(emulation, 1, 0, [(0.0, 2_000)])
+    large = TraceClient(emulation, 2, 0, [(0.0, 500_000)])
+    sim.run(until=10.0)
+    assert small.latencies[0] < large.latencies[0]
+
+
+def test_many_requests_all_complete():
+    sim, emulation = build_star()
+    server = WebServer(emulation, 0)
+    trace = [(i * 0.05, 5_000) for i in range(40)]
+    client = TraceClient(emulation, 1, 0, trace)
+    sim.run(until=20.0)
+    assert client.issued == 40
+    assert len(client.completed) == 40
+    assert client.failed == 0
+    assert server.bytes_served == 200_000
+
+
+def test_redirect_moves_load():
+    sim, emulation = build_star()
+    primary = WebServer(emulation, 0)
+    replica = WebServer(emulation, 3)
+    client = TraceClient(emulation, 1, 0, [(0.0, 1000), (2.0, 1000)])
+    sim.at(1.0, client.redirect, 3)
+    sim.run(until=10.0)
+    assert primary.requests_served == 1
+    assert replica.requests_served == 1
+
+
+def test_contention_inflates_latency():
+    """Many clients on one access pipe: the shared bottleneck grows
+    client-perceived latency (the Fig. 11 mechanism)."""
+    sim, emulation = build_star(n=8, bw=2e6)
+    WebServer(emulation, 0)
+    quiet_client = TraceClient(emulation, 1, 0, [(0.0, 30_000)])
+    sim.run(until=4.0)
+    quiet = quiet_client.latencies[0]
+
+    busy_clients = [
+        TraceClient(emulation, vn, 0, [(4.0 + 0.01 * vn, 200_000)])
+        for vn in range(2, 8)
+    ]
+    probe = TraceClient(emulation, 1, 0, [(4.2, 30_000)])
+    sim.run(until=60.0)
+    assert probe.latencies, "probe request never completed"
+    assert probe.latencies[0] > 2 * quiet
+
+
+def test_trace_playback_with_synthetic_trace():
+    sim, emulation = build_star()
+    server = WebServer(emulation, 0)
+    trace = synthesize_web_trace(
+        random.Random(1), duration_s=5.0, rate_low=10, rate_high=20,
+        size_cap_bytes=50_000,
+    )
+    clients = [
+        TraceClient(emulation, vn, 0, trace.slice_for_client(vn - 1, 3))
+        for vn in range(1, 4)
+    ]
+    sim.run(until=30.0)
+    completed = sum(len(c.completed) for c in clients)
+    assert completed == trace.count
+    assert server.requests_served == trace.count

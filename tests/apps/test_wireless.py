@@ -1,0 +1,132 @@
+"""Tests for the ad hoc wireless extension."""
+
+import random
+
+import pytest
+
+from repro.apps import Waypoint, WirelessNetwork
+from repro.engine import Simulator
+
+
+def fixed_pair(distance, **kwargs):
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng=random.Random(1), **kwargs)
+    a = network.add_node(0.0, 0.0)
+    b = network.add_node(distance, 0.0)
+    return sim, network, a, b
+
+
+def test_in_range_delivery():
+    sim, network, a, b = fixed_pair(50.0)
+    got = []
+    b.on_receive = lambda src, size, payload: got.append((src, size, payload, sim.now))
+    a.broadcast(1000, payload="hello")
+    sim.run()
+    assert len(got) == 1
+    src, size, payload, when = got[0]
+    assert (src, size, payload) == (0, 1000, "hello")
+    assert when == pytest.approx(network.airtime(1000) + network.propagation_s)
+
+
+def test_out_of_range_not_delivered():
+    sim, network, a, b = fixed_pair(150.0)
+    got = []
+    b.on_receive = lambda *args: got.append(args)
+    a.broadcast(1000)
+    sim.run()
+    assert got == []
+
+
+def test_broadcast_reaches_all_in_range():
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng=random.Random(1))
+    center = network.add_node(100.0, 100.0)
+    near = [network.add_node(100.0 + dx, 100.0) for dx in (10, 50, 90)]
+    far = network.add_node(100.0 + 150, 100.0)
+    counts = {"near": 0, "far": 0}
+    for node in near:
+        node.on_receive = lambda *a: counts.__setitem__("near", counts["near"] + 1)
+    far.on_receive = lambda *a: counts.__setitem__("far", counts["far"] + 1)
+    center.broadcast(500)
+    sim.run()
+    assert counts == {"near": 3, "far": 0}
+
+
+def test_unicast_overheard_but_discarded():
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng=random.Random(1))
+    sender = network.add_node(0, 0)
+    target = network.add_node(10, 0)
+    bystander = network.add_node(0, 10)
+    got = {"target": 0, "bystander": 0}
+    target.on_receive = lambda *a: got.__setitem__("target", got["target"] + 1)
+    bystander.on_receive = lambda *a: got.__setitem__("bystander", got["bystander"] + 1)
+    sender.send_to(target.node_id, 500)
+    sim.run()
+    assert got == {"target": 1, "bystander": 0}
+    # The bystander's medium was still consumed by the transmission.
+    assert bystander.medium_busy_until > 0
+
+
+def test_carrier_sense_serializes_senders():
+    """Two in-range senders never overlap: the second defers."""
+    sim = Simulator()
+    network = WirelessNetwork(sim, rng=random.Random(1))
+    a = network.add_node(0, 0)
+    b = network.add_node(10, 0)
+    receiver = network.add_node(5, 5)
+    arrivals = []
+    receiver.on_receive = lambda src, size, payload: arrivals.append((src, sim.now))
+    a.broadcast(2000)
+    b.broadcast(2000)
+    sim.run()
+    assert len(arrivals) == 2
+    assert network.collision_losses == 0
+    airtime = network.airtime(2000)
+    assert arrivals[1][1] - arrivals[0][1] >= airtime * 0.99
+
+
+def test_hidden_terminal_collision():
+    """Two senders out of range of each other but both in range of
+    the middle node collide there."""
+    sim = Simulator()
+    network = WirelessNetwork(sim, range_m=100.0, rng=random.Random(1))
+    left = network.add_node(0, 0)
+    middle = network.add_node(90, 0)
+    right = network.add_node(180, 0)
+    got = []
+    middle.on_receive = lambda *args: got.append(args)
+    left.broadcast(2000)
+    right.broadcast(2000)
+    sim.run()
+    assert network.collision_losses >= 1
+    assert len(got) < 2
+
+
+def test_mobility_changes_connectivity():
+    sim = Simulator()
+    network = WirelessNetwork(
+        sim, area_m=400.0, range_m=60.0, num_nodes=12, rng=random.Random(3)
+    )
+    initial = network.partition_count()
+    network.start_mobility(Waypoint(speed_low=20.0, speed_high=40.0), tick_s=0.5)
+    partitions = {initial}
+    def sample():
+        partitions.add(network.partition_count())
+    for t in range(1, 30):
+        sim.at(float(t), sample)
+    sim.run(until=30.0)
+    # Topology change is the rule: the partition structure varied.
+    assert len(partitions) > 1
+
+
+def test_positions_stay_roughly_in_area():
+    sim = Simulator()
+    network = WirelessNetwork(
+        sim, area_m=200.0, num_nodes=6, rng=random.Random(5)
+    )
+    network.start_mobility(Waypoint(speed_low=5.0, speed_high=10.0))
+    sim.run(until=60.0)
+    for node in network.nodes:
+        assert -10 <= node.x <= 210
+        assert -10 <= node.y <= 210

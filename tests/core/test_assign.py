@@ -1,0 +1,125 @@
+"""Tests for topology-to-core assignment."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import Assignment, assign_by_vn_groups, greedy_k_clusters
+from repro.core.assign import cross_core_hops, single_core
+from repro.routing import CachedRouting
+from repro.topology import (
+    TopologyError,
+    ring_topology,
+    star_topology,
+    transit_stub_topology,
+    TransitStubSpec,
+)
+
+
+def test_single_core_covers_all_links():
+    topology = ring_topology(num_routers=4, vns_per_router=2)
+    assignment = single_core(topology)
+    assert assignment.num_cores == 1
+    assert set(assignment.link_to_core) == set(topology.links)
+
+
+def test_invalid_assignment_rejected():
+    with pytest.raises(TopologyError):
+        Assignment(0, {})
+    with pytest.raises(TopologyError):
+        Assignment(2, {0: 5})
+
+
+def test_greedy_covers_all_links():
+    topology = ring_topology(num_routers=8, vns_per_router=4)
+    assignment = greedy_k_clusters(topology, 4, random.Random(1))
+    assert set(assignment.link_to_core) == set(topology.links)
+    assert all(0 <= c < 4 for c in assignment.link_to_core.values())
+
+
+def test_greedy_balances_load_roughly():
+    topology = ring_topology(num_routers=8, vns_per_router=4)
+    assignment = greedy_k_clusters(topology, 4, random.Random(1))
+    balance = assignment.load_balance()
+    assert sum(balance) == topology.num_links
+    # Round-robin greedy growth keeps clusters within a few links of
+    # each other (the last round may starve stuck clusters).
+    assert max(balance) - min(balance) <= 0.5 * (
+        topology.num_links / len(balance)
+    )
+
+
+def test_greedy_single_core_shortcut():
+    topology = star_topology(4)
+    assignment = greedy_k_clusters(topology, 1, random.Random(0))
+    assert assignment.num_cores == 1
+
+
+def test_greedy_more_cores_than_nodes_rejected():
+    topology = star_topology(2)
+    with pytest.raises(TopologyError):
+        greedy_k_clusters(topology, 10, random.Random(0))
+
+
+def test_greedy_handles_disconnected_topology():
+    import repro.topology as rt
+
+    topology = rt.Topology()
+    for _ in range(6):
+        topology.add_node()
+    topology.add_link(0, 1, 1e6, 1e-3)
+    topology.add_link(2, 3, 1e6, 1e-3)
+    topology.add_link(4, 5, 1e6, 1e-3)
+    assignment = greedy_k_clusters(topology, 2, random.Random(3))
+    assert len(assignment.link_to_core) == 3
+
+
+def test_greedy_clusters_are_connected():
+    """The heuristic's point: each cluster's links should form few
+    connected blobs, keeping consecutive pipes co-located."""
+    spec = TransitStubSpec()
+    topology = transit_stub_topology(spec, random.Random(9))
+    assignment = greedy_k_clusters(topology, 4, random.Random(9))
+    routing = CachedRouting(topology, weight="latency")
+    clients = sorted(n.id for n in topology.clients())
+    rng = random.Random(1)
+    routes = [
+        routing.route(*rng.sample(clients, 2)) for _ in range(100)
+    ]
+    fraction = cross_core_hops(topology, assignment, routes)
+    # A random link assignment would cross on ~75% of consecutive
+    # pairs with 4 cores; the greedy clusters must beat that clearly.
+    assert fraction < 0.6
+
+
+def test_assign_by_vn_groups():
+    topology = star_topology(8)
+    clients = sorted(n.id for n in topology.clients())
+    groups = [clients[:4], clients[4:]]
+    assignment = assign_by_vn_groups(topology, groups)
+    assert assignment.num_cores == 2
+    for link in topology.links.values():
+        client_end = link.a if link.a in clients else link.b
+        expected = 0 if client_end in groups[0] else 1
+        assert assignment.core_of(link.id) == expected
+
+
+def test_assign_by_vn_groups_spreads_interior_links():
+    topology = ring_topology(num_routers=4, vns_per_router=1)
+    clients = sorted(n.id for n in topology.clients())
+    assignment = assign_by_vn_groups(
+        topology, [clients[:2], clients[2:]]
+    )
+    # Ring links touch no client; they are spread by load.
+    balance = assignment.load_balance()
+    assert sum(balance) == topology.num_links
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 1000), cores=st.integers(1, 6))
+def test_property_every_link_assigned_exactly_once(seed, cores):
+    topology = ring_topology(num_routers=6, vns_per_router=3)
+    assignment = greedy_k_clusters(topology, cores, random.Random(seed))
+    assert sorted(assignment.link_to_core) == sorted(topology.links)
+    assert sum(assignment.load_balance()) == topology.num_links

@@ -1,0 +1,76 @@
+"""Tests for VN binding."""
+
+import pytest
+
+from repro.core import Binding, bind_vns
+from repro.topology import TopologyError, ring_topology, star_topology
+
+
+def test_contiguous_binding_packs_ranges():
+    topology = star_topology(10)
+    binding = bind_vns(topology, num_hosts=3, num_cores=2)
+    assert binding.num_vns == 10
+    assert binding.vn_to_host == [0, 0, 0, 0, 1, 1, 1, 2, 2, 2]
+    assert binding.host_to_core == [0, 1, 0]
+
+
+def test_round_robin_binding():
+    topology = star_topology(6)
+    binding = bind_vns(topology, num_hosts=3, num_cores=3, strategy="round_robin")
+    assert binding.vn_to_host == [0, 1, 2, 0, 1, 2]
+    assert binding.core_of_vn(0) == 0
+    assert binding.core_of_vn(1) == 1
+
+
+def test_multiplexing_degree():
+    topology = star_topology(100)
+    binding = bind_vns(topology, num_hosts=4, num_cores=1)
+    assert binding.multiplexing_degree() == pytest.approx(25.0)
+    assert len(binding.vns_of_host(0)) == 25
+
+
+def test_host_configs_structure():
+    topology = star_topology(4)
+    binding = bind_vns(topology, num_hosts=2, num_cores=2)
+    configs = binding.host_configs()
+    assert len(configs) == 2
+    assert configs[0]["core"] == 0
+    assert configs[1]["core"] == 1
+    first_vn = configs[0]["vns"][0]
+    assert first_vn["ip"] == "10.0.0.1"
+    assert first_vn["topology_node"] in topology.nodes
+
+
+def test_unknown_strategy_rejected():
+    topology = star_topology(4)
+    with pytest.raises(TopologyError):
+        bind_vns(topology, 1, 1, strategy="by-coinflip")
+
+
+def test_zero_hosts_rejected():
+    topology = star_topology(4)
+    with pytest.raises(TopologyError):
+        bind_vns(topology, 0, 1)
+
+
+def test_no_clients_rejected():
+    import repro.topology as rt
+
+    topology = rt.Topology()
+    topology.add_node(rt.NodeKind.STUB)
+    with pytest.raises(TopologyError):
+        bind_vns(topology, 1, 1)
+
+
+def test_binding_validation():
+    with pytest.raises(TopologyError):
+        Binding([1, 2], [0], [0])
+    with pytest.raises(TopologyError):
+        Binding([1], [5], [0])
+
+
+def test_uneven_split_spreads_extras():
+    topology = star_topology(7)
+    binding = bind_vns(topology, num_hosts=3, num_cores=1)
+    sizes = [len(binding.vns_of_host(h)) for h in range(3)]
+    assert sorted(sizes) == [2, 2, 3]

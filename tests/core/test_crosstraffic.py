@@ -1,0 +1,155 @@
+"""Tests for synthetic cross traffic via pipe-parameter adjustment."""
+
+import pytest
+
+from repro.core import (
+    CrossTrafficMatrix,
+    CrossTrafficModel,
+    DistillationMode,
+    EmulationConfig,
+    ExperimentPipeline,
+)
+from repro.engine import Simulator
+from repro.topology import chain_topology, star_topology
+
+
+def build(topology):
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .distill(DistillationMode.HOP_BY_HOP)
+        .assign(1)
+        .bind(1)
+        .run(EmulationConfig.reference())
+    )
+    return sim, emulation
+
+
+def test_matrix_set_and_clear():
+    matrix = CrossTrafficMatrix()
+    matrix.set_demand(0, 1, 1e6)
+    assert matrix.demand(0, 1) == 1e6
+    assert matrix.demand(1, 0) == 0.0
+    matrix.set_demand(0, 1, 0)
+    assert matrix.demand(0, 1) == 0.0
+    with pytest.raises(ValueError):
+        matrix.set_demand(0, 1, -5)
+
+
+def test_uniform_matrix():
+    matrix = CrossTrafficMatrix.uniform([0, 1, 2], 5e5)
+    assert len(list(matrix.pairs())) == 6
+    assert matrix.demand(2, 0) == 5e5
+
+
+def test_propagation_accumulates_on_shared_pipes():
+    # Star: flows 0->1 and 0->2 share VN 0's access pipe.
+    sim, emulation = build(star_topology(3, bandwidth_bps=10e6))
+    model = CrossTrafficModel(emulation)
+    matrix = CrossTrafficMatrix()
+    matrix.set_demand(0, 1, 2e6)
+    matrix.set_demand(0, 2, 2e6)
+    adjustments = model.propagate(matrix)
+    by_pipe = {adj.pipe_id: adj for adj in adjustments}
+    out_pipe = emulation.lookup_pipes(0, 1)[0]
+    assert by_pipe[out_pipe.id].background_bps == pytest.approx(4e6)
+    assert by_pipe[out_pipe.id].bandwidth_bps == pytest.approx(6e6)
+
+
+def test_apply_reduces_bandwidth_and_adds_latency():
+    sim, emulation = build(
+        chain_topology(1, hops=1, bandwidth_bps=10e6, latency_s=0.010)
+    )
+    model = CrossTrafficModel(emulation)
+    matrix = CrossTrafficMatrix()
+    matrix.set_demand(0, 1, 5e6)
+    model.apply(matrix)
+    pipe = emulation.lookup_pipes(0, 1)[0]
+    assert pipe.bandwidth_bps == pytest.approx(5e6)
+    assert pipe.latency_s > 0.010
+    assert pipe.queue_limit < 50
+    model.clear()
+    assert pipe.bandwidth_bps == pytest.approx(10e6)
+    assert pipe.latency_s == pytest.approx(0.010)
+    assert pipe.queue_limit == 50
+
+
+def test_demand_capped_below_capacity():
+    sim, emulation = build(
+        chain_topology(1, hops=1, bandwidth_bps=10e6, latency_s=0.010)
+    )
+    model = CrossTrafficModel(emulation)
+    matrix = CrossTrafficMatrix()
+    matrix.set_demand(0, 1, 100e6)  # 10x the pipe
+    adjustments = model.apply(matrix)
+    pipe = emulation.lookup_pipes(0, 1)[0]
+    assert pipe.bandwidth_bps > 0
+    assert adjustments[0].background_bps <= 0.95 * 10e6
+
+
+def test_latency_grows_with_utilization():
+    sim, emulation = build(
+        chain_topology(1, hops=1, bandwidth_bps=10e6, latency_s=0.010)
+    )
+    model = CrossTrafficModel(emulation)
+    lows = CrossTrafficMatrix()
+    lows.set_demand(0, 1, 1e6)
+    low_extra = model.propagate(lows)[0].extra_latency_s
+    highs = CrossTrafficMatrix()
+    highs.set_demand(0, 1, 9e6)
+    high_extra = model.propagate(highs)[0].extra_latency_s
+    assert high_extra > 10 * low_extra
+
+
+def test_reapply_reverts_unloaded_pipes():
+    sim, emulation = build(star_topology(3, bandwidth_bps=10e6))
+    model = CrossTrafficModel(emulation)
+    first = CrossTrafficMatrix()
+    first.set_demand(0, 1, 5e6)
+    model.apply(first)
+    loaded = emulation.lookup_pipes(0, 1)[0]
+    assert loaded.bandwidth_bps < 10e6
+    second = CrossTrafficMatrix()
+    second.set_demand(1, 2, 5e6)
+    model.apply(second)
+    assert loaded.bandwidth_bps == pytest.approx(10e6)
+
+
+def test_scheduled_profile_changes_over_time():
+    sim, emulation = build(
+        chain_topology(1, hops=1, bandwidth_bps=10e6, latency_s=0.010)
+    )
+    model = CrossTrafficModel(emulation)
+    matrix = CrossTrafficMatrix()
+    matrix.set_demand(0, 1, 5e6)
+    model.schedule_profile([(1.0, matrix), (2.0, None)])
+    pipe = emulation.lookup_pipes(0, 1)[0]
+    sim.run(until=0.5)
+    assert pipe.bandwidth_bps == pytest.approx(10e6)
+    sim.run(until=1.5)
+    assert pipe.bandwidth_bps == pytest.approx(5e6)
+    sim.run(until=2.5)
+    assert pipe.bandwidth_bps == pytest.approx(10e6)
+
+
+def test_cross_traffic_slows_foreground_flow():
+    """End to end: a TCP flow sees reduced throughput when synthetic
+    background traffic loads its path."""
+    results = {}
+    for label, background in (("clean", 0.0), ("loaded", 8e6)):
+        sim, emulation = build(
+            chain_topology(1, hops=2, bandwidth_bps=10e6, latency_s=0.010)
+        )
+        if background:
+            model = CrossTrafficModel(emulation)
+            matrix = CrossTrafficMatrix()
+            matrix.set_demand(0, 1, background)
+            model.apply(matrix)
+        emulation.vn(1).tcp_listen(80, lambda c: None)
+        conn = emulation.vn(0).tcp_connect(
+            1, 80, on_established=lambda c: c.send(10_000_000)
+        )
+        sim.run(until=4.0)
+        results[label] = conn.bytes_acked
+    assert results["loaded"] < results["clean"] * 0.5

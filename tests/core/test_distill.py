@@ -1,0 +1,194 @@
+"""Tests for topology distillation, including the paper's ring
+accounting (Sec. 4.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import DistillationMode, distill
+from repro.core.distill import frontier_sets
+from repro.routing import (
+    CachedRouting,
+    route_bottleneck_bandwidth,
+    route_latency,
+    route_reliability,
+)
+from repro.topology import (
+    NodeKind,
+    Topology,
+    TopologyError,
+    chain_topology,
+    ring_topology,
+    transit_stub_topology,
+    TransitStubSpec,
+    waxman_topology,
+)
+
+
+def paper_ring():
+    """20 routers at 20 Mb/s, 20 VNs each at 2 Mb/s."""
+    return ring_topology(num_routers=20, vns_per_router=20)
+
+
+def test_hop_by_hop_is_isomorphic_copy():
+    topology = paper_ring()
+    result = distill(topology, DistillationMode.HOP_BY_HOP)
+    assert result.topology.num_nodes == topology.num_nodes
+    assert result.topology.num_links == topology.num_links
+    assert result.preserved_links == topology.num_links
+    # Original untouched, copy independent.
+    assert result.topology is not topology
+
+
+def test_end_to_end_mesh_counts_match_paper():
+    # "The end-to-end distillation contains 79,800 pipes, one for
+    # each VN pair, each with a bandwidth of 2 Mb/s."
+    result = distill(paper_ring(), DistillationMode.END_TO_END)
+    assert result.topology.num_links == 79_800
+    assert result.topology.num_nodes == 400
+    assert all(
+        link.bandwidth_bps == pytest.approx(2e6)
+        for link in result.topology.links.values()
+    )
+
+
+def test_last_mile_counts_match_paper():
+    # "The last-mile distillation preserves the 400 edge links to the
+    # VNs, and maps the ring itself to a fully connected mesh of 190
+    # links."
+    result = distill(paper_ring(), DistillationMode.WALK_IN, walk_in=1)
+    assert result.preserved_links == 400
+    assert result.mesh_links == 190
+    assert result.collapsed_links == 20
+    assert result.topology.num_links == 590
+
+
+def test_last_mile_path_length_bound():
+    # Each packet traverses at most 2*walk_in + 1 = 3 pipes.
+    result = distill(paper_ring(), DistillationMode.WALK_IN, walk_in=1)
+    routing = CachedRouting(result.topology, weight="hops")
+    clients = [n.id for n in result.topology.clients()]
+    rng = random.Random(0)
+    for _ in range(50):
+        src, dst = rng.sample(clients, 2)
+        route = routing.route(src, dst)
+        assert route is not None
+        assert len(route) <= 3
+
+
+def test_collapsed_pipe_properties():
+    """End-to-end pipes take min bandwidth, summed latency, and
+    product reliability of the collapsed path."""
+    topology = Topology()
+    a = topology.add_node(NodeKind.CLIENT)
+    r1 = topology.add_node(NodeKind.STUB)
+    r2 = topology.add_node(NodeKind.STUB)
+    b = topology.add_node(NodeKind.CLIENT)
+    topology.add_link(a.id, r1.id, 2e6, 0.001, loss_rate=0.01)
+    topology.add_link(r1.id, r2.id, 10e6, 0.020, loss_rate=0.02)
+    topology.add_link(r2.id, b.id, 5e6, 0.003, loss_rate=0.0)
+    result = distill(topology, DistillationMode.END_TO_END)
+    assert result.topology.num_links == 1
+    pipe = next(iter(result.topology.links.values()))
+    assert pipe.bandwidth_bps == pytest.approx(2e6)
+    assert pipe.latency_s == pytest.approx(0.024)
+    assert pipe.loss_rate == pytest.approx(1 - 0.99 * 0.98)
+
+
+def test_end_to_end_latency_matches_shortest_path():
+    topology = waxman_topology(
+        12, random.Random(5), clients_per_router=2
+    )
+    routing = CachedRouting(topology, weight="latency")
+    result = distill(topology, DistillationMode.END_TO_END)
+    clients = sorted(n.id for n in topology.clients())
+    for src in clients[:4]:
+        for dst in clients[:4]:
+            if src == dst:
+                continue
+            link = result.topology.link_between(src, dst)
+            route = routing.route(src, dst)
+            assert link.latency_s == pytest.approx(route_latency(route))
+            assert link.bandwidth_bps == pytest.approx(
+                route_bottleneck_bandwidth(route)
+            )
+
+
+def test_frontier_sets_on_chain():
+    topology = chain_topology(1, hops=5)
+    clients = [n.id for n in topology.clients()]
+    frontiers = frontier_sets(topology, clients)
+    assert frontiers[0] == set(clients)
+    # 4 interior routers between the two clients: frontiers close in
+    # from both ends.
+    sizes = [len(f) for f in frontiers]
+    assert sum(sizes) == topology.num_nodes
+
+
+def test_walk_in_2_preserves_more():
+    topology = paper_ring()
+    last_mile = distill(topology, DistillationMode.WALK_IN, walk_in=1)
+    walk2 = distill(topology, DistillationMode.WALK_IN, walk_in=2)
+    # walk_in=2 keeps the ring routers in the preserved zone, so all
+    # original links survive and no mesh is needed.
+    assert walk2.preserved_links == 420
+    assert walk2.mesh_links == 0
+    assert last_mile.preserved_links < walk2.preserved_links
+
+
+def test_walk_out_preserves_center():
+    # A chain is a worst case: the BFS center is mid-chain.
+    topology = chain_topology(1, hops=8)
+    plain = distill(topology, DistillationMode.WALK_IN, walk_in=1)
+    with_core = distill(
+        topology, DistillationMode.WALK_IN, walk_in=1, walk_out=2
+    )
+    assert with_core.preserved_links > plain.preserved_links
+
+
+def test_walk_in_zero_rejected():
+    with pytest.raises(TopologyError):
+        distill(paper_ring(), DistillationMode.WALK_IN, walk_in=0)
+
+
+def test_no_vns_rejected():
+    topology = Topology()
+    topology.add_node(NodeKind.STUB)
+    with pytest.raises(TopologyError):
+        distill(topology, DistillationMode.END_TO_END)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500), walk_in=st.integers(1, 3))
+def test_property_distilled_connectivity_and_reachability(seed, walk_in):
+    """Every VN pair reachable in the target stays reachable in any
+    distillation, with end-to-end latency never below the target's
+    shortest path (collapsing cannot create shortcuts)."""
+    spec = TransitStubSpec(
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit_node=1,
+        stub_nodes_per_domain=3,
+    )
+    topology = transit_stub_topology(spec, random.Random(seed))
+    target_latency = CachedRouting(topology, weight="latency")
+    target_hops = CachedRouting(topology, weight="hops")
+    result = distill(topology, DistillationMode.WALK_IN, walk_in=walk_in)
+    distilled_latency = CachedRouting(result.topology, weight="latency")
+    distilled_hops = CachedRouting(result.topology, weight="hops")
+    clients = sorted(n.id for n in topology.clients())
+    rng = random.Random(seed)
+    for _ in range(10):
+        src, dst = rng.sample(clients, 2)
+        by_latency = distilled_latency.route(src, dst)
+        assert by_latency is not None
+        # Collapsing cannot create latency shortcuts...
+        assert (
+            route_latency(by_latency)
+            >= route_latency(target_latency.route(src, dst)) - 1e-12
+        )
+        # ...and never lengthens hop counts (interior traversals map
+        # to single mesh pipes).
+        assert len(distilled_hops.route(src, dst)) <= len(
+            target_hops.route(src, dst)
+        )

@@ -1,0 +1,204 @@
+"""Tests for fault injection and dynamic network changes."""
+
+import pytest
+
+from repro.core import (
+    DistillationMode,
+    EmulationConfig,
+    ExperimentPipeline,
+    FaultInjector,
+    LinkPerturbation,
+)
+from repro.engine import Simulator
+from repro.topology import Topology, NodeKind, ring_topology
+
+
+def build_square():
+    topology = Topology()
+    c0 = topology.add_node(NodeKind.CLIENT)
+    r1 = topology.add_node(NodeKind.STUB)
+    r2 = topology.add_node(NodeKind.STUB)
+    c3 = topology.add_node(NodeKind.CLIENT)
+    topology.add_link(c0.id, r1.id, 10e6, 0.001)
+    topology.add_link(r1.id, c3.id, 10e6, 0.001)
+    topology.add_link(c0.id, r2.id, 10e6, 0.020)
+    topology.add_link(r2.id, c3.id, 10e6, 0.020)
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .distill(DistillationMode.HOP_BY_HOP)
+        .assign(1)
+        .bind(1)
+        .run(EmulationConfig.reference())
+    )
+    return sim, emulation
+
+
+def test_scheduled_link_failure_and_recovery():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    injector.fail_link_at(1.0, 0)
+    injector.recover_link_at(2.0, 0)
+    sim.run(until=1.5)
+    assert not emulation.topology.links[0].up
+    assert not emulation.pipes_of_link(0)[0].up
+    sim.run(until=2.5)
+    assert emulation.topology.links[0].up
+    assert injector.failures_injected == 1
+
+
+def test_node_failure_fails_incident_links():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    injector.fail_node_at(1.0, 1)  # router r1
+    sim.run(until=1.5)
+    assert not emulation.topology.links[0].up
+    assert not emulation.topology.links[1].up
+    assert emulation.topology.links[2].up
+    injector.recover_node_at(2.0, 1)
+    sim.run(until=2.5)
+    assert emulation.topology.links[0].up
+
+
+def test_partition_cuts_traffic():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    received = []
+    emulation.vn(1).udp_socket(port=9, on_receive=lambda *a: received.append(sim.now))
+    sender = emulation.vn(0).udp_socket()
+    injector.partition_at(1.0, [0, 2])  # both of c0's access links
+    sim.at(0.5, sender.send_to, 1, 9, 100)
+    sim.at(1.5, sender.send_to, 1, 9, 100)
+    sim.run(until=3.0)
+    assert len(received) == 1
+    assert emulation.monitor.packets_unroutable == 1
+
+
+def test_perturbation_changes_latencies_within_bounds():
+    topology = ring_topology(num_routers=6, vns_per_router=2)
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .distill(DistillationMode.HOP_BY_HOP)
+        .assign(1)
+        .bind(1)
+        .run(EmulationConfig.reference())
+    )
+    injector = FaultInjector(emulation)
+    originals = {
+        link_id: link.latency_s
+        for link_id, link in emulation.topology.links.items()
+    }
+    applied_sets = []
+    injector.start_perturbation(
+        LinkPerturbation(period_s=1.0, link_fraction=0.25, latency_scale=(1.0, 1.25)),
+        start_s=1.0,
+        stop_s=4.0,
+        on_applied=applied_sets.append,
+    )
+    sim.run(until=3.5)
+    assert injector.perturbations_applied == 3
+    assert all(len(chosen) == round(0.25 * len(originals)) for chosen in applied_sets)
+    for link_id, link in emulation.topology.links.items():
+        assert originals[link_id] <= link.latency_s <= 1.25 * originals[link_id] + 1e-12
+    # After stop, everything reverts.
+    sim.run(until=5.0)
+    for link_id, link in emulation.topology.links.items():
+        assert link.latency_s == pytest.approx(originals[link_id])
+
+
+def test_perturbation_does_not_compound():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    injector.start_perturbation(
+        LinkPerturbation(period_s=0.5, link_fraction=1.0, latency_scale=(1.2, 1.2)),
+        start_s=0.0,
+        stop_s=10.0,
+    )
+    sim.run(until=5.1)
+    # After 10 rounds of x1.2 the latency is still exactly 1.2x the
+    # original (scales apply to originals, not the current value).
+    assert emulation.topology.links[0].latency_s == pytest.approx(0.001 * 1.2)
+
+
+def test_perturbation_with_bandwidth_and_loss():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    injector.start_perturbation(
+        LinkPerturbation(
+            period_s=1.0,
+            link_fraction=1.0,
+            latency_scale=(1.0, 1.0),
+            bandwidth_scale=(0.5, 0.5),
+            loss_add=(0.1, 0.1),
+        ),
+        start_s=0.0,
+        stop_s=10.0,
+    )
+    sim.run(until=0.5)
+    link = emulation.topology.links[0]
+    assert link.bandwidth_bps == pytest.approx(5e6)
+    assert link.loss_rate == pytest.approx(0.1)
+    pipe = emulation.pipes_of_link(0)[0]
+    assert pipe.bandwidth_bps == pytest.approx(5e6)
+    assert pipe.loss_rate == pytest.approx(0.1)
+
+
+def test_random_stress_schedules_outages():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    outages = injector.random_stress(
+        start_s=0.0, stop_s=60.0, mean_failure_interval_s=5.0,
+        mean_outage_s=1.0,
+    )
+    assert outages > 3
+    sim.run(until=61.0)
+    assert injector.failures_injected == outages
+    # Everything recovered by the end.
+    assert all(link.up for link in emulation.topology.links.values())
+
+
+def test_random_stress_respects_protected_links():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    protected = [0, 1]
+    injector.random_stress(
+        start_s=0.0, stop_s=120.0, mean_failure_interval_s=2.0,
+        mean_outage_s=100.0, protect=protected,
+    )
+    sim.run(until=60.0)
+    for link_id in protected:
+        assert emulation.topology.links[link_id].up
+    with pytest.raises(ValueError):
+        injector.random_stress(0.0, 10.0, protect=[0, 1, 2, 3])
+
+
+def test_random_stress_deterministic_given_seed():
+    counts = []
+    for _ in range(2):
+        sim, emulation = build_square()
+        import random as _random
+
+        injector = FaultInjector(emulation, rng=_random.Random(9))
+        counts.append(
+            injector.random_stress(0.0, 100.0, mean_failure_interval_s=7.0)
+        )
+    assert counts[0] == counts[1]
+
+
+def test_service_survives_random_stress():
+    """A TCP transfer across the redundant square completes despite
+    randomized outages (the redundancy does its job)."""
+    from repro.apps.netperf import TcpStream
+
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    injector.random_stress(
+        start_s=1.0, stop_s=30.0, mean_failure_interval_s=4.0,
+        mean_outage_s=1.0, protect=[],
+    )
+    stream = TcpStream(emulation, 0, 1)
+    sim.run(until=60.0)
+    assert stream.bytes_received > 1_000_000

@@ -1,0 +1,71 @@
+"""Tests for queueing disciplines."""
+
+import random
+
+import pytest
+
+from repro.core.queues import DropTailQueue, REDQueue
+
+
+def test_droptail_admits_below_limit():
+    queue = DropTailQueue()
+    assert queue.admit(0, 10, 0.0, None)
+    assert queue.admit(9, 10, 0.0, None)
+    assert not queue.admit(10, 10, 0.0, None)
+    assert not queue.admit(11, 10, 0.0, None)
+
+
+def test_red_validation():
+    with pytest.raises(ValueError):
+        REDQueue(min_th_frac=0.8, max_th_frac=0.5)
+    with pytest.raises(ValueError):
+        REDQueue(max_p=0.0)
+
+
+def test_red_admits_when_queue_small():
+    red = REDQueue()
+    rng = random.Random(1)
+    assert all(red.admit(0, 100, 0.0, rng) for _ in range(50))
+    assert red.early_drops == 0
+
+
+def test_red_always_drops_at_hard_limit():
+    red = REDQueue()
+    rng = random.Random(1)
+    assert not red.admit(100, 100, 0.0, rng)
+
+
+def test_red_drops_probabilistically_between_thresholds():
+    red = REDQueue(min_th_frac=0.1, max_th_frac=0.5, max_p=0.5)
+    rng = random.Random(3)
+    # Hold the instantaneous queue at 40/100 so the EWMA climbs into
+    # the (10, 50) band and early drops begin.
+    outcomes = [red.admit(40, 100, 0.0, rng) for _ in range(3000)]
+    assert red.early_drops > 0
+    assert outcomes.count(False) == red.early_drops
+    assert outcomes.count(True) > 0
+
+
+def test_red_average_tracks_backlog():
+    red = REDQueue(weight=0.5)
+    rng = random.Random(1)
+    red.admit(10, 100, 0.0, rng)
+    assert red.avg == pytest.approx(5.0)
+    red.admit(10, 100, 0.0, rng)
+    assert red.avg == pytest.approx(7.5)
+
+
+def test_red_forced_drop_above_max_threshold():
+    red = REDQueue(min_th_frac=0.1, max_th_frac=0.3, max_p=0.1, weight=1.0)
+    rng = random.Random(1)
+    # weight=1.0 makes avg equal the instantaneous backlog.
+    assert not red.admit(40, 100, 0.0, rng)
+    assert red.early_drops == 1
+
+
+def test_red_reset():
+    red = REDQueue(weight=1.0)
+    red.admit(50, 100, 0.0, random.Random(1))
+    assert red.avg > 0
+    red.reset()
+    assert red.avg == 0.0

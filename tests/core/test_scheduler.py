@@ -1,0 +1,103 @@
+"""Tests for the heap-of-pipes tick scheduler."""
+
+import pytest
+
+from repro.core.packet import PacketDescriptor
+from repro.core.pipe import INFINITY, Pipe
+from repro.core.scheduler import PipeScheduler
+from repro.net.packet import Packet
+
+
+def descriptor(size=1000):
+    return PacketDescriptor(Packet(0, 1, size, "udp"), (), 0, 0.0)
+
+
+def test_quantize_rounds_up_to_tick():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    assert scheduler.quantize(0.00012) == pytest.approx(0.0002)
+    assert scheduler.quantize(0.0002) == pytest.approx(0.0002)
+    assert scheduler.quantize(0.0) == 0.0
+
+
+def test_quantize_exact_mode_is_identity():
+    scheduler = PipeScheduler(tick_s=0.0)
+    assert scheduler.quantize(0.000123) == 0.000123
+
+
+def test_quantize_tolerates_float_noise():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    # 693 ticks with accumulated float error just above the boundary.
+    assert scheduler.quantize(0.06930000000000001) == pytest.approx(0.0693)
+
+
+def test_notify_and_earliest_deadline():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    pipe = Pipe(0, 1e6, 0.01)
+    assert scheduler.earliest_deadline() == INFINITY
+    pipe.arrival(descriptor(1250), 0.0, 0.0)
+    scheduler.notify(pipe)
+    assert scheduler.earliest_deadline() == pytest.approx(0.01)
+    assert scheduler.next_wake() == pytest.approx(0.01)
+
+
+def test_collect_services_matured_pipes():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    pipe = Pipe(0, 1e6, 0.005)
+    d = descriptor(1250)
+    pipe.arrival(d, 0.0, 0.0)
+    scheduler.notify(pipe)
+    assert scheduler.collect(0.005) == []  # dequeue only, no exit yet
+    serviced = scheduler.collect(0.015)
+    assert serviced == [(pipe, [d])]
+    assert scheduler.hops_serviced == 1
+
+
+def test_collect_reinserts_pipe_with_new_deadline():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    pipe = Pipe(0, 1e6, 0.0)
+    first, second = descriptor(1250), descriptor(1250)
+    pipe.arrival(first, 0.0, 0.0)
+    pipe.arrival(second, 0.0, 0.0)
+    scheduler.notify(pipe)
+    assert scheduler.collect(0.01) == [(pipe, [first])]
+    assert scheduler.next_wake() == pytest.approx(0.02)
+    assert scheduler.collect(0.02) == [(pipe, [second])]
+
+
+def test_earlier_arrival_updates_heap():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    slow = Pipe(0, 1e5, 0.0)
+    fast = Pipe(1, 1e9, 0.0)
+    slow.arrival(descriptor(1250), 0.0, 0.0)
+    scheduler.notify(slow)
+    fast.arrival(descriptor(1250), 0.0, 0.0)
+    scheduler.notify(fast)
+    assert scheduler.earliest_deadline() == pytest.approx(1e-5)
+
+
+def test_stale_entries_skipped():
+    scheduler = PipeScheduler(tick_s=1e-4)
+    pipe = Pipe(0, 1e6, 0.0)
+    pipe.arrival(descriptor(1250), 0.0, 0.0)
+    scheduler.notify(pipe)
+    scheduler.notify(pipe)  # duplicate notify is a no-op
+    serviced = scheduler.collect(1.0)
+    assert len(serviced) == 1
+
+
+def test_multiple_pipes_serviced_in_deadline_order():
+    scheduler = PipeScheduler(tick_s=0.0)
+    early = Pipe(0, 1e6, 0.0)
+    late = Pipe(1, 1e5, 0.0)
+    d_early, d_late = descriptor(1250), descriptor(1250)
+    early.arrival(d_early, 0.0, 0.0)
+    late.arrival(d_late, 0.0, 0.0)
+    scheduler.notify(early)
+    scheduler.notify(late)
+    serviced = scheduler.collect(1.0)
+    assert [pipe.id for pipe, _ in serviced] == [0, 1]
+
+
+def test_negative_tick_rejected():
+    with pytest.raises(ValueError):
+        PipeScheduler(tick_s=-1.0)

@@ -1,0 +1,90 @@
+"""Tests for the kernel-logging analog."""
+
+import pytest
+
+from repro.apps.netperf import TcpStream
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.core.tracelog import (
+    PKT_ENTER,
+    PKT_EXIT,
+    PIPE_SAMPLE,
+    Record,
+    TraceLog,
+)
+from repro.engine import Simulator
+from repro.topology import chain_topology
+
+
+def run_instrumented(sample_every=0.0, capacity=500_000):
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(chain_topology(1, hops=3, bandwidth_bps=10e6, latency_s=0.010))
+        .run(EmulationConfig())
+    )
+    log = TraceLog(capacity=capacity)
+    log.attach(emulation, sample_pipes_every_s=sample_every)
+    stream = TcpStream(emulation, 0, 1)
+    sim.run(until=1.5)
+    stream.stop()
+    return log, emulation
+
+
+def test_records_enter_and_exit():
+    log, emulation = run_instrumented()
+    enters = log.records(PKT_ENTER)
+    exits = log.records(PKT_EXIT)
+    assert len(enters) == emulation.monitor.packets_entered
+    assert len(exits) == emulation.monitor.packets_delivered
+    assert len(exits) > 100
+
+
+def test_error_series_bounded_by_monitor():
+    log, emulation = run_instrumented()
+    series = log.error_series()
+    assert series
+    worst = max(error for _t, error in series)
+    assert worst == pytest.approx(emulation.accuracy_report().max_error_s)
+
+
+def test_throughput_series():
+    log, _ = run_instrumented()
+    series = log.throughput_series(bucket_s=0.5)
+    assert len(series) >= 2
+    assert all(rate > 0 for _t, rate in series)
+
+
+def test_pipe_sampling():
+    log, _ = run_instrumented(sample_every=0.01)
+    samples = log.records(PIPE_SAMPLE)
+    assert samples
+    worst = log.worst_pipe_backlogs(top=3)
+    assert worst
+    assert worst[0][1] >= worst[-1][1]
+
+
+def test_ring_bound_evicts_oldest():
+    log, _ = run_instrumented(capacity=100)
+    assert len(log) == 100
+    assert log.dropped_records > 0
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    log, _ = run_instrumented()
+    path = tmp_path / "trace.jsonl"
+    written = log.dump(str(path))
+    loaded = TraceLog.load(str(path))
+    assert len(loaded) == written
+    assert loaded.error_series() == log.error_series()
+
+
+def test_record_json_roundtrip():
+    record = Record(1.25, PKT_EXIT, (0.0001,))
+    assert Record.from_json(record.to_json()) == record
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        TraceLog(capacity=0)
+    with pytest.raises(ValueError):
+        TraceLog().throughput_series(bucket_s=0)

@@ -1,0 +1,39 @@
+"""Unit tests for named RNG streams."""
+
+from repro.engine import RngRegistry
+
+
+def test_same_name_returns_same_stream():
+    rng = RngRegistry(seed=1)
+    assert rng.stream("a") is rng.stream("a")
+
+
+def test_streams_reproducible_across_registries():
+    first = [RngRegistry(seed=7).stream("loss").random() for _ in range(5)]
+    second = [RngRegistry(seed=7).stream("loss").random() for _ in range(5)]
+    assert first == second
+
+
+def test_different_names_are_independent():
+    rng = RngRegistry(seed=7)
+    a = [rng.stream("a").random() for _ in range(5)]
+    b = [rng.stream("b").random() for _ in range(5)]
+    assert a != b
+
+
+def test_different_seeds_differ():
+    a = RngRegistry(seed=1).stream("x").random()
+    b = RngRegistry(seed=2).stream("x").random()
+    assert a != b
+
+
+def test_fork_is_deterministic():
+    a = RngRegistry(seed=3).fork("child").stream("s").random()
+    b = RngRegistry(seed=3).fork("child").stream("s").random()
+    assert a == b
+
+
+def test_fork_differs_from_parent():
+    parent = RngRegistry(seed=3)
+    child = parent.fork("child")
+    assert parent.stream("s").random() != child.stream("s").random()

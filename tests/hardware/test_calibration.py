@@ -1,0 +1,79 @@
+"""The calibrated constants must keep implying the paper's
+system-level numbers (guards against silent drift)."""
+
+import pytest
+
+from repro.hardware.calibration import (
+    DEFAULT_CORE_SPEC,
+    DEFAULT_EDGE_SPEC,
+    GIGABIT_EDGE_SPEC,
+)
+
+
+def test_core_tick_is_ten_kilohertz():
+    assert DEFAULT_CORE_SPEC.tick_s == pytest.approx(1e-4)
+
+
+def test_core_cpu_implies_8hop_plateau():
+    # ~90 kpps CPU-bound at 8 hops (paper Fig. 4).
+    pps = 1.0 / (
+        DEFAULT_CORE_SPEC.per_packet_s + 8 * DEFAULT_CORE_SPEC.per_hop_s
+    )
+    assert 80_000 < pps < 100_000
+
+
+def test_core_cpu_half_utilized_at_nic_plateau():
+    # ~50% CPU at the 120 kpps 1-hop NIC-bound plateau.
+    utilization = 120_000 * (
+        DEFAULT_CORE_SPEC.per_packet_s + DEFAULT_CORE_SPEC.per_hop_s
+    )
+    assert 0.4 < utilization < 0.6
+
+
+def test_nic_plateau_is_line_rate_at_1kb():
+    # 1 Gb/s at ~1 KB average (2 data : 1 ack) is ~120 kpps.
+    average_packet = (1540 + 1540 + 40) / 3
+    pps = DEFAULT_CORE_SPEC.nic_bps / (average_packet * 8)
+    assert 110_000 < pps < 130_000
+
+
+def test_tunnel_costs_make_crossings_2_to_3x():
+    # Local 2-hop cost vs fully-crossing cost (Table 1's degradation).
+    spec = DEFAULT_CORE_SPEC
+    local = spec.per_packet_s + 2 * spec.per_hop_s
+    crossing = (
+        local + spec.tunnel_send_s + spec.tunnel_recv_s
+        + 2 * spec.deliver_order_s
+    )
+    assert 2.0 < crossing / local < 4.5
+
+
+def test_payload_tunneling_memcpy_dominates_descriptors():
+    spec = DEFAULT_CORE_SPEC
+    body_cost = spec.tunnel_byte_s * 1040
+    assert body_cost > 3 * spec.tunnel_byte_s * spec.descriptor_bytes
+
+
+def test_edge_knee_at_76_instructions_per_byte():
+    # 95 Mb/s of 1500 B payloads = ~7917 pkts/s = 126.3 us/pkt budget;
+    # minus the stack cost, ~76 i/B of application compute fits.
+    spec = DEFAULT_EDGE_SPEC
+    budget = 1500 / (95e6 / 8) - spec.per_packet_stack_s
+    knee = budget * spec.instructions_per_s / 1500
+    assert 72 < knee < 80
+
+
+def test_edge_framing_gives_95_percent_goodput():
+    spec = DEFAULT_EDGE_SPEC
+    goodput = 1500 / (1500 + spec.framing_bytes)
+    assert goodput == pytest.approx(0.95, abs=0.01)
+
+
+def test_gigabit_edge_differs_only_in_rate():
+    assert GIGABIT_EDGE_SPEC.nic_bps == 1e9
+    assert GIGABIT_EDGE_SPEC.per_packet_stack_s == DEFAULT_EDGE_SPEC.per_packet_stack_s
+
+
+def test_specs_are_frozen():
+    with pytest.raises(Exception):
+        DEFAULT_CORE_SPEC.tick_s = 1.0

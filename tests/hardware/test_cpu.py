@@ -1,0 +1,122 @@
+"""Tests for the edge CPU model."""
+
+import math
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware import EdgeCpu
+from repro.hardware.calibration import EdgeHostSpec
+
+
+def make_cpu(sim, **overrides):
+    spec = EdgeHostSpec(**overrides) if overrides else EdgeHostSpec()
+    return EdgeCpu(sim, spec)
+
+
+def test_work_takes_instruction_time():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    done = []
+    cpu.run("p1", 1_000_000, lambda: done.append(sim.now))  # 1 ms at 1 GHz
+    sim.run()
+    assert done == [pytest.approx(0.001)]
+
+
+def test_fifo_serialization():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.register("p1")
+    done = []
+    cpu.run("p1", 1_000_000, lambda: done.append(("a", sim.now)))
+    cpu.run("p1", 1_000_000, lambda: done.append(("b", sim.now)))
+    sim.run()
+    assert done[0] == ("a", pytest.approx(0.001))
+    assert done[1] == ("b", pytest.approx(0.002))
+
+
+def test_no_context_switch_single_process():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.register("p1")
+    for _ in range(10):
+        cpu.run("p1", 1000)
+    sim.run()
+    assert cpu.context_switches == 0
+
+
+def test_context_switch_cost_added_between_processes():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.register("p1")
+    cpu.register("p2")
+    done = []
+    cpu.run("p1", 1_000_000, lambda: done.append(sim.now))
+    cpu.run("p2", 1_000_000, lambda: done.append(sim.now))
+    sim.run()
+    switch = cpu.context_switch_cost()
+    assert switch > 0
+    assert done[1] == pytest.approx(0.002 + switch)
+    assert cpu.context_switches == 1
+
+
+def test_context_switch_cost_grows_with_process_count():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.register("p1")
+    cpu.register("p2")
+    cost_2 = cpu.context_switch_cost()
+    for index in range(98):
+        cpu.register(f"extra-{index}")
+    cost_100 = cpu.context_switch_cost()
+    assert cost_100 > cost_2
+    expected = 2.4e-6 + 3.1e-6 * math.log(100)
+    assert cost_100 == pytest.approx(expected)
+
+
+def test_run_seconds():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    done = []
+    cpu.run_seconds("kernel", 0.005, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.005)]
+
+
+def test_utilization_accounting():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.run("p1", 5_000_000)  # 5 ms
+    sim.run(until=0.010)
+    assert cpu.utilization(0.010) == pytest.approx(0.5)
+
+
+def test_negative_work_rejected():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    with pytest.raises(ValueError):
+        cpu.run("p1", -1)
+    with pytest.raises(ValueError):
+        cpu.run_seconds("p1", -0.1)
+
+
+def test_unregister_reduces_count():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    cpu.register("a")
+    cpu.register("b")
+    assert cpu.process_count == 2
+    cpu.unregister("b")
+    assert cpu.process_count == 1
+    assert cpu.context_switch_cost() == 0.0
+
+
+def test_idle_cpu_resumes_after_gap():
+    sim = Simulator()
+    cpu = make_cpu(sim)
+    done = []
+    cpu.run("p", 1_000_000, lambda: done.append(sim.now))
+    sim.run()
+    sim.at(1.0, cpu.run, "p", 1_000_000, lambda: done.append(sim.now))
+    sim.run()
+    assert done == [pytest.approx(0.001), pytest.approx(1.001)]

@@ -1,0 +1,82 @@
+"""Tests for physical link serialization and drops."""
+
+import pytest
+
+from repro.engine import Simulator
+from repro.hardware import PhysicalLink
+
+
+def test_single_packet_timing():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, latency_s=0.001, queue_limit=4)
+    arrivals = []
+    assert link.send(1250, arrivals.append, "a")  # 10 ms serialization
+    sim.run()
+    assert arrivals == ["a"]
+    assert sim.now == pytest.approx(0.011)
+
+
+def test_back_to_back_serialization():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, latency_s=0.0)
+    arrivals = []
+    link.send(1250, lambda: arrivals.append(sim.now))
+    link.send(1250, lambda: arrivals.append(sim.now))
+    sim.run()
+    assert arrivals == [pytest.approx(0.01), pytest.approx(0.02)]
+
+
+def test_queue_overflow_drops():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, queue_limit=2)
+    accepted = sum(link.send(1250, lambda: None) for _ in range(5))
+    assert accepted == 2
+    assert link.dropped == 3
+    assert link.accepted == 2
+
+
+def test_queue_drains_over_time():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, queue_limit=2)
+    link.send(1250, lambda: None)
+    link.send(1250, lambda: None)
+    assert not link.send(1250, lambda: None)
+    sim.run(until=0.015)  # first packet serialized at 10 ms
+    assert link.queued == 1
+    assert link.send(1250, lambda: None)
+
+
+def test_framing_overhead_counts_against_wire():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, latency_s=0.0, framing_bytes=250)
+    done = []
+    link.send(1000, lambda: done.append(sim.now))
+    sim.run()
+    assert done[0] == pytest.approx(0.01)  # 1250 wire bytes at 1 Mb/s
+    assert link.bytes_sent == 1250
+
+
+def test_idle_gap_resets_serializer():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e6, latency_s=0.0)
+    done = []
+    link.send(1250, lambda: done.append(sim.now))
+    sim.run()
+    sim.at(1.0, lambda: link.send(1250, lambda: done.append(sim.now)))
+    sim.run()
+    assert done == [pytest.approx(0.01), pytest.approx(1.01)]
+
+
+def test_invalid_rate():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PhysicalLink(sim, rate_bps=0)
+
+
+def test_callback_args_passed():
+    sim = Simulator()
+    link = PhysicalLink(sim, rate_bps=1e9)
+    seen = []
+    link.send(100, lambda a, b: seen.append((a, b)), 1, "x")
+    sim.run()
+    assert seen == [(1, "x")]

@@ -1,0 +1,38 @@
+"""Tests for VN addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import AddressError, parse_vn_ip, vn_ip
+
+
+def test_first_vn():
+    assert vn_ip(0) == "10.0.0.1"
+
+
+def test_carries_octets():
+    assert vn_ip(255) == "10.0.1.0"
+    assert vn_ip(65535) == "10.1.0.0"
+
+
+def test_out_of_range():
+    with pytest.raises(AddressError):
+        vn_ip(-1)
+    with pytest.raises(AddressError):
+        vn_ip(2**24)
+
+
+def test_parse_rejects_non_ten_space():
+    with pytest.raises(AddressError):
+        parse_vn_ip("192.168.0.1")
+
+
+def test_parse_rejects_malformed():
+    for bad in ("10.0.0", "10.0.0.0.1", "10.a.b.c", "10.0.0.0", "10.0.0.999"):
+        with pytest.raises(AddressError):
+            parse_vn_ip(bad)
+
+
+@given(st.integers(0, 2**24 - 2))
+def test_roundtrip(vn):
+    assert parse_vn_ip(vn_ip(vn)) == vn

@@ -1,0 +1,153 @@
+"""Tests for connection tracing and packet reordering resilience."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Simulator
+from repro.net import LoopbackFabric
+from repro.net.conntrace import ConnectionTracer
+
+
+def make_pair(sim, fabric, **connect_kwargs):
+    accepted = []
+    fabric.stack(1).tcp_listen(80, accepted.append)
+    client = fabric.stack(0).tcp_connect(1, 80, **connect_kwargs)
+    return client, accepted
+
+
+# ------------------------------------------------------------- reordering
+
+def test_jitter_reorders_but_preserves_integrity():
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.005, jitter_s=0.004, rng=random.Random(3)
+    )
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(300_000)
+    )
+    sim.run(until=30.0)
+    assert accepted[0].bytes_received == 300_000
+    assert client.bytes_acked == 300_000
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 5000),
+    jitter=st.floats(0.0, 0.01),
+    loss=st.floats(0.0, 0.04),
+)
+def test_property_integrity_under_reordering_and_loss(seed, jitter, loss):
+    """Reordering plus loss never corrupts or duplicates the stream."""
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.004, jitter_s=jitter, loss_rate=loss,
+        rng=random.Random(seed),
+    )
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(60_000)
+    )
+    sim.run(until=300.0)
+    assert accepted, "handshake never completed"
+    assert accepted[0].bytes_received == 60_000
+    assert client.bytes_acked == 60_000
+
+
+# ---------------------------------------------------------------- tracer
+
+def test_tracer_samples_and_summary():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.01, bandwidth_bps=4e6)
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(500_000)
+    )
+    tracer = ConnectionTracer(client, period_s=0.05)
+    sim.run(until=5.0)
+    tracer.stop()
+    assert len(tracer.samples) > 20
+    assert tracer.max_cwnd() > client.params.mss * 2
+    assert "max_cwnd" in tracer.summary()
+    rtts = tracer.rtt_series()
+    assert rtts
+    assert all(rtt > 0.019 for _t, rtt in rtts)  # at least 2x one-way
+
+
+def test_tracer_sees_slow_start_growth():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.02)
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(2_000_000)
+    )
+    tracer = ConnectionTracer(client, period_s=0.02)
+    sim.run(until=1.0)
+    cwnds = [cwnd for _t, cwnd in tracer.cwnd_series()]
+    assert cwnds[-1] > cwnds[0] * 4
+
+
+def test_tracer_captures_loss_recovery():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.02, bandwidth_bps=8e6)
+    from repro.net.packet import PROTO_TCP
+
+    state = {"count": 0}
+
+    def drop_filter(packet):
+        if packet.proto == PROTO_TCP and packet.segment.payload_len > 0:
+            state["count"] += 1
+            return state["count"] in (60, 61)
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(1_000_000)
+    )
+    tracer = ConnectionTracer(client, period_s=0.005)
+    sim.run(until=30.0)
+    assert accepted[0].bytes_received == 1_000_000
+    # The trace shows the cwnd cut and the recovery period.
+    cwnds = [cwnd for _t, cwnd in tracer.cwnd_series()]
+    assert min(cwnds[5:]) < max(cwnds) / 2
+    assert tracer.samples[-1].retransmitted >= 1
+
+
+def test_tracer_goodput_series():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005, bandwidth_bps=2e6)
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(2_000_000)
+    )
+    tracer = ConnectionTracer(client, period_s=0.1)
+    sim.run(until=4.0)
+    series = tracer.goodput_series()
+    steady = [rate for _t, rate in series[3:]]
+    assert steady
+    # ~2 Mb/s bottleneck minus headers: ~240 KB/s.
+    assert sum(steady) / len(steady) == pytest.approx(240_000, rel=0.15)
+
+
+def test_tracer_stops_at_close():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+
+    def on_connection(conn):
+        # Close our direction as soon as the peer closes theirs.
+        conn.on_close = lambda c: c.close()
+
+    fabric.stack(1).tcp_listen(80, on_connection)
+    client = fabric.stack(0).tcp_connect(
+        1, 80, on_established=lambda c: (c.send(1_000), c.close())
+    )
+    tracer = ConnectionTracer(client, period_s=0.01)
+    sim.run(until=10.0)
+    assert client.state == "closed"
+    assert not tracer._running  # self-stopped at close
+    assert tracer.samples
+
+
+def test_tracer_validation():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    client, _ = make_pair(sim, fabric)
+    with pytest.raises(ValueError):
+        ConnectionTracer(client, period_s=0.0)

@@ -1,0 +1,109 @@
+"""Tests for the library-interposition analog."""
+
+import pytest
+
+from repro.core import EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.net import AddressError
+from repro.net.interpose import NameService, PerSocketVnMapper, interpose
+from repro.topology import star_topology
+
+
+@pytest.fixture
+def emulation():
+    sim = Simulator()
+    emu = (
+        ExperimentPipeline(sim)
+        .create(star_topology(6, bandwidth_bps=10e6, latency_s=0.002))
+        .run(EmulationConfig.reference())
+    )
+    return sim, emu
+
+
+def test_name_service_resolution():
+    names = NameService()
+    names.register(0, "alpha")
+    names.register(3, "delta")
+    assert names.gethostbyname("alpha") == "10.0.0.1"
+    assert names.gethostbyname("delta") == "10.0.0.4"
+    assert names.resolve_vn("alpha") == 0
+    assert names.resolve_vn("10.0.0.4") == 3
+    assert names.gethostbyaddr("10.0.0.1") == "alpha"
+
+
+def test_name_service_conflicts_and_misses():
+    names = NameService()
+    names.register(0, "alpha")
+    with pytest.raises(AddressError):
+        names.register(1, "alpha")
+    with pytest.raises(AddressError):
+        names.gethostbyname("unknown-host")
+    with pytest.raises(AddressError):
+        names.gethostbyaddr("10.0.0.9")
+    names.register(0, "alpha")  # same mapping is idempotent
+
+
+def test_dotted_addresses_resolve_to_themselves():
+    names = NameService()
+    assert names.gethostbyname("10.0.0.5") == "10.0.0.5"
+
+
+def test_environment_identity(emulation):
+    sim, emu = emulation
+    names, envs = interpose(emu, hostnames={0: "client", 5: "server"})
+    assert envs[0].ip == "10.0.0.1"
+    assert envs[0].gethostname() == "client"
+    assert envs[1].gethostname() == envs[1].ip  # unnamed VN
+
+
+def test_connect_by_hostname(emulation):
+    sim, emu = emulation
+    names, envs = interpose(emu, hostnames={5: "server"})
+    received = []
+    envs[5].tcp_listen(80, lambda conn: setattr(
+        conn, "on_message", lambda c, m: received.append(m)
+    ))
+    envs[0].tcp_connect(
+        "server", 80, on_established=lambda c: c.send(100, message="hello")
+    )
+    sim.run(until=2.0)
+    assert received == ["hello"]
+
+
+def test_udp_sendto_by_name(emulation):
+    sim, emu = emulation
+    names, envs = interpose(emu, hostnames={2: "sink"})
+    got = []
+    envs[2].udp_socket(port=9, on_receive=lambda *a: got.append(a))
+    socket = envs[0].udp_socket()
+    envs[0].sendto(socket, "sink", 9, 64)
+    sim.run(until=1.0)
+    assert len(got) == 1
+
+
+def test_per_socket_vn_mapper_round_robins(emulation):
+    sim, emu = emulation
+    names, _envs = interpose(emu)
+    mapper = PerSocketVnMapper(emu, [0, 1, 2], names)
+    sockets = [mapper.udp_socket() for _ in range(6)]
+    owners = [socket.stack.vn_id for socket in sockets]
+    assert owners == [0, 1, 2, 0, 1, 2]
+    assert mapper.sockets_opened == 6
+
+
+def test_per_socket_mapper_tcp(emulation):
+    sim, emu = emulation
+    names, _envs = interpose(emu, hostnames={5: "server"})
+    mapper = PerSocketVnMapper(emu, [0, 1], names)
+    seen_sources = set()
+    emu.vn(5).tcp_listen(80, lambda conn: seen_sources.add(conn.remote_vn))
+    for _ in range(4):
+        mapper.tcp_connect("server", 80)
+    sim.run(until=2.0)
+    assert seen_sources == {0, 1}
+
+
+def test_mapper_requires_vns(emulation):
+    sim, emu = emulation
+    with pytest.raises(ValueError):
+        PerSocketVnMapper(emu, [], NameService())

@@ -1,0 +1,326 @@
+"""Tests for the TCP implementation over the loopback fabric."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Simulator
+from repro.net import LoopbackFabric
+from repro.net.packet import PROTO_TCP
+from repro.net.tcp import ESTABLISHED
+
+
+def make_pair(sim, fabric, server_vn=1, client_vn=0, port=80, **connect_kwargs):
+    """Server accepting on ``port``; returns (client_conn, accepted_list)."""
+    accepted = []
+
+    def on_connection(conn):
+        accepted.append(conn)
+
+    fabric.stack(server_vn).tcp_listen(port, on_connection)
+    client = fabric.stack(client_vn).tcp_connect(server_vn, port, **connect_kwargs)
+    return client, accepted
+
+
+def test_handshake():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.01)
+    established = []
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: established.append(sim.now)
+    )
+    sim.run(until=1.0)
+    assert client.state == ESTABLISHED
+    assert len(accepted) == 1
+    assert accepted[0].state == ESTABLISHED
+    # One RTT for SYN / SYN+ACK.
+    assert established[0] == pytest.approx(0.02)
+
+
+def test_bulk_transfer_integrity():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(100_000)
+    )
+    sim.run(until=5.0)
+    server = accepted[0]
+    assert server.bytes_received == 100_000
+    assert client.bytes_acked == 100_000
+
+
+def test_throughput_matches_bottleneck():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005, bandwidth_bps=1e6)
+    done = []
+
+    def on_established(conn):
+        conn.send(125_000)  # 1 Mb/s -> ~1 s of data
+
+    client, accepted = make_pair(sim, fabric, on_established=on_established)
+    accepted_conn = {}
+
+    sim.run(until=30.0)
+    server = accepted[0]
+    assert server.bytes_received == 125_000
+    # Ideal serialization time is 1.0 s; allow slow-start and header
+    # overhead but it must be in the right regime.
+    assert client.bytes_acked == 125_000
+
+
+def test_transfer_completion_time_reasonable():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.01, bandwidth_bps=8e6)
+    finished = []
+
+    def on_message(conn, message):
+        finished.append(sim.now)
+
+    client, accepted = make_pair(
+        sim,
+        fabric,
+        on_established=lambda c: c.send(1_000_000, message="done"),
+    )
+    # Install on the server side once accepted.
+    sim.run(until=0.05)
+    accepted[0].on_message = on_message
+    sim.run(until=30.0)
+    assert finished, "transfer did not complete"
+    # Serialization alone is 1.03 s; slow start adds a few RTTs.
+    assert 1.0 < finished[0] < 3.0
+
+
+def test_message_framing_in_order():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+    messages = []
+
+    def on_connection(conn):
+        conn.on_message = lambda c, m: messages.append(m)
+
+    fabric.stack(1).tcp_listen(80, on_connection)
+
+    def on_established(conn):
+        for index in range(5):
+            conn.send(1000 + index, message=f"msg-{index}")
+
+    fabric.stack(0).tcp_connect(1, 80, on_established=on_established)
+    sim.run(until=2.0)
+    assert messages == [f"msg-{i}" for i in range(5)]
+
+
+def test_bidirectional_transfer():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+
+    def on_connection(conn):
+        conn.on_message = lambda c, m: c.send(5000, message="response")
+
+    fabric.stack(1).tcp_listen(80, on_connection)
+    responses = []
+    client = fabric.stack(0).tcp_connect(
+        1,
+        80,
+        on_established=lambda c: c.send(2000, message="request"),
+        on_message=lambda c, m: responses.append((m, sim.now)),
+    )
+    sim.run(until=2.0)
+    assert responses and responses[0][0] == "response"
+    assert client.bytes_received == 5000
+
+
+def test_fast_retransmit_on_single_drop():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    state = {"count": 0}
+
+    def drop_filter(packet):
+        if packet.proto == PROTO_TCP and packet.segment.payload_len > 0:
+            state["count"] += 1
+            return state["count"] == 8  # drop the 8th data segment
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(100_000)
+    )
+    sim.run(until=10.0)
+    assert accepted[0].bytes_received == 100_000
+    assert client.fast_retransmits >= 1
+    assert client.timeouts == 0
+
+
+def test_timeout_on_total_blackout():
+    sim = Simulator()
+    # Cap the path so the transfer is still in flight at blackout.
+    fabric = LoopbackFabric(sim, delay_s=0.005, bandwidth_bps=4e6)
+    blackout = {"active": False}
+    fabric.drop_filter = lambda packet: blackout["active"]
+
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(500_000)
+    )
+    sim.schedule(0.3, lambda: blackout.update(active=True))
+    sim.schedule(1.0, lambda: blackout.update(active=False))
+    sim.run(until=30.0)
+    assert client.timeouts >= 1
+    assert accepted[0].bytes_received == 500_000
+
+
+def test_random_loss_integrity():
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.01, loss_rate=0.03, rng=random.Random(7)
+    )
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(200_000)
+    )
+    sim.run(until=120.0)
+    assert accepted[0].bytes_received == 200_000
+    assert client.bytes_acked == 200_000
+
+
+def test_syn_retransmission():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    drops = {"n": 0}
+
+    def drop_filter(packet):
+        # Drop the first SYN only.
+        if packet.proto == PROTO_TCP and packet.segment.flags & 0x1:
+            drops["n"] += 1
+            return drops["n"] == 1
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(sim, fabric)
+    sim.run(until=10.0)
+    assert client.state == ESTABLISHED
+    # Initial RTO is 1 s, so establishment happens just after t=1.
+    assert client.established_at == pytest.approx(1.01, abs=0.05)
+
+
+def test_close_handshake_both_sides():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+    closed = []
+
+    def on_connection(conn):
+        conn.on_close = lambda c: (closed.append("server-eof"), c.close())
+
+    fabric.stack(1).tcp_listen(80, on_connection)
+    client = fabric.stack(0).tcp_connect(
+        1,
+        80,
+        on_established=lambda c: (c.send(1000), c.close()),
+        on_close=lambda c: closed.append("client-eof"),
+    )
+    sim.run(until=5.0)
+    assert "server-eof" in closed
+    assert client.state == "closed"
+
+
+def test_cwnd_grows_in_slow_start():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.02)
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(500_000)
+    )
+    initial = client.cwnd
+    sim.run(until=0.5)
+    assert client.cwnd > initial * 2
+
+
+def test_delayed_ack_reduces_ack_count():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    acks = {"n": 0}
+
+    def drop_filter(packet):
+        segment = packet.segment
+        if (
+            packet.proto == PROTO_TCP
+            and segment.payload_len == 0
+            and segment.flags == 0x2
+            and packet.src == 1
+        ):
+            acks["n"] += 1
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(146_000)  # 100 MSS
+    )
+    sim.run(until=10.0)
+    assert accepted[0].bytes_received == 146_000
+    # Delayed ACKs: roughly one ACK per two segments, not per segment.
+    assert acks["n"] < 80
+
+
+def test_send_after_close_rejected():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+    client, _ = make_pair(sim, fabric)
+    sim.run(until=0.1)
+    client.close()
+    with pytest.raises(RuntimeError):
+        client.send(100)
+
+
+def test_invalid_send_size():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.002)
+    client, _ = make_pair(sim, fabric)
+    with pytest.raises(ValueError):
+        client.send(0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0.0, 0.08),
+    size=st.integers(1_000, 80_000),
+)
+def test_property_integrity_under_loss(seed, loss, size):
+    """Whatever the loss pattern, TCP delivers exactly the bytes sent."""
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.004, loss_rate=loss, rng=random.Random(seed)
+    )
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(size)
+    )
+    sim.run(until=300.0)
+    assert accepted, "handshake never completed"
+    assert accepted[0].bytes_received == size
+    assert client.bytes_acked == size
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0.0, 0.06),
+    sizes=st.lists(st.integers(1, 40_000), min_size=1, max_size=25),
+)
+def test_property_message_framing_exactly_once_in_order(seed, loss, sizes):
+    """Framed application writes arrive exactly once, in order,
+    whatever the loss pattern does to the segments underneath."""
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.004, loss_rate=loss, rng=random.Random(seed)
+    )
+    received = []
+
+    def on_connection(conn):
+        conn.on_message = lambda c, m: received.append(m)
+
+    fabric.stack(1).tcp_listen(80, on_connection)
+
+    def send_all(conn):
+        for index, size in enumerate(sizes):
+            conn.send(size, message=index)
+
+    fabric.stack(0).tcp_connect(1, 80, on_established=send_all)
+    sim.run(until=400.0)
+    assert received == list(range(len(sizes)))

@@ -1,0 +1,182 @@
+"""Tests for selective acknowledgments (RFC 2018-style)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import Simulator
+from repro.net import LoopbackFabric
+from repro.net.packet import PROTO_TCP
+from repro.net.tcp import TcpParams
+
+
+def make_pair(sim, fabric, sack=True, **connect_kwargs):
+    params = TcpParams.modern() if sack else TcpParams()
+    accepted = []
+    server = fabric.stack(1, tcp_params=params)
+    server.tcp_listen(80, accepted.append)
+    client_stack = fabric.stack(0, tcp_params=params)
+    client = client_stack.tcp_connect(1, 80, **connect_kwargs)
+    return client, accepted
+
+
+def test_modern_preset_enables_sack():
+    assert TcpParams.modern().sack
+    assert not TcpParams().sack
+    assert not TcpParams.modern(sack=False).sack
+
+
+def test_receiver_advertises_sack_blocks():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    state = {"count": 0}
+    saw_blocks = []
+
+    def drop_filter(packet):
+        segment = packet.segment
+        if packet.proto == PROTO_TCP:
+            if segment.payload_len > 0:
+                state["count"] += 1
+                return state["count"] == 5  # one mid-window hole
+            if segment.sack_blocks:
+                saw_blocks.append(list(segment.sack_blocks))
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(
+        sim, fabric, on_established=lambda c: c.send(100_000)
+    )
+    sim.run(until=5.0)
+    assert accepted[0].bytes_received == 100_000
+    assert saw_blocks, "no SACK blocks ever advertised"
+    # Blocks describe ranges above the cumulative ACK.
+    for blocks in saw_blocks:
+        for start, end in blocks:
+            assert end > start
+
+
+def test_multi_loss_window_recovers_without_timeout():
+    """Several losses in one flight: SACK repairs them all in fast
+    recovery where plain NewReno needs partial-ack round trips (and
+    often an RTO)."""
+    outcomes = {}
+    for sack in (False, True):
+        sim = Simulator()
+        fabric = LoopbackFabric(sim, delay_s=0.02)
+        state = {"count": 0}
+        to_drop = {12, 14, 16, 18}
+
+        def drop_filter(packet):
+            if packet.proto == PROTO_TCP and packet.segment.payload_len > 0:
+                state["count"] += 1
+                return state["count"] in to_drop
+            return False
+
+        fabric.drop_filter = drop_filter
+        done = []
+        client, accepted = make_pair(
+            sim,
+            fabric,
+            sack=sack,
+            on_established=lambda c: c.send(300_000, message="eof"),
+        )
+        sim.run(until=60.0)
+        assert accepted[0].bytes_received == 300_000
+        outcomes[sack] = (client.timeouts, sim.now)
+    # SACK completes the multi-loss recovery without an RTO.
+    assert outcomes[True][0] == 0
+
+
+def test_sack_avoids_retransmitting_received_data():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.02)
+    state = {"count": 0}
+
+    def drop_filter(packet):
+        # Drop one segment late in the transfer, when the flight is
+        # wide enough for three duplicate ACKs to arrive.
+        if packet.proto == PROTO_TCP and packet.segment.payload_len > 0:
+            state["count"] += 1
+            return state["count"] == 40
+        return False
+
+    fabric.drop_filter = drop_filter
+    client, accepted = make_pair(
+        sim, fabric, sack=True, on_established=lambda c: c.send(200_000)
+    )
+    sim.run(until=30.0)
+    assert accepted[0].bytes_received == 200_000
+    # Exactly one loss: a SACK sender repairs it with very few
+    # retransmitted segments (NewReno can end up resending more).
+    assert client.timeouts == 0
+    assert client.segments_retransmitted <= 3
+
+
+def test_sack_interops_with_non_sack_peer():
+    """A SACK sender talking to a plain receiver (no blocks coming
+    back) degrades gracefully to NewReno behavior."""
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.01)
+    accepted = []
+    fabric.stack(1, tcp_params=TcpParams()).tcp_listen(80, accepted.append)
+    state = {"count": 0}
+
+    def drop_filter(packet):
+        if packet.proto == PROTO_TCP and packet.segment.payload_len > 0:
+            state["count"] += 1
+            return state["count"] == 8
+        return False
+
+    fabric.drop_filter = drop_filter
+    client = fabric.stack(0, tcp_params=TcpParams.modern()).tcp_connect(
+        1, 80, on_established=lambda c: c.send(150_000)
+    )
+    sim.run(until=30.0)
+    assert accepted[0].bytes_received == 150_000
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    loss=st.floats(0.0, 0.1),
+    size=st.integers(5_000, 120_000),
+)
+def test_property_sack_integrity_under_loss(seed, loss, size):
+    sim = Simulator()
+    fabric = LoopbackFabric(
+        sim, delay_s=0.004, loss_rate=loss, rng=random.Random(seed)
+    )
+    client, accepted = make_pair(
+        sim, fabric, sack=True, on_established=lambda c: c.send(size)
+    )
+    sim.run(until=300.0)
+    assert accepted, "handshake never completed"
+    assert accepted[0].bytes_received == size
+    assert client.bytes_acked == size
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 5000))
+def test_property_sack_no_slower_than_reno_under_burst_loss(seed):
+    """With bursty loss, SACK transfers finish no later than plain
+    Reno/NewReno ones (modulo a small tolerance)."""
+    finish = {}
+    for sack in (False, True):
+        sim = Simulator()
+        fabric = LoopbackFabric(
+            sim, delay_s=0.015, loss_rate=0.04, rng=random.Random(seed)
+        )
+        done = []
+        client, accepted = make_pair(
+            sim,
+            fabric,
+            sack=sack,
+            on_established=lambda c: c.send(150_000, message="eof"),
+        )
+        sim.run(until=0.1)
+        if accepted:
+            accepted[0].on_message = lambda c, m: done.append(sim.now)
+        sim.run(until=600.0)
+        finish[sack] = done[0] if done else 600.0
+    assert finish[True] <= finish[False] * 1.25 + 0.5

@@ -1,0 +1,106 @@
+"""Tests for UDP sockets over the loopback fabric."""
+
+import random
+
+import pytest
+
+from repro.engine import Simulator
+from repro.net import LoopbackFabric, SocketError
+
+
+def test_udp_delivery_and_payload():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, delay_s=0.005)
+    received = []
+
+    server = fabric.stack(1)
+    server.udp_socket(
+        port=5000,
+        on_receive=lambda src, sport, size, payload: received.append(
+            (src, sport, size, payload, sim.now)
+        ),
+    )
+    client = fabric.stack(0)
+    socket = client.udp_socket()
+    socket.send_to(1, 5000, 100, payload={"op": "ping"})
+    sim.run()
+    assert len(received) == 1
+    src, sport, size, payload, when = received[0]
+    assert src == 0
+    assert sport == socket.port
+    assert size == 100
+    assert payload == {"op": "ping"}
+    assert when == pytest.approx(0.005)
+
+
+def test_udp_to_unbound_port_dropped():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    fabric.stack(1)
+    client = fabric.stack(0)
+    client.udp_socket().send_to(1, 7777, 10)
+    sim.run()
+    assert fabric.delivered == 1  # delivered to stack, no socket -> ignored
+
+
+def test_udp_to_unknown_vn_dropped():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    client = fabric.stack(0)
+    client.udp_socket().send_to(99, 7777, 10)
+    sim.run()
+    assert fabric.dropped == 1
+
+
+def test_udp_random_loss():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim, loss_rate=0.5, rng=random.Random(1))
+    received = []
+    fabric.stack(1).udp_socket(port=1, on_receive=lambda *a: received.append(a))
+    sender = fabric.stack(0).udp_socket()
+    for _ in range(200):
+        sender.send_to(1, 1, 50)
+    sim.run()
+    assert 60 < len(received) < 140
+
+
+def test_duplicate_port_rejected():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    stack = fabric.stack(0)
+    stack.udp_socket(port=5)
+    with pytest.raises(SocketError):
+        stack.udp_socket(port=5)
+
+
+def test_closed_socket_rejects_send_and_frees_port():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    stack = fabric.stack(0)
+    fabric.stack(1)
+    socket = stack.udp_socket(port=5)
+    socket.close()
+    with pytest.raises(SocketError):
+        socket.send_to(1, 1, 10)
+    stack.udp_socket(port=5)  # port reusable
+
+
+def test_ephemeral_ports_unique():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    stack = fabric.stack(0)
+    ports = {stack.udp_socket().port for _ in range(50)}
+    assert len(ports) == 50
+
+
+def test_socket_counters():
+    sim = Simulator()
+    fabric = LoopbackFabric(sim)
+    receiver = fabric.stack(1).udp_socket(port=9)
+    sender = fabric.stack(0).udp_socket()
+    for _ in range(3):
+        sender.send_to(1, 9, 500)
+    sim.run()
+    assert sender.datagrams_sent == 3
+    assert receiver.datagrams_received == 3
+    assert receiver.bytes_received == 1500

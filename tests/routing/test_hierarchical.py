@@ -1,0 +1,147 @@
+"""Tests for hierarchical (gateway-based) routing tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import CachedRouting, route_latency
+from repro.routing.hierarchical import HierarchicalRouting, _snip_cycles
+from repro.routing.shortest_path import Hop
+from repro.topology import (
+    TransitStubSpec,
+    ring_topology,
+    transit_stub_topology,
+)
+
+
+def build_ts(seed=3):
+    spec = TransitStubSpec(
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit_node=2,
+        stub_nodes_per_domain=4,
+        clients_per_stub_node=2,
+    )
+    return transit_stub_topology(spec, random.Random(seed))
+
+
+def assert_route_valid(topology, route, src, dst):
+    assert route[0].src == src
+    assert route[-1].dst == dst
+    for hop in route:
+        assert hop.link.other(hop.src) == hop.dst
+        assert hop.link.up
+    for earlier, later in zip(route, route[1:]):
+        assert earlier.dst == later.src
+    # Simple path: no repeated nodes.
+    nodes = [route[0].src] + [hop.dst for hop in route]
+    assert len(nodes) == len(set(nodes))
+
+
+def test_routes_are_valid_simple_paths():
+    topology = build_ts()
+    routing = HierarchicalRouting(topology)
+    clients = sorted(n.id for n in topology.clients())
+    rng = random.Random(1)
+    for _ in range(40):
+        src, dst = rng.sample(clients, 2)
+        route = routing.route(src, dst)
+        assert route is not None
+        assert_route_valid(topology, route, src, dst)
+
+
+def test_clusters_follow_stub_domains():
+    topology = build_ts()
+    routing = HierarchicalRouting(topology)
+    domains = {n.attrs["domain"] for n in topology.clients()}
+    assert routing.num_clusters == len(domains)
+
+
+def test_storage_far_below_flat_matrix():
+    topology = build_ts()
+    routing = HierarchicalRouting(topology)
+    assert routing.table_entries() < 0.5 * routing.flat_matrix_entries()
+
+
+def test_stretch_is_bounded():
+    """Hierarchical routes may detour via the gateway but stay within
+    a small factor of the true shortest path."""
+    topology = build_ts()
+    hierarchical = HierarchicalRouting(topology)
+    optimal = CachedRouting(topology)
+    clients = sorted(n.id for n in topology.clients())
+    rng = random.Random(2)
+    stretches = []
+    for _ in range(40):
+        src, dst = rng.sample(clients, 2)
+        h_route = hierarchical.route(src, dst)
+        o_route = optimal.route(src, dst)
+        stretch = route_latency(h_route) / max(1e-12, route_latency(o_route))
+        assert stretch >= 1.0 - 1e-9
+        stretches.append(stretch)
+    assert sum(stretches) / len(stretches) < 1.5
+
+
+def test_same_cluster_routing():
+    topology = build_ts()
+    routing = HierarchicalRouting(topology)
+    # Two clients on the same stub node share a cluster; the route
+    # between them stays short.
+    by_domain = {}
+    for node in topology.clients():
+        by_domain.setdefault(node.attrs["domain"], []).append(node.id)
+    members = next(m for m in by_domain.values() if len(m) >= 2)
+    route = routing.route(members[0], members[1])
+    assert route is not None
+    assert len(route) <= 4
+
+
+def test_route_to_self():
+    topology = build_ts()
+    routing = HierarchicalRouting(topology)
+    client = topology.clients()[0].id
+    assert routing.route(client, client) == ()
+
+
+def test_invalidate_and_failure():
+    topology = ring_topology(num_routers=6, vns_per_router=2)
+    routing = HierarchicalRouting(topology)
+    clients = sorted(n.id for n in topology.clients())
+    route = routing.route(clients[0], clients[-1])
+    assert route is not None
+    # Fail a link on the path and reroute.
+    route[len(route) // 2].link.up = False
+    routing.invalidate()
+    rerouted = routing.route(clients[0], clients[-1])
+    assert rerouted is not None
+    assert all(hop.link.up for hop in rerouted)
+
+
+def test_snip_cycles_unit():
+    import repro.topology as rt
+
+    topology = rt.Topology()
+    for _ in range(4):
+        topology.add_node()
+    ab = topology.add_link(0, 1, 1e6, 1e-3)
+    bc = topology.add_link(1, 2, 1e6, 1e-3)
+    cb = topology.add_link(2, 1, 1e6, 1e-3)
+    bd = topology.add_link(1, 3, 1e6, 1e-3)
+    walk = [Hop(ab, 0, 1), Hop(bc, 1, 2), Hop(cb, 2, 1), Hop(bd, 1, 3)]
+    snipped = _snip_cycles(walk)
+    assert [hop.dst for hop in snipped] == [1, 3]
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 500))
+def test_property_reachability_matches_flat(seed):
+    topology = build_ts(seed)
+    hierarchical = HierarchicalRouting(topology)
+    flat = CachedRouting(topology)
+    clients = sorted(n.id for n in topology.clients())
+    rng = random.Random(seed)
+    for _ in range(10):
+        src, dst = rng.sample(clients, 2)
+        assert (hierarchical.route(src, dst) is None) == (
+            flat.route(src, dst) is None
+        )

@@ -1,0 +1,133 @@
+"""Tests for Dijkstra and route utilities, cross-checked vs networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import (
+    dijkstra,
+    extract_route,
+    route_bottleneck_bandwidth,
+    route_cost,
+    route_latency,
+    route_reliability,
+    RouteError,
+)
+from repro.topology import Topology, waxman_topology
+
+
+def build_diamond():
+    """0 -(fast)- 1 -(fast)- 3, and a slow shortcut 0 -2- 3."""
+    topology = Topology()
+    for _ in range(4):
+        topology.add_node()
+    topology.add_link(0, 1, 10e6, 0.001, cost=5)
+    topology.add_link(1, 3, 10e6, 0.001, cost=5)
+    topology.add_link(0, 2, 1e6, 0.010, loss_rate=0.1, cost=1)
+    topology.add_link(2, 3, 1e6, 0.010, loss_rate=0.1, cost=1)
+    return topology
+
+
+def test_latency_weight_prefers_fast_path():
+    topology = build_diamond()
+    _dist, prev = dijkstra(topology, 0, weight="latency")
+    route = extract_route(prev, 0, 3)
+    assert [hop.dst for hop in route] == [1, 3]
+    assert route_latency(route) == pytest.approx(0.002)
+
+
+def test_cost_weight_prefers_cheap_path():
+    topology = build_diamond()
+    _dist, prev = dijkstra(topology, 0, weight="cost")
+    route = extract_route(prev, 0, 3)
+    assert [hop.dst for hop in route] == [2, 3]
+    assert route_cost(route) == pytest.approx(2.0)
+
+
+def test_hops_weight():
+    topology = build_diamond()
+    dist, _prev = dijkstra(topology, 0, weight="hops")
+    assert dist[3] == pytest.approx(2.0)
+
+
+def test_callable_weight():
+    topology = build_diamond()
+    dist, _ = dijkstra(topology, 0, weight=lambda link: 1.0 / link.bandwidth_bps)
+    assert dist[1] == pytest.approx(1e-7)
+
+
+def test_unknown_weight_raises():
+    topology = build_diamond()
+    with pytest.raises(RouteError):
+        dijkstra(topology, 0, weight="banana")
+
+
+def test_route_to_self_is_empty():
+    topology = build_diamond()
+    _dist, prev = dijkstra(topology, 0)
+    assert extract_route(prev, 0, 0) == ()
+
+
+def test_unreachable_is_none():
+    topology = Topology()
+    topology.add_node()
+    topology.add_node()
+    _dist, prev = dijkstra(topology, 0)
+    assert extract_route(prev, 0, 1) is None
+
+
+def test_down_links_excluded():
+    topology = build_diamond()
+    topology.link_between(0, 1).up = False
+    _dist, prev = dijkstra(topology, 0, weight="latency")
+    route = extract_route(prev, 0, 3)
+    assert [hop.dst for hop in route] == [2, 3]
+
+
+def test_route_metrics():
+    topology = build_diamond()
+    _dist, prev = dijkstra(topology, 0, weight="cost")
+    route = extract_route(prev, 0, 3)
+    assert route_bottleneck_bandwidth(route) == pytest.approx(1e6)
+    assert route_reliability(route) == pytest.approx(0.81)
+    assert route_bottleneck_bandwidth(()) == float("inf")
+    assert route_reliability(()) == 1.0
+
+
+def test_hop_direction():
+    topology = build_diamond()
+    _dist, prev = dijkstra(topology, 3, weight="latency")
+    route = extract_route(prev, 3, 0)
+    assert route[0].src == 3
+    assert route[-1].dst == 0
+    for earlier, later in zip(route, route[1:]):
+        assert earlier.dst == later.src
+
+
+def _to_networkx(topology):
+    graph = nx.Graph()
+    for node_id in topology.nodes:
+        graph.add_node(node_id)
+    for link in topology.links.values():
+        if link.up:
+            existing = graph.get_edge_data(link.a, link.b)
+            if existing is None or existing["weight"] > link.latency_s:
+                graph.add_edge(link.a, link.b, weight=link.latency_s)
+    return graph
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 5000), routers=st.integers(3, 25))
+def test_distances_match_networkx(seed, routers):
+    topology = waxman_topology(routers, random.Random(seed))
+    graph = _to_networkx(topology)
+    source = min(topology.nodes)
+    dist, prev = dijkstra(topology, source, weight="latency")
+    expected = nx.single_source_dijkstra_path_length(graph, source)
+    assert set(dist) == set(expected)
+    for node, d in expected.items():
+        assert dist[node] == pytest.approx(d)
+        route = extract_route(prev, source, node)
+        assert route_latency(route) == pytest.approx(d)

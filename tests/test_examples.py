@@ -1,0 +1,55 @@
+"""Smoke tests: every shipped example runs to completion.
+
+These execute the example scripts in-process (fresh module each time)
+so a refactor that breaks an example fails the suite, not a user.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+#: The longer studies run minutes; the smoke set stays under ~30 s.
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "cfs_download.py",
+    "distillation_tradeoff.py",
+    "wireless_adhoc.py",
+]
+
+SLOW_EXAMPLES = [
+    "replicated_web.py",
+    "adaptive_overlay.py",
+    "cdn_routing.py",
+]
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    output = run_example(name, capsys)
+    assert output.strip(), f"{name} produced no output"
+
+
+def test_every_example_is_listed():
+    on_disk = {path.name for path in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)
+
+
+def test_quickstart_reports_accuracy(capsys):
+    output = run_example("quickstart.py", capsys)
+    assert "accuracy report" in output
+    assert "bottleneck: 2 Mb/s" in output
+
+
+def test_cfs_example_prefetch_scales(capsys):
+    output = run_example("cfs_download.py", capsys)
+    assert "prefetch" in output
+    assert "KB/s" in output

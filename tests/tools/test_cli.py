@@ -1,0 +1,131 @@
+"""Tests for the repro-net CLI."""
+
+import pytest
+
+from repro.tools import main
+from repro.topology import load_gml
+
+
+def test_generate_ring(tmp_path, capsys):
+    out = tmp_path / "ring.gml"
+    assert main(["generate", "ring", "--routers", "6", "--vns", "2", "-o", str(out)]) == 0
+    topology = load_gml(str(out))
+    assert topology.num_nodes == 18
+    assert "18 nodes" in capsys.readouterr().out
+
+
+def test_generate_transit_stub_deterministic(tmp_path):
+    a, b = tmp_path / "a.gml", tmp_path / "b.gml"
+    main(["generate", "transit-stub", "--seed", "5", "-o", str(a)])
+    main(["generate", "transit-stub", "--seed", "5", "-o", str(b)])
+    assert a.read_text() == b.read_text()
+
+
+def test_info_reports_classes(tmp_path, capsys):
+    out = tmp_path / "ts.gml"
+    main(["generate", "transit-stub", "-o", str(out)])
+    capsys.readouterr()
+    assert main(["info", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "connected: True" in text
+    assert "transit-transit" in text
+    assert "client-stub" in text
+
+
+def test_annotate_overrides_bandwidths(tmp_path, capsys):
+    source = tmp_path / "ts.gml"
+    out = tmp_path / "annotated.gml"
+    main(["generate", "transit-stub", "-o", str(source)])
+    assert main([
+        "annotate", str(source), "--transit-bw", "155", "-o", str(out)
+    ]) == 0
+    topology = load_gml(str(out))
+    from repro.topology import classify_link, LinkKind
+
+    transit_links = [
+        l for l in topology.links.values()
+        if classify_link(topology, l) is LinkKind.TRANSIT_TRANSIT
+    ]
+    assert transit_links
+    assert all(l.bandwidth_bps == pytest.approx(155e6) for l in transit_links)
+
+
+def test_distill_last_mile(tmp_path, capsys):
+    source = tmp_path / "ring.gml"
+    out = tmp_path / "distilled.gml"
+    main(["generate", "ring", "--routers", "20", "--vns", "20", "-o", str(source)])
+    capsys.readouterr()
+    assert main(["distill", str(source), "--mode", "last-mile", "-o", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "590 pipes" in text
+    distilled = load_gml(str(out))
+    assert distilled.num_links == 590
+
+
+def test_route_command(tmp_path, capsys):
+    source = tmp_path / "star.gml"
+    main(["generate", "star", "--vns", "4", "-o", str(source)])
+    capsys.readouterr()
+    assert main(["route", str(source), "--src", "1", "--dst", "4"]) == 0
+    text = capsys.readouterr().out
+    assert "2 hops" in text
+
+
+def test_route_unreachable(tmp_path, capsys):
+    gml = tmp_path / "two.gml"
+    gml.write_text(
+        'graph [ node [ id 0 kind "client" ] node [ id 1 kind "client" ] ]\n'
+    )
+    assert main(["route", str(gml), "--src", "0", "--dst", "1"]) == 1
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_import_caida(tmp_path, capsys):
+    source = tmp_path / "links.txt"
+    source.write_text("701 1239\n701 3356\n1239 3356\n")
+    out = tmp_path / "imported.gml"
+    assert main([
+        "import", str(source), "--format", "caida", "--clients", "1",
+        "-o", str(out),
+    ]) == 0
+    topology = load_gml(str(out))
+    assert topology.num_nodes >= 3
+    assert len(topology.clients()) >= 1
+    assert "imported" in capsys.readouterr().out
+
+
+def test_import_bgp(tmp_path):
+    source = tmp_path / "paths.txt"
+    source.write_text("701 1239 3356\n3356 7018\n")
+    out = tmp_path / "imported.gml"
+    assert main(["import", str(source), "--format", "bgp", "-o", str(out)]) == 0
+    assert load_gml(str(out)).num_links == 3
+
+
+def test_emulate_reports_flows_and_accuracy(tmp_path, capsys):
+    source = tmp_path / "ring.gml"
+    main(["generate", "ring", "--routers", "4", "--vns", "2", "-o", str(source)])
+    capsys.readouterr()
+    assert main([
+        "emulate", str(source), "--flows", "2", "--seconds", "1.0",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "flow 0:" in text
+    assert "Mb/s" in text
+    assert "delivered=" in text
+
+
+def test_emulate_distilled_multicore(tmp_path, capsys):
+    source = tmp_path / "ring.gml"
+    main(["generate", "ring", "--routers", "6", "--vns", "2", "-o", str(source)])
+    capsys.readouterr()
+    assert main([
+        "emulate", str(source), "--mode", "last-mile", "--cores", "2",
+        "--flows", "2", "--seconds", "1.0",
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "distilled pipes:" in text

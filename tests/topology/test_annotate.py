@@ -1,0 +1,101 @@
+"""Tests for link classification and annotation policies."""
+
+import random
+
+import pytest
+
+from repro.topology import (
+    LinkKind,
+    NodeKind,
+    Topology,
+    annotate_links,
+    classify_link,
+)
+from repro.topology.annotate import LinkClassParams
+
+
+def build_mixed():
+    topology = Topology()
+    client = topology.add_node(NodeKind.CLIENT)
+    stub_a = topology.add_node(NodeKind.STUB)
+    stub_b = topology.add_node(NodeKind.STUB)
+    transit_a = topology.add_node(NodeKind.TRANSIT)
+    transit_b = topology.add_node(NodeKind.TRANSIT)
+    links = {
+        "client-stub": topology.add_link(client.id, stub_a.id, 1e6, 1e-3),
+        "stub-stub": topology.add_link(stub_a.id, stub_b.id, 1e6, 1e-3),
+        "stub-transit": topology.add_link(stub_b.id, transit_a.id, 1e6, 1e-3),
+        "transit-transit": topology.add_link(
+            transit_a.id, transit_b.id, 1e6, 1e-3
+        ),
+        "client-transit": topology.add_link(client.id, transit_b.id, 1e6, 1e-3),
+    }
+    return topology, links
+
+
+def test_classification():
+    topology, links = build_mixed()
+    assert classify_link(topology, links["client-stub"]) is LinkKind.CLIENT_STUB
+    assert classify_link(topology, links["stub-stub"]) is LinkKind.STUB_STUB
+    assert classify_link(topology, links["stub-transit"]) is LinkKind.STUB_TRANSIT
+    assert (
+        classify_link(topology, links["transit-transit"])
+        is LinkKind.TRANSIT_TRANSIT
+    )
+    # Client attachment dominates.
+    assert (
+        classify_link(topology, links["client-transit"]) is LinkKind.CLIENT_STUB
+    )
+
+
+def test_annotate_applies_sampled_ranges():
+    topology, links = build_mixed()
+    params = {
+        LinkKind.TRANSIT_TRANSIT: LinkClassParams(
+            bandwidth_bps=(155e6, 155e6),
+            latency_s=(0.01, 0.01),
+            cost=(20, 40),
+            queue_limit=200,
+        ),
+    }
+    count = annotate_links(topology, params, random.Random(5))
+    assert count == 1
+    link = links["transit-transit"]
+    assert link.bandwidth_bps == pytest.approx(155e6)
+    assert 20 <= link.cost <= 40
+    assert link.queue_limit == 200
+    assert link.attrs["annotated"]
+    # Unlisted classes untouched.
+    assert links["stub-stub"].bandwidth_bps == pytest.approx(1e6)
+
+
+def test_annotate_only_missing_skips_marked():
+    topology, links = build_mixed()
+    params = {
+        LinkKind.STUB_STUB: LinkClassParams(
+            bandwidth_bps=(9e6, 9e6), latency_s=(0.002, 0.002)
+        )
+    }
+    annotate_links(topology, params, random.Random(1))
+    links["stub-stub"].bandwidth_bps = 123.0
+    count = annotate_links(
+        topology, params, random.Random(1), only_missing=True
+    )
+    assert count == 0
+    assert links["stub-stub"].bandwidth_bps == 123.0
+
+
+def test_annotate_deterministic():
+    topology_a, _ = build_mixed()
+    topology_b, _ = build_mixed()
+    params = {
+        LinkKind.STUB_STUB: LinkClassParams(
+            bandwidth_bps=(1e6, 9e6), latency_s=(0.001, 0.05), cost=(1, 5)
+        )
+    }
+    annotate_links(topology_a, params, random.Random(42))
+    annotate_links(topology_b, params, random.Random(42))
+    for link_id in topology_a.links:
+        assert (
+            topology_a.links[link_id].cost == topology_b.links[link_id].cost
+        )

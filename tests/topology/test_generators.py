@@ -1,0 +1,110 @@
+"""Unit and property tests for topology generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    NodeKind,
+    chain_topology,
+    dumbbell_topology,
+    full_mesh_topology,
+    ring_topology,
+    star_topology,
+    waxman_topology,
+)
+
+
+def test_chain_structure():
+    topology = chain_topology(num_client_pairs=3, hops=4)
+    # Each pair: sender + receiver + (hops-1) interior routers.
+    assert topology.num_nodes == 3 * (2 + 3)
+    assert topology.num_links == 3 * 4
+    assert len(topology.clients()) == 6
+
+
+def test_chain_single_hop_direct_link():
+    topology = chain_topology(num_client_pairs=1, hops=1, latency_s=0.01)
+    assert topology.num_nodes == 2
+    assert topology.num_links == 1
+    link = next(iter(topology.links.values()))
+    assert link.latency_s == pytest.approx(0.01)
+
+
+def test_chain_latency_split_across_hops():
+    topology = chain_topology(num_client_pairs=1, hops=5, latency_s=0.010)
+    total = sum(l.latency_s for l in topology.links.values())
+    assert total == pytest.approx(0.010)
+
+
+def test_chain_rejects_zero_hops():
+    with pytest.raises(ValueError):
+        chain_topology(1, 0)
+
+
+def test_star_two_hop_paths():
+    topology = star_topology(10)
+    assert topology.num_nodes == 11
+    assert topology.num_links == 10
+    hub = topology.nodes_of_kind(NodeKind.TRANSIT)[0]
+    assert topology.degree(hub.id) == 10
+
+
+def test_ring_counts_match_paper():
+    # Paper Fig. 5 setup: 20 routers x 20 VNs -> 400 VNs, 420 links
+    # (400 access + 20 ring).
+    topology = ring_topology(num_routers=20, vns_per_router=20)
+    assert len(topology.clients()) == 400
+    assert topology.num_links == 420
+    assert topology.is_connected()
+
+
+def test_ring_rejects_tiny_ring():
+    with pytest.raises(ValueError):
+        ring_topology(num_routers=2)
+
+
+def test_dumbbell_bottleneck():
+    topology = dumbbell_topology(clients_per_side=4)
+    assert len(topology.clients()) == 8
+    stubs = topology.nodes_of_kind(NodeKind.STUB)
+    assert len(stubs) == 2
+    bottleneck = topology.link_between(stubs[0].id, stubs[1].id)
+    assert bottleneck.bandwidth_bps == pytest.approx(1.5e6)
+
+
+def test_full_mesh_pair_attributes():
+    topology = full_mesh_topology(
+        4,
+        bandwidth_fn=lambda i, j: (i + j + 1) * 1e6,
+        latency_fn=lambda i, j: (i + j + 1) * 0.01,
+    )
+    assert topology.num_links == 6
+    link = topology.link_between(0, 3)
+    assert link.bandwidth_bps == pytest.approx(4e6)
+    assert link.latency_s == pytest.approx(0.04)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), routers=st.integers(2, 20))
+def test_waxman_always_connected(seed, routers):
+    topology = waxman_topology(routers, random.Random(seed))
+    assert topology.is_connected()
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_waxman_deterministic_given_seed(seed):
+    a = waxman_topology(10, random.Random(seed), clients_per_router=2)
+    b = waxman_topology(10, random.Random(seed), clients_per_router=2)
+    assert a.num_links == b.num_links
+    for link_id, link in a.links.items():
+        other = b.links[link_id]
+        assert (link.a, link.b) == (other.a, other.b)
+        assert link.latency_s == other.latency_s
+
+
+def test_waxman_positive_latencies():
+    topology = waxman_topology(15, random.Random(3))
+    assert all(l.latency_s > 0 for l in topology.links.values())

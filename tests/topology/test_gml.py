@@ -1,0 +1,120 @@
+"""Unit and property tests for GML import/export."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    NodeKind,
+    Topology,
+    TopologyError,
+    parse_gml,
+    to_gml,
+    load_gml,
+    save_gml,
+    ring_topology,
+    waxman_topology,
+)
+
+SAMPLE = """
+# comment line
+graph [
+  name "sample"
+  node [ id 0 kind "client" label "alice" ]
+  node [ id 1 kind "stub" ]
+  node [ id 2 kind "transit" region "us-east" ]
+  edge [ source 0 target 1 bandwidth 2000000.0 latency 0.001 ]
+  edge [
+    source 1 target 2
+    bandwidth 45000000.0 latency 0.02 loss 0.01 queue 100 cost 12.5
+    medium "fiber"
+  ]
+]
+"""
+
+
+def test_parse_sample():
+    topology = parse_gml(SAMPLE)
+    assert topology.name == "sample"
+    assert topology.num_nodes == 3
+    assert topology.num_links == 2
+    assert topology.node(0).kind is NodeKind.CLIENT
+    assert topology.node(0).attrs["label"] == "alice"
+    assert topology.node(2).attrs["region"] == "us-east"
+    link = topology.link_between(1, 2)
+    assert link.bandwidth_bps == 45e6
+    assert link.latency_s == pytest.approx(0.02)
+    assert link.loss_rate == pytest.approx(0.01)
+    assert link.queue_limit == 100
+    assert link.cost == pytest.approx(12.5)
+    assert link.attrs["medium"] == "fiber"
+
+
+def test_edge_defaults_applied():
+    topology = parse_gml(
+        'graph [ node [ id 0 ] node [ id 1 ] edge [ source 0 target 1 ] ]'
+    )
+    link = topology.link_between(0, 1)
+    assert link.bandwidth_bps == 1e6
+    assert link.queue_limit == 50
+
+
+def test_missing_graph_block_raises():
+    with pytest.raises(TopologyError):
+        parse_gml("node [ id 0 ]")
+
+
+def test_node_without_id_raises():
+    with pytest.raises(TopologyError):
+        parse_gml('graph [ node [ kind "client" ] ]')
+
+
+def test_edge_without_endpoints_raises():
+    with pytest.raises(TopologyError):
+        parse_gml("graph [ node [ id 0 ] edge [ source 0 ] ]")
+
+
+def test_quoted_strings_with_escapes():
+    topology = parse_gml(
+        'graph [ node [ id 0 label "say \\"hi\\"" ] ]'
+    )
+    assert topology.node(0).attrs["label"] == 'say "hi"'
+
+
+def _assert_topologies_equal(original: Topology, parsed: Topology):
+    assert parsed.num_nodes == original.num_nodes
+    assert parsed.num_links == original.num_links
+    for node_id, node in original.nodes.items():
+        assert parsed.node(node_id).kind is node.kind
+    original_links = sorted(
+        (min(l.a, l.b), max(l.a, l.b), l.bandwidth_bps, l.latency_s, l.loss_rate)
+        for l in original.links.values()
+    )
+    parsed_links = sorted(
+        (min(l.a, l.b), max(l.a, l.b), l.bandwidth_bps, l.latency_s, l.loss_rate)
+        for l in parsed.links.values()
+    )
+    assert parsed_links == pytest.approx(original_links)
+
+
+def test_roundtrip_ring():
+    original = ring_topology(num_routers=5, vns_per_router=2)
+    parsed = parse_gml(to_gml(original))
+    _assert_topologies_equal(original, parsed)
+
+
+def test_roundtrip_file(tmp_path):
+    original = ring_topology(num_routers=4, vns_per_router=1)
+    path = tmp_path / "ring.gml"
+    save_gml(original, str(path))
+    loaded = load_gml(str(path))
+    _assert_topologies_equal(original, loaded)
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 10_000), routers=st.integers(2, 12))
+def test_roundtrip_random_waxman(seed, routers):
+    original = waxman_topology(routers, random.Random(seed), clients_per_router=1)
+    parsed = parse_gml(to_gml(original))
+    _assert_topologies_equal(original, parsed)

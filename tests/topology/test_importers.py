@@ -1,0 +1,115 @@
+"""Tests for CAIDA/BGP topology importers."""
+
+import random
+
+import pytest
+
+from repro.topology import NodeKind, TopologyError
+from repro.topology.importers import (
+    attach_clients,
+    from_adjacency_list,
+    from_bgp_paths,
+)
+
+CAIDA_SAMPLE = """
+# CAIDA-style AS links
+701 1239
+701 3356
+1239 3356   extra tokens ignored
+3356 7018
+7018 701
+"""
+
+BGP_SAMPLE = """
+# table dump
+701 1239 3356
+701 701 701 1239 7018
+3356 7018
+"""
+
+
+def test_adjacency_list_structure():
+    topology = from_adjacency_list(CAIDA_SAMPLE)
+    assert topology.num_nodes == 4
+    assert topology.num_links == 5
+    assert all(n.kind is NodeKind.TRANSIT for n in topology.nodes.values())
+    asns = {n.attrs["asn"] for n in topology.nodes.values()}
+    assert asns == {"701", "1239", "3356", "7018"}
+
+
+def test_adjacency_duplicates_and_reverses_collapse():
+    topology = from_adjacency_list("1 2\n2 1\n1 2\n2 3\n")
+    assert topology.num_links == 2
+
+
+def test_adjacency_rejects_garbage():
+    with pytest.raises(TopologyError):
+        from_adjacency_list("onlyonetoken\n")
+    with pytest.raises(TopologyError):
+        from_adjacency_list("7 7\n")
+    with pytest.raises(TopologyError):
+        from_adjacency_list("# nothing\n\n")
+
+
+def test_bgp_paths_infer_edges():
+    topology = from_bgp_paths(BGP_SAMPLE)
+    assert topology.num_nodes == 4
+    # Edges: 701-1239, 1239-3356, 1239-7018, 3356-7018.
+    assert topology.num_links == 4
+
+
+def test_bgp_prepending_collapsed():
+    topology = from_bgp_paths("65000 65000 65001\n")
+    assert topology.num_links == 1
+
+
+def test_bgp_rejects_empty():
+    with pytest.raises(TopologyError):
+        from_bgp_paths("# nothing\n65000\n")
+
+
+def test_attach_clients_targets_edge_ases():
+    topology = from_adjacency_list(CAIDA_SAMPLE)
+    created = attach_clients(
+        topology, clients_per_edge_as=2, rng=random.Random(1),
+        edge_degree_at_most=2,
+    )
+    assert created == len(topology.clients())
+    for client in topology.clients():
+        attached = client.attrs["attached_as"]
+        # Degree counted before clients were added.
+        non_client_neighbors = [
+            n for n, _l in topology.neighbors(attached)
+            if topology.node(n).kind is NodeKind.TRANSIT
+        ]
+        assert len(non_client_neighbors) <= 2
+
+
+def test_attach_clients_validation():
+    topology = from_adjacency_list(CAIDA_SAMPLE)
+    with pytest.raises(TopologyError):
+        attach_clients(topology, 0, random.Random(1))
+    # A clique has no low-degree edge ASes at threshold 1.
+    clique = from_adjacency_list("1 2\n1 3\n1 4\n2 3\n2 4\n3 4\n")
+    with pytest.raises(TopologyError):
+        attach_clients(clique, 1, random.Random(1), edge_degree_at_most=1)
+
+
+def test_imported_graph_is_emulatable():
+    """End to end: import, attach clients, annotate, emulate."""
+    from repro.core import EmulationConfig, ExperimentPipeline
+    from repro.engine import Simulator
+
+    topology = from_adjacency_list(CAIDA_SAMPLE)
+    attach_clients(topology, 1, random.Random(1), edge_degree_at_most=3)
+    sim = Simulator()
+    emulation = (
+        ExperimentPipeline(sim)
+        .create(topology)
+        .run(EmulationConfig.reference())
+    )
+    received = []
+    emulation.vn(1).udp_socket(port=9, on_receive=lambda *a: received.append(1))
+    emulation.vn(0).udp_socket().send_to(1, 9, 100)
+    sim.run(until=1.0)
+    assert received

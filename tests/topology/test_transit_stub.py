@@ -1,0 +1,91 @@
+"""Tests for the GT-ITM-style transit-stub generator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    LinkKind,
+    NodeKind,
+    TransitStubSpec,
+    classify_link,
+    transit_stub_topology,
+)
+
+
+def test_node_counts_match_spec():
+    spec = TransitStubSpec(
+        transit_domains=2,
+        transit_nodes_per_domain=3,
+        stub_domains_per_transit_node=2,
+        stub_nodes_per_domain=4,
+        clients_per_stub_node=1,
+    )
+    topology = transit_stub_topology(spec, random.Random(1))
+    assert topology.num_nodes == spec.expected_nodes
+    assert len(topology.nodes_of_kind(NodeKind.TRANSIT)) == 6
+    assert len(topology.nodes_of_kind(NodeKind.STUB)) == 48
+    assert len(topology.clients()) == 48
+
+
+def test_always_connected():
+    for seed in range(5):
+        spec = TransitStubSpec(transit_domains=3)
+        topology = transit_stub_topology(spec, random.Random(seed))
+        assert topology.is_connected()
+
+
+def test_link_classes_have_expected_attributes():
+    spec = TransitStubSpec()
+    topology = transit_stub_topology(spec, random.Random(7))
+    saw = set()
+    for link in topology.links.values():
+        link_class = classify_link(topology, link)
+        saw.add(link_class)
+        if link_class is LinkKind.TRANSIT_TRANSIT:
+            assert link.bandwidth_bps == pytest.approx(50e6)
+            assert 20 <= link.cost <= 40
+        elif link_class is LinkKind.STUB_TRANSIT:
+            assert link.bandwidth_bps == pytest.approx(25e6)
+        elif link_class is LinkKind.CLIENT_STUB:
+            assert link.bandwidth_bps == pytest.approx(1e6)
+    assert LinkKind.TRANSIT_TRANSIT in saw
+    assert LinkKind.STUB_TRANSIT in saw
+    assert LinkKind.CLIENT_STUB in saw
+
+
+def test_clients_attach_only_to_stubs():
+    topology = transit_stub_topology(TransitStubSpec(), random.Random(3))
+    for client in topology.clients():
+        neighbors = list(topology.neighbors(client.id))
+        assert len(neighbors) == 1
+        neighbor_id, _ = neighbors[0]
+        assert topology.node(neighbor_id).kind is NodeKind.STUB
+
+
+def test_deterministic_given_seed():
+    spec = TransitStubSpec()
+    a = transit_stub_topology(spec, random.Random(11))
+    b = transit_stub_topology(spec, random.Random(11))
+    assert a.num_links == b.num_links
+    for link_id in a.links:
+        assert a.links[link_id].cost == b.links[link_id].cost
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(0, 1000),
+    domains=st.integers(1, 3),
+    per_domain=st.integers(2, 4),
+)
+def test_property_connected_and_sized(seed, domains, per_domain):
+    spec = TransitStubSpec(
+        transit_domains=domains,
+        transit_nodes_per_domain=per_domain,
+        stub_domains_per_transit_node=1,
+        stub_nodes_per_domain=2,
+    )
+    topology = transit_stub_topology(spec, random.Random(seed))
+    assert topology.is_connected()
+    assert topology.num_nodes == spec.expected_nodes
