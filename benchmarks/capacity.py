@@ -2,8 +2,10 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
+
+from repro.obs import RunReport
 
 from repro.apps.netperf import TcpStream
 from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline
@@ -21,6 +23,7 @@ class CapacityResult:
     pps: float
     cpu_utilization: float
     physical_drops: int
+    report: Optional[RunReport] = field(default=None, repr=False)
 
 
 def measure_chain_capacity(
@@ -60,6 +63,7 @@ def measure_chain_capacity(
         pps=pps,
         cpu_utilization=utilization,
         physical_drops=emulation.monitor.physical_drops,
+        report=emulation.run_report(name=f"fig4-capacity-{flows}fx{hops}h"),
     )
 
 

@@ -11,6 +11,7 @@ whole suite runs in minutes; set ``REPRO_BENCH_FULL=1`` for
 paper-scale parameters.
 """
 
+import json
 import os
 import pathlib
 
@@ -24,21 +25,45 @@ def full_scale() -> bool:
 
 
 class ResultSink:
-    """Collects printable experiment output and writes it to the
-    results directory (stdout is captured by pytest)."""
+    """Collects experiment output and writes it to the results
+    directory (stdout is captured by pytest) — both the printable
+    table (``<name>.txt``) and a machine-readable companion
+    (``<name>.json``) carrying the same rows plus any scalar metrics
+    and :class:`repro.obs.RunReport` manifests the benchmark attached,
+    so runs can be compared across commits without screen-scraping."""
 
     def __init__(self, name: str):
         self.name = name
         self.lines = []
+        self.metrics = {}
+        self.reports = []
 
     def row(self, text: str) -> None:
         self.lines.append(text)
         print(text)
 
+    def metric(self, key: str, value) -> None:
+        """Record one machine-readable scalar for the JSON report."""
+        self.metrics[key] = value
+
+    def attach_report(self, report) -> None:
+        """Attach a full RunReport manifest to the JSON report."""
+        self.reports.append(report)
+
     def flush(self) -> None:
         RESULTS_DIR.mkdir(exist_ok=True)
         path = RESULTS_DIR / f"{self.name}.txt"
         path.write_text("\n".join(self.lines) + "\n")
+        payload = {
+            "name": self.name,
+            "rows": self.lines,
+            "metrics": self.metrics,
+            "reports": [report.to_dict() for report in self.reports],
+        }
+        json_path = RESULTS_DIR / f"{self.name}.json"
+        json_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
 
 
 @pytest.fixture

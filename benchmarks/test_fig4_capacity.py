@@ -42,6 +42,10 @@ def test_fig4_capacity(benchmark, sink):
             f"{hops:>5} {flows:>6} {r.pps/1e3:>8.1f} "
             f"{r.cpu_utilization*100:>5.0f}% {r.physical_drops:>11}"
         )
+        sink.metric(f"pps[{hops}h,{flows}f]", r.pps)
+        sink.metric(f"cpu[{hops}h,{flows}f]", r.cpu_utilization)
+    # Full manifest of the saturated 1-hop point for cross-commit diffs.
+    sink.attach_report(results[(1, flow_points()[-1])].report)
 
     flows_lo, flows_hi = flow_points()[0], flow_points()[-1]
 

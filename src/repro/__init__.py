@@ -3,20 +3,41 @@
 "Scalability and Accuracy in a Large-Scale Network Emulator",
 Vahdat, Yocum, Walsh, Mahadevan, Kostić, Chase, and Becker.
 
-The usual entry points:
+The documented entry point is the :class:`Scenario` facade, which
+drives the whole Create → Distill → Assign → Bind → Run pipeline and
+returns a :class:`RunReport` of every metric the run produced:
+
+>>> from repro import Scenario
+>>> report = (
+...     Scenario.from_gml("net.gml")
+...     .distill("last-mile")
+...     .assign(cores=2)
+...     .bind(hosts=4)
+...     .netperf(flows=8)
+...     .run(until=10.0)
+... )
+
+The explicit layers stay public for custom experiments:
 
 >>> from repro.engine import Simulator
 >>> from repro.core import ExperimentPipeline, EmulationConfig
 >>> from repro.topology import ring_topology
 
 See README.md for the architecture overview, DESIGN.md for the system
-inventory and paper-substitution table, and EXPERIMENTS.md for
-paper-vs-measured results for every table and figure.
+inventory, paper-substitution table, and the metric → paper-figure
+map, and EXPERIMENTS.md for paper-vs-measured results for every table
+and figure.
 """
 
-__version__ = "1.0.0"
+from repro.api import Scenario
+from repro.obs import MetricsRegistry, RunReport
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Scenario",
+    "MetricsRegistry",
+    "RunReport",
     "engine",
     "topology",
     "routing",
@@ -25,5 +46,6 @@ __all__ = [
     "core",
     "apps",
     "analysis",
+    "obs",
     "tools",
 ]

@@ -1,0 +1,299 @@
+"""The documented front door: ``Scenario``.
+
+One fluent object drives the paper's whole pipeline —
+Create → Distill → Assign → Bind → Run — and hands back a
+:class:`~repro.obs.RunReport`:
+
+>>> report = (
+...     Scenario.from_gml("net.gml")
+...     .distill("last-mile")
+...     .assign(cores=2)
+...     .bind(hosts=4)
+...     .config(tick_s=1e-4, seed=7)
+...     .run(until=10.0)
+... )
+
+Every stage is optional and defaults to the paper's defaults
+(hop-by-hop distillation, one core, one host). Traffic is installed
+with :meth:`Scenario.traffic` callbacks that receive the built
+:class:`~repro.core.emulator.Emulation`; :meth:`Scenario.netperf` is
+the canned bulk-TCP workload used throughout the evaluation.
+
+The facade wraps — and does not replace — the explicit
+:class:`~repro.core.phases.ExperimentPipeline` /
+:class:`~repro.core.emulator.Emulation` construction, which keeps
+working unchanged for callers that need custom assignments, bindings,
+or routing protocols.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Union
+
+from repro.core.assign import Assignment
+from repro.core.bind import Binding
+from repro.core.distill import DistillationMode
+from repro.core.emulator import Emulation, EmulationConfig
+from repro.core.phases import ExperimentPipeline
+from repro.engine.simulator import Simulator
+from repro.obs import MetricsRegistry, NULL_REGISTRY, RunReport, build_report
+from repro.topology.gml import load_gml, parse_gml
+from repro.topology.graph import Topology
+
+#: Distillation-mode spellings accepted anywhere a mode is a string.
+DISTILL_MODES = {
+    "hop-by-hop": DistillationMode.HOP_BY_HOP,
+    "last-mile": DistillationMode.WALK_IN,
+    "walk-in": DistillationMode.WALK_IN,
+    "end-to-end": DistillationMode.END_TO_END,
+}
+
+
+def resolve_distill_mode(
+    mode: Union[str, DistillationMode]
+) -> DistillationMode:
+    if isinstance(mode, DistillationMode):
+        return mode
+    try:
+        return DISTILL_MODES[mode]
+    except KeyError:
+        raise ValueError(
+            f"unknown distillation mode {mode!r}; "
+            f"valid: {', '.join(sorted(DISTILL_MODES))}"
+        ) from None
+
+
+class Scenario:
+    """A declarative experiment: topology in, :class:`RunReport` out."""
+
+    def __init__(self, topology: Topology, name: str = ""):
+        self.name = name or topology.name or "scenario"
+        self._topology = topology
+        self._mode: DistillationMode = DistillationMode.HOP_BY_HOP
+        self._walk_in = 1
+        self._walk_out = 0
+        self._cores = 1
+        self._assignment: Optional[Assignment] = None
+        self._hosts = 1
+        self._strategy = "contiguous"
+        self._binding: Optional[Binding] = None
+        self._knobs: dict = {}
+        self._reference = False
+        self._seed = 0
+        self._registry: Optional[MetricsRegistry] = None
+        self._observe = True
+        self._traffic: List[Callable[[Emulation], Any]] = []
+        # Build products.
+        self.sim: Optional[Simulator] = None
+        self.pipeline: Optional[ExperimentPipeline] = None
+        self.emulation: Optional[Emulation] = None
+        self.report: Optional[RunReport] = None
+
+    # -- Create -----------------------------------------------------------
+
+    @classmethod
+    def from_topology(cls, topology: Topology, name: str = "") -> "Scenario":
+        """Start from an in-memory topology (any generator/importer)."""
+        return cls(topology, name=name)
+
+    @classmethod
+    def from_gml(cls, path: str, name: str = "") -> "Scenario":
+        """Start from a GML file (the Create phase's lingua franca)."""
+        return cls(load_gml(path), name=name)
+
+    @classmethod
+    def from_gml_text(cls, text: str, name: str = "") -> "Scenario":
+        """Start from GML source text."""
+        return cls(parse_gml(text), name=name)
+
+    # -- Distill / Assign / Bind -----------------------------------------
+
+    def distill(
+        self,
+        mode: Union[str, DistillationMode] = "hop-by-hop",
+        walk_in: int = 1,
+        walk_out: int = 0,
+    ) -> "Scenario":
+        """Choose the distillation mode (Sec. 4.1), by name or enum."""
+        self._check_mutable()
+        self._mode = resolve_distill_mode(mode)
+        self._walk_in = walk_in
+        self._walk_out = walk_out
+        return self
+
+    def assign(
+        self,
+        cores: int = 1,
+        assignment: Optional[Assignment] = None,
+    ) -> "Scenario":
+        """Partition pipes across ``cores`` (greedy k-clusters), or
+        install a precomputed :class:`Assignment`."""
+        self._check_mutable()
+        if assignment is None and cores < 1:
+            raise ValueError(f"cores must be >= 1, got {cores}")
+        self._cores = assignment.num_cores if assignment else cores
+        self._assignment = assignment
+        return self
+
+    def bind(
+        self,
+        hosts: int = 1,
+        strategy: str = "contiguous",
+        binding: Optional[Binding] = None,
+    ) -> "Scenario":
+        """Bind VNs onto ``hosts`` edge machines."""
+        self._check_mutable()
+        if binding is None and hosts < 1:
+            raise ValueError(f"hosts must be >= 1, got {hosts}")
+        self._hosts = hosts
+        self._strategy = strategy
+        self._binding = binding
+        return self
+
+    # -- Run configuration -------------------------------------------------
+
+    def config(self, **knobs) -> "Scenario":
+        """Set :class:`EmulationConfig` knobs by name; unknown names
+        raise :class:`ValueError` listing the valid ones.
+
+        ``reference=True`` selects the exact-time, infinite-hardware
+        configuration (:meth:`EmulationConfig.reference`) before
+        applying the remaining knobs. ``seed=`` is accepted here as a
+        convenience for :meth:`seed`.
+        """
+        self._check_mutable()
+        knobs = dict(knobs)
+        if knobs.pop("reference", False):
+            self._reference = True
+        if "seed" in knobs:
+            self._seed = knobs.pop("seed")
+        valid = set(EmulationConfig.field_names())
+        unknown = set(knobs) - valid
+        if unknown:
+            raise ValueError(
+                f"unknown config knob(s) {sorted(unknown)}; valid: "
+                f"{', '.join(sorted(valid | {'reference'}))}"
+            )
+        self._knobs.update(knobs)
+        return self
+
+    def seed(self, seed: int) -> "Scenario":
+        """Seed for assignment, binding, and pipe-loss randomness."""
+        self._check_mutable()
+        self._seed = seed
+        return self
+
+    def observe(
+        self,
+        enabled: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> "Scenario":
+        """Control observability. Scenarios observe by default (they
+        exist to produce reports); ``observe(False)`` runs with the
+        zero-overhead null registry and the report carries only
+        pull-collected statistics."""
+        self._check_mutable()
+        self._observe = enabled
+        self._registry = registry
+        return self
+
+    def traffic(self, setup: Callable[[Emulation], Any]) -> "Scenario":
+        """Register a traffic generator: ``setup(emulation)`` is
+        called once the emulation is built, before the clock runs."""
+        self._check_mutable()
+        self._traffic.append(setup)
+        return self
+
+    def netperf(self, flows: int = 4, seed: Optional[int] = None) -> "Scenario":
+        """Canned workload: ``flows`` random-pair bulk TCP streams
+        (the paper's netperf senders)."""
+
+        def setup(emulation: Emulation):
+            import random
+
+            from repro.apps.netperf import TcpStream
+
+            rng = random.Random(self._seed if seed is None else seed)
+            vns = list(range(emulation.num_vns))
+            rng.shuffle(vns)
+            count = min(flows, len(vns) // 2)
+            return [
+                TcpStream(emulation, vns[2 * i], vns[2 * i + 1])
+                for i in range(count)
+            ]
+
+        return self.traffic(setup)
+
+    # -- Build / Run --------------------------------------------------------
+
+    def _check_mutable(self) -> None:
+        if self.emulation is not None:
+            raise RuntimeError("scenario already built; stages are frozen")
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The live registry (or the shared null one when disabled)."""
+        if not self._observe:
+            return NULL_REGISTRY
+        if self._registry is None:
+            self._registry = MetricsRegistry()
+        return self._registry
+
+    def build(self) -> Emulation:
+        """Walk the pipeline and construct the emulation (idempotent);
+        traffic callbacks fire here."""
+        if self.emulation is not None:
+            return self.emulation
+        registry = self.registry
+        config = (
+            EmulationConfig.reference(**self._knobs)
+            if self._reference
+            else EmulationConfig(**self._knobs)
+        )
+        self.sim = Simulator()
+        with registry.timed("phase.build_s"):
+            pipeline = ExperimentPipeline(self.sim, seed=self._seed)
+            pipeline.create(self._topology)
+            pipeline.distill(
+                self._mode, walk_in=self._walk_in, walk_out=self._walk_out
+            )
+            pipeline.assign(self._cores, assignment=self._assignment)
+            pipeline.bind(self._hosts, self._strategy, binding=self._binding)
+            self.pipeline = pipeline
+            self.emulation = pipeline.run(
+                config, registry=registry if registry.enabled else None
+            )
+        registry.gauge("distill.pipes").set(self.pipeline.distillation.total_pipes)
+        registry.gauge("distill.preserved_links").set(
+            self.pipeline.distillation.preserved_links
+        )
+        for setup in self._traffic:
+            setup(self.emulation)
+        return self.emulation
+
+    def run(self, until: float) -> RunReport:
+        """Build (if needed), run the clock to ``until`` virtual
+        seconds, and return the :class:`RunReport`."""
+        if until <= 0:
+            raise ValueError(f"until must be > 0, got {until}")
+        emulation = self.build()
+        registry = self.registry
+        t0 = perf_counter()
+        with registry.timed("phase.run_s"):
+            self.sim.run(until=until)
+        wall = perf_counter() - t0
+        self.report = build_report(
+            emulation,
+            registry=registry if registry.enabled else None,
+            name=self.name,
+            wall_time_s=wall,
+        )
+        return self.report
+
+    def __repr__(self) -> str:
+        built = "built" if self.emulation is not None else "unbuilt"
+        return (
+            f"<Scenario {self.name!r} mode={self._mode.name} "
+            f"cores={self._cores} hosts={self._hosts} {built}>"
+        )

@@ -24,7 +24,8 @@ Two fidelity regimes are supported via :class:`EmulationConfig`:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assign import Assignment, greedy_k_clusters, single_core
@@ -45,6 +46,7 @@ from repro.hardware.cpu import EdgeCpu
 from repro.hardware.links import PhysicalLink
 from repro.net.packet import Packet
 from repro.net.sockets import NetStack
+from repro.obs import MetricsRegistry, NULL_REGISTRY, RunReport, build_report
 from repro.net.tcp import TcpParams
 from repro.routing.service import CachedRouting, DynamicRouting
 from repro.topology.graph import Topology, TopologyError
@@ -67,6 +69,39 @@ class EmulationConfig:
     edge_spec: EdgeHostSpec = field(default_factory=lambda: DEFAULT_EDGE_SPEC)
     tcp_params: Optional[TcpParams] = None
     seed: int = 0
+
+    #: Strategies understood by :func:`repro.core.bind.bind_vns`.
+    BINDING_STRATEGIES = ("contiguous", "round_robin")
+    ROUTING_WEIGHTS = ("latency", "hops", "cost")
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Reject configurations that cannot run. Called on
+        construction; call again after mutating fields in place."""
+        if self.tick_s < 0:
+            raise ValueError(f"tick_s must be >= 0, got {self.tick_s}")
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if self.num_hosts < 1:
+            raise ValueError(f"num_hosts must be >= 1, got {self.num_hosts}")
+        if self.binding_strategy not in self.BINDING_STRATEGIES:
+            raise ValueError(
+                f"unknown binding_strategy {self.binding_strategy!r}; "
+                f"valid: {', '.join(self.BINDING_STRATEGIES)}"
+            )
+        if not callable(self.routing_weight) and (
+            self.routing_weight not in self.ROUTING_WEIGHTS
+        ):
+            raise ValueError(
+                f"unknown routing_weight {self.routing_weight!r}; "
+                f"valid: {', '.join(self.ROUTING_WEIGHTS)} or a callable"
+            )
+
+    @classmethod
+    def field_names(cls) -> Tuple[str, ...]:
+        return tuple(f.name for f in fields(cls))
 
     @classmethod
     def reference(cls, **overrides) -> "EmulationConfig":
@@ -208,6 +243,7 @@ class Emulation:
         assignment: Optional[Assignment] = None,
         binding: Optional[Binding] = None,
         routing=None,
+        registry: Optional[MetricsRegistry] = None,
     ):
         self.sim = sim
         self.topology = topology
@@ -215,6 +251,11 @@ class Emulation:
         self.rng = RngRegistry(self.config.seed)
         self.loss_rng = self.rng.stream("pipe-loss")
         self.monitor = EmulationMonitor()
+        #: Observability registry; the shared null registry (every
+        #: operation a no-op, no hot-path timers installed) unless the
+        #: caller opts in with a live MetricsRegistry.
+        self.obs: MetricsRegistry = registry if registry is not None else NULL_REGISTRY
+        self._route_timer = None
 
         # --- pipes: one per link direction --------------------------------
         self.pipes: Dict[Tuple[int, int], Pipe] = {}
@@ -333,6 +374,22 @@ class Emulation:
             if host.cpu is not None:
                 host.cpu.register(("vn", vn_id))
 
+        if self.obs.enabled:
+            self._install_timing_hooks()
+
+    def _install_timing_hooks(self) -> None:
+        """Arm the hot-path wall-clock timers (live registry only):
+        per-arrival pipe enqueue, per-wakeup scheduler collect, and
+        route-cache misses."""
+        self._route_timer = self.obs.histogram("route.lookup_s")
+        enqueue = self.obs.histogram("pipe.enqueue_s")
+        for pipe in self.pipes.values():
+            pipe._timer = enqueue
+        for core in self.cores:
+            core.scheduler.collect_timer = self.obs.histogram(
+                "sched.collect_s", core=core.index
+            )
+
     # ------------------------------------------------------------------
     # Fabric interface
     # ------------------------------------------------------------------
@@ -363,14 +420,18 @@ class Emulation:
         cached = self._route_pipes.get(key, _MISSING)
         if cached is not _MISSING:
             return cached
+        timer = self._route_timer
+        t0 = perf_counter() if timer is not None else 0.0
         route = self.routing.route(
             self._node_of_vn[src_vn], self._node_of_vn[dst_vn]
         )
         if route is None:
-            self._route_pipes[key] = None
-            return None
-        pipes = tuple(self._pipe_for_hop(hop) for hop in route)
+            pipes = None
+        else:
+            pipes = tuple(self._pipe_for_hop(hop) for hop in route)
         self._route_pipes[key] = pipes
+        if timer is not None:
+            timer.observe(perf_counter() - t0)
         return pipes
 
     def _pipe_for_hop(self, hop) -> Pipe:
@@ -399,7 +460,16 @@ class Emulation:
         return self.pipes[(link_id, 0)], self.pipes[(link_id, 1)]
 
     def set_link_params(self, link_id: int, **params) -> None:
-        """Adjust both directions of a link's pipes at runtime."""
+        """Adjust both directions of a link's pipes at runtime.
+
+        Unknown parameter names raise :class:`ValueError` before
+        either pipe is touched."""
+        unknown = set(params) - set(Pipe.PARAM_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown link parameter(s) {sorted(unknown)}; "
+                f"valid knobs: {', '.join(Pipe.PARAM_NAMES)}"
+            )
         for pipe in self.pipes_of_link(link_id):
             pipe.set_params(**params)
 
@@ -425,6 +495,11 @@ class Emulation:
 
     def accuracy_report(self):
         return self.monitor.report(virtual_drops=self.virtual_drops())
+
+    def run_report(self, name: str = "", wall_time_s: float = 0.0) -> RunReport:
+        """Collect every subsystem's statistics into a
+        :class:`~repro.obs.RunReport` manifest."""
+        return build_report(self, name=name, wall_time_s=wall_time_s)
 
     def __repr__(self) -> str:
         return (

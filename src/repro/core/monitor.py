@@ -103,6 +103,28 @@ class EmulationMonitor:
             + self.physical_drops_uplink
         )
 
+    def export(self, registry, virtual_drops: int = 0) -> None:
+        """Publish this monitor's counters and error summary into an
+        observability registry under ``accuracy.*`` names."""
+        accuracy = self.report(virtual_drops=virtual_drops)
+        registry.gauge("accuracy.packets_entered").set(self.packets_entered)
+        registry.gauge("accuracy.packets_delivered").set(self.packets_delivered)
+        registry.gauge("accuracy.packets_unroutable").set(self.packets_unroutable)
+        registry.gauge("accuracy.tunnels").set(self.tunnels)
+        registry.gauge("accuracy.virtual_drops").set(virtual_drops)
+        registry.gauge("accuracy.physical_drops").set(self.physical_drops)
+        registry.gauge("accuracy.physical_drops_ring").set(self.physical_drops_ring)
+        registry.gauge("accuracy.physical_drops_egress").set(
+            self.physical_drops_egress
+        )
+        registry.gauge("accuracy.physical_drops_uplink").set(
+            self.physical_drops_uplink
+        )
+        registry.gauge("accuracy.error_samples").set(len(self.error_samples))
+        registry.gauge("accuracy.mean_error_s").set(accuracy.mean_error_s)
+        registry.gauge("accuracy.p99_error_s").set(accuracy.p99_error_s)
+        registry.gauge("accuracy.max_error_s").set(accuracy.max_error_s)
+
     def report(self, virtual_drops: int = 0) -> AccuracyReport:
         """Summarize the run's fidelity (errors + drop taxonomy)."""
         samples = sorted(self.error_samples)

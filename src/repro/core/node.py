@@ -58,6 +58,9 @@ class CoreNode:
         self.cpu_busy_s = 0.0
         self.packets_processed = 0
         self.hops_processed = 0
+        #: Wakeups whose work exceeded one tick of CPU (the real-time
+        #: scheduler "overrun" signal: emulation is falling behind).
+        self.tick_overruns = 0
         #: Optional (prev_pipe_id, next_pipe_id) -> packet counter,
         #: installed by the dynamic reassigner to learn the traffic's
         #: pipe adjacency ("evolving communication patterns").
@@ -148,6 +151,8 @@ class CoreNode:
 
         self.cpu_busy_s += spent
         self._cpu_backlog = max(0.0, self._cpu_backlog + spent - tick)
+        if self._cpu_backlog > 0.0:
+            self.tick_overruns += 1
         self._reschedule_wake()
 
     def _item_cost(self, tag: int, item=None) -> float:

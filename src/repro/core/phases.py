@@ -124,9 +124,14 @@ class ExperimentPipeline:
 
     # -- Run -------------------------------------------------------------------
 
-    def run(self, config: Optional[EmulationConfig] = None) -> Emulation:
+    def run(
+        self,
+        config: Optional[EmulationConfig] = None,
+        registry=None,
+    ) -> Emulation:
         """Build the emulation (traffic starts when the caller runs
-        the simulator)."""
+        the simulator). Pass a live
+        :class:`~repro.obs.MetricsRegistry` to arm observability."""
         if self.binding is None:
             self.bind()
         if config is None:
@@ -134,10 +139,12 @@ class ExperimentPipeline:
         config.num_cores = self._num_cores
         config.num_hosts = self.binding.num_hosts
         config.seed = self.seed
+        config.validate()
         return Emulation(
             self.sim,
             self.distilled,
             config,
             assignment=self.assignment,
             binding=self.binding,
+            registry=registry,
         )

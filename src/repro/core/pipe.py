@@ -18,7 +18,8 @@ Each pipe maintains the computation twice:
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, List, Optional, Tuple
+from time import perf_counter
+from typing import Deque, List, Tuple
 
 from repro.core.packet import PacketDescriptor
 from repro.core.queues import DropTailQueue
@@ -52,7 +53,12 @@ class Pipe:
         "drops_random",
         "drops_down",
         "bytes_through",
+        "peak_backlog",
+        "_timer",
     )
+
+    #: Runtime-adjustable knobs accepted by :meth:`set_params`.
+    PARAM_NAMES = ("bandwidth_bps", "latency_s", "loss_rate", "queue_limit")
 
     def __init__(
         self,
@@ -90,6 +96,11 @@ class Pipe:
         self.drops_random = 0
         self.drops_down = 0
         self.bytes_through = 0
+        self.peak_backlog = 0
+        # Observability timing hook: a Histogram when the owning
+        # emulation runs with a live registry, else None (one
+        # attribute check per arrival — the zero-overhead default).
+        self._timer = None
 
     # ------------------------------------------------------------------
 
@@ -116,6 +127,21 @@ class Pipe:
         """Offer a descriptor to this pipe at scheduled time ``now``
         (``ideal_now`` is the exact-arithmetic arrival). Returns False
         on a virtual drop."""
+        timer = self._timer
+        if timer is not None:
+            t0 = perf_counter()
+            accepted = self._arrival(descriptor, now, ideal_now, rng)
+            timer.observe(perf_counter() - t0)
+            return accepted
+        return self._arrival(descriptor, now, ideal_now, rng)
+
+    def _arrival(
+        self,
+        descriptor: PacketDescriptor,
+        now: float,
+        ideal_now: float,
+        rng=None,
+    ) -> bool:
         self.arrivals += 1
         if not self.up:
             self.drops_down += 1
@@ -134,6 +160,8 @@ class Pipe:
         ideal_exit = ideal_dequeue + self.latency_s
         descriptor.ideal_time = ideal_exit
         self._bw_queue.append((descriptor, dequeue_at, ideal_exit))
+        if len(self._bw_queue) > self.peak_backlog:
+            self.peak_backlog = len(self._bw_queue)
         self.bytes_through += descriptor.packet.size_bytes
         return True
 
@@ -178,16 +206,23 @@ class Pipe:
     # Dynamic reconfiguration (cross traffic, faults)
     # ------------------------------------------------------------------
 
-    def set_params(
-        self,
-        bandwidth_bps: Optional[float] = None,
-        latency_s: Optional[float] = None,
-        loss_rate: Optional[float] = None,
-        queue_limit: Optional[int] = None,
-    ) -> None:
+    def set_params(self, **params) -> None:
         """Adjust pipe parameters in place. In-flight packets keep
         their already-computed times (dummynet semantics); new
-        arrivals see the new parameters."""
+        arrivals see the new parameters.
+
+        Unknown parameter names raise :class:`ValueError` (a silently
+        ignored typo would emulate the wrong network)."""
+        unknown = set(params) - set(self.PARAM_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown pipe parameter(s) {sorted(unknown)}; "
+                f"valid knobs: {', '.join(self.PARAM_NAMES)}"
+            )
+        bandwidth_bps = params.get("bandwidth_bps")
+        latency_s = params.get("latency_s")
+        loss_rate = params.get("loss_rate")
+        queue_limit = params.get("queue_limit")
         if bandwidth_bps is not None:
             if bandwidth_bps <= 0:
                 raise ValueError("bandwidth must be positive")

@@ -17,7 +17,8 @@ from __future__ import annotations
 
 import heapq
 import math
-from typing import List, Optional, Tuple
+from time import perf_counter
+from typing import List, Tuple
 
 from repro.core.packet import PacketDescriptor
 from repro.core.pipe import INFINITY, Pipe
@@ -40,6 +41,10 @@ class PipeScheduler:
         self._seq = 0
         self.hops_serviced = 0
         self.wakeups = 0
+        # Observability timing hook: a Histogram measuring wall-clock
+        # time per collect() when the owning emulation runs with a
+        # live registry, else None (zero overhead).
+        self.collect_timer = None
 
     def quantize(self, time: float) -> float:
         """The first tick boundary at or after ``time``."""
@@ -82,6 +87,8 @@ class PipeScheduler:
         next pipe or destination and charges CPU per hop.
         """
         self.wakeups += 1
+        timer = self.collect_timer
+        t0 = perf_counter() if timer is not None else 0.0
         # Quantization rounds deadlines *down* to the wake boundary
         # modulo float error (e.g. a deadline of 693.0000000000001
         # ticks waking at tick 693); accept anything within a
@@ -99,6 +106,8 @@ class PipeScheduler:
                 self.hops_serviced += len(exits)
                 serviced.append((pipe, exits))
             self.notify(pipe)
+        if timer is not None:
+            timer.observe(perf_counter() - t0)
         return serviced
 
     @property

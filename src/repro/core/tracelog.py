@@ -131,6 +131,19 @@ class TraceLog:
 
             sim.schedule(sample_pipes_every_s, sample)
 
+    # -- observability bridge ----------------------------------------------
+
+    def export(self, registry) -> None:
+        """Publish ring statistics and the logged per-packet error
+        distribution into an observability registry (``trace.*``)."""
+        registry.gauge("trace.records").set(len(self._records))
+        registry.gauge("trace.emitted").set(self.emitted)
+        registry.gauge("trace.dropped_records").set(self.dropped_records)
+        errors = registry.histogram("trace.error_s")
+        for record in self._records:
+            if record.kind == PKT_EXIT:
+                errors.observe(record.data[0])
+
     # -- offline analysis ------------------------------------------------------
 
     def error_series(self) -> List[Tuple[float, float]]:

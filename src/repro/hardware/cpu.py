@@ -117,3 +117,13 @@ class EdgeCpu:
         if elapsed_s <= 0:
             return 0.0
         return min(1.0, self.busy_s / elapsed_s)
+
+    def stats(self) -> dict:
+        """Counter snapshot for observability collection."""
+        return {
+            "busy_s": self.busy_s,
+            "context_switches": self.context_switches,
+            "items_executed": self.items_executed,
+            "processes": len(self._tasks),
+            "queued": len(self._queue),
+        }

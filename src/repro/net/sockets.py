@@ -123,6 +123,10 @@ class NetStack:
         self._next_ephemeral = EPHEMERAL_BASE
         self.packets_sent = 0
         self.packets_received = 0
+        # Cumulative TCP counters of connections that have fully
+        # closed (closed connections leave _connections, so their
+        # statistics are folded in here to keep tcp_stats() total).
+        self._tcp_closed_stats: Dict[str, int] = {}
 
     # -- fabric binding -------------------------------------------------
 
@@ -242,6 +246,19 @@ class NetStack:
         existing = self._connections.get(key)
         if existing is connection:
             del self._connections[key]
+            for stat, value in connection.stats().items():
+                self._tcp_closed_stats[stat] = (
+                    self._tcp_closed_stats.get(stat, 0) + value
+                )
+
+    def tcp_stats(self) -> Dict[str, int]:
+        """Aggregate TCP counters over this stack's lifetime: live
+        connections plus everything already closed."""
+        totals = dict(self._tcp_closed_stats)
+        for connection in self._connections.values():
+            for stat, value in connection.stats().items():
+                totals[stat] = totals.get(stat, 0) + value
+        return totals
 
     def __repr__(self) -> str:
         return f"<NetStack vn{self.vn_id} ip={self.ip}>"

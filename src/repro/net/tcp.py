@@ -797,6 +797,20 @@ class TcpConnection:
         self._cancel_delack()
         self.stack._connection_closed(self)
 
+    def stats(self) -> Dict[str, int]:
+        """Counter snapshot for observability collection: the keys the
+        stack (and ``repro.obs``) aggregates across connections."""
+        return {
+            "connections": 1,
+            "bytes_sent": self.bytes_sent,
+            "bytes_acked": self.bytes_acked,
+            "bytes_received": self.bytes_received,
+            "segments_sent": self.segments_sent,
+            "segments_retransmitted": self.segments_retransmitted,
+            "timeouts": self.timeouts,
+            "fast_retransmits": self.fast_retransmits,
+        }
+
     def __repr__(self) -> str:
         return (
             f"<TcpConnection vn{self.stack.vn_id}:{self.local_port} -> "

@@ -12,6 +12,7 @@ source lacks. This CLI provides those offline steps:
     repro-net annotate ts.gml --seed 1 -o annotated.gml
     repro-net distill ring.gml --mode last-mile -o distilled.gml
     repro-net route ts.gml --src 40 --dst 90
+    repro-net run ts.gml --cores 2 --flows 8 --report out.json
 """
 
 from __future__ import annotations
@@ -21,6 +22,7 @@ import random
 import sys
 from typing import List, Optional
 
+from repro.api import DISTILL_MODES
 from repro.core.distill import DistillationMode, distill
 from repro.routing import CachedRouting, route_latency
 from repro.topology import (
@@ -38,12 +40,7 @@ from repro.topology import (
 )
 from repro.topology.annotate import LinkClassParams
 
-_MODES = {
-    "hop-by-hop": DistillationMode.HOP_BY_HOP,
-    "last-mile": DistillationMode.WALK_IN,
-    "walk-in": DistillationMode.WALK_IN,
-    "end-to-end": DistillationMode.END_TO_END,
-}
+_MODES = DISTILL_MODES
 
 
 def _cmd_generate(args) -> int:
@@ -181,6 +178,37 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
+def _cmd_run(args) -> int:
+    """The Run phase: drive a Scenario over a GML topology and emit
+    its RunReport."""
+    from repro.api import Scenario
+
+    scenario = (
+        Scenario.from_gml(args.input)
+        .distill(args.mode, walk_in=args.walk_in, walk_out=args.walk_out)
+        .assign(args.cores)
+        .bind(args.hosts)
+        .seed(args.seed)
+        .netperf(flows=args.flows)
+    )
+    if args.reference:
+        scenario.config(reference=True)
+    if args.no_obs:
+        scenario.observe(False)
+    report = scenario.run(until=args.seconds)
+    if args.report:
+        report.save(args.report)
+        print(f"wrote {args.report}")
+    if args.csv:
+        report.save_csv(args.csv)
+        print(f"wrote {args.csv}")
+    if args.report or args.csv:
+        print(report.summary())
+    else:
+        print(report.to_json())
+    return 0
+
+
 def _cmd_import(args) -> int:
     from repro.topology.importers import (
         attach_clients,
@@ -278,6 +306,31 @@ def build_parser() -> argparse.ArgumentParser:
     emulate.add_argument("--seconds", type=float, default=3.0)
     emulate.add_argument("--seed", type=int, default=0)
     emulate.set_defaults(func=_cmd_emulate)
+
+    run = sub.add_parser(
+        "run",
+        help="run a Scenario over a GML topology and emit its RunReport",
+    )
+    run.add_argument("input")
+    run.add_argument("--mode", choices=sorted(_MODES), default="hop-by-hop")
+    run.add_argument("--walk-in", type=int, default=1)
+    run.add_argument("--walk-out", type=int, default=0)
+    run.add_argument("--cores", type=int, default=1)
+    run.add_argument("--hosts", type=int, default=1)
+    run.add_argument("--flows", type=int, default=4)
+    run.add_argument("--seconds", type=float, default=3.0)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--reference", action="store_true",
+        help="exact-time, infinite-hardware configuration",
+    )
+    run.add_argument(
+        "--no-obs", action="store_true",
+        help="disable hot-path observability (null registry)",
+    )
+    run.add_argument("--report", help="write the RunReport JSON here")
+    run.add_argument("--csv", help="write the metrics as CSV here")
+    run.set_defaults(func=_cmd_run)
     return parser
 
 

@@ -286,3 +286,42 @@ def test_custom_tcp_params_flow_to_stacks():
     config.tcp_params = TcpParams(mss=500)
     sim, emulation = build(star_topology(2), config)
     assert emulation.vn(0).stack.tcp_params.mss == 500
+
+
+def test_config_validate_rejects_bad_values():
+    with pytest.raises(ValueError, match="tick_s"):
+        EmulationConfig(tick_s=-1e-4)
+    with pytest.raises(ValueError, match="num_cores"):
+        EmulationConfig(num_cores=0)
+    with pytest.raises(ValueError, match="num_hosts"):
+        EmulationConfig(num_hosts=0)
+    with pytest.raises(ValueError, match="binding_strategy"):
+        EmulationConfig(binding_strategy="scattered")
+    with pytest.raises(ValueError, match="routing_weight"):
+        EmulationConfig(routing_weight="vibes")
+
+
+def test_config_validate_catches_post_construction_mutation():
+    config = EmulationConfig()
+    config.num_cores = 0
+    with pytest.raises(ValueError, match="num_cores"):
+        config.validate()
+
+
+def test_set_link_params_rejects_unknown_knobs():
+    sim, emulation = build(star_topology(2))
+    fwd, _rev = emulation.pipes_of_link(0)
+    before = fwd.latency_s
+    with pytest.raises(ValueError) as err:
+        emulation.set_link_params(0, latency_ms=5)
+    # The error lists the valid knobs and no pipe was touched.
+    assert "bandwidth_bps" in str(err.value)
+    assert "latency_s" in str(err.value)
+    assert fwd.latency_s == before
+
+
+def test_pipe_set_params_rejects_unknown_knobs():
+    sim, emulation = build(star_topology(2))
+    fwd, _rev = emulation.pipes_of_link(0)
+    with pytest.raises(ValueError, match="queue_limit"):
+        fwd.set_params(queue_limits=10)

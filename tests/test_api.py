@@ -1,0 +1,153 @@
+"""The Scenario facade: parity with hand-wired pipelines, validation."""
+
+import pytest
+
+from repro import MetricsRegistry, RunReport, Scenario
+from repro.apps.netperf import TcpStream
+from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline
+from repro.engine import Simulator
+from repro.topology import dumbbell_topology, ring_topology, save_gml
+
+
+def _traffic(emulation):
+    return [TcpStream(emulation, 0, 3), TcpStream(emulation, 1, 4)]
+
+
+def test_scenario_matches_hand_wired_emulation():
+    # Hand-wired: the documented low-level path.
+    sim = Simulator()
+    hand = (
+        ExperimentPipeline(sim, seed=3)
+        .create(dumbbell_topology(clients_per_side=3))
+        .distill(DistillationMode.HOP_BY_HOP)
+        .assign(2)
+        .bind(2)
+        .run(EmulationConfig())
+    )
+    _traffic(hand)
+    sim.run(until=2.0)
+
+    # Facade, same knobs and seed.
+    scenario = (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=3))
+        .distill("hop-by-hop")
+        .assign(cores=2)
+        .bind(hosts=2)
+        .seed(3)
+        .traffic(_traffic)
+    )
+    report = scenario.run(until=2.0)
+    facade = scenario.emulation
+
+    assert facade.monitor.packets_entered == hand.monitor.packets_entered
+    assert facade.monitor.packets_delivered == hand.monitor.packets_delivered
+    assert facade.virtual_drops() == hand.virtual_drops()
+    assert sum(p.arrivals for p in facade.pipes.values()) == sum(
+        p.arrivals for p in hand.pipes.values()
+    )
+    assert report.metric("accuracy.packets_delivered") == (
+        hand.monitor.packets_delivered
+    )
+    assert report.seed == 3
+    assert report.virtual_time_s == pytest.approx(2.0)
+
+
+def test_scenario_from_gml(tmp_path):
+    path = tmp_path / "ring.gml"
+    save_gml(ring_topology(num_routers=4, vns_per_router=1), str(path))
+    report = (
+        Scenario.from_gml(str(path))
+        .netperf(flows=2)
+        .run(until=1.0)
+    )
+    assert isinstance(report, RunReport)
+    assert report.metric("accuracy.packets_delivered") > 0
+    assert report.topology["nodes"] == 8
+
+
+def test_scenario_distill_mode_names():
+    scenario = Scenario.from_topology(ring_topology(4, 1))
+    scenario.distill("last-mile")
+    assert scenario._mode is DistillationMode.WALK_IN
+    with pytest.raises(ValueError, match="unknown distillation mode"):
+        scenario.distill("frobnicate")
+
+
+def test_scenario_config_rejects_unknown_knobs():
+    scenario = Scenario.from_topology(ring_topology(4, 1))
+    with pytest.raises(ValueError, match="tick_z"):
+        scenario.config(tick_z=1e-4)
+    # The error names the valid knobs.
+    with pytest.raises(ValueError, match="tick_s"):
+        scenario.config(nope=1)
+
+
+def test_scenario_reference_mode_is_exact():
+    report = (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+        .config(reference=True)
+        .traffic(lambda e: [TcpStream(e, 0, 2)])
+        .run(until=1.0)
+    )
+    assert report.config["model_physical"] is False
+    assert report.metric("accuracy.max_error_s") == pytest.approx(0.0, abs=1e-12)
+
+
+def test_scenario_observe_false_uses_null_registry():
+    scenario = (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+        .observe(False)
+        .traffic(lambda e: [TcpStream(e, 0, 2)])
+    )
+    report = scenario.run(until=1.0)
+    emulation = scenario.emulation
+    assert not emulation.obs.enabled
+    assert all(p._timer is None for p in emulation.pipes.values())
+    # Pull-collected metrics are still in the report.
+    assert report.metric("pipe.arrivals") > 0
+    assert report.metric("pipe.enqueue_s") is None
+
+
+def test_scenario_frozen_after_build():
+    scenario = Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+    scenario.build()
+    with pytest.raises(RuntimeError, match="frozen"):
+        scenario.assign(cores=2)
+    with pytest.raises(RuntimeError, match="frozen"):
+        scenario.config(seed=9)
+
+
+def test_scenario_run_validates_until():
+    scenario = Scenario.from_topology(ring_topology(4, 1))
+    with pytest.raises(ValueError):
+        scenario.run(until=0)
+
+
+def test_scenario_rejects_bad_stage_arguments():
+    scenario = Scenario.from_topology(ring_topology(4, 1))
+    with pytest.raises(ValueError):
+        scenario.assign(cores=0)
+    with pytest.raises(ValueError):
+        scenario.bind(hosts=0)
+
+
+def test_scenario_phase_timings_recorded():
+    scenario = (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+        .traffic(lambda e: [TcpStream(e, 0, 2)])
+    )
+    report = scenario.run(until=1.0)
+    assert report.metric("phase.build_s")["count"] == 1
+    assert report.metric("phase.run_s")["count"] == 1
+    assert report.metric("distill.pipes") > 0
+
+
+def test_scenario_accepts_external_registry():
+    registry = MetricsRegistry()
+    (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+        .observe(registry=registry)
+        .traffic(lambda e: [TcpStream(e, 0, 2)])
+        .run(until=1.0)
+    )
+    assert registry.snapshot()["pipe.enqueue_s"]["count"] > 0

@@ -129,3 +129,42 @@ def test_emulate_distilled_multicore(tmp_path, capsys):
     ]) == 0
     text = capsys.readouterr().out
     assert "distilled pipes:" in text
+
+
+def test_run_writes_run_report(tmp_path, capsys):
+    source = tmp_path / "ring.gml"
+    main(["generate", "ring", "--routers", "4", "--vns", "2", "-o", str(source)])
+    capsys.readouterr()
+    report_path = tmp_path / "report.json"
+    csv_path = tmp_path / "report.csv"
+    assert main([
+        "run", str(source), "--cores", "2", "--hosts", "2", "--flows", "2",
+        "--seconds", "1.0", "--report", str(report_path), "--csv", str(csv_path),
+    ]) == 0
+    text = capsys.readouterr().out
+    assert "RunReport" in text
+
+    from repro.obs import RunReport
+
+    report = RunReport.load(str(report_path))
+    assert report.metric("accuracy.packets_delivered") > 0
+    assert report.metric("pipe.arrivals") > 0
+    assert report.metric("sched.wakeups{core=0}") > 0
+    assert report.metric_sum("core.utilization") > 0
+    assert report.config["num_cores"] == 2
+    assert "metric,value" in csv_path.read_text()
+
+
+def test_run_prints_json_without_output_paths(tmp_path, capsys):
+    source = tmp_path / "star.gml"
+    main(["generate", "star", "--vns", "4", "-o", str(source)])
+    capsys.readouterr()
+    assert main([
+        "run", str(source), "--flows", "2", "--seconds", "0.5", "--no-obs",
+    ]) == 0
+    import json
+
+    raw = json.loads(capsys.readouterr().out)
+    assert raw["metrics"]["accuracy.packets_entered"] > 0
+    # Null registry: no hot-path timing histograms in the report.
+    assert "pipe.enqueue_s" not in raw["metrics"]
