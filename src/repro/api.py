@@ -36,6 +36,7 @@ from repro.core.bind import Binding
 from repro.core.distill import DistillationMode
 from repro.core.emulator import Emulation, EmulationConfig
 from repro.core.phases import ExperimentPipeline
+from repro.engine.randomness import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.obs import MetricsRegistry, NULL_REGISTRY, RunReport, build_report
 from repro.topology.gml import load_gml, parse_gml
@@ -210,11 +211,11 @@ class Scenario:
         (the paper's netperf senders)."""
 
         def setup(emulation: Emulation):
-            import random
-
             from repro.apps.netperf import TcpStream
 
-            rng = random.Random(self._seed if seed is None else seed)
+            rng = RngRegistry(
+                self._seed if seed is None else seed
+            ).stream("netperf-pairs")
             vns = list(range(emulation.num_vns))
             rng.shuffle(vns)
             count = min(flows, len(vns) // 2)

@@ -213,11 +213,12 @@ class ParetoOnOffSource:
         # Pareto scale giving the requested means: mean = xm*a/(a-1).
         self._on_scale = mean_on_s * (shape - 1.0) / shape
         self._off_scale = mean_off_s * (shape - 1.0) / shape
-        self.rng = rng or vn.stack.sim  # replaced below if a Simulator
         if rng is None:
-            import random as _random
-
-            self.rng = _random.Random(vn.vn_id)
+            # Per-VN stream off the emulation's root seed: independent
+            # bursts per sender, reproducible across runs, and adding
+            # a burst never perturbs other components' draws.
+            rng = vn.emulation.rng.stream(f"netperf-udp-{vn.vn_id}")
+        self.rng = rng
         self.stop_at = stop_at
         self.sent = 0
         self.bursts = 0

@@ -25,10 +25,10 @@ reproducible; latency/loss are symmetric like published RON summaries.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from repro.engine.randomness import RngRegistry
 from repro.topology.graph import NodeKind, Topology
 
 
@@ -86,7 +86,7 @@ def ron_topology(seed: int = 0, queue_limit: int = 50) -> Tuple[Topology, List[R
     Client node ids are 0..11 (VN i = site i); node 12+i is site i's
     gateway. Pair (i, j) conditions live on the gateway mesh link.
     """
-    rng = random.Random(seed)
+    rng = RngRegistry(seed).stream("rondata")
     sites = ron_sites()
     n = len(sites)
     topology = Topology("ron-synthetic")

@@ -23,6 +23,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.randomness import RngRegistry
 from repro.engine.simulator import Simulator
 
 
@@ -106,12 +107,13 @@ class WirelessNetwork:
         bitrate_bps: float = 2e6,  # 802.11 (1997) class
         num_nodes: int = 0,
         rng: Optional[random.Random] = None,
+        seed: int = 0,
     ):
         self.sim = sim
         self.area_m = area_m
         self.range_m = range_m
         self.bitrate_bps = bitrate_bps
-        self.rng = rng or random.Random(0)
+        self.rng = rng if rng is not None else RngRegistry(seed).stream("wireless")
         self.slot_s = 20e-6
         self.propagation_s = 1e-6
         #: 802.11-style link-layer retransmissions for unicast frames.

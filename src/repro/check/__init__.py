@@ -1,0 +1,55 @@
+"""Correctness tooling for the determinism contract.
+
+The whole reproduction rests on bit-reproducible virtual time: the
+same root seed must yield identical event traces, which is what lets
+runs be compared against the paper's figures and against each other
+via :class:`~repro.obs.RunReport` manifests. This package *enforces*
+that contract two ways:
+
+* :mod:`repro.check.lint` — an AST-based static pass with rules
+  specific to this codebase (bare ``random.Random`` outside the
+  :class:`~repro.engine.randomness.RngRegistry` stream discipline,
+  wall-clock reads inside simulation packages, unordered-iteration
+  event scheduling, identity-based heap tie-breaks, mutable-packet
+  captures in event callbacks).
+
+* :mod:`repro.check.sanitize` — a runtime sanitizer that records a
+  streaming digest of every dispatched event, runs a scenario twice
+  with the same seed, and pinpoints the *first* divergent event when
+  the traces disagree.
+
+Both are wired into the ``repro-net check`` / ``repro-net sanitize``
+CLI subcommands and CI.
+"""
+
+from repro.check.lint import (
+    RULES,
+    Violation,
+    format_violation,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+from repro.check.sanitize import (
+    Divergence,
+    DispatchRecord,
+    SanitizeResult,
+    SimSanitizer,
+    compare_runs,
+    sanitize_scenario,
+)
+
+__all__ = [
+    "RULES",
+    "Violation",
+    "format_violation",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "Divergence",
+    "DispatchRecord",
+    "SanitizeResult",
+    "SimSanitizer",
+    "compare_runs",
+    "sanitize_scenario",
+]

@@ -1,0 +1,494 @@
+"""Determinism lint: AST rules for the virtual-time kernel.
+
+Same seed, same trace — that is the contract every experiment in this
+repo depends on. These rules catch the ways Python code silently
+breaks it:
+
+========  ============================================================
+DET001    Bare ``random.Random(...)`` / ``random.seed(...)`` /
+          module-level ``random.*()`` draws. All randomness must come
+          from a named :class:`~repro.engine.randomness.RngRegistry`
+          stream so adding a consumer never perturbs existing draws.
+DET002    Wall-clock reads (``time.time``, ``perf_counter``,
+          ``datetime.now``, ...) inside simulation packages
+          (``engine/``, ``core/``, ``net/``, ``apps/``, ``obs/``)
+          where only ``sim.now`` is legal. Observability timing hooks
+          carry an explicit ``# repro: allow-wallclock``.
+DET003    ``for`` loops over a ``set`` (or ``dict.keys()`` not
+          wrapped in ``sorted``) whose body schedules events or
+          mutates pipes: iteration order feeds the event heap, so it
+          must be deterministic.
+DET004    ``id()`` / ``hash()`` used as a heap tie-break (inside
+          ``heappush`` arguments or rich-comparison methods): memory
+          addresses differ between runs.
+NED001    ``lambda`` event callbacks that capture mutable packet
+          objects from the enclosing scope — the packet can mutate
+          between scheduling and dispatch.
+========  ============================================================
+
+A violation is suppressed by ``# repro: allow-<tag>`` (or
+``# repro: allow-<RULE>``) on the offending line or the line above,
+or by an entry in a ``check-baseline.toml`` file::
+
+    [[suppress]]
+    file = "src/repro/foo.py"
+    rule = "DET001"
+    # line = 12   # optional: pin to a specific line
+
+New code must be clean; the baseline only grandfathers pre-existing
+violations.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+#: Rule id -> (suppression tag, one-line description).
+RULES: Dict[str, Tuple[str, str]] = {
+    "DET001": (
+        "rng",
+        "bare random.Random/random.seed/module-level random.* call; "
+        "draw from a named RngRegistry stream instead",
+    ),
+    "DET002": (
+        "wallclock",
+        "wall-clock read inside a simulation package; use sim.now "
+        "(observability timing hooks: # repro: allow-wallclock)",
+    ),
+    "DET003": (
+        "unordered",
+        "iteration over a set / unsorted dict.keys() schedules events "
+        "or mutates pipes; wrap the iterable in sorted()",
+    ),
+    "DET004": (
+        "tiebreak",
+        "id()/hash() used as a heap tie-break; use a monotonic "
+        "sequence number instead",
+    ),
+    "NED001": (
+        "capture",
+        "lambda event callback captures a mutable packet from the "
+        "enclosing scope; pass it as an explicit argument",
+    ),
+}
+
+#: Path components that mark a file as simulation code for DET002.
+SIM_PACKAGES = {"engine", "core", "net", "apps", "obs"}
+
+#: The one module allowed to construct random.Random directly.
+RNG_HOME = os.path.join("engine", "randomness.py")
+
+#: Module-level functions of ``random`` that draw from (or reseed) the
+#: hidden global Mersenne Twister.
+_RANDOM_MODULE_FUNCS = {
+    "seed", "random", "randint", "randrange", "uniform", "choice",
+    "choices", "shuffle", "sample", "gauss", "normalvariate",
+    "expovariate", "paretovariate", "betavariate", "gammavariate",
+    "lognormvariate", "vonmisesvariate", "weibullvariate",
+    "triangular", "getrandbits", "randbytes", "binomialvariate",
+}
+
+#: ``time`` module attributes that read the wall clock.
+_TIME_FUNCS = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+
+#: ``datetime.datetime`` / ``datetime.date`` constructors that read
+#: the wall clock.
+_DATETIME_FUNCS = {"now", "utcnow", "today", "fromtimestamp"}
+
+#: Method names whose invocation inside a loop body means the loop is
+#: feeding the event heap (DET003).
+_SCHEDULERS = {"schedule", "at", "call_soon"}
+
+#: Method names that mutate pipe state (DET003).
+_PIPE_MUTATORS = {"arrival", "enqueue", "set_params", "flush"}
+
+#: Free-variable names in a callback that look like mutable packets
+#: (NED001).
+_PACKETISH_PREFIXES = ("packet", "pkt", "descriptor", "desc")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def format_violation(violation: Violation) -> str:
+    return (
+        f"{violation.path}:{violation.line}:{violation.col}: "
+        f"{violation.rule} {violation.message}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Import tracking
+# ----------------------------------------------------------------------
+
+class _Imports:
+    """Aliases under which wall-clock and RNG callables are visible."""
+
+    def __init__(self) -> None:
+        self.random_modules: Set[str] = set()   # `import random [as r]`
+        self.random_names: Dict[str, str] = {}  # alias -> original random.X
+        self.time_modules: Set[str] = set()     # `import time [as t]`
+        self.time_names: Dict[str, str] = {}    # alias -> original time func
+        self.datetime_classes: Set[str] = set() # names bound to datetime/date
+
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    if alias.name == "random":
+                        self.random_modules.add(local)
+                    elif alias.name == "time":
+                        self.time_modules.add(local)
+                    elif alias.name == "datetime":
+                        # `import datetime` -> datetime.datetime.now(...)
+                        self.datetime_classes.add(local)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    for alias in node.names:
+                        self.random_names[alias.asname or alias.name] = alias.name
+                elif node.module == "time":
+                    for alias in node.names:
+                        if alias.name in _TIME_FUNCS:
+                            self.time_names[alias.asname or alias.name] = alias.name
+                elif node.module == "datetime":
+                    for alias in node.names:
+                        if alias.name in {"datetime", "date"}:
+                            self.datetime_classes.add(alias.asname or alias.name)
+
+
+# ----------------------------------------------------------------------
+# Rule visitors
+# ----------------------------------------------------------------------
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _attr_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-trivial bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+class _Linter(ast.NodeVisitor):
+    def __init__(self, path: str, imports: _Imports, sim_scope: bool,
+                 rng_home: bool):
+        self.path = path
+        self.imports = imports
+        self.sim_scope = sim_scope
+        self.rng_home = rng_home
+        self.violations: List[Violation] = []
+        self._lt_depth = 0
+
+    def _flag(self, rule: str, node: ast.AST, detail: str = "") -> None:
+        message = RULES[rule][1]
+        if detail:
+            message = f"{message} [{detail}]"
+        self.violations.append(
+            Violation(rule, self.path, node.lineno, node.col_offset + 1, message)
+        )
+
+    # -- DET001 / DET002 / DET004 / NED001 are all call-shaped ---------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        self._check_det001(node)
+        self._check_det002(node)
+        self._check_det004(node)
+        self._check_ned001(node)
+        self.generic_visit(node)
+
+    def _check_det001(self, node: ast.Call) -> None:
+        if self.rng_home:
+            return
+        chain = _attr_chain(node.func)
+        if chain and len(chain) == 2 and chain[0] in self.imports.random_modules:
+            if chain[1] == "Random" or chain[1] in _RANDOM_MODULE_FUNCS:
+                self._flag("DET001", node, f"random.{chain[1]}")
+            return
+        name = _call_name(node)
+        if name and name in self.imports.random_names:
+            original = self.imports.random_names[name]
+            if original == "Random" or original in _RANDOM_MODULE_FUNCS:
+                self._flag("DET001", node, original)
+
+    def _check_det002(self, node: ast.Call) -> None:
+        if not self.sim_scope:
+            return
+        chain = _attr_chain(node.func)
+        if chain:
+            if (
+                len(chain) == 2
+                and chain[0] in self.imports.time_modules
+                and chain[1] in _TIME_FUNCS
+            ):
+                self._flag("DET002", node, ".".join(chain))
+                return
+            # datetime.now(), datetime.datetime.now(), date.today()
+            if chain[-1] in _DATETIME_FUNCS and chain[0] in self.imports.datetime_classes:
+                self._flag("DET002", node, ".".join(chain))
+                return
+        name = _call_name(node)
+        if name and name in self.imports.time_names:
+            self._flag("DET002", node, f"time.{self.imports.time_names[name]}")
+
+    def _check_det004(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        name = _call_name(node)
+        is_heappush = name == "heappush" or (chain and chain[-1] == "heappush")
+        if not is_heappush:
+            return
+        for arg in node.args:
+            for sub in ast.walk(arg):
+                if isinstance(sub, ast.Call):
+                    sub_name = _call_name(sub)
+                    if sub_name in {"id", "hash"}:
+                        self._flag("DET004", sub, f"{sub_name}() in heappush")
+
+    def _check_ned001(self, node: ast.Call) -> None:
+        chain = _attr_chain(node.func)
+        if not chain or chain[-1] not in _SCHEDULERS:
+            return
+        for arg in node.args:
+            if not isinstance(arg, ast.Lambda):
+                continue
+            params = {a.arg for a in arg.args.args}
+            params |= {a.arg for a in arg.args.posonlyargs}
+            params |= {a.arg for a in arg.args.kwonlyargs}
+            for sub in ast.walk(arg.body):
+                if (
+                    isinstance(sub, ast.Name)
+                    and isinstance(sub.ctx, ast.Load)
+                    and sub.id not in params
+                    and sub.id.lower().startswith(_PACKETISH_PREFIXES)
+                ):
+                    self._flag("NED001", arg, f"captures {sub.id!r}")
+                    break
+
+    # -- DET004: identity comparisons inside rich-comparison methods ----
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node.name in {"__lt__", "__le__", "__gt__", "__ge__"}:
+            for sub in ast.walk(node):
+                if isinstance(sub, ast.Call) and _call_name(sub) in {"id", "hash"}:
+                    self._flag("DET004", sub, f"{_call_name(sub)}() in {node.name}")
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- DET003 ---------------------------------------------------------
+
+    def visit_For(self, node: ast.For) -> None:
+        detail = self._unordered_iterable(node.iter)
+        if detail and self._body_feeds_heap(node.body):
+            self._flag("DET003", node, detail)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _unordered_iterable(node: ast.expr) -> Optional[str]:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return "set literal"
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name in {"set", "frozenset"}:
+                return f"{name}()"
+            chain = _attr_chain(node.func)
+            if chain and chain[-1] == "keys":
+                return ".keys()"
+        # `a | b` / `a & b` / `a - b` over sets is still a set; catch
+        # the common explicit spelling.
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub)
+        ):
+            left = _Linter._unordered_iterable(node.left)
+            right = _Linter._unordered_iterable(node.right)
+            if left or right:
+                return "set expression"
+        return None
+
+    @staticmethod
+    def _body_feeds_heap(body: Sequence[ast.stmt]) -> bool:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call):
+                    chain = _attr_chain(sub.func)
+                    if chain and chain[-1] in (_SCHEDULERS | _PIPE_MUTATORS):
+                        return True
+        return False
+
+
+# ----------------------------------------------------------------------
+# Suppressions + baseline
+# ----------------------------------------------------------------------
+
+def _suppressed_lines(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids allowed on that line (the
+    marker also covers the line below it, so it can sit above a long
+    statement)."""
+    tag_to_rule = {tag: rule for rule, (tag, _) in RULES.items()}
+    out: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        marker = text.find("# repro: allow-")
+        if marker < 0:
+            continue
+        token = text[marker + len("# repro: allow-"):].split()[0].strip(",;")
+        rule = tag_to_rule.get(token, token if token in RULES else None)
+        if rule is None:
+            continue
+        out.setdefault(lineno, set()).add(rule)
+        out.setdefault(lineno + 1, set()).add(rule)
+    return out
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    file: str
+    rule: str
+    line: Optional[int] = None
+
+    def matches(self, violation: Violation) -> bool:
+        if self.rule != violation.rule:
+            return False
+        if self.line is not None and self.line != violation.line:
+            return False
+        normalized = violation.path.replace(os.sep, "/")
+        return normalized.endswith(self.file.replace(os.sep, "/"))
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a ``check-baseline.toml``. Uses :mod:`tomllib` when
+    available (3.11+), else a minimal parser that understands exactly
+    the ``[[suppress]]`` table-array shape documented above."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        import tomllib
+        data = tomllib.loads(raw.decode())
+        tables = data.get("suppress", [])
+    except ModuleNotFoundError:  # Python 3.10
+        tables = _parse_baseline_fallback(raw.decode())
+    entries = []
+    for table in tables:
+        if "file" not in table or "rule" not in table:
+            raise ValueError(
+                f"{path}: every [[suppress]] entry needs 'file' and 'rule'"
+            )
+        entries.append(
+            BaselineEntry(
+                file=str(table["file"]),
+                rule=str(table["rule"]),
+                line=int(table["line"]) if "line" in table else None,
+            )
+        )
+    return entries
+
+
+def _parse_baseline_fallback(text: str) -> List[Dict[str, object]]:
+    tables: List[Dict[str, object]] = []
+    current: Optional[Dict[str, object]] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "[[suppress]]":
+            current = {}
+            tables.append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            value = value.strip()
+            if value.startswith(("'", '"')):
+                current[key.strip()] = value[1:-1]
+            else:
+                current[key.strip()] = int(value)
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+
+def _is_sim_scope(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return bool(SIM_PACKAGES.intersection(parts))
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    sim_scope: Optional[bool] = None,
+) -> List[Violation]:
+    """Lint Python source text. ``sim_scope`` forces or disables
+    DET002; by default it is inferred from the path (any component in
+    ``engine/core/net/apps/obs``)."""
+    tree = ast.parse(source, filename=path)
+    imports = _Imports()
+    imports.collect(tree)
+    if sim_scope is None:
+        sim_scope = _is_sim_scope(path)
+    rng_home = os.path.normpath(path).endswith(RNG_HOME)
+    linter = _Linter(path, imports, sim_scope, rng_home)
+    linter.visit(tree)
+    allowed = _suppressed_lines(source)
+    return [
+        v for v in linter.violations
+        if v.rule not in allowed.get(v.line, ())
+    ]
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return found
+
+
+def lint_paths(
+    paths: Iterable[str],
+    baseline: Sequence[BaselineEntry] = (),
+) -> List[Violation]:
+    """Lint files and directories; baseline-matched violations are
+    dropped. Violations come back sorted by (path, line)."""
+    violations: List[Violation] = []
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        for violation in lint_source(source, path=filename):
+            if not any(entry.matches(violation) for entry in baseline):
+                violations.append(violation)
+    return sorted(violations, key=lambda v: (v.path, v.line, v.rule))

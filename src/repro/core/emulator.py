@@ -421,7 +421,7 @@ class Emulation:
         if cached is not _MISSING:
             return cached
         timer = self._route_timer
-        t0 = perf_counter() if timer is not None else 0.0
+        t0 = perf_counter() if timer is not None else 0.0  # repro: allow-wallclock
         route = self.routing.route(
             self._node_of_vn[src_vn], self._node_of_vn[dst_vn]
         )
@@ -431,7 +431,7 @@ class Emulation:
             pipes = tuple(self._pipe_for_hop(hop) for hop in route)
         self._route_pipes[key] = pipes
         if timer is not None:
-            timer.observe(perf_counter() - t0)
+            timer.observe(perf_counter() - t0)  # repro: allow-wallclock
         return pipes
 
     def _pipe_for_hop(self, hop) -> Pipe:

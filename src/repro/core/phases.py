@@ -16,13 +16,13 @@ through the paper's phases (Fig. 2) and produces a running
 
 from __future__ import annotations
 
-import random
 from typing import Optional
 
 from repro.core.assign import Assignment, greedy_k_clusters, single_core
 from repro.core.bind import Binding, bind_vns
 from repro.core.distill import DistillationMode, DistillationResult, distill
 from repro.core.emulator import Emulation, EmulationConfig
+from repro.engine.randomness import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.topology.gml import parse_gml
 from repro.topology.graph import Topology, TopologyError
@@ -97,7 +97,7 @@ class ExperimentPipeline:
             self.assignment = single_core(self.distilled)
         else:
             self.assignment = greedy_k_clusters(
-                self.distilled, num_cores, random.Random(self.seed)
+                self.distilled, num_cores, RngRegistry(self.seed).stream("assign")
             )
         return self
 

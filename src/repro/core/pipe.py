@@ -129,9 +129,9 @@ class Pipe:
         on a virtual drop."""
         timer = self._timer
         if timer is not None:
-            t0 = perf_counter()
+            t0 = perf_counter()  # repro: allow-wallclock
             accepted = self._arrival(descriptor, now, ideal_now, rng)
-            timer.observe(perf_counter() - t0)
+            timer.observe(perf_counter() - t0)  # repro: allow-wallclock
             return accepted
         return self._arrival(descriptor, now, ideal_now, rng)
 

@@ -88,7 +88,7 @@ class PipeScheduler:
         """
         self.wakeups += 1
         timer = self.collect_timer
-        t0 = perf_counter() if timer is not None else 0.0
+        t0 = perf_counter() if timer is not None else 0.0  # repro: allow-wallclock
         # Quantization rounds deadlines *down* to the wake boundary
         # modulo float error (e.g. a deadline of 693.0000000000001
         # ticks waking at tick 693); accept anything within a
@@ -107,7 +107,7 @@ class PipeScheduler:
                 serviced.append((pipe, exits))
             self.notify(pipe)
         if timer is not None:
-            timer.observe(perf_counter() - t0)
+            timer.observe(perf_counter() - t0)  # repro: allow-wallclock
         return serviced
 
     @property

@@ -44,7 +44,14 @@ class Event:
         return self.seq < other.seq
 
     def __repr__(self) -> str:
-        state = "cancelled" if self.cancelled else "pending"
+        if self.cancelled:
+            state = "cancelled"
+        elif self.fn is None:
+            # Dispatch clears fn/args so fired events don't pin their
+            # arguments; such an event is spent, not pending.
+            state = "dispatched"
+        else:
+            state = "pending"
         return f"<Event t={self.time:.6f} {state}>"
 
 
@@ -63,6 +70,12 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._dispatched = 0
+        #: Optional tracing hook: called as ``on_dispatch(event, fn)``
+        #: immediately before each event fires (the sanitizer's probe
+        #: point). ``fn`` is passed separately because dispatch clears
+        #: ``event.fn``. None (the default) costs one attribute test
+        #: per event.
+        self.on_dispatch: Optional[Callable[[Event, Callable], None]] = None
 
     @property
     def now(self) -> float:
@@ -112,13 +125,15 @@ class Simulator:
         """
         while self._heap:
             event = heapq.heappop(self._heap)
-            if event.cancelled:
+            if event.cancelled or event.fn is None:
                 continue
             self._now = event.time
             self._dispatched += 1
             fn, args = event.fn, event.args
             event.fn = None
             event.args = ()
+            if self.on_dispatch is not None:
+                self.on_dispatch(event, fn)
             fn(*args)
             return True
         return False
@@ -144,7 +159,7 @@ class Simulator:
         try:
             while self._heap and not self._stopped:
                 event = self._heap[0]
-                if event.cancelled:
+                if event.cancelled or event.fn is None:
                     heapq.heappop(self._heap)
                     continue
                 if until is not None and event.time > until:
@@ -155,6 +170,8 @@ class Simulator:
                 fn, args = event.fn, event.args
                 event.fn = None
                 event.args = ()
+                if self.on_dispatch is not None:
+                    self.on_dispatch(event, fn)
                 fn(*args)
         finally:
             self._running = False

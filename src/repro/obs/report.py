@@ -180,7 +180,10 @@ class RunReport:
     virtual_time_s: float = 0.0
     wall_time_s: float = 0.0
     metrics: Dict[str, Any] = field(default_factory=dict)
-    created_at: float = 0.0
+    #: Wall-clock stamp. Left None while the report lives in memory so
+    #: same-seed runs produce identical manifests (the determinism
+    #: sanitizer diffs them); :meth:`save` stamps it on first write.
+    created_at: Optional[float] = None
 
     # -- access ---------------------------------------------------------
 
@@ -226,7 +229,7 @@ class RunReport:
             virtual_time_s=raw.get("virtual_time_s", 0.0),
             wall_time_s=raw.get("wall_time_s", 0.0),
             metrics=raw.get("metrics", {}),
-            created_at=raw.get("created_at", 0.0),
+            created_at=raw.get("created_at"),
         )
 
     @classmethod
@@ -234,6 +237,11 @@ class RunReport:
         return cls.from_dict(json.loads(text))
 
     def save(self, path: str) -> None:
+        # The serialization boundary is the one place a manifest may
+        # read the wall clock: a stamp taken any earlier would make
+        # two same-seed runs produce different in-memory reports.
+        if self.created_at is None:
+            self.created_at = time.time()  # repro: allow-wallclock
         with open(path, "w") as handle:
             handle.write(self.to_json() + "\n")
 
@@ -285,6 +293,7 @@ def build_report(
     registry: Optional[MetricsRegistry] = None,
     name: str = "",
     wall_time_s: float = 0.0,
+    created_at: Optional[float] = None,
 ) -> RunReport:
     """Collect ``emulation``'s statistics and wrap them in a
     :class:`RunReport`.
@@ -314,5 +323,5 @@ def build_report(
         virtual_time_s=emulation.sim.now,
         wall_time_s=wall_time_s,
         metrics=registry.snapshot(),
-        created_at=time.time(),
+        created_at=created_at,
     )

@@ -13,17 +13,19 @@ source lacks. This CLI provides those offline steps:
     repro-net distill ring.gml --mode last-mile -o distilled.gml
     repro-net route ts.gml --src 40 --dst 90
     repro-net run ts.gml --cores 2 --flows 8 --report out.json
+    repro-net check src/
+    repro-net sanitize examples/dumbbell.gml --seeds 1,2,3
 """
 
 from __future__ import annotations
 
 import argparse
-import random
 import sys
 from typing import List, Optional
 
 from repro.api import DISTILL_MODES
 from repro.core.distill import DistillationMode, distill
+from repro.engine.randomness import RngRegistry
 from repro.routing import CachedRouting, route_latency
 from repro.topology import (
     LinkKind,
@@ -44,7 +46,7 @@ _MODES = DISTILL_MODES
 
 
 def _cmd_generate(args) -> int:
-    rng = random.Random(args.seed)
+    rng = RngRegistry(args.seed).stream("generate")
     if args.shape == "ring":
         topology = ring_topology(num_routers=args.routers, vns_per_router=args.vns)
     elif args.shape == "star":
@@ -109,7 +111,7 @@ def _cmd_annotate(args) -> int:
             latency_s=(0.001, 0.001),
         ),
     }
-    count = annotate_links(topology, params, random.Random(args.seed))
+    count = annotate_links(topology, params, RngRegistry(args.seed).stream("annotate"))
     save_gml(topology, args.output)
     print(f"annotated {count} links -> {args.output}")
     return 0
@@ -158,7 +160,7 @@ def _cmd_emulate(args) -> int:
     )
     emulation = pipeline.run(EmulationConfig())
     clients = list(range(emulation.num_vns))
-    rng = random.Random(args.seed)
+    rng = RngRegistry(args.seed).stream("emulate-pairs")
     flows = min(args.flows, len(clients) // 2)
     streams = []
     available = list(clients)
@@ -224,7 +226,7 @@ def _cmd_import(args) -> int:
         topology = from_bgp_paths(text)
     if args.clients > 0:
         attach_clients(
-            topology, args.clients, random.Random(args.seed),
+            topology, args.clients, RngRegistry(args.seed).stream("import"),
             edge_degree_at_most=3,
         )
     save_gml(topology, args.output)
@@ -233,6 +235,95 @@ def _cmd_import(args) -> int:
         f"({len(topology.clients())} clients) -> {args.output}"
     )
     return 0
+
+
+def _cmd_check(args) -> int:
+    """Static determinism lint (rules DET001-DET004, NED001)."""
+    import os
+
+    from repro.check import RULES, format_violation, lint_paths, load_baseline
+
+    if args.list_rules:
+        for rule, (tag, description) in sorted(RULES.items()):
+            print(f"{rule}  (# repro: allow-{tag})")
+            print(f"    {description}")
+        return 0
+    if not args.paths:
+        print("error: no paths given (or use --list-rules)", file=sys.stderr)
+        return 2
+    baseline = []
+    baseline_path = args.baseline
+    if baseline_path is None and os.path.exists("check-baseline.toml"):
+        baseline_path = "check-baseline.toml"
+    if baseline_path and not args.no_baseline:
+        baseline = load_baseline(baseline_path)
+    violations = lint_paths(args.paths, baseline=baseline)
+    for violation in violations:
+        print(format_violation(violation))
+    suffix = f" ({len(baseline)} baselined suppressions)" if baseline else ""
+    if violations:
+        print(f"{len(violations)} determinism violation(s){suffix}")
+        return 1
+    print(f"clean: no determinism violations{suffix}")
+    return 0
+
+
+def _cmd_sanitize(args) -> int:
+    """Run a scenario twice per seed and diff the event digests."""
+    from repro.api import Scenario
+    from repro.check import sanitize_scenario
+
+    seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+
+    def make_scenario() -> Scenario:
+        scenario = (
+            Scenario.from_gml(args.input)
+            .distill(args.mode, walk_in=args.walk_in)
+            .assign(args.cores)
+            .netperf(flows=args.flows)
+            .observe(False)
+        )
+        if args.inject_fault:
+            scenario.traffic(_nondeterminism_fault(args.seconds))
+        return scenario
+
+    failures = 0
+    for seed in seeds:
+        result = sanitize_scenario(
+            make_scenario,
+            until=args.seconds,
+            seed=seed,
+            runs=args.runs,
+            freeze_packets=args.freeze_packets,
+        )
+        print(result.summary())
+        if not result.identical:
+            failures += 1
+    if failures:
+        print(f"sanitize: {failures}/{len(seeds)} seed(s) nondeterministic")
+        return 1
+    print(f"sanitize: all {len(seeds)} seed(s) digest-identical over {args.runs} runs")
+    return 0
+
+
+def _nondeterminism_fault(seconds: float):
+    """A deliberately broken traffic source for testing the sanitizer:
+    an *unseeded* RNG (OS entropy) jitters its own schedule, so two
+    same-seed runs dispatch it at different virtual times."""
+
+    def chaos(emulation):
+        import random as _random
+
+        rng = _random.Random()  # repro: allow-rng (deliberate fault)
+        sim = emulation.sim
+
+        def tick() -> None:
+            if sim.now < seconds:
+                sim.schedule(rng.uniform(1e-3, 1e-2), tick)
+
+        sim.schedule(rng.uniform(1e-3, 1e-2), tick)
+
+    return chaos
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -331,6 +422,46 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--report", help="write the RunReport JSON here")
     run.add_argument("--csv", help="write the metrics as CSV here")
     run.set_defaults(func=_cmd_run)
+
+    check = sub.add_parser(
+        "check", help="static determinism lint (DET001-DET004, NED001)"
+    )
+    check.add_argument("paths", nargs="*", help="files or directories to lint")
+    check.add_argument(
+        "--baseline",
+        help="baseline TOML (default: ./check-baseline.toml when present)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="report baselined violations too",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    check.set_defaults(func=_cmd_check)
+
+    sanitize = sub.add_parser(
+        "sanitize",
+        help="run a scenario twice per seed and diff the event digests",
+    )
+    sanitize.add_argument("input", help="GML topology to drive")
+    sanitize.add_argument("--seeds", default="1,2,3", help="comma-separated")
+    sanitize.add_argument("--runs", type=int, default=2, help="runs per seed")
+    sanitize.add_argument("--mode", choices=sorted(_MODES), default="hop-by-hop")
+    sanitize.add_argument("--walk-in", type=int, default=1)
+    sanitize.add_argument("--cores", type=int, default=1)
+    sanitize.add_argument("--flows", type=int, default=4)
+    sanitize.add_argument("--seconds", type=float, default=1.0)
+    sanitize.add_argument(
+        "--freeze-packets", action="store_true",
+        help="raise on packet mutation after pipe enqueue",
+    )
+    sanitize.add_argument(
+        "--inject-fault", action="store_true",
+        help="add an unseeded-RNG traffic source (sanitizer self-test)",
+    )
+    sanitize.set_defaults(func=_cmd_sanitize)
     return parser
 
 

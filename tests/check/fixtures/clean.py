@@ -1,0 +1,21 @@
+"""A file every rule should pass.
+
+Not imported by anything — this file exists to be linted.
+"""
+
+import heapq
+
+from repro.engine.randomness import RngRegistry
+
+
+def pick_loss_probability(registry: RngRegistry):
+    return registry.stream("loss").random()
+
+
+def fanout(sim, peers, delay_s):
+    for peer in sorted(peers):
+        sim.schedule(delay_s, peer.poke)
+
+
+def push_deadline(heap, deadline, seq, pipe):
+    heapq.heappush(heap, (deadline, seq, pipe))

@@ -1,0 +1,26 @@
+"""Seeded bug: wall-clock reads where only sim.now is legal (DET002).
+
+Lives under a ``core/`` path component so the linter treats it as
+simulation code. Not imported by anything — this file exists to be
+linted.
+"""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp_packet(packet):
+    packet.created_at = time.time()  # DET002: wall clock in sim code
+
+
+def measure():
+    return perf_counter()  # DET002: from-import alias
+
+
+def log_line():
+    return f"[{datetime.now()}] event"  # DET002: datetime.now
+
+
+def allowed_timing_hook():
+    return time.perf_counter()  # repro: allow-wallclock

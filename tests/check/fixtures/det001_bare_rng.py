@@ -1,0 +1,19 @@
+"""Seeded bug: bare RNG construction and hidden-global draws (DET001).
+
+Not imported by anything — this file exists to be linted.
+"""
+
+import random
+
+
+def pick_loss_probability():
+    rng = random.Random(7)  # DET001: bypasses the RngRegistry streams
+    return rng.random()
+
+
+def reseed_everything():
+    random.seed(13)  # DET001: reseeds the hidden global Twister
+
+
+def global_draw():
+    return random.choice(["drop", "keep"])  # DET001: global-state draw

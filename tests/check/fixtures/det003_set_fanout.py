@@ -1,0 +1,19 @@
+"""Seeded bug: set-ordered iteration feeding the event heap (DET003).
+
+Not imported by anything — this file exists to be linted.
+"""
+
+
+def fanout(sim, peers, delay_s):
+    for peer in set(peers):  # DET003: heap seq numbers now depend on set order
+        sim.schedule(delay_s, peer.poke)
+
+
+def drain(sim, waiters):
+    for key in waiters.keys():  # DET003: unsorted dict.keys() into at()
+        sim.at(1.0, waiters[key])
+
+
+def deterministic_fanout(sim, peers, delay_s):
+    for peer in sorted(set(peers)):  # fine: sorted() pins the order
+        sim.schedule(delay_s, peer.poke)

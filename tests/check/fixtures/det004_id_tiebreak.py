@@ -1,0 +1,19 @@
+"""Seeded bug: memory addresses as heap tie-breaks (DET004).
+
+Not imported by anything — this file exists to be linted.
+"""
+
+import heapq
+
+
+def push_deadline(heap, deadline, pipe):
+    heapq.heappush(heap, (deadline, id(pipe), pipe))  # DET004
+
+
+class Entry:
+    def __init__(self, deadline):
+        self.deadline = deadline
+
+    def __lt__(self, other):
+        # DET004: hash() varies across runs for address-hashed objects
+        return (self.deadline, hash(self)) < (other.deadline, hash(other))

@@ -1,0 +1,18 @@
+"""Seeded bug: event callback capturing a mutable packet (NED001).
+
+Not imported by anything — this file exists to be linted.
+"""
+
+
+def arm_retransmit(sim, packet, rto_s):
+    # NED001: `packet` can mutate between scheduling and dispatch; the
+    # callback sees whatever it is *then*, not what it was *now*.
+    sim.schedule(rto_s, lambda: resend(packet))
+
+
+def arm_retransmit_ok(sim, packet, rto_s):
+    sim.schedule(rto_s, resend, packet)  # fine: bound as an argument
+
+
+def resend(packet):
+    return packet

@@ -1,0 +1,259 @@
+"""Tests for the determinism linter (repro.check.lint)."""
+
+import os
+
+import pytest
+
+from repro.check.lint import (
+    BaselineEntry,
+    Violation,
+    format_violation,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    load_baseline,
+)
+from repro.tools import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+# ----------------------------------------------------------------------
+# Each seeded-bug fixture trips exactly its rule
+# ----------------------------------------------------------------------
+
+SEEDED_BUGS = [
+    (fixture("det001_bare_rng.py"), "DET001", 3),
+    (fixture("core", "det002_wallclock.py"), "DET002", 3),
+    (fixture("det003_set_fanout.py"), "DET003", 2),
+    (fixture("det004_id_tiebreak.py"), "DET004", 3),
+    (fixture("ned001_lambda_capture.py"), "NED001", 1),
+]
+
+
+@pytest.mark.parametrize("path,rule,count", SEEDED_BUGS)
+def test_fixture_trips_its_rule(path, rule, count):
+    violations = lint_paths([path])
+    assert violations, f"{path} produced no violations"
+    assert {v.rule for v in violations} == {rule}
+    assert len(violations) == count
+    for violation in violations:
+        assert violation.path == path
+        assert violation.line > 0
+
+
+@pytest.mark.parametrize("path,rule,count", SEEDED_BUGS)
+def test_cli_check_exits_nonzero_with_rule_and_location(path, rule, count, capsys):
+    assert main(["check", path, "--no-baseline"]) == 1
+    out = capsys.readouterr().out
+    assert rule in out
+    # rule ID + file:line on each finding
+    assert f"{path}:" in out
+    first = next(l for l in out.splitlines() if rule in l)
+    location = first.split(" ", 1)[0]
+    assert location.count(":") >= 2  # path:line:col:
+
+
+def test_clean_fixture_passes(capsys):
+    assert lint_paths([fixture("clean.py")]) == []
+    assert main(["check", fixture("clean.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_repo_src_is_clean():
+    """The acceptance bar: repro-net check src/ exits 0 post-migration."""
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    assert lint_paths([os.path.normpath(src)]) == []
+
+
+# ----------------------------------------------------------------------
+# Scope + suppression mechanics
+# ----------------------------------------------------------------------
+
+def test_det002_only_fires_in_simulation_packages():
+    source = "import time\n\ndef f():\n    return time.time()\n"
+    assert lint_source(source, path="tools/build.py") == []
+    flagged = lint_source(source, path="src/repro/core/thing.py")
+    assert [v.rule for v in flagged] == ["DET002"]
+
+
+def test_det002_scope_override():
+    source = "from time import perf_counter\nx = perf_counter()\n"
+    assert lint_source(source, path="anywhere.py", sim_scope=True)
+    assert lint_source(source, path="anywhere.py", sim_scope=False) == []
+
+
+def test_rng_home_is_exempt():
+    source = "import random\nr = random.Random(1)\n"
+    assert lint_source(source, path="src/repro/engine/randomness.py") == []
+    assert lint_source(source, path="src/repro/engine/other.py")
+
+
+def test_inline_suppression_same_line_and_line_above():
+    same_line = (
+        "import random\n"
+        "r = random.Random(1)  # repro: allow-rng\n"
+    )
+    assert lint_source(same_line, path="x.py") == []
+    line_above = (
+        "import random\n"
+        "# repro: allow-rng\n"
+        "r = random.Random(1)\n"
+    )
+    assert lint_source(line_above, path="x.py") == []
+    by_rule_id = (
+        "import random\n"
+        "r = random.Random(1)  # repro: allow-DET001\n"
+    )
+    assert lint_source(by_rule_id, path="x.py") == []
+
+
+def test_suppression_is_rule_specific():
+    source = (
+        "import random\n"
+        "r = random.Random(1)  # repro: allow-wallclock\n"
+    )
+    assert [v.rule for v in lint_source(source, path="x.py")] == ["DET001"]
+
+
+def test_import_aliases_are_tracked():
+    source = "import random as rnd\nr = rnd.Random(1)\n"
+    assert [v.rule for v in lint_source(source, path="x.py")] == ["DET001"]
+    source = "from random import Random as R\nr = R(1)\n"
+    assert [v.rule for v in lint_source(source, path="x.py")] == ["DET001"]
+    source = "from time import perf_counter as pc\nx = pc()\n"
+    assert [v.rule for v in lint_source(source, path="x.py", sim_scope=True)]
+
+
+def test_annotations_are_not_flagged():
+    source = (
+        "import random\n"
+        "from typing import Optional\n"
+        "def f(rng: Optional[random.Random] = None):\n"
+        "    return rng\n"
+    )
+    assert lint_source(source, path="x.py") == []
+
+
+def test_det003_requires_heap_feeding_body():
+    source = "def f(peers):\n    return [p.name for p in peers]\n"
+    assert lint_source(source, path="x.py") == []
+    harmless = (
+        "def f(sim, peers):\n"
+        "    for p in set(peers):\n"
+        "        print(p)\n"
+    )
+    assert lint_source(harmless, path="x.py") == []
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+def test_baseline_suppresses_matching_rule(tmp_path):
+    baseline = tmp_path / "check-baseline.toml"
+    baseline.write_text(
+        "[[suppress]]\n"
+        'file = "det001_bare_rng.py"\n'
+        'rule = "DET001"\n'
+    )
+    entries = load_baseline(str(baseline))
+    assert lint_paths([fixture("det001_bare_rng.py")], baseline=entries) == []
+    # The baseline is rule-specific: DET003 findings survive it.
+    assert lint_paths([fixture("det003_set_fanout.py")], baseline=entries)
+
+
+def test_baseline_line_pinning(tmp_path):
+    baseline = tmp_path / "check-baseline.toml"
+    baseline.write_text(
+        "[[suppress]]\n"
+        'file = "det001_bare_rng.py"\n'
+        'rule = "DET001"\n'
+        "line = 10\n"
+    )
+    entries = load_baseline(str(baseline))
+    assert entries[0].line == 10
+    remaining = lint_paths([fixture("det001_bare_rng.py")], baseline=entries)
+    assert remaining and all(v.line != 10 for v in remaining)
+
+
+def test_baseline_entry_matching():
+    entry = BaselineEntry(file="src/repro/foo.py", rule="DET001")
+    hit = Violation("DET001", "/abs/src/repro/foo.py", 3, 1, "m")
+    miss_rule = Violation("DET002", "/abs/src/repro/foo.py", 3, 1, "m")
+    miss_file = Violation("DET001", "/abs/src/repro/bar.py", 3, 1, "m")
+    assert entry.matches(hit)
+    assert not entry.matches(miss_rule)
+    assert not entry.matches(miss_file)
+
+
+def test_baseline_rejects_incomplete_entries(tmp_path):
+    bad = tmp_path / "bad.toml"
+    bad.write_text('[[suppress]]\nrule = "DET001"\n')
+    with pytest.raises(ValueError):
+        load_baseline(str(bad))
+
+
+# ----------------------------------------------------------------------
+# CLI plumbing
+# ----------------------------------------------------------------------
+
+def test_cli_list_rules(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "DET002", "DET003", "DET004", "NED001"):
+        assert rule in out
+
+
+def test_cli_no_paths_is_usage_error(capsys):
+    assert main(["check"]) == 2
+
+
+def test_iter_python_files_skips_pycache(tmp_path):
+    (tmp_path / "__pycache__").mkdir()
+    (tmp_path / "__pycache__" / "junk.py").write_text("x = 1\n")
+    (tmp_path / "a.py").write_text("x = 1\n")
+    found = iter_python_files([str(tmp_path)])
+    assert [os.path.basename(f) for f in found] == ["a.py"]
+
+
+def test_format_violation():
+    violation = Violation("DET001", "a/b.py", 12, 5, "no")
+    assert format_violation(violation) == "a/b.py:12:5: DET001 no"
+
+
+def test_baseline_fallback_parser_matches_tomllib(tmp_path):
+    """Python 3.10 has no tomllib; the fallback must parse the same
+    constrained shape."""
+    from repro.check.lint import _parse_baseline_fallback
+
+    text = (
+        "# a comment\n"
+        "[[suppress]]\n"
+        'file = "src/repro/foo.py"\n'
+        'rule = "DET001"\n'
+        "line = 12  # trailing comment\n"
+        "\n"
+        "[[suppress]]\n"
+        "file = 'src/repro/bar.py'\n"
+        'rule = "DET003"\n'
+    )
+    tables = _parse_baseline_fallback(text)
+    assert tables == [
+        {"file": "src/repro/foo.py", "rule": "DET001", "line": 12},
+        {"file": "src/repro/bar.py", "rule": "DET003"},
+    ]
+
+
+def test_repo_baseline_file_parses():
+    import os
+
+    root = os.path.normpath(
+        os.path.join(os.path.dirname(__file__), "..", "..")
+    )
+    path = os.path.join(root, "check-baseline.toml")
+    assert load_baseline(path) == []

@@ -1,0 +1,216 @@
+"""Tests for the runtime sanitizer (repro.check.sanitize)."""
+
+import random  # repro: allow-rng (tests construct deliberate faults)
+
+import pytest
+
+from repro.api import Scenario
+from repro.check.sanitize import (
+    DispatchRecord,
+    SimSanitizer,
+    _first_divergence,
+    compare_runs,
+    sanitize_scenario,
+)
+from repro.engine.simulator import Simulator
+from repro.topology import dumbbell_topology
+
+
+def _tiny_scenario() -> Scenario:
+    return (
+        Scenario.from_topology(
+            dumbbell_topology(
+                clients_per_side=2,
+                access_bandwidth_bps=10e6,
+                bottleneck_bandwidth_bps=2e6,
+            )
+        )
+        .netperf(flows=2)
+        .observe(False)
+    )
+
+
+# ----------------------------------------------------------------------
+# Recording basics
+# ----------------------------------------------------------------------
+
+def test_sanitizer_records_time_seq_callsite():
+    sim = Simulator()
+    sanitizer = SimSanitizer().attach(sim)
+
+    def ping():
+        pass
+
+    sim.schedule(0.5, ping)
+    sim.schedule(1.0, ping)
+    sim.run()
+    sanitizer.detach()
+    assert sanitizer.dispatched == 2
+    assert [r.time for r in sanitizer.records] == [0.5, 1.0]
+    assert [r.seq for r in sanitizer.records] == [1, 2]
+    assert all("ping" in r.callsite for r in sanitizer.records)
+    assert len(sanitizer.digest) == 64
+
+
+def test_detach_restores_simulator_hook():
+    sim = Simulator()
+    sanitizer = SimSanitizer().attach(sim)
+    sanitizer.detach()
+    assert sim.on_dispatch is None
+    with pytest.raises(RuntimeError):
+        SimSanitizer().attach(Simulator()).attach(Simulator())
+
+
+def test_identical_schedules_have_identical_digests():
+    def run(sanitizer):
+        sim = Simulator()
+        sanitizer.attach(sim)
+        rng = random.Random(99)
+        for _ in range(50):
+            sim.schedule(rng.uniform(0.0, 1.0), lambda: None)
+        sim.run()
+
+    result = compare_runs(run)
+    assert result.identical
+    assert result.divergence is None
+    assert result.events == [50, 50]
+    assert "OK" in result.summary()
+
+
+# ----------------------------------------------------------------------
+# Catching nondeterminism
+# ----------------------------------------------------------------------
+
+def test_unseeded_rng_fault_caught_with_first_divergence():
+    """A deliberately nondeterministic toy: 10 deterministic events,
+    then one whose timestamp comes from OS entropy. The sanitizer must
+    pinpoint the first divergent event, not just 'digests differ'."""
+
+    def run(sanitizer):
+        sim = Simulator()
+        sanitizer.attach(sim)
+        for i in range(10):
+            sim.at(float(i) * 0.1, lambda: None)
+        unseeded = random.Random()  # OS entropy: differs per run
+        sim.at(2.0 + unseeded.random() * 1e-3, _chaos_event)
+        sim.run()
+
+    result = compare_runs(run, seed=0)
+    assert not result.identical
+    divergence = result.divergence
+    assert divergence is not None
+    assert divergence.index == 10  # the 11th event is the fault
+    assert divergence.first.time != divergence.second.time
+    assert divergence.first.time == pytest.approx(2.0, abs=2e-3)
+    assert "_chaos_event" in divergence.first.callsite
+    assert "NONDETERMINISTIC" in result.summary()
+
+
+def _chaos_event():
+    pass
+
+
+def test_set_ordered_fanout_caught():
+    """Iterating a set of objects into the heap gives run-dependent
+    sequence numbers (set order hashes on addresses)."""
+
+    class Peer:
+        def poke(self):
+            pass
+
+    def run(sanitizer):
+        sim = Simulator()
+        sanitizer.attach(sim)
+        peers = {Peer() for _ in range(8)}
+        for peer in peers:
+            sim.schedule(0.1, peer.poke)
+        sim.run()
+
+    results = [compare_runs(run) for _ in range(5)]
+    # Address-hash ordering is not guaranteed to differ on any single
+    # double-run; over several it effectively always does. When caught,
+    # the divergence must be classified as a same-timestamp tie flip.
+    caught = [r for r in results if not r.identical]
+    for result in caught:
+        assert result.divergence.tie_order_only
+        assert result.divergence.time == pytest.approx(0.1)
+
+
+def test_trace_length_mismatch_is_divergence():
+    a = [DispatchRecord(0.1, 1, "f")]
+    b = [DispatchRecord(0.1, 1, "f"), DispatchRecord(0.2, 2, "g")]
+    divergence = _first_divergence(a, b)
+    assert divergence.index == 1
+    assert divergence.first is None
+    assert divergence.second == b[1]
+    assert not divergence.tie_order_only
+
+
+def test_tie_flip_detection():
+    a = [DispatchRecord(0.1, 1, "f"), DispatchRecord(0.1, 2, "g")]
+    b = [DispatchRecord(0.1, 2, "g"), DispatchRecord(0.1, 1, "f")]
+    divergence = _first_divergence(a, b)
+    assert divergence.index == 0
+    assert divergence.tie_order_only
+    genuine = [DispatchRecord(0.1, 1, "f"), DispatchRecord(0.3, 9, "h")]
+    divergence = _first_divergence(a, genuine)
+    assert divergence.index == 1
+    assert not divergence.tie_order_only
+
+
+# ----------------------------------------------------------------------
+# Scenario-level equality (the acceptance bar)
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_seeded_scenario_double_run_digest_equality(seed):
+    result = sanitize_scenario(_tiny_scenario, until=0.5, seed=seed)
+    assert result.identical, result.summary()
+    assert result.events[0] > 0
+    assert result.events[0] == result.events[1]
+
+
+def test_scenario_with_unseeded_traffic_caught():
+    def make():
+        scenario = _tiny_scenario()
+
+        def chaos(emulation):
+            rng = random.Random()  # unseeded
+            emulation.sim.schedule(rng.uniform(0.01, 0.4), _chaos_event)
+
+        return scenario.traffic(chaos)
+
+    result = sanitize_scenario(make, until=0.5, seed=1)
+    assert not result.identical
+    assert result.divergence is not None
+
+
+# ----------------------------------------------------------------------
+# Packet freezing
+# ----------------------------------------------------------------------
+
+def test_frozen_packet_rejects_mutation():
+    from repro.net.packet import Packet
+
+    sim = Simulator()
+    sanitizer = SimSanitizer(freeze_packets=True).attach(sim)
+    try:
+        loose = Packet(0, 1, 100, "udp")
+        loose.size_bytes = 120  # not frozen: writable
+        frozen = Packet(0, 1, 100, "udp")
+        sanitizer.freeze(frozen)
+        with pytest.raises(AttributeError, match="enqueued"):
+            frozen.size_bytes = 140
+    finally:
+        sanitizer.detach()
+    # Detach restores normal semantics.
+    frozen.size_bytes = 140
+    assert frozen.size_bytes == 140
+
+
+def test_scenario_run_is_freeze_clean():
+    """The real stack never mutates a packet after pipe acceptance."""
+    result = sanitize_scenario(
+        _tiny_scenario, until=0.3, seed=1, freeze_packets=True
+    )
+    assert result.identical, result.summary()

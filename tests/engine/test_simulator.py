@@ -141,3 +141,68 @@ def test_dispatch_counter():
         sim.schedule(1.0, lambda: None)
     sim.run()
     assert sim.events_dispatched == 4
+
+
+def test_cancel_then_peek_repr_does_not_claim_pending():
+    """Regression: cancel() drops fn/args; peeking at the event later
+    (repr, heap inspection) must not assume a callable is present."""
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    event.cancel()
+    assert event.fn is None
+    assert "cancelled" in repr(event)
+    # The heap still holds the event; draining it must skip cleanly.
+    assert sim.run() == 1.0 or sim.now == 0.0
+
+
+def test_dispatched_event_repr_is_not_pending():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    assert "pending" in repr(event)
+    sim.run()
+    # Dispatch cleared fn; a spent event must not read as pending.
+    assert "dispatched" in repr(event)
+
+
+def test_event_with_cleared_fn_is_skipped_by_dispatch():
+    """Defence in depth: an event whose fn was cleared without the
+    cancelled flag (e.g. already dispatched, or a buggy caller) is
+    treated as cancelled by both run() and step()."""
+    sim = Simulator()
+    fired = []
+    broken = sim.schedule(1.0, fired.append, "x")
+    broken.fn = None  # simulate the hole cancel() used to leave
+    sim.schedule(2.0, fired.append, "y")
+    sim.run()
+    assert fired == ["y"]
+
+    sim2 = Simulator()
+    broken2 = sim2.schedule(1.0, fired.append, "z")
+    broken2.fn = None
+    assert sim2.step() is False  # only the broken event; skipped, heap empty
+
+
+def test_cancel_during_same_timestamp_dispatch():
+    """An event cancelled by an earlier event at the same instant must
+    not fire — the run loop re-checks after every dispatch."""
+    sim = Simulator()
+    fired = []
+    holder = {}
+    # Scheduled first => lower seq => fires first at the shared time.
+    sim.at(1.0, lambda: holder["victim"].cancel())
+    holder["victim"] = sim.at(1.0, fired.append, "victim")
+    sim.run()
+    assert fired == []
+
+
+def test_on_dispatch_hook_sees_time_seq_and_fn():
+    sim = Simulator()
+    seen = []
+    sim.on_dispatch = lambda event, fn: seen.append((event.time, event.seq, fn))
+    marker = []
+    sim.schedule(0.5, marker.append, 1)
+    sim.run()
+    assert len(seen) == 1
+    time, seq, fn = seen[0]
+    assert time == 0.5 and seq == 1
+    assert fn == marker.append

@@ -139,3 +139,41 @@ def test_tracelog_export():
     flat = registry.snapshot()
     assert flat["trace.emitted"] > 0
     assert flat["trace.error_s"]["count"] > 0
+
+
+def test_reports_from_same_seed_are_identical_manifests():
+    """created_at stays None in memory, so two same-seed runs produce
+    byte-identical JSON — the determinism sanitizer's contract."""
+    emulation_a, _ = _run_emulation()
+    emulation_b, _ = _run_emulation()
+    report_a = build_report(emulation_a, name="twin")
+    report_b = build_report(emulation_b, name="twin")
+    assert report_a.created_at is None
+    # Wall-clock phase timings differ per run; everything else must not.
+    dict_a, dict_b = report_a.to_dict(), report_b.to_dict()
+    for d in (dict_a, dict_b):
+        d["wall_time_s"] = 0.0
+        d["metrics"] = {
+            k: v for k, v in d["metrics"].items() if not k.startswith("phase.")
+        }
+    assert dict_a == dict_b
+
+
+def test_save_stamps_created_at_once(tmp_path):
+    emulation, _ = _run_emulation()
+    report = build_report(emulation, name="stamped")
+    assert report.created_at is None
+    path = tmp_path / "r.json"
+    report.save(str(path))
+    first_stamp = report.created_at
+    assert first_stamp is not None and first_stamp > 0
+    report.save(str(path))  # second save keeps the original stamp
+    assert report.created_at == first_stamp
+    assert RunReport.load(str(path)).created_at == first_stamp
+
+
+def test_explicit_created_at_round_trips():
+    emulation, _ = _run_emulation()
+    report = build_report(emulation, created_at=123.5)
+    assert report.created_at == 123.5
+    assert RunReport.from_json(report.to_json()).created_at == 123.5

@@ -168,3 +168,37 @@ def test_run_prints_json_without_output_paths(tmp_path, capsys):
     assert raw["metrics"]["accuracy.packets_entered"] > 0
     # Null registry: no hot-path timing histograms in the report.
     assert "pipe.enqueue_s" not in raw["metrics"]
+
+
+def test_check_src_is_clean(capsys):
+    import os
+
+    src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+    assert main(["check", os.path.normpath(src)]) == 0
+    assert "no determinism violations" in capsys.readouterr().out
+
+
+def test_sanitize_seeded_scenario_passes(tmp_path, capsys):
+    gml = tmp_path / "dumbbell.gml"
+    main(["generate", "dumbbell", "--vns", "2", "-o", str(gml)])
+    capsys.readouterr()
+    assert main([
+        "sanitize", str(gml), "--seeds", "1,2,3", "--seconds", "0.3",
+        "--flows", "2",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert out.count("OK") == 3
+    assert "digest-identical" in out
+
+
+def test_sanitize_detects_injected_fault(tmp_path, capsys):
+    gml = tmp_path / "dumbbell.gml"
+    main(["generate", "dumbbell", "--vns", "2", "-o", str(gml)])
+    capsys.readouterr()
+    assert main([
+        "sanitize", str(gml), "--seeds", "1", "--seconds", "0.3",
+        "--flows", "2", "--inject-fault",
+    ]) == 1
+    out = capsys.readouterr().out
+    assert "NONDETERMINISTIC" in out
+    assert "run 1:" in out and "t=" in out  # first-divergence report
