@@ -1,0 +1,231 @@
+"""The fixed-seed benchmark scenarios.
+
+Three workloads cover the three hot paths the ROADMAP cares about:
+
+``dumbbell_netperf``
+    The canonical shared-bottleneck TCP workload (the same dumbbell
+    the determinism CI sanitizes): four netperf streams through one
+    core. Exercises the event loop, the pipe scheduler, and the TCP
+    stacks together — the primary events/sec figure of merit.
+
+``capacity_sweep``
+    A scaled-down Fig. 4: netperf flows through private emulated
+    chains at several (hops, flows) points, reporting the core's
+    forwarded pkts/sec per point. Exercises CPU/NIC modeling and the
+    per-hop scheduling cost the paper measures.
+
+``sanitize_smoke``
+    The determinism sanitizer's double-run digest over the dumbbell
+    (~28k events per run at 1 virtual second): proves the optimized
+    hot path still produces byte-identical event streams, and times
+    the instrumented (slow-path) event loop.
+
+Every scenario builds its topology in code (no file dependencies), is
+seeded, and dispatches an identical event stream for identical
+(profile, seed, params) — which is what lets ``--compare`` treat
+event-count changes as behavior changes rather than noise.
+"""
+
+from __future__ import annotations
+
+import gc
+from time import perf_counter
+from typing import Callable, Dict, Optional
+
+from repro.bench.harness import BenchResult
+from repro.topology.generators import chain_topology, dumbbell_topology
+
+DEFAULT_SEED = 1
+
+
+def _dumbbell_scenario(seed: int, flows: int):
+    from repro.api import Scenario
+
+    return (
+        Scenario.from_topology(dumbbell_topology(3), name="bench-dumbbell")
+        .distill("hop-by-hop")
+        .assign(1)
+        .netperf(flows=flows)
+        .observe(False)
+        .seed(seed)
+    )
+
+
+def dumbbell_netperf(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+    """Bulk TCP through the shared bottleneck: events/sec of the
+    uninstrumented event loop."""
+    seed = DEFAULT_SEED if seed is None else seed
+    seconds = 30.0 if profile == "short" else 120.0
+    flows = 4
+    result = BenchResult(
+        name="dumbbell_netperf",
+        profile=profile,
+        seed=seed,
+        params={"seconds": seconds, "flows": flows, "clients_per_side": 3},
+    )
+    scenario = _dumbbell_scenario(seed, flows)
+    t0 = perf_counter()
+    emulation = scenario.build()
+    build_s = perf_counter() - t0
+    sim = emulation.sim
+    events_before = sim.events_dispatched
+    pkts_before = emulation.monitor.packets_entered
+    t1 = perf_counter()
+    sim.run(until=seconds)
+    run_s = perf_counter() - t1
+    result.wall_s = run_s
+    result.events = sim.events_dispatched - events_before
+    result.virtual_pkts = emulation.monitor.packets_entered - pkts_before
+    result.virtual_time_s = seconds
+    result.phases = {"build_s": round(build_s, 6), "run_s": round(run_s, 6)}
+    result.extras = {
+        "packets_delivered": emulation.monitor.packets_delivered,
+        "pipe_departures": sum(p.departures for p in emulation.pipes.values()),
+    }
+    return result.finalize()
+
+
+def capacity_sweep(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+    """Fig. 4-style single-core capacity points: pkts/sec forwarded
+    at several (hops, flows) operating points."""
+    from repro.apps.netperf import TcpStream
+    from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline
+    from repro.engine import Simulator
+    from repro.hardware.calibration import GIGABIT_EDGE_SPEC
+
+    seed = DEFAULT_SEED if seed is None else seed
+    if profile == "short":
+        points = [(1, 24), (1, 96), (8, 48)]
+        warm_s, measure_s = 0.25, 0.5
+    else:
+        points = [(1, 24), (1, 96), (1, 120), (8, 96), (12, 96)]
+        warm_s, measure_s = 0.5, 1.0
+    result = BenchResult(
+        name="capacity_sweep",
+        profile=profile,
+        seed=seed,
+        params={"points": points, "warm_s": warm_s, "measure_s": measure_s},
+    )
+    build_s = run_s = 0.0
+    events = pkts = 0
+    virtual = 0.0
+    extras: Dict[str, float] = {}
+    for hops, flows in points:
+        t0 = perf_counter()
+        sim = Simulator()
+        emulation = (
+            ExperimentPipeline(sim, seed=seed)
+            .create(chain_topology(flows, hops=hops))
+            .distill(DistillationMode.HOP_BY_HOP)
+            .assign(1)
+            .bind(10)
+            .run(EmulationConfig(edge_spec=GIGABIT_EDGE_SPEC, seed=seed))
+        )
+        streams = [
+            TcpStream(emulation, 2 * flow, 2 * flow + 1) for flow in range(flows)
+        ]
+        build_s += perf_counter() - t0
+        t1 = perf_counter()
+        sim.run(until=warm_s)
+        emulation.monitor.begin_window(sim.now)
+        events_before = sim.events_dispatched
+        pkts_before = emulation.monitor.packets_entered
+        sim.run(until=warm_s + measure_s)
+        run_s += perf_counter() - t1
+        events += sim.events_dispatched - events_before
+        pkts += emulation.monitor.packets_entered - pkts_before
+        virtual += measure_s
+        extras[f"pps[{hops}h,{flows}f]"] = round(
+            emulation.monitor.window_pps(sim.now), 1
+        )
+        for stream in streams:
+            stream.stop()
+    result.wall_s = run_s
+    result.events = events
+    result.virtual_pkts = pkts
+    result.virtual_time_s = virtual
+    result.phases = {"build_s": round(build_s, 6), "run_s": round(run_s, 6)}
+    result.extras = extras
+    return result.finalize()
+
+
+def sanitize_smoke(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+    """Double-run the dumbbell under the determinism sanitizer: times
+    the instrumented dispatch path and proves digests stay identical."""
+    from repro.check.sanitize import SimSanitizer
+
+    seed = DEFAULT_SEED if seed is None else seed
+    seconds = 1.0 if profile == "short" else 5.0
+    flows = 4
+    result = BenchResult(
+        name="sanitize_smoke",
+        profile=profile,
+        seed=seed,
+        params={"seconds": seconds, "flows": flows, "runs": 2},
+    )
+    digests = []
+    events = pkts = 0
+    build_s = run_s = 0.0
+    for _run in range(2):
+        t0 = perf_counter()
+        scenario = _dumbbell_scenario(seed, flows)
+        emulation = scenario.build()
+        build_s += perf_counter() - t0
+        sanitizer = SimSanitizer().attach(emulation.sim)
+        try:
+            t1 = perf_counter()
+            emulation.sim.run(until=seconds)
+            run_s += perf_counter() - t1
+        finally:
+            sanitizer.detach()
+        digests.append(sanitizer.digest)
+        events += sanitizer.dispatched
+        pkts += emulation.monitor.packets_entered
+    if digests[0] != digests[1]:
+        raise RuntimeError(
+            f"sanitize_smoke: same-seed digests differ "
+            f"({digests[0][:16]} vs {digests[1][:16]}) — the hot path "
+            f"became nondeterministic"
+        )
+    result.wall_s = run_s
+    result.events = events
+    result.virtual_pkts = pkts
+    result.virtual_time_s = 2 * seconds
+    result.phases = {"build_s": round(build_s, 6), "run_s": round(run_s, 6)}
+    result.digest = digests[0]
+    result.extras = {"events_per_run": events // 2}
+    return result.finalize()
+
+
+SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
+    "dumbbell_netperf": dumbbell_netperf,
+    "capacity_sweep": capacity_sweep,
+    "sanitize_smoke": sanitize_smoke,
+}
+
+
+def run_scenario(
+    name: str, profile: str = "short", seed: Optional[int] = None
+) -> BenchResult:
+    """Run one registered scenario by name."""
+    try:
+        fn = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown bench scenario {name!r}; "
+            f"valid: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    # Benchmark hygiene: start each scenario from a collected heap and
+    # keep the cycle collector out of the measured region. Without
+    # this, garbage carried over from a previous scenario in the same
+    # process makes gen-2 collections progressively more expensive and
+    # skews later measurements by 20%+ (the simulation itself does not
+    # rely on GC: the event heap drains and pipes hold no cycles).
+    gc.collect()
+    reenable = gc.isenabled()
+    gc.disable()
+    try:
+        return fn(profile=profile, seed=seed)
+    finally:
+        if reenable:
+            gc.enable()

@@ -303,8 +303,15 @@ class Emulation:
                 CachedRouting(topology, self.config.routing_weight)
             )
         self.routing = routing
-        self._route_pipes: Dict[Tuple[int, int], Optional[Tuple[Pipe, ...]]] = {}
-        self.routing.on_change(self._route_pipes.clear)
+        # Route memo for the core forwarding path, keyed (src, dst)
+        # with a generation stamp: invalidate() bumps the generation
+        # (O(1)) instead of clearing the table, and stale entries are
+        # simply overwritten on their next lookup.
+        self._route_gen = 0
+        self._route_pipes: Dict[
+            Tuple[int, int], Tuple[int, Optional[Tuple[Pipe, ...]]]
+        ] = {}
+        self.routing.on_change(self._bump_route_generation)
 
         # --- cores -----------------------------------------------------------
         self.cores: List[CoreNode] = []
@@ -414,12 +421,17 @@ class Emulation:
         core = self.cores[self.binding.core_of_vn(packet.src)]
         core.ingress_packet(packet)
 
+    def _bump_route_generation(self) -> None:
+        """Invalidate every memoized route without touching the table."""
+        self._route_gen += 1
+
     def lookup_pipes(self, src_vn: int, dst_vn: int) -> Optional[Tuple[Pipe, ...]]:
         """The core's route lookup: VN pair to ordered pipe list."""
         key = (src_vn, dst_vn)
-        cached = self._route_pipes.get(key, _MISSING)
-        if cached is not _MISSING:
-            return cached
+        generation = self._route_gen
+        entry = self._route_pipes.get(key)
+        if entry is not None and entry[0] == generation:
+            return entry[1]
         timer = self._route_timer
         t0 = perf_counter() if timer is not None else 0.0  # repro: allow-wallclock
         route = self.routing.route(
@@ -429,7 +441,7 @@ class Emulation:
             pipes = None
         else:
             pipes = tuple(self._pipe_for_hop(hop) for hop in route)
-        self._route_pipes[key] = pipes
+        self._route_pipes[key] = (generation, pipes)
         if timer is not None:
             timer.observe(perf_counter() - t0)  # repro: allow-wallclock
         return pipes
@@ -507,5 +519,3 @@ class Emulation:
             f"cores={len(self.cores)} hosts={len(self.hosts)}>"
         )
 
-
-_MISSING = object()

@@ -17,6 +17,8 @@ and for application studies where core hardware is not the subject.
 from __future__ import annotations
 
 from collections import deque
+from heapq import heappop
+from math import ceil
 from typing import Deque, Optional, Tuple
 
 from repro.core.packet import PacketDescriptor
@@ -50,6 +52,13 @@ class CoreNode:
         self.exact = exact
         self.debt_handling = debt_handling
         self.scheduler = PipeScheduler(0.0 if exact else spec.tick_s)
+        # Spec constants hoisted onto the instance: the wake loop and
+        # ingress path read them once per packet/tick.
+        self._tick_s = spec.tick_s
+        self._sched_tick_s = self.scheduler.tick_s
+        self._per_hop_s = spec.per_hop_s
+        self._per_packet_s = spec.per_packet_s
+        self._nic_ring_slots = spec.nic_ring_slots
         self._ring: Deque[Tuple[int, object]] = deque()
         self._wake_event = None
         self._wake_time = INFINITY
@@ -82,13 +91,20 @@ class CoreNode:
         if self.exact:
             self._process_item(tag, item, self.sim.now)
             return
-        if len(self._ring) >= self.spec.nic_ring_slots:
+        if len(self._ring) >= self._nic_ring_slots:
             self.emulation.monitor.ring_drop()
             return
         self._ring.append((tag, item))
-        wake = self.scheduler.quantize(self.sim.now)
-        if wake <= self.sim.now:
-            wake = self.sim.now
+        # scheduler.quantize(now) clamped to now, inlined: the next
+        # tick boundary, or this instant if one lands (just) behind us.
+        now = self.sim._now
+        tick = self._sched_tick_s
+        if tick > 0.0:
+            wake = ceil(now / tick - 1e-9) * tick
+            if wake <= now:
+                wake = now
+        else:
+            wake = now
         self._ensure_wake(wake)
 
     def ingress_packet(self, packet) -> None:
@@ -102,57 +118,115 @@ class CoreNode:
     def _ensure_wake(self, time: float) -> None:
         # Debt handling can produce already-matured deadlines; service
         # them at the current instant.
-        time = max(time, self.sim.now)
-        if self._wake_event is not None and self._wake_time <= time:
-            return
-        if self._wake_event is not None:
-            self._wake_event.cancel()
+        now = self.sim._now
+        if time < now:
+            time = now
+        event = self._wake_event
+        if event is not None:
+            if self._wake_time <= time:
+                return
+            event.cancel()
         self._wake_time = time
         self._wake_event = self.sim.at(time, self._wake)
 
     def _reschedule_wake(self) -> None:
-        wake = self.scheduler.next_wake()
+        # scheduler.next_wake() and _ensure_wake() inlined: this runs
+        # after every wake and every packet offer.
+        sched_heap = self.scheduler._heap
+        while sched_heap:
+            entry = sched_heap[0]
+            if entry[0] == entry[2]._sched_hint:
+                break
+            heappop(sched_heap)  # stale: superseded, serviced, flushed
+        if sched_heap:
+            wake = sched_heap[0][0]
+            tick = self._sched_tick_s
+            if tick > 0.0:
+                wake = ceil(wake / tick - 1e-9) * tick
+        else:
+            wake = INFINITY
         if self._ring:
-            tick = self.spec.tick_s
-            wake = min(wake, self.sim.now + tick)
+            ring_wake = self.sim._now + self._tick_s
+            if ring_wake < wake:
+                wake = ring_wake
         if wake < INFINITY:
-            self._ensure_wake(wake)
+            now = self.sim._now
+            if wake < now:
+                wake = now
+            event = self._wake_event
+            if event is not None:
+                if self._wake_time <= wake:
+                    return
+                event.cancel()
+            self._wake_time = wake
+            self._wake_event = self.sim.at(wake, self._wake)
 
     def _wake(self) -> None:
-        now = self.sim.now
+        now = self.sim._now
         self._wake_event = None
         self._wake_time = INFINITY
-        tick = self.spec.tick_s
+        tick = self._tick_s
 
         # CPU backlog decays with elapsed wall (virtual) time.
         elapsed = now - self._last_wake
         self._last_wake = now
-        self._cpu_backlog = max(0.0, self._cpu_backlog - elapsed)
+        backlog = self._cpu_backlog - elapsed
+        if backlog < 0.0:
+            backlog = 0.0
 
         spent = 0.0
         # 1) Scheduler pass: highest priority, always runs to completion.
-        for _pipe, exits in self.scheduler.collect(now):
-            for descriptor in exits:
-                spent += self.spec.per_hop_s
-                self.hops_processed += 1
-                spent += self._descriptor_exited(descriptor, now)
+        # Ticks with no matured deadline (common under light load) skip
+        # the collect() call entirely; the wakeup is still counted so
+        # sched.wakeups reads the same either way.
+        scheduler = self.scheduler
+        sched_heap = scheduler._heap
+        if (
+            sched_heap
+            and sched_heap[0][0] <= now + scheduler._slack
+            or scheduler.collect_timer is not None
+        ):
+            hops = 0
+            per_hop = self._per_hop_s
+            descriptor_exited = self._descriptor_exited
+            for _pipe, exits in scheduler.collect(now):
+                for descriptor in exits:
+                    spent += per_hop
+                    hops += 1
+                    spent += descriptor_exited(descriptor, now)
+            self.hops_processed += hops
+        else:
+            scheduler.wakeups += 1
 
         # 2) Interrupt pass: drain the NIC ring with whatever CPU
         #    remains in this tick.
-        budget = tick - self._cpu_backlog - spent
-        while self._ring:
-            cost = self._item_cost(*self._ring[0])
-            if budget < cost:
-                break
-            tag, item = self._ring.popleft()
-            budget -= cost
-            spent += cost
-            self._process_item(tag, item, now)
+        budget = tick - backlog - spent
+        ring = self._ring
+        if ring:
+            per_packet = self._per_packet_s
+            popleft = ring.popleft
+            process_item = self._process_item
+            while ring:
+                tag, item = ring[0]
+                cost = (
+                    per_packet
+                    if tag == INGRESS
+                    else self._item_cost(tag, item)
+                )
+                if budget < cost:
+                    break
+                popleft()
+                budget -= cost
+                spent += cost
+                process_item(tag, item, now)
 
         self.cpu_busy_s += spent
-        self._cpu_backlog = max(0.0, self._cpu_backlog + spent - tick)
-        if self._cpu_backlog > 0.0:
+        backlog = backlog + spent - tick
+        if backlog > 0.0:
+            self._cpu_backlog = backlog
             self.tick_overruns += 1
+        else:
+            self._cpu_backlog = 0.0
         self._reschedule_wake()
 
     def _item_cost(self, tag: int, item=None) -> float:
@@ -186,7 +260,7 @@ class CoreNode:
             return
         self.packets_processed += 1
         self.emulation.monitor.packet_entered()
-        descriptor = PacketDescriptor(packet, pipes, self.index, now)
+        descriptor = PacketDescriptor.acquire(packet, pipes, self.index, now)
         if not pipes:
             # Source and destination share an attachment point.
             self._complete(descriptor, now)
@@ -289,6 +363,9 @@ class CoreNode:
         """Push the buffered packet out of this core toward the edge
         host of the destination VN."""
         packet = descriptor.packet
+        # The descriptor's journey ends here: only the buffered packet
+        # travels on. Recycle it for the next admission.
+        descriptor.release()
         if self.exact or self.egress_link is None:
             self.emulation.deliver_to_vn(packet)
             return

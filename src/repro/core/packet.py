@@ -20,7 +20,16 @@ from repro.net.packet import Packet
 
 
 class PacketDescriptor:
-    """A packet traversing the emulated pipe network."""
+    """A packet traversing the emulated pipe network.
+
+    Descriptors are pooled: a saturated core churns through one per
+    admitted packet, and recycling them through a bounded free list
+    (:meth:`acquire` / :meth:`release`) spares the allocator on the
+    hot path. A released descriptor must never be touched again by
+    its previous owner — release happens only where a descriptor
+    provably leaves the emulated network (final delivery, or
+    destruction by ``Pipe.flush``).
+    """
 
     __slots__ = (
         "packet",
@@ -31,6 +40,11 @@ class PacketDescriptor:
         "ideal_time",
         "tunnel_hops",
     )
+
+    #: Free list shared by all emulations (descriptors hold no
+    #: per-emulation state once released).
+    _pool: list = []
+    _pool_limit: int = 4096
 
     def __init__(
         self,
@@ -49,6 +63,37 @@ class PacketDescriptor:
         self.ideal_time = entered_at
         #: Number of core-to-core crossings this descriptor has made.
         self.tunnel_hops = 0
+
+    @classmethod
+    def acquire(
+        cls,
+        packet: Packet,
+        pipes: Tuple,
+        entry_core: int,
+        entered_at: float,
+    ) -> "PacketDescriptor":
+        """A fresh descriptor, recycled from the pool when possible."""
+        pool = cls._pool
+        if pool:
+            descriptor = pool.pop()
+            descriptor.packet = packet
+            descriptor.pipes = pipes
+            descriptor.hop_index = 0
+            descriptor.entry_core = entry_core
+            descriptor.entered_at = entered_at
+            descriptor.ideal_time = entered_at
+            descriptor.tunnel_hops = 0
+            return descriptor
+        return cls(packet, pipes, entry_core, entered_at)
+
+    def release(self) -> None:
+        """Return this descriptor to the pool (drops its references
+        so recycled descriptors don't pin packets or pipe routes)."""
+        pool = PacketDescriptor._pool
+        if len(pool) < PacketDescriptor._pool_limit:
+            self.packet = None
+            self.pipes = ()
+            pool.append(self)
 
     @property
     def current_pipe(self):

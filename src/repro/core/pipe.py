@@ -52,9 +52,12 @@ class Pipe:
         "drops_overflow",
         "drops_random",
         "drops_down",
+        "bytes_accepted",
         "bytes_through",
         "peak_backlog",
         "_timer",
+        "_tx_cache",
+        "_droptail",
     )
 
     #: Runtime-adjustable knobs accepted by :meth:`set_params`.
@@ -81,6 +84,9 @@ class Pipe:
         self.loss_rate = float(loss_rate)
         self.queue_limit = int(queue_limit)
         self.qdisc = qdisc or DropTailQueue()
+        # Plain drop-tail admission is a single comparison; inline it
+        # on the arrival path instead of dispatching through admit().
+        self._droptail = type(self.qdisc) is DropTailQueue
         self.owner = 0
         self.up = True
         self._free_at = 0.0
@@ -95,8 +101,19 @@ class Pipe:
         self.drops_overflow = 0
         self.drops_random = 0
         self.drops_down = 0
+        #: Bytes admitted to the bandwidth queue (offered load that
+        #: survived the drop checks).
+        self.bytes_accepted = 0
+        #: Bytes that fully exited the pipe. Counted at departure in
+        #: :meth:`service`, so packets destroyed by :meth:`flush` (a
+        #: dying link takes its queue with it) never inflate the
+        #: delivered-throughput view that monitor/obs report.
         self.bytes_through = 0
         self.peak_backlog = 0
+        # transmission_time memo for the current bandwidth: packet
+        # sizes cluster on a handful of MTU/ACK values, so the
+        # division is paid once per (size, bandwidth generation).
+        self._tx_cache: dict = {}
         # Observability timing hook: a Histogram when the owning
         # emulation runs with a live registry, else None (one
         # attribute check per arrival — the zero-overhead default).
@@ -115,7 +132,11 @@ class Pipe:
         return len(self._bw_queue) + len(self._delay_line)
 
     def transmission_time(self, size_bytes: int) -> float:
-        return size_bytes * 8.0 / self.bandwidth_bps
+        tx = self._tx_cache.get(size_bytes)
+        if tx is None:
+            tx = size_bytes * 8.0 / self.bandwidth_bps
+            self._tx_cache[size_bytes] = tx
+        return tx
 
     def arrival(
         self,
@@ -149,20 +170,31 @@ class Pipe:
         if self.loss_rate > 0.0 and rng is not None and rng.random() < self.loss_rate:
             self.drops_random += 1
             return False
-        if not self.qdisc.admit(len(self._bw_queue), self.queue_limit, now, rng):
+        bw_queue = self._bw_queue
+        backlog = len(bw_queue)
+        if self._droptail:
+            admitted = backlog < self.queue_limit
+        else:
+            admitted = self.qdisc.admit(backlog, self.queue_limit, now, rng)
+        if not admitted:
             self.drops_overflow += 1
             return False
-        tx = self.transmission_time(descriptor.packet.size_bytes)
-        dequeue_at = max(now, self._free_at) + tx
+        size = descriptor.packet.size_bytes
+        tx = self._tx_cache.get(size)
+        if tx is None:
+            tx = self.transmission_time(size)
+        free_at = self._free_at
+        dequeue_at = (now if now > free_at else free_at) + tx
         self._free_at = dequeue_at
-        ideal_dequeue = max(ideal_now, self._ideal_free_at) + tx
+        ideal_free = self._ideal_free_at
+        ideal_dequeue = (ideal_now if ideal_now > ideal_free else ideal_free) + tx
         self._ideal_free_at = ideal_dequeue
         ideal_exit = ideal_dequeue + self.latency_s
         descriptor.ideal_time = ideal_exit
-        self._bw_queue.append((descriptor, dequeue_at, ideal_exit))
-        if len(self._bw_queue) > self.peak_backlog:
-            self.peak_backlog = len(self._bw_queue)
-        self.bytes_through += descriptor.packet.size_bytes
+        bw_queue.append((descriptor, dequeue_at, ideal_exit))
+        if backlog >= self.peak_backlog:
+            self.peak_backlog = backlog + 1
+        self.bytes_accepted += size
         return True
 
     def next_deadline(self) -> float:
@@ -178,28 +210,46 @@ class Pipe:
     def service(self, now: float) -> List[PacketDescriptor]:
         """Advance pipe state to ``now``; return descriptors that have
         fully exited (dequeued and served their latency)."""
-        while self._bw_queue and self._bw_queue[0][1] <= now:
-            descriptor, dequeue_at, ideal_exit = self._bw_queue.popleft()
-            self._delay_line.append(
-                (descriptor, dequeue_at + self.latency_s, ideal_exit)
-            )
+        bw_queue = self._bw_queue
+        delay_line = self._delay_line
+        latency = self.latency_s
+        while bw_queue and bw_queue[0][1] <= now:
+            descriptor, dequeue_at, ideal_exit = bw_queue.popleft()
+            delay_line.append((descriptor, dequeue_at + latency, ideal_exit))
         exits: List[PacketDescriptor] = []
-        while self._delay_line and self._delay_line[0][1] <= now:
-            descriptor, _exit_at, ideal_exit = self._delay_line.popleft()
-            descriptor.ideal_time = ideal_exit
-            self.departures += 1
-            exits.append(descriptor)
+        if delay_line and delay_line[0][1] <= now:
+            departed = 0
+            through = 0
+            append = exits.append
+            while delay_line and delay_line[0][1] <= now:
+                descriptor, _exit_at, ideal_exit = delay_line.popleft()
+                descriptor.ideal_time = ideal_exit
+                departed += 1
+                through += descriptor.packet.size_bytes
+                append(descriptor)
+            self.departures += departed
+            self.bytes_through += through
         return exits
 
     def flush(self) -> int:
         """Drop everything queued or in flight (a link that dies takes
-        its queue with it). Returns the number of packets lost."""
+        its queue with it). Returns the number of packets lost.
+
+        Resets ``_sched_hint`` to INFINITY so the owning scheduler's
+        heap entry for this pipe goes stale and is discarded instead
+        of firing a spurious wakeup — and so a post-flush arrival is
+        not shadowed by the orphaned earlier deadline."""
         lost = len(self._bw_queue) + len(self._delay_line)
+        for descriptor, _dequeue_at, _ideal in self._bw_queue:
+            descriptor.release()
+        for descriptor, _exit_at, _ideal in self._delay_line:
+            descriptor.release()
         self._bw_queue.clear()
         self._delay_line.clear()
         self.drops_down += lost
         self._free_at = 0.0
         self._ideal_free_at = 0.0
+        self._sched_hint = INFINITY
         return lost
 
     # ------------------------------------------------------------------
@@ -226,6 +276,10 @@ class Pipe:
         if bandwidth_bps is not None:
             if bandwidth_bps <= 0:
                 raise ValueError("bandwidth must be positive")
+            if float(bandwidth_bps) != self.bandwidth_bps:
+                # New bandwidth generation: drop the memoized
+                # per-size transmission times.
+                self._tx_cache.clear()
             self.bandwidth_bps = float(bandwidth_bps)
         if latency_s is not None:
             if latency_s < 0:

@@ -37,6 +37,9 @@ class PipeScheduler:
         if tick_s < 0:
             raise ValueError("tick must be >= 0")
         self.tick_s = tick_s
+        # Float-error slack applied when maturing deadlines against a
+        # wake boundary (see collect); precomputed once.
+        self._slack = tick_s * 1e-3 if tick_s > 0 else 0.0
         self._heap: List[Tuple[float, int, Pipe]] = []
         self._seq = 0
         self.hops_serviced = 0
@@ -54,22 +57,48 @@ class PipeScheduler:
         return ticks * self.tick_s
 
     def notify(self, pipe: Pipe) -> None:
-        """(Re)insert ``pipe`` after its deadline may have changed."""
-        deadline = pipe.next_deadline()
-        if deadline == INFINITY:
+        """(Re)insert ``pipe`` after its deadline may have changed.
+
+        Re-pushing is skipped when the deadline is unchanged (or
+        covered by an earlier entry): ``_sched_hint`` is the deadline
+        of the pipe's live heap entry, so only a strictly earlier
+        deadline needs a new entry. The superseded entry goes stale
+        and is discarded lazily.
+        """
+        # pipe.next_deadline(), inlined: notify runs once per offer
+        # and once per serviced pipe.
+        bw_queue = pipe._bw_queue
+        delay_line = pipe._delay_line
+        if bw_queue:
+            deadline = bw_queue[0][1]
+            if delay_line:
+                exit_at = delay_line[0][1]
+                if exit_at < deadline:
+                    deadline = exit_at
+        elif delay_line:
+            deadline = delay_line[0][1]
+        else:
+            # Empty pipe: an INFINITY deadline never beats the hint.
             return
         if deadline >= pipe._sched_hint:
-            return  # existing heap entry already covers it
+            return
         pipe._sched_hint = deadline
         self._seq += 1
         heapq.heappush(self._heap, (deadline, self._seq, pipe))
 
     def earliest_deadline(self) -> float:
-        while self._heap:
-            deadline, _seq, pipe = self._heap[0]
-            if deadline > pipe.next_deadline() or deadline < pipe._sched_hint:
-                # Stale: the pipe was re-queued or already serviced.
-                heapq.heappop(self._heap)
+        # An entry is live iff its deadline equals the pipe's hint:
+        # pushes strictly decrease the hint (older entries read
+        # higher), collect resets it to INFINITY, and flush orphans
+        # its entry the same way. This avoids recomputing
+        # pipe.next_deadline() on every peek — the scheduler is asked
+        # for its earliest deadline after every wake and every offer.
+        heap = self._heap
+        while heap:
+            deadline, _seq, pipe = heap[0]
+            if deadline != pipe._sched_hint:
+                # Stale: superseded, already serviced, or flushed.
+                heapq.heappop(heap)
                 continue
             return deadline
         return INFINITY
@@ -94,18 +123,44 @@ class PipeScheduler:
         # ticks waking at tick 693); accept anything within a
         # thousandth of a tick of the boundary so such deadlines
         # mature instead of re-arming a same-instant wake forever.
-        cutoff = now + (self.tick_s * 1e-3 if self.tick_s > 0 else 0.0)
+        cutoff = now + self._slack
         serviced: List[Tuple[Pipe, List[PacketDescriptor]]] = []
-        while self._heap and self._heap[0][0] <= cutoff:
-            deadline, _seq, pipe = heapq.heappop(self._heap)
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        seq = self._seq
+        while heap and heap[0][0] <= cutoff:
+            deadline, _seq, pipe = heappop(heap)
             if deadline != pipe._sched_hint:
                 continue  # stale entry; a fresher one covers this pipe
-            pipe._sched_hint = INFINITY
             exits = pipe.service(cutoff)
             if exits:
                 self.hops_serviced += len(exits)
                 serviced.append((pipe, exits))
-            self.notify(pipe)
+            # Re-insert with the pipe's new deadline (notify() with the
+            # hint freshly cleared, inlined: any finite deadline wins).
+            bw_queue = pipe._bw_queue
+            delay_line = pipe._delay_line
+            if bw_queue:
+                deadline = bw_queue[0][1]
+                if delay_line:
+                    exit_at = delay_line[0][1]
+                    if exit_at < deadline:
+                        deadline = exit_at
+            elif delay_line:
+                deadline = delay_line[0][1]
+            else:
+                pipe._sched_hint = INFINITY
+                continue
+            pipe._sched_hint = deadline
+            seq += 1
+            heappush(heap, (deadline, seq, pipe))
+        self._seq = seq
+        # Eagerly drain stale entries off the top so the next_wake()
+        # that immediately follows every collect peeks a live entry
+        # instead of re-discarding the same churn.
+        while heap and heap[0][0] != heap[0][2]._sched_hint:
+            heappop(heap)
         if timer is not None:
             timer.observe(perf_counter() - t0)  # repro: allow-wallclock
         return serviced

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -19,6 +19,11 @@ class Event:
     events stay in the heap but are skipped when popped; this makes
     cancellation O(1), which matters for TCP retransmission timers
     that are cancelled on nearly every ACK.
+
+    The heap itself stores ``(time, seq, event)`` tuples rather than
+    the events: tuple comparison runs in C, and heap sift compares are
+    the single hottest operation of a large run. ``__lt__`` is kept
+    for callers that sort events directly.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled")
@@ -65,7 +70,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[Event] = []
+        self._heap: list[Tuple[float, int, Event]] = []
         self._seq = 0
         self._running = False
         self._stopped = False
@@ -73,8 +78,11 @@ class Simulator:
         #: Optional tracing hook: called as ``on_dispatch(event, fn)``
         #: immediately before each event fires (the sanitizer's probe
         #: point). ``fn`` is passed separately because dispatch clears
-        #: ``event.fn``. None (the default) costs one attribute test
-        #: per event.
+        #: ``event.fn``. The hook test is hoisted out of the dispatch
+        #: loop: :meth:`run` selects the fast (no-hook) or slow
+        #: (hooked) loop once per call, so the None default costs
+        #: nothing per event. Consequently, installing a hook *during*
+        #: a run takes effect at the next :meth:`run`/:meth:`step`.
         self.on_dispatch: Optional[Callable[[Event, Callable], None]] = None
 
     @property
@@ -104,10 +112,28 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule at t={time} before now={self._now}"
             )
-        self._seq += 1
-        event = Event(time, self._seq, fn, args)
-        heapq.heappush(self._heap, event)
+        self._seq = seq = self._seq + 1
+        event = Event(time, seq, fn, args)
+        heapq.heappush(self._heap, (time, seq, event))
         return event
+
+    def post(self, time: float, fn: Callable, *args: Any) -> None:
+        """Like :meth:`at`, but fire-and-forget: no :class:`Event`
+        handle is returned and the callback cannot be cancelled.
+
+        The heap entry is a bare ``(time, seq, None, fn, args)`` tuple
+        — no Event allocation. Physical-wire serialization and
+        delivery callbacks (two per transmitted packet, never
+        cancelled) are the intended users; they dominate the heap of a
+        saturated run. Sequence numbers come from the same counter as
+        :meth:`at`, so traces are identical either way.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self._now}"
+            )
+        self._seq = seq = self._seq + 1
+        heapq.heappush(self._heap, (time, seq, None, fn, args))
 
     def call_soon(self, fn: Callable, *args: Any) -> Event:
         """Run ``fn(*args)`` at the current time, after pending events
@@ -123,30 +149,47 @@ class Simulator:
 
         Returns False when the heap is exhausted.
         """
-        while self._heap:
-            event = heapq.heappop(self._heap)
-            if event.cancelled or event.fn is None:
-                continue
-            self._now = event.time
+        heap = self._heap
+        while heap:
+            entry = heapq.heappop(heap)
+            time = entry[0]
+            event = entry[2]
+            if event is None:  # anonymous fire-and-forget (see post())
+                fn = entry[3]
+                args = entry[4]
+            else:
+                fn = event.fn
+                if fn is None:  # cancelled, or spent by a previous dispatch
+                    continue
+                args = event.args
+                event.fn = None
+                event.args = ()
+            if time < self._now:
+                raise SimulationError(
+                    f"clock would move backwards: event at t={time} "
+                    f"but now={self._now}"
+                )
+            self._now = time
             self._dispatched += 1
-            fn, args = event.fn, event.args
-            event.fn = None
-            event.args = ()
             if self.on_dispatch is not None:
+                if event is None:
+                    event = Event(time, entry[1], None, ())
                 self.on_dispatch(event, fn)
             fn(*args)
             return True
         return False
 
     def run(self, until: Optional[float] = None) -> float:
-        """Dispatch events until the heap is empty or the clock would
-        pass ``until``.
+        """Dispatch events until the heap is empty, the clock would
+        pass ``until``, or :meth:`stop` is called.
 
-        If ``until`` is given and the simulation still has future
-        events when it is reached, the clock is left exactly at
-        ``until`` (events at later times remain pending and a
-        subsequent ``run`` continues from there). Returns the final
-        clock value.
+        If ``until`` is given and the run *drains naturally* (the heap
+        empties or only later events remain), the clock is left
+        exactly at ``until`` and a subsequent ``run`` continues from
+        there. A run halted by :meth:`stop` keeps the clock at the
+        last dispatched event — fast-forwarding past still-pending
+        events would let the next ``run`` move the clock backwards.
+        Returns the final clock value.
         """
         if self._running:
             raise SimulationError("simulator is already running")
@@ -156,25 +199,91 @@ class Simulator:
             )
         self._running = True
         self._stopped = False
+        # The dispatch loop exists in two variants with the rare-path
+        # branches hoisted out: the fast loop assumes no on_dispatch
+        # hook; the slow loop services it. Locals beat attribute loads
+        # in the loop body.
+        heap = self._heap
+        pop = heapq.heappop
+        limit = float("inf") if until is None else until
+        now = self._now
+        dispatched = 0
+        hook = self.on_dispatch
         try:
-            while self._heap and not self._stopped:
-                event = self._heap[0]
-                if event.cancelled or event.fn is None:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._now = event.time
-                self._dispatched += 1
-                fn, args = event.fn, event.args
-                event.fn = None
-                event.args = ()
-                if self.on_dispatch is not None:
-                    self.on_dispatch(event, fn)
-                fn(*args)
+            if hook is None:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event is None:  # anonymous entry (see post())
+                        time = entry[0]
+                        if time > limit:
+                            break
+                        if time < now:
+                            raise SimulationError(
+                                f"clock would move backwards: event at "
+                                f"t={time} but now={now}"
+                            )
+                        pop(heap)
+                        self._now = now = time
+                        dispatched += 1
+                        entry[3](*entry[4])
+                        continue
+                    fn = event.fn
+                    if fn is None:  # cancelled or spent: discard
+                        pop(heap)
+                        continue
+                    time = entry[0]
+                    if time > limit:
+                        break
+                    if time < now:
+                        raise SimulationError(
+                            f"clock would move backwards: event at "
+                            f"t={time} but now={now}"
+                        )
+                    pop(heap)
+                    self._now = now = time
+                    dispatched += 1
+                    args = event.args
+                    event.fn = None
+                    event.args = ()
+                    fn(*args)
+            else:
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event is None:
+                        fn = entry[3]
+                        args = entry[4]
+                    else:
+                        fn = event.fn
+                        if fn is None:
+                            pop(heap)
+                            continue
+                        args = event.args
+                    time = entry[0]
+                    if time > limit:
+                        break
+                    if time < now:
+                        raise SimulationError(
+                            f"clock would move backwards: event at "
+                            f"t={time} but now={now}"
+                        )
+                    pop(heap)
+                    self._now = now = time
+                    dispatched += 1
+                    if event is None:
+                        # Synthesize a handle for the hook; anonymous
+                        # entries carry the same (time, seq) identity.
+                        event = Event(time, entry[1], None, ())
+                    else:
+                        event.fn = None
+                        event.args = ()
+                    hook(event, fn)
+                    fn(*args)
         finally:
             self._running = False
-        if until is not None and self._now < until:
+            self._dispatched += dispatched
+        if until is not None and not self._stopped and self._now < until:
+            # Natural drain: fast-forward the idle clock to the target.
             self._now = until
         return self._now

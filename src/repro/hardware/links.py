@@ -10,6 +10,7 @@ emulated "virtual" drops inside pipes.
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import Any, Callable
 
 from repro.engine.simulator import Simulator
@@ -40,6 +41,9 @@ class PhysicalLink:
         self.queue_limit = int(queue_limit)
         self.framing_bytes = int(framing_bytes)
         self.name = name
+        # Seconds per wire byte, precomputed: send() is the hottest
+        # call site outside the event loop itself.
+        self._s_per_byte = 8.0 / self.rate_bps
         self._free_at = 0.0
         self._queued = 0
         self.accepted = 0
@@ -58,19 +62,29 @@ class PhysicalLink:
     def send(self, size_bytes: int, deliver_fn: Callable, *args: Any) -> bool:
         """Transmit ``size_bytes``; invoke ``deliver_fn(*args)`` on
         arrival at the far end. False (and a drop) on queue overflow."""
-        now = self.sim.now
         if self._queued >= self.queue_limit:
             self.dropped += 1
             return False
+        sim = self.sim
+        start = self._free_at
+        now = sim._now
+        if start < now:
+            start = now
         wire_bytes = size_bytes + self.framing_bytes
-        start = max(now, self._free_at)
-        done = start + wire_bytes * 8.0 / self.rate_bps
+        done = start + wire_bytes * self._s_per_byte
         self._free_at = done
         self._queued += 1
         self.accepted += 1
         self.bytes_sent += wire_bytes
-        self.sim.at(done, self._serialized)
-        self.sim.at(done + self.latency_s, deliver_fn, *args)
+        # Simulator.post() x2, inlined (neither callback is ever
+        # cancelled, and done >= now by construction so the past-check
+        # is vacuous): one wire transmit is two heap entries, and this
+        # is the hottest scheduling site of a saturated run.
+        seq = sim._seq + 1
+        sim._seq = seq + 1
+        heap = sim._heap
+        heappush(heap, (done, seq, None, self._serialized, ()))
+        heappush(heap, (done + self.latency_s, seq + 1, None, deliver_fn, args))
         return True
 
     def _serialized(self) -> None:

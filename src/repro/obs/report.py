@@ -86,13 +86,14 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
 
     # -- pipes: drop taxonomy and occupancy (Figs. 8-10 inputs) ---------
     arrivals = departures = overflow = random_ = down = 0
-    bytes_through = in_flight = backlog = peak = 0
+    bytes_accepted = bytes_through = in_flight = backlog = peak = 0
     for pipe in emulation.pipes.values():
         arrivals += pipe.arrivals
         departures += pipe.departures
         overflow += pipe.drops_overflow
         random_ += pipe.drops_random
         down += pipe.drops_down
+        bytes_accepted += pipe.bytes_accepted
         bytes_through += pipe.bytes_through
         in_flight += pipe.in_flight
         backlog += pipe.backlog_pkts
@@ -104,6 +105,7 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     registry.gauge("pipe.drops_overflow").set(overflow)
     registry.gauge("pipe.drops_random").set(random_)
     registry.gauge("pipe.drops_down").set(down)
+    registry.gauge("pipe.bytes_accepted").set(bytes_accepted)
     registry.gauge("pipe.bytes_through").set(bytes_through)
     registry.gauge("pipe.in_flight").set(in_flight)
     registry.gauge("pipe.backlog_pkts").set(backlog)

@@ -15,6 +15,8 @@ source lacks. This CLI provides those offline steps:
     repro-net run ts.gml --cores 2 --flows 8 --report out.json
     repro-net check src/
     repro-net sanitize examples/dumbbell.gml --seeds 1,2,3
+    repro-net bench --profile short
+    repro-net bench --compare old/BENCH_dumbbell_netperf.json BENCH_dumbbell_netperf.json
 """
 
 from __future__ import annotations
@@ -306,6 +308,60 @@ def _cmd_sanitize(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    """Run the perf suite, write BENCH_<name>.json manifests, and
+    (optionally) embed a baseline or diff two manifests."""
+    import os
+
+    from repro.bench import (
+        SCENARIOS,
+        bench_filename,
+        compare_results,
+        load_result,
+        run_scenario,
+        write_result,
+    )
+
+    if args.compare:
+        old = load_result(args.compare[0])
+        new = load_result(args.compare[1])
+        findings = compare_results(old, new, threshold=args.threshold)
+        regressed = False
+        for finding in findings:
+            print(f"{finding.scenario}: [{finding.kind}] {finding.message}")
+            regressed = regressed or finding.is_regression
+        if regressed:
+            print("bench: REGRESSION beyond noise threshold")
+            return 1
+        print("bench: no regression")
+        return 0
+
+    names = args.scenario or sorted(SCENARIOS)
+    unknown = [n for n in names if n not in SCENARIOS]
+    if unknown:
+        print(
+            f"error: unknown scenario(s) {unknown}; "
+            f"valid: {', '.join(sorted(SCENARIOS))}",
+            file=sys.stderr,
+        )
+        return 2
+    exit_code = 0
+    for name in names:
+        result = run_scenario(name, profile=args.profile, seed=args.seed)
+        if args.baseline:
+            baseline_path = args.baseline
+            if os.path.isdir(baseline_path):
+                baseline_path = os.path.join(baseline_path, bench_filename(name))
+            if os.path.exists(baseline_path):
+                result.set_baseline(load_result(baseline_path), baseline_path)
+            else:
+                print(f"warning: no baseline manifest at {baseline_path}")
+        path = write_result(result, args.out_dir)
+        print(result.summary())
+        print(f"wrote {path}")
+    return exit_code
+
+
 def _nondeterminism_fault(seconds: float):
     """A deliberately broken traffic source for testing the sanitizer:
     an *unseeded* RNG (OS entropy) jitters its own schedule, so two
@@ -462,6 +518,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="add an unseeded-RNG traffic source (sanitizer self-test)",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the perf suite and write BENCH_<name>.json manifests",
+    )
+    bench.add_argument(
+        "--scenario", action="append",
+        help="scenario name (repeatable; default: all)",
+    )
+    bench.add_argument(
+        "--profile", choices=["short", "full"], default="short",
+        help="workload size (short for CI smoke, full for real numbers)",
+    )
+    bench.add_argument("--seed", type=int, default=None, help="override the fixed seed")
+    bench.add_argument(
+        "--out-dir", default=".",
+        help="where to write BENCH_<name>.json (default: repo root / cwd)",
+    )
+    bench.add_argument(
+        "--baseline",
+        help="prior BENCH json (or a directory of them) to embed as "
+        "before/after evidence",
+    )
+    bench.add_argument(
+        "--compare", nargs=2, metavar=("OLD", "NEW"),
+        help="diff two BENCH manifests and exit 1 on regression",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="fractional events/sec noise band for --compare (default 0.10)",
+    )
+    bench.set_defaults(func=_cmd_bench)
     return parser
 
 

@@ -325,3 +325,21 @@ def test_pipe_set_params_rejects_unknown_knobs():
     fwd, _rev = emulation.pipes_of_link(0)
     with pytest.raises(ValueError, match="queue_limit"):
         fwd.set_params(queue_limits=10)
+
+
+def test_route_lookup_memo_returns_same_tuple():
+    sim, emulation = build(chain_topology(1, hops=3))
+    first = emulation.lookup_pipes(0, 1)
+    second = emulation.lookup_pipes(0, 1)
+    assert first is second  # memo hit: no recompute, no new tuple
+
+
+def test_route_lookup_memo_invalidated_by_routing_change():
+    sim, emulation = build(chain_topology(1, hops=3))
+    before = emulation.lookup_pipes(0, 1)
+    generation = emulation._route_gen
+    emulation.routing.invalidate()
+    assert emulation._route_gen == generation + 1
+    after = emulation.lookup_pipes(0, 1)
+    assert after is not before  # stale entry overwritten
+    assert [pipe.id for pipe in after] == [pipe.id for pipe in before]

@@ -139,3 +139,73 @@ def test_counters():
     pipe.service(1.0)
     assert pipe.departures == 5
     assert pipe.bytes_through == 10_000
+
+
+def test_bytes_accepted_at_admit_bytes_through_at_departure():
+    # Regression: bytes_through used to be counted at admission, so a
+    # flushed queue inflated the delivered-throughput view.
+    pipe = make_pipe(bw=1e9, lat=0.0)
+    for _ in range(3):
+        assert pipe.arrival(make_descriptor(size=2000), 0.0, 0.0)
+    assert pipe.bytes_accepted == 6000
+    assert pipe.bytes_through == 0  # nothing has departed yet
+    pipe.service(1.0)
+    assert pipe.bytes_through == 6000
+
+
+def test_flushed_packets_never_count_as_through():
+    pipe = make_pipe(bw=1e3, lat=0.01)  # slow: packets stay queued
+    for _ in range(4):
+        assert pipe.arrival(make_descriptor(size=1000), 0.0, 0.0)
+    pipe.flush()
+    assert pipe.bytes_accepted == 4000
+    assert pipe.bytes_through == 0
+    assert pipe.service(100.0) == []
+
+
+def test_flush_resets_sched_hint():
+    # Regression: flush() left _sched_hint at the dead entry's
+    # deadline, so a post-flush arrival with a later deadline was
+    # shadowed by the orphaned heap entry and never rescheduled.
+    from repro.core.scheduler import PipeScheduler
+
+    scheduler = PipeScheduler(tick_s=0.0)
+    pipe = make_pipe(bw=1e6, lat=0.0)
+    pipe.arrival(make_descriptor(size=1250), 0.0, 0.0)
+    scheduler.notify(pipe)
+    assert scheduler.earliest_deadline() == pytest.approx(0.01)
+    pipe.flush()
+    assert pipe._sched_hint == INFINITY
+    assert scheduler.earliest_deadline() == INFINITY  # orphan discarded
+    pipe.arrival(make_descriptor(size=2500), 5.0, 5.0)
+    scheduler.notify(pipe)
+    assert scheduler.earliest_deadline() == pytest.approx(5.02)
+    serviced = scheduler.collect(5.02)
+    assert len(serviced) == 1 and len(serviced[0][1]) == 1
+
+
+def test_transmission_time_memo_tracks_bandwidth_changes():
+    pipe = make_pipe(bw=1e6, lat=0.0)
+    assert pipe.transmission_time(1250) == pytest.approx(0.01)
+    assert pipe.transmission_time(1250) == pytest.approx(0.01)  # memo hit
+    pipe.set_params(bandwidth_bps=2e6)
+    assert pipe.transmission_time(1250) == pytest.approx(0.005)
+    pipe.set_params(bandwidth_bps=2e6)  # unchanged: memo survives
+    assert pipe.transmission_time(2500) == pytest.approx(0.01)
+
+
+def test_descriptor_pool_recycles_released_descriptors():
+    PacketDescriptor._pool.clear()
+    first = make_descriptor(size=500)
+    first.release()
+    assert PacketDescriptor._pool  # parked on the free list
+    packet = Packet(3, 4, 800, "udp")
+    second = PacketDescriptor.acquire(packet, (), 1, 2.0)
+    assert second is first  # recycled, not reallocated
+    assert second.packet is packet
+    assert second.hop_index == 0
+    assert second.entry_core == 1
+    assert second.entered_at == 2.0
+    assert second.ideal_time == 2.0
+    assert second.tunnel_hops == 0
+    PacketDescriptor._pool.clear()

@@ -206,3 +206,89 @@ def test_on_dispatch_hook_sees_time_seq_and_fn():
     time, seq, fn = seen[0]
     assert time == 0.5 and seq == 1
     assert fn == marker.append
+
+
+def test_stop_mid_run_does_not_fast_forward_clock():
+    # Regression: run(until=T) used to jump the clock to T even when
+    # stop() halted the run with events still pending before T; the
+    # resuming run() then dispatched those events in the past.
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, fired.append, "a")
+    sim.schedule(2.0, sim.stop)
+    sim.schedule(3.0, fired.append, "b")
+    sim.run(until=10.0)
+    assert fired == ["a"]
+    assert sim.now == 2.0  # last dispatched event, not 10.0
+    sim.run(until=10.0)  # resumes cleanly; no backwards clock
+    assert fired == ["a", "b"]
+    assert sim.now == 10.0
+
+
+def test_run_until_fast_forwards_only_on_natural_drain():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run(until=5.0)
+    assert sim.now == 5.0  # heap drained naturally: idle fast-forward
+
+
+def test_post_interleaves_with_at_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, fired.append, "at-2")
+    sim.post(1.0, fired.append, "post-1")
+    sim.post(3.0, fired.append, "post-3")
+    sim.at(1.5, fired.append, "at-1.5")
+    sim.run()
+    assert fired == ["post-1", "at-1.5", "at-2", "post-3"]
+    assert sim.events_dispatched == 4
+
+
+def test_post_in_past_raises():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post(0.5, lambda: None)
+
+
+def test_post_entries_dispatch_via_step():
+    sim = Simulator()
+    fired = []
+    sim.post(1.0, fired.append, "x")
+    assert sim.step()
+    assert fired == ["x"]
+    assert sim.now == 1.0
+    assert not sim.step()
+
+
+def test_on_dispatch_hook_sees_post_entries():
+    # The hook receives a synthesized Event carrying the anonymous
+    # entry's (time, seq) — the sanitizer digests both kinds alike.
+    sim = Simulator()
+    seen = []
+    sim.on_dispatch = lambda event, fn: seen.append((event.time, event.seq))
+    sim.at(1.0, lambda: None)
+    sim.post(2.0, lambda: None)
+    sim.run()
+    assert seen == [(1.0, 1), (2.0, 2)]
+
+
+def test_hooked_and_unhooked_runs_dispatch_identically():
+    def drive(sim, fired):
+        sim.at(1.0, fired.append, "a")
+        sim.post(1.5, fired.append, "b")
+        cancelled = sim.at(2.0, fired.append, "never")
+        cancelled.cancel()
+        sim.at(2.5, fired.append, "c")
+
+    plain, hooked = Simulator(), Simulator()
+    fired_plain, fired_hooked = [], []
+    drive(plain, fired_plain)
+    drive(hooked, fired_hooked)
+    hooked.on_dispatch = lambda event, fn: None
+    plain.run()
+    hooked.run()
+    assert fired_plain == fired_hooked == ["a", "b", "c"]
+    assert plain.events_dispatched == hooked.events_dispatched == 3
+    assert plain.now == hooked.now
