@@ -28,8 +28,9 @@ or routing protocols.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Union
+from typing import Any, Callable, List, Optional, Tuple, Union
 
 from repro.core.assign import Assignment
 from repro.core.bind import Binding
@@ -38,6 +39,8 @@ from repro.core.emulator import Emulation, EmulationConfig
 from repro.core.phases import ExperimentPipeline
 from repro.engine.randomness import RngRegistry
 from repro.engine.simulator import Simulator
+from repro.engine.sync import PartitionedSimulator
+from repro.hardware.calibration import min_cross_core_latency
 from repro.obs import MetricsRegistry, NULL_REGISTRY, RunReport, build_report
 from repro.topology.gml import load_gml, parse_gml
 from repro.topology.graph import Topology
@@ -65,6 +68,35 @@ def resolve_distill_mode(
         ) from None
 
 
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable, declarative snapshot of a :class:`Scenario`.
+
+    This is what crosses process boundaries for the multiprocess
+    backend: every worker calls :meth:`Scenario.from_spec` and
+    rebuilds the identical emulation (builds are deterministic — the
+    ``repro.check`` contract). Only declarative traffic survives the
+    round trip, which is why :meth:`Scenario.to_spec` rejects custom
+    traffic callables.
+    """
+
+    name: str
+    topology: Topology
+    mode: DistillationMode
+    walk_in: int
+    walk_out: int
+    cores: int
+    assignment: Optional[Assignment]
+    hosts: int
+    strategy: str
+    binding: Optional[Binding]
+    knobs: dict
+    reference: bool
+    seed: int
+    #: ``(flows, seed)`` per :meth:`Scenario.netperf` call.
+    netperf: Tuple[Tuple[int, Optional[int]], ...]
+
+
 class Scenario:
     """A declarative experiment: topology in, :class:`RunReport` out."""
 
@@ -86,10 +118,12 @@ class Scenario:
         self._observe = True
         self._traffic: List[Callable[[Emulation], Any]] = []
         # Build products.
-        self.sim: Optional[Simulator] = None
+        self.sim: Optional[Union[Simulator, PartitionedSimulator]] = None
         self.pipeline: Optional[ExperimentPipeline] = None
         self.emulation: Optional[Emulation] = None
         self.report: Optional[RunReport] = None
+        #: Filled by a multiprocess run: epochs, digests, worker count.
+        self.mp_result = None
 
     # -- Create -----------------------------------------------------------
 
@@ -185,6 +219,28 @@ class Scenario:
         self._seed = seed
         return self
 
+    def backend(
+        self,
+        name: str = "serial",
+        domains: Optional[int] = None,
+        workers: Optional[int] = None,
+    ) -> "Scenario":
+        """Choose the execution backend.
+
+        ``"serial"`` (the default) runs everything in-process: one
+        event domain unless ``domains`` says otherwise, in which case
+        the epoch-synchronized partitioned engine runs serially.
+        ``"multiprocess"`` runs one event domain per core (or
+        ``domains``) across ``workers`` processes (0 = one per
+        domain). Digests are identical across worker counts.
+        """
+        knobs: dict = {"backend": name}
+        if domains is not None:
+            knobs["num_domains"] = domains
+        if workers is not None:
+            knobs["workers"] = workers
+        return self.config(**knobs)
+
     def observe(
         self,
         enabled: bool = True,
@@ -224,6 +280,9 @@ class Scenario:
                 for i in range(count)
             ]
 
+        # Declarative marker: lets to_spec() ship this workload to
+        # multiprocess workers as plain parameters.
+        setup._netperf_params = (flows, seed)
         return self.traffic(setup)
 
     # -- Build / Run --------------------------------------------------------
@@ -241,6 +300,15 @@ class Scenario:
             self._registry = MetricsRegistry()
         return self._registry
 
+    def _resolved_domains(self, config: EmulationConfig) -> int:
+        """Domain count for this scenario: explicit ``num_domains``,
+        else the backend default (cores for multiprocess, 1 for
+        serial), never more than the core count."""
+        domains = config.num_domains
+        if domains <= 0:
+            domains = self._cores if config.backend == "multiprocess" else 1
+        return min(domains, self._cores)
+
     def build(self) -> Emulation:
         """Walk the pipeline and construct the emulation (idempotent);
         traffic callbacks fire here."""
@@ -252,7 +320,14 @@ class Scenario:
             if self._reference
             else EmulationConfig(**self._knobs)
         )
-        self.sim = Simulator()
+        num_domains = self._resolved_domains(config)
+        if num_domains > 1:
+            self.sim = PartitionedSimulator(
+                num_domains,
+                lookahead=min_cross_core_latency(config.core_spec),
+            )
+        else:
+            self.sim = Simulator()
         with registry.timed("phase.build_s"):
             pipeline = ExperimentPipeline(self.sim, seed=self._seed)
             pipeline.create(self._topology)
@@ -280,6 +355,11 @@ class Scenario:
             raise ValueError(f"until must be > 0, got {until}")
         emulation = self.build()
         registry = self.registry
+        if (
+            emulation.config.backend == "multiprocess"
+            and emulation.num_domains > 1
+        ):
+            return self._run_multiprocess(until, registry)
         t0 = perf_counter()
         with registry.timed("phase.run_s"):
             self.sim.run(until=until)
@@ -291,6 +371,93 @@ class Scenario:
             wall_time_s=wall,
         )
         return self.report
+
+    def _run_multiprocess(
+        self, until: float, registry: MetricsRegistry
+    ) -> RunReport:
+        """Run across worker processes; the parent's (never-run)
+        emulation is patched with the merged statistics, so the
+        standard report path applies. Worker-resident state the
+        parent cannot patch (TCP stacks, edge CPUs) arrives as a
+        metric overlay."""
+        from repro.engine.parallel import run_multiprocess
+
+        t0 = perf_counter()
+        with registry.timed("phase.run_s"):
+            result = run_multiprocess(
+                self, until, workers=self.emulation.config.workers
+            )
+        wall = perf_counter() - t0
+        self.mp_result = result
+        self.report = build_report(
+            self.emulation,
+            registry=registry if registry.enabled else None,
+            name=self.name,
+            wall_time_s=wall,
+        )
+        self.report.metrics.update(result.metric_overlay)
+        return self.report
+
+    # -- spec round trip (multiprocess workers) ---------------------------
+
+    def to_spec(self) -> ScenarioSpec:
+        """Snapshot this scenario as picklable plain data.
+
+        Raises :class:`ValueError` if any registered traffic callback
+        is not declarative (i.e. not from :meth:`netperf`) — closures
+        cannot be shipped to worker processes reproducibly.
+        """
+        netperf: List[Tuple[int, Optional[int]]] = []
+        for setup in self._traffic:
+            params = getattr(setup, "_netperf_params", None)
+            if params is None:
+                raise ValueError(
+                    "the multiprocess backend supports declarative "
+                    "traffic only (Scenario.netperf); custom traffic "
+                    "callables cannot cross process boundaries"
+                )
+            netperf.append(params)
+        return ScenarioSpec(
+            name=self.name,
+            topology=self._topology,
+            mode=self._mode,
+            walk_in=self._walk_in,
+            walk_out=self._walk_out,
+            cores=self._cores,
+            assignment=self._assignment,
+            hosts=self._hosts,
+            strategy=self._strategy,
+            binding=self._binding,
+            knobs=dict(self._knobs),
+            reference=self._reference,
+            seed=self._seed,
+            netperf=tuple(netperf),
+        )
+
+    @classmethod
+    def from_spec(cls, spec: ScenarioSpec) -> "Scenario":
+        """Reconstruct a fresh, unbuilt scenario from a spec.
+
+        Workers build with observability off — statistics travel back
+        as raw object state, and hot-path wall-clock timers would
+        only measure the worker's half of the barrier anyway.
+        """
+        scenario = cls(spec.topology, name=spec.name)
+        scenario._mode = spec.mode
+        scenario._walk_in = spec.walk_in
+        scenario._walk_out = spec.walk_out
+        scenario._cores = spec.cores
+        scenario._assignment = spec.assignment
+        scenario._hosts = spec.hosts
+        scenario._strategy = spec.strategy
+        scenario._binding = spec.binding
+        scenario._knobs = dict(spec.knobs)
+        scenario._reference = spec.reference
+        scenario._seed = spec.seed
+        scenario._observe = False
+        for flows, flow_seed in spec.netperf:
+            scenario.netperf(flows, flow_seed)
+        return scenario
 
     def __repr__(self) -> str:
         built = "built" if self.emulation is not None else "unbuilt"

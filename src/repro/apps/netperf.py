@@ -42,7 +42,11 @@ class TcpStream:
         start_at: float = 0.0,
     ):
         self.emulation = emulation
-        self.sim = emulation.sim
+        # Timers (start, top-up) touch the *sender's* connection, so
+        # they must run on the sender VN's event domain — on a
+        # partitioned emulation, scheduling them anywhere else would
+        # fire them on another clock (or in another process).
+        self.sim = emulation.sim_of_vn(src_vn)
         self.src_vn = src_vn
         self.dst_vn = dst_vn
         self.receiver_conn = None

@@ -1,6 +1,6 @@
 """The fixed-seed benchmark scenarios.
 
-Three workloads cover the three hot paths the ROADMAP cares about:
+Four workloads cover the hot paths the ROADMAP cares about:
 
 ``dumbbell_netperf``
     The canonical shared-bottleneck TCP workload (the same dumbbell
@@ -19,6 +19,12 @@ Three workloads cover the three hot paths the ROADMAP cares about:
     (~28k events per run at 1 virtual second): proves the optimized
     hot path still produces byte-identical event streams, and times
     the instrumented (slow-path) event loop.
+
+``multicore_scaling``
+    An 8-router ring assigned to 4 cores, run once on the
+    serial-partitioned engine and once on the multiprocess backend.
+    Reports both backends' events/sec and the wall-clock speedup (or
+    slowdown), and cross-checks their composed per-domain digests.
 
 Every scenario builds its topology in code (no file dependencies), is
 seeded, and dispatches an identical event stream for identical
@@ -197,17 +203,168 @@ def sanitize_smoke(profile: str = "short", seed: Optional[int] = None) -> BenchR
     return result.finalize()
 
 
+def multicore_scaling(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    backend: Optional[str] = None,
+    domains: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BenchResult:
+    """Serial-partitioned vs multiprocess execution of a 4-core ring:
+    the honest speedup (or slowdown) figure for the epoch-synchronized
+    engine.
+
+    Each measured backend gets an uninstrumented timing pass and a
+    sanitized digest pass; when both backends run (the default) their
+    composed per-domain digests must match or the scenario raises.
+    ``backend`` restricts the measurement to one backend, ``domains``
+    overrides the domain count (capped at the core count), ``workers``
+    sets the multiprocess worker-pool size (0 = one per domain).
+    """
+    from repro.api import Scenario
+    from repro.check.sanitize import SimSanitizer
+    from repro.engine.parallel import run_multiprocess
+    from repro.topology.generators import ring_topology
+
+    seed = DEFAULT_SEED if seed is None else seed
+    seconds = 0.5 if profile == "short" else 2.0
+    flows, cores = 8, 4
+    domains = cores if domains is None else domains
+    workers = 0 if workers is None else workers
+    if backend in (None, "both"):
+        backends = ("serial", "multiprocess")
+    elif backend in ("serial", "multiprocess"):
+        backends = (backend,)
+    else:
+        raise ValueError(
+            f"unknown backend {backend!r}; valid: serial, multiprocess, both"
+        )
+
+    def make(name: str):
+        return (
+            Scenario.from_topology(
+                ring_topology(num_routers=8, vns_per_router=2),
+                name="bench-ring8",
+            )
+            .distill("hop-by-hop")
+            .assign(cores)
+            .netperf(flows=flows)
+            .observe(False)
+            .seed(seed)
+            .backend(name, domains=domains, workers=workers)
+        )
+
+    result = BenchResult(
+        name="multicore_scaling",
+        profile=profile,
+        seed=seed,
+        params={
+            "seconds": seconds, "flows": flows, "cores": cores,
+            "domains": domains, "workers": workers,
+            "backends": list(backends), "topology": "ring8x2",
+        },
+    )
+
+    build_s = 0.0
+    walls: Dict[str, float] = {}
+    digests: Dict[str, str] = {}
+    events = pkts = 0
+    extras: Dict[str, object] = {}
+    for name in backends:
+        if name == "serial":
+            # Timing pass (uninstrumented).
+            t0 = perf_counter()
+            emulation = make("serial").build()
+            build_s += perf_counter() - t0
+            sim = emulation.sim
+            t1 = perf_counter()
+            sim.run(until=seconds)
+            walls["serial"] = perf_counter() - t1
+            events += sim.events_dispatched
+            pkts += emulation.monitor.packets_entered
+            # Digest pass (instrumented).
+            emulation = make("serial").build()
+            sanitizer = SimSanitizer().attach(emulation.sim)
+            try:
+                emulation.sim.run(until=seconds)
+            finally:
+                sanitizer.detach()
+            digests["serial"] = sanitizer.digest
+            extras["serial_events_per_s"] = round(
+                sim.events_dispatched / walls["serial"], 1
+            )
+        else:
+            t0 = perf_counter()
+            scenario = make("multiprocess")
+            emulation = scenario.build()
+            build_s += perf_counter() - t0
+            mp_timing = run_multiprocess(
+                scenario, until=seconds, workers=workers
+            )
+            scenario = make("multiprocess")
+            scenario.build()
+            mp_digest = run_multiprocess(
+                scenario, until=seconds, workers=workers, sanitize=True
+            )
+            walls["multiprocess"] = mp_timing.wall_time_s
+            digests["multiprocess"] = mp_digest.composed_digest
+            events += mp_timing.events_dispatched
+            pkts += emulation.monitor.packets_entered
+            extras.update(
+                multiprocess_events_per_s=round(
+                    mp_timing.events_dispatched / mp_timing.wall_time_s, 1
+                ),
+                epochs=mp_timing.epochs,
+                messages_routed=mp_timing.messages_routed,
+                workers=mp_timing.workers,
+                events_by_domain={
+                    str(d): n
+                    for d, n in sorted(mp_timing.events_by_domain.items())
+                },
+            )
+    if len(digests) == 2 and digests["serial"] != digests["multiprocess"]:
+        raise RuntimeError(
+            f"multicore_scaling: multiprocess digest diverged from the "
+            f"serial-partitioned engine "
+            f"({digests['multiprocess'][:16]} vs {digests['serial'][:16]})"
+        )
+    if len(walls) == 2:
+        extras["speedup"] = round(
+            walls["serial"] / walls["multiprocess"], 3
+        )
+
+    result.wall_s = sum(walls.values())
+    result.events = events
+    result.virtual_pkts = pkts
+    result.virtual_time_s = len(backends) * seconds
+    result.phases = {"build_s": round(build_s, 6)}
+    for name, wall in walls.items():
+        result.phases[f"{name}_run_s"] = round(wall, 6)
+    result.digest = digests.get("serial") or digests.get("multiprocess")
+    result.extras = extras
+    return result.finalize()
+
+
 SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
     "dumbbell_netperf": dumbbell_netperf,
     "capacity_sweep": capacity_sweep,
     "sanitize_smoke": sanitize_smoke,
+    "multicore_scaling": multicore_scaling,
 }
 
 
 def run_scenario(
-    name: str, profile: str = "short", seed: Optional[int] = None
+    name: str,
+    profile: str = "short",
+    seed: Optional[int] = None,
+    **overrides,
 ) -> BenchResult:
-    """Run one registered scenario by name."""
+    """Run one registered scenario by name.
+
+    ``overrides`` (e.g. ``backend=``, ``domains=``, ``workers=``) are
+    forwarded to scenarios that parameterize on them; passing one to a
+    scenario that does not raises :class:`ValueError`.
+    """
     try:
         fn = SCENARIOS[name]
     except KeyError:
@@ -215,6 +372,17 @@ def run_scenario(
             f"unknown bench scenario {name!r}; "
             f"valid: {', '.join(sorted(SCENARIOS))}"
         ) from None
+    overrides = {k: v for k, v in overrides.items() if v is not None}
+    if overrides:
+        import inspect
+
+        accepted = inspect.signature(fn).parameters
+        unsupported = sorted(k for k in overrides if k not in accepted)
+        if unsupported:
+            raise ValueError(
+                f"scenario {name!r} does not parameterize on "
+                f"{', '.join(unsupported)}"
+            )
     # Benchmark hygiene: start each scenario from a collected heap and
     # keep the cycle collector out of the measured region. Without
     # this, garbage carried over from a previous scenario in the same
@@ -225,7 +393,7 @@ def run_scenario(
     reenable = gc.isenabled()
     gc.disable()
     try:
-        return fn(profile=profile, seed=seed)
+        return fn(profile=profile, seed=seed, **overrides)
     finally:
         if reenable:
             gc.enable()

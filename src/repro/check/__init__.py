@@ -33,10 +33,13 @@ from repro.check.lint import (
 from repro.check.sanitize import (
     Divergence,
     DispatchRecord,
+    DomainProbe,
     SanitizeResult,
     SimSanitizer,
     compare_runs,
+    compose_domain_digests,
     sanitize_scenario,
+    sanitize_scenario_multiprocess,
 )
 
 __all__ = [
@@ -48,8 +51,11 @@ __all__ = [
     "load_baseline",
     "Divergence",
     "DispatchRecord",
+    "DomainProbe",
     "SanitizeResult",
     "SimSanitizer",
     "compare_runs",
+    "compose_domain_digests",
     "sanitize_scenario",
+    "sanitize_scenario_multiprocess",
 ]

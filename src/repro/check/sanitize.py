@@ -52,6 +52,70 @@ def _callsite(fn: Callable) -> str:
     return f"{module}.{qualname}"
 
 
+class DomainProbe:
+    """A streaming per-domain digest: one :class:`DomainProbe` hooks
+    one :class:`~repro.engine.domain.EventDomain`.
+
+    The probe folds every dispatch into its own SHA-256 — never into a
+    shared one — so a partitioned run's identity is a *set* of
+    per-domain digests that can be composed
+    (:func:`compose_domain_digests`) and compared across executors:
+    the serial epoch loop and the multiprocess workers dispatch each
+    domain's events identically, and per-domain digests are blind to
+    how domains were interleaved around them.
+    """
+
+    def __init__(self, domain_id: int, keep_records: bool = True):
+        self.domain_id = domain_id
+        self.count = 0
+        self._hash = hashlib.sha256()
+        self.records: Optional[List[DispatchRecord]] = (
+            [] if keep_records else None
+        )
+        self._domain = None
+
+    def attach(self, domain) -> "DomainProbe":
+        previous = domain.on_dispatch
+
+        def hook(event: Event, fn: Callable) -> None:
+            if previous is not None:
+                previous(event, fn)
+            self.observe(event, fn)
+
+        domain.on_dispatch = hook
+        self._domain = domain
+        return self
+
+    def detach(self) -> None:
+        if self._domain is not None:
+            self._domain.on_dispatch = None
+            self._domain = None
+
+    def observe(self, event: Event, fn: Callable) -> None:
+        callsite = _callsite(fn)
+        self._hash.update(struct.pack("<dq", event.time, event.seq))
+        self._hash.update(callsite.encode())
+        if self.records is not None:
+            self.records.append(DispatchRecord(event.time, event.seq, callsite))
+        self.count += 1
+
+    def hexdigest(self) -> str:
+        return self._hash.hexdigest()
+
+
+def compose_domain_digests(digests) -> str:
+    """Fold per-domain digests into one, sorted by domain id.
+
+    The composition is executor-independent: a serial partitioned run
+    and a multiprocess run (any worker count) of the same scenario
+    produce the same per-domain digests, hence the same composition.
+    """
+    composed = hashlib.sha256()
+    for domain_id in sorted(digests):
+        composed.update(f"{domain_id}:{digests[domain_id]}\n".encode())
+    return composed.hexdigest()
+
+
 class SimSanitizer:
     """Record a digest of every dispatched event on one simulator.
 
@@ -68,32 +132,59 @@ class SimSanitizer:
         self.dispatched = 0
         self._hash = hashlib.sha256()
         self._sim: Optional[Simulator] = None
+        self._probes: Optional[List[DomainProbe]] = None
         self._freeze_packets = freeze_packets
         self._frozen_ids: set = set()
         self._freeze_undo: Optional[Callable[[], None]] = None
 
     # -- lifecycle ------------------------------------------------------
 
-    def attach(self, sim: Simulator) -> "SimSanitizer":
-        """Install the dispatch hook (chains with any existing one)."""
+    def attach(self, sim) -> "SimSanitizer":
+        """Install the dispatch hook (chains with any existing one).
+
+        A partitioned simulator (anything exposing ``domains`` with
+        more than one) gets one :class:`DomainProbe` per domain and a
+        *composed* digest, so its identity is comparable with a
+        multiprocess run of the same scenario.
+        """
         if self._sim is not None:
             raise RuntimeError("sanitizer is already attached")
         self._sim = sim
-        previous = sim.on_dispatch
+        domains = getattr(sim, "domains", None)
+        if domains is not None and len(domains) > 1:
+            self._probes = [
+                DomainProbe(domain.domain_id).attach(domain)
+                for domain in domains
+            ]
+        else:
+            previous = sim.on_dispatch
 
-        def hook(event: Event, fn: Callable) -> None:
-            if previous is not None:
-                previous(event, fn)
-            self._observe(event, fn)
+            def hook(event: Event, fn: Callable) -> None:
+                if previous is not None:
+                    previous(event, fn)
+                self._observe(event, fn)
 
-        sim.on_dispatch = hook
+            sim.on_dispatch = hook
         if self._freeze_packets:
             self._install_freeze()
         return self
 
     def detach(self) -> None:
         """Remove hooks; recorded data stays readable."""
-        if self._sim is not None:
+        if self._probes is not None:
+            for probe in self._probes:
+                probe.detach()
+            # Materialize the merged view (domain-id order): records
+            # for diffing, the total for summaries. The digest stays
+            # the composition of the per-domain hashes.
+            self.records = [
+                record
+                for probe in self._probes
+                for record in (probe.records or [])
+            ]
+            self.dispatched = sum(probe.count for probe in self._probes)
+            self._sim = None
+        elif self._sim is not None:
             self._sim.on_dispatch = None
             self._sim = None
         if self._freeze_undo is not None:
@@ -109,9 +200,21 @@ class SimSanitizer:
         self.records.append(record)
         self.dispatched += 1
 
+    def domain_digests(self) -> Optional[dict]:
+        """Per-domain digests of a partitioned attach (else None)."""
+        if self._probes is None:
+            return None
+        return {probe.domain_id: probe.hexdigest() for probe in self._probes}
+
     @property
     def digest(self) -> str:
-        """Streaming SHA-256 over every record so far (hex)."""
+        """Streaming SHA-256 over every record so far (hex). For a
+        partitioned simulator this is the composed per-domain digest
+        (:func:`compose_domain_digests`)."""
+        if self._probes is not None:
+            return compose_domain_digests(
+                {probe.domain_id: probe.hexdigest() for probe in self._probes}
+            )
         return self._hash.hexdigest()
 
     # -- packet freezing -------------------------------------------------
@@ -318,3 +421,44 @@ def sanitize_scenario(
     return compare_runs(
         run_once, seed=seed, runs=runs, freeze_packets=freeze_packets
     )
+
+
+def sanitize_scenario_multiprocess(
+    make_scenario: Callable[[], Any],
+    until: float,
+    seed: Optional[int] = None,
+    runs: int = 2,
+    worker_counts=(0, 2),
+) -> SanitizeResult:
+    """Digest-compare multiprocess runs of a scenario factory.
+
+    Each run rebuilds the scenario from scratch and executes it on the
+    multiprocess backend with the next worker count from
+    ``worker_counts`` (cycled), so the comparison covers both
+    run-to-run repeatability *and* invariance to how domains are dealt
+    across workers. Workers stream per-domain digests
+    (:class:`DomainProbe`) which compose into one comparable hash.
+
+    Event *records* stay in the workers, so a failing comparison
+    reports digests only — rerun on the serial backend to localise the
+    first divergent event.
+    """
+    from repro.engine.parallel import run_multiprocess
+
+    if runs < 2:
+        raise ValueError(f"need at least 2 runs to compare, got {runs}")
+    result = SanitizeResult(seed=seed)
+    for index in range(runs):
+        workers = worker_counts[index % len(worker_counts)]
+        scenario = make_scenario()
+        if seed is not None:
+            scenario.seed(seed)
+        scenario.build()
+        mp = run_multiprocess(
+            scenario, until=until, workers=workers, sanitize=True
+        )
+        result.digests.append(mp.composed_digest)
+        result.events.append(
+            sum(mp.domain_digest_events.values())
+        )
+    return result

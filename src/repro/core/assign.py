@@ -18,15 +18,56 @@ from repro.topology.graph import Link, Topology, TopologyError
 
 
 class Assignment:
-    """A mapping of topology links (and hence pipes) to core indices."""
+    """A mapping of topology links (and hence pipes) to core indices.
 
-    def __init__(self, num_cores: int, link_to_core: Dict[int, int]):
+    Construction validates its inputs: a silently mis-partitioned
+    assignment surfaces later as unroutable packets or a core domain
+    with no work, which is far harder to diagnose than a
+    :class:`TopologyError` at the call site.
+
+    * every core index must lie in ``range(num_cores)``;
+    * every core must own at least one link (pass
+      ``allow_empty_cores=True`` for deliberately lopsided
+      experiments);
+    * when ``topology`` is supplied, every assigned link id must
+      exist in it.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        link_to_core: Dict[int, int],
+        topology: Optional[Topology] = None,
+        allow_empty_cores: bool = False,
+    ):
         if num_cores < 1:
             raise TopologyError("need at least one core")
+        populated = set()
         for link_id, core in link_to_core.items():
-            if not 0 <= core < num_cores:
+            if not isinstance(core, int) or not 0 <= core < num_cores:
                 raise TopologyError(
-                    f"link {link_id} assigned to invalid core {core}"
+                    f"link {link_id} assigned to invalid core {core!r} "
+                    f"(valid cores: 0..{num_cores - 1})"
+                )
+            populated.add(core)
+        if topology is not None:
+            unknown = sorted(
+                link_id
+                for link_id in link_to_core
+                if link_id not in topology.links
+            )
+            if unknown:
+                raise TopologyError(
+                    f"assignment references link id(s) {unknown} absent "
+                    f"from topology {topology.name!r}"
+                )
+        if link_to_core and not allow_empty_cores:
+            empty = sorted(set(range(num_cores)) - populated)
+            if empty:
+                raise TopologyError(
+                    f"core(s) {empty} own no links; a partitioned engine "
+                    f"would idle those domains — pass "
+                    f"allow_empty_cores=True if this is intentional"
                 )
         self.num_cores = num_cores
         self.link_to_core = dict(link_to_core)
@@ -54,7 +95,9 @@ class Assignment:
 
 def single_core(topology: Topology) -> Assignment:
     """Everything on core 0."""
-    return Assignment(1, {link_id: 0 for link_id in topology.links})
+    return Assignment(
+        1, {link_id: 0 for link_id in topology.links}, topology=topology
+    )
 
 
 def greedy_k_clusters(
@@ -99,7 +142,7 @@ def greedy_k_clusters(
             unassigned.discard(link.id)
             cluster_nodes[core_index].add(link.a)
             cluster_nodes[core_index].add(link.b)
-    return Assignment(num_cores, link_to_core)
+    return Assignment(num_cores, link_to_core, topology=topology)
 
 
 def assign_by_vn_groups(
@@ -129,7 +172,7 @@ def assign_by_vn_groups(
         target = counts.index(min(counts))
         link_to_core[link_id] = target
         counts[target] += 1
-    return Assignment(num_cores, link_to_core)
+    return Assignment(num_cores, link_to_core, topology=topology)
 
 
 def cross_core_hops(topology: Topology, assignment: Assignment, routes) -> float:

@@ -69,10 +69,23 @@ class EmulationConfig:
     edge_spec: EdgeHostSpec = field(default_factory=lambda: DEFAULT_EDGE_SPEC)
     tcp_params: Optional[TcpParams] = None
     seed: int = 0
+    #: Execution backend: ``"serial"`` runs every event domain in this
+    #: process under the epoch barrier; ``"multiprocess"`` runs one
+    #: worker process per domain group (see repro.engine.parallel).
+    backend: str = "serial"
+    #: Number of event domains. 0 means "pick the backend default":
+    #: 1 for serial (the classic single-kernel engine, byte-identical
+    #: to the pre-partitioning code path) and ``num_cores`` for
+    #: multiprocess.
+    num_domains: int = 0
+    #: Worker processes for the multiprocess backend. 0 means one per
+    #: domain. Digests are worker-count invariant by construction.
+    workers: int = 0
 
     #: Strategies understood by :func:`repro.core.bind.bind_vns`.
     BINDING_STRATEGIES = ("contiguous", "round_robin")
     ROUTING_WEIGHTS = ("latency", "hops", "cost")
+    BACKENDS = ("serial", "multiprocess")
 
     def __post_init__(self) -> None:
         self.validate()
@@ -98,6 +111,33 @@ class EmulationConfig:
                 f"unknown routing_weight {self.routing_weight!r}; "
                 f"valid: {', '.join(self.ROUTING_WEIGHTS)} or a callable"
             )
+        if self.backend not in self.BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r}; "
+                f"valid: {', '.join(self.BACKENDS)}"
+            )
+        if self.num_domains < 0:
+            raise ValueError(
+                f"num_domains must be >= 0, got {self.num_domains}"
+            )
+        if self.workers < 0:
+            raise ValueError(f"workers must be >= 0, got {self.workers}")
+        if (self.backend == "multiprocess" or self.num_domains > 1) and (
+            not self.model_physical
+        ):
+            raise ValueError(
+                "partitioned execution requires model_physical=True: "
+                "exact mode tunnels descriptors with zero latency, so "
+                "the epoch synchronizer would have no lookahead"
+            )
+
+    def resolved_domains(self) -> int:
+        """The actual domain count after applying backend defaults."""
+        if self.num_domains > 0:
+            return min(self.num_domains, self.num_cores)
+        if self.backend == "multiprocess":
+            return self.num_cores
+        return 1
 
     @classmethod
     def field_names(cls) -> Tuple[str, ...]:
@@ -249,7 +289,33 @@ class Emulation:
         self.topology = topology
         self.config = config or EmulationConfig()
         self.rng = RngRegistry(self.config.seed)
+
+        # --- event domains -------------------------------------------------
+        # A partitioned simulator exposes ``domains``; the classic
+        # Simulator is itself the single domain. Components are
+        # constructed against *their* domain, so their schedule/post
+        # calls land on the right heap without any indirection.
+        domains = getattr(sim, "domains", None)
+        self.domains = list(domains) if domains is not None else [sim]
+        self.num_domains = len(self.domains)
+        self.router = getattr(sim, "router", None)
+        if self.num_domains > 1 and not self.config.model_physical:
+            raise ValueError(
+                "partitioned execution requires model_physical=True "
+                "(exact-mode tunnels have zero latency, hence zero "
+                "lookahead)"
+            )
+        #: Per-domain pipe-loss streams. Domain 0 keeps the historical
+        #: "pipe-loss" stream so single-domain digests are unchanged;
+        #: extra domains draw from independently derived streams so
+        #: each domain's draw sequence is self-contained (the
+        #: determinism requirement for partitioned and multiprocess
+        #: runs, where dispatch interleaving across domains varies).
         self.loss_rng = self.rng.stream("pipe-loss")
+        self._loss_rngs = [self.loss_rng] + [
+            self.rng.stream(f"pipe-loss-d{d}")
+            for d in range(1, self.num_domains)
+        ]
         self.monitor = EmulationMonitor()
         #: Observability registry; the shared null registry (every
         #: operation a no-op, no hot-path timers installed) unless the
@@ -292,6 +358,23 @@ class Emulation:
         self.assignment = assignment
         self.pod = PipeOwnershipDirectory(assignment)
         self.pod.install(self.pipes.values())
+        #: Pipe id -> pipe, for rehydrating tunneled descriptors that
+        #: crossed a process boundary (repro.engine.parallel).
+        self._pipes_by_id: Dict[int, Pipe] = {
+            pipe.id: pipe for pipe in self.pipes.values()
+        }
+
+        # --- core -> domain map --------------------------------------------
+        if self.num_domains > self.config.num_cores:
+            raise ValueError(
+                f"{self.num_domains} event domains but only "
+                f"{self.config.num_cores} cores; domains partition cores"
+            )
+        self._domain_of_core: List[int] = [
+            index % self.num_domains for index in range(self.config.num_cores)
+        ]
+        if self.router is not None:
+            self.router.bind(self)
 
         # --- routing ---------------------------------------------------------
         # Default: the "perfect routing protocol" (instant shortest
@@ -316,24 +399,26 @@ class Emulation:
         # --- cores -----------------------------------------------------------
         self.cores: List[CoreNode] = []
         for index in range(self.config.num_cores):
+            core_sim = self.domains[self._domain_of_core[index]]
             core = CoreNode(
-                sim,
+                core_sim,
                 index,
                 self.config.core_spec,
                 self,
                 exact=self.config.exact,
                 debt_handling=self.config.debt_handling,
+                domain_id=self._domain_of_core[index],
             )
             if self.config.model_physical:
                 core.ingress_link = PhysicalLink(
-                    sim,
+                    core_sim,
                     self.config.core_spec.nic_bps,
                     self.config.core_spec.switch_latency_s,
                     self.config.core_spec.switch_queue_slots,
                     name=f"core{index}-in",
                 )
                 core.egress_link = PhysicalLink(
-                    sim,
+                    core_sim,
                     self.config.core_spec.nic_bps,
                     self.config.core_spec.switch_latency_s,
                     self.config.core_spec.switch_queue_slots,
@@ -350,9 +435,16 @@ class Emulation:
                 self.config.binding_strategy,
             )
         self.binding = binding
+        #: A host lives in the domain of the core it attaches to, so
+        #: its uplink/downlink wires and its VNs' stacks all share one
+        #: clock with that core's ingress path.
+        self._domain_of_host: List[int] = [
+            self._domain_of_core[binding.host_to_core[host_index]]
+            for host_index in range(binding.num_hosts)
+        ]
         self.hosts: List[EdgeHost] = [
             EdgeHost(
-                sim,
+                self.domains[self._domain_of_host[host_index]],
                 host_index,
                 self.config.edge_spec,
                 self.cores[binding.host_to_core[host_index]],
@@ -369,7 +461,7 @@ class Emulation:
             if node_id not in topology.nodes:
                 raise TopologyError(f"binding references unknown node {node_id}")
             host = self.hosts[binding.vn_to_host[vn_id]]
-            stack = NetStack(sim, vn_id, tcp_params=self.config.tcp_params)
+            stack = NetStack(host.sim, vn_id, tcp_params=self.config.tcp_params)
             vn = VirtualNode(vn_id, node_id, host, stack)
             if self.config.model_physical:
                 stack.attach(host.send_from_vn)
@@ -452,6 +544,20 @@ class Emulation:
 
     def host_of_vn(self, vn_id: int) -> EdgeHost:
         return self.hosts[self.binding.vn_to_host[vn_id]]
+
+    def domain_of_vn(self, vn_id: int) -> int:
+        """Event domain a VN's stack is clocked by (its host's)."""
+        return self._domain_of_host[self.binding.vn_to_host[vn_id]]
+
+    def sim_of_vn(self, vn_id: int):
+        """The domain kernel to schedule a VN's app-level events on.
+
+        In partitioned mode, app callbacks that touch a VN's stack
+        *must* run on this domain — scheduling them on another
+        domain's clock would dispatch them at a skewed time (or, under
+        the multiprocess backend, in a different process entirely).
+        """
+        return self.domains[self.domain_of_vn(vn_id)]
 
     def deliver_to_vn(self, packet: Packet) -> None:
         self.vns[packet.dst].stack.deliver(packet)

@@ -24,6 +24,7 @@ from typing import Deque, Optional, Tuple
 from repro.core.packet import PacketDescriptor
 from repro.core.pipe import INFINITY, Pipe
 from repro.core.scheduler import PipeScheduler
+from repro.engine.sync import MSG_DELIVER, MSG_HOST, MSG_TUNNEL, DomainChannel
 from repro.hardware.calibration import CoreSpec
 from repro.hardware.links import PhysicalLink
 
@@ -44,6 +45,7 @@ class CoreNode:
         emulation,
         exact: bool = False,
         debt_handling: bool = False,
+        domain_id: int = 0,
     ):
         self.sim = sim
         self.index = index
@@ -51,6 +53,25 @@ class CoreNode:
         self.emulation = emulation
         self.exact = exact
         self.debt_handling = debt_handling
+        #: Which event domain this core's heap/clock belongs to.
+        self.domain_id = domain_id
+        #: This domain's pipe-loss stream (== emulation.loss_rng for
+        #: domain 0, so single-domain digests are unchanged).
+        self._loss_rng = emulation._loss_rngs[domain_id]
+        # Partitioned plumbing: cross-domain sends go through the
+        # router mailbox over a synchronous channel model instead of a
+        # PhysicalLink (whose delivery callback would fire on *this*
+        # domain's clock). None in single-domain runs.
+        if emulation.num_domains > 1:
+            self._router = emulation.router
+            self._domain_of_core = emulation._domain_of_core
+            self._cross_channel = DomainChannel(
+                spec.nic_bps, spec.switch_latency_s
+            )
+        else:
+            self._router = None
+            self._domain_of_core = None
+            self._cross_channel = None
         self.scheduler = PipeScheduler(0.0 if exact else spec.tick_s)
         # Spec constants hoisted onto the instance: the wake loop and
         # ingress path read them once per packet/tick.
@@ -281,7 +302,7 @@ class CoreNode:
             return
         sched_arrival = descriptor.ideal_time if self.debt_handling else now
         accepted = pipe.arrival(
-            descriptor, sched_arrival, descriptor.ideal_time, self.emulation.loss_rng
+            descriptor, sched_arrival, descriptor.ideal_time, self._loss_rng
         )
         if accepted:
             self.scheduler.notify(pipe)
@@ -307,7 +328,7 @@ class CoreNode:
                 descriptor,
                 sched_arrival,
                 descriptor.ideal_time,
-                self.emulation.loss_rng,
+                self._loss_rng,
             )
             if accepted:
                 self.scheduler.notify(next_pipe)
@@ -319,14 +340,27 @@ class CoreNode:
         descriptor.tunnel_hops += 1
         self.tunnels_sent += 1
         self.emulation.monitor.packet_tunneled()
-        target = self.emulation.cores[owner]
-        if self.exact or self.egress_link is None:
-            target.physical_ingress(TUNNEL_IN, descriptor)
-            return
         if self.emulation.config.payload_caching:
             size = self.spec.descriptor_bytes
         else:
             size = descriptor.packet.size_bytes
+        router = self._router
+        if router is not None:
+            owner_domain = self._domain_of_core[owner]
+            if owner_domain != self.domain_id:
+                router.send(
+                    self._cross_channel.delivery_time(self.sim._now, size),
+                    self.domain_id,
+                    owner_domain,
+                    MSG_TUNNEL,
+                    owner,
+                    descriptor,
+                )
+                return
+        target = self.emulation.cores[owner]
+        if self.exact or self.egress_link is None:
+            target.physical_ingress(TUNNEL_IN, descriptor)
+            return
         ok = self.egress_link.send(
             size, target.physical_ingress, TUNNEL_IN, descriptor
         )
@@ -343,7 +377,23 @@ class CoreNode:
         ):
             # Payload stayed at the entry core [22]: send it the
             # delivery order; the body never crossed the core fabric.
-            entry = self.emulation.cores[descriptor.entry_core]
+            entry_core = descriptor.entry_core
+            router = self._router
+            if router is not None:
+                entry_domain = self._domain_of_core[entry_core]
+                if entry_domain != self.domain_id:
+                    router.send(
+                        self._cross_channel.delivery_time(
+                            self.sim._now, self.spec.descriptor_bytes
+                        ),
+                        self.domain_id,
+                        entry_domain,
+                        MSG_DELIVER,
+                        entry_core,
+                        descriptor,
+                    )
+                    return self.spec.deliver_order_s
+            entry = self.emulation.cores[entry_core]
             if self.egress_link is not None:
                 ok = self.egress_link.send(
                     self.spec.descriptor_bytes,
@@ -370,6 +420,21 @@ class CoreNode:
             self.emulation.deliver_to_vn(packet)
             return
         host = self.emulation.host_of_vn(packet.dst)
+        router = self._router
+        if router is not None:
+            host_domain = self.emulation._domain_of_host[host.index]
+            if host_domain != self.domain_id:
+                router.send(
+                    self._cross_channel.delivery_time(
+                        self.sim._now, packet.size_bytes
+                    ),
+                    self.domain_id,
+                    host_domain,
+                    MSG_HOST,
+                    host.index,
+                    packet,
+                )
+                return
         ok = self.egress_link.send(
             packet.size_bytes, host.receive_from_switch, packet
         )

@@ -11,16 +11,33 @@ Two programming styles are supported and may be mixed freely:
   ``delay`` simulated seconds;
 * process style — ``sim.spawn(generator)`` runs a generator coroutine
   that ``yield``s delays, :class:`Signal` objects, or other processes.
+
+For multi-core scenarios the kernel partitions into per-core
+:class:`EventDomain`\\ s advanced in lookahead-bounded epochs by a
+:class:`PartitionedSimulator` (serial) or the multiprocess executor in
+:mod:`repro.engine.parallel`.
 """
 
+from repro.engine.domain import EventDomain
 from repro.engine.simulator import Event, Simulator, SimulationError
+from repro.engine.sync import (
+    DomainChannel,
+    DomainMessage,
+    DomainRouter,
+    PartitionedSimulator,
+)
 from repro.engine.process import Process, Signal, Interrupt
 from repro.engine.randomness import RngRegistry
 
 __all__ = [
     "Event",
+    "EventDomain",
     "Simulator",
     "SimulationError",
+    "DomainChannel",
+    "DomainMessage",
+    "DomainRouter",
+    "PartitionedSimulator",
     "Process",
     "Signal",
     "Interrupt",

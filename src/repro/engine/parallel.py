@@ -1,0 +1,488 @@
+"""Multiprocess executor: one worker per domain group, lockstep epochs.
+
+The serial :class:`~repro.engine.sync.PartitionedSimulator` proves the
+partitioning correct; this module makes it parallel. Each worker
+process rebuilds the *entire* emulation from a picklable
+:class:`~repro.api.ScenarioSpec` (build is deterministic per the
+repro.check contract, so every worker sees an identical object graph)
+and then runs only the event domains it owns. The parent never runs
+events: it is the barrier — it routes cross-domain messages, computes
+each epoch window, and broadcasts it.
+
+Determinism, regardless of worker count:
+
+* every cross-domain message travels through the parent, which sorts
+  the union of all outboxes by ``(time, src_domain, seq)`` — the same
+  total order :meth:`DomainRouter.flush` uses in-process — before
+  slicing it per worker;
+* a worker injects its slice in that order, so heap sequence numbers
+  in each destination domain are assigned identically whether the
+  sender lived in the same worker or another one;
+* the epoch sequence is computed from ``min(worker-reported next
+  event times, undelivered message times)``, which equals the
+  post-flush heap minimum the serial executor sees.
+
+Hence the composed per-domain digests of a multiprocess run match the
+serial partitioned run of the same scenario exactly — the property
+``repro-net sanitize --backend multiprocess`` enforces.
+
+One synchronous round trip per worker per epoch is the price of the
+barrier. With the default 20 us lookahead that is tens of thousands
+of round trips per virtual second, so the multiprocess backend only
+wins when per-epoch event volume dwarfs the IPC cost; BENCH results
+are reported honestly either way (see DESIGN.md §8).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from time import perf_counter
+from typing import Any, Dict, List, Sequence, Tuple
+
+from repro.engine.domain import INFINITY
+from repro.engine.sync import (
+    DomainMessage,
+    MSG_HOST,
+    epoch_window,
+)
+
+#: Payload encodings on the wire between processes.
+_ENC_DESCRIPTOR = 0
+_ENC_PACKET = 1
+
+
+class ParallelExecutionError(RuntimeError):
+    """A worker failed; carries the remote traceback text."""
+
+
+# ----------------------------------------------------------------------
+# Message encoding
+# ----------------------------------------------------------------------
+
+def encode_message(message: DomainMessage) -> DomainMessage:
+    """Replace the live payload with picklable plain data.
+
+    Descriptors reference live :class:`~repro.core.pipe.Pipe` objects,
+    which cannot cross a process boundary; they are flattened to pipe
+    ids and rehydrated against the destination worker's identical
+    pipe table. Packets and segments are plain data already.
+    """
+    if message.kind == MSG_HOST:
+        return message._replace(payload=(_ENC_PACKET, message.payload))
+    descriptor = message.payload
+    return message._replace(
+        payload=(
+            _ENC_DESCRIPTOR,
+            descriptor.packet,
+            tuple(pipe.id for pipe in descriptor.pipes),
+            descriptor.hop_index,
+            descriptor.entry_core,
+            descriptor.entered_at,
+            descriptor.ideal_time,
+            descriptor.tunnel_hops,
+        )
+    )
+
+
+def decode_message(message: DomainMessage, emulation) -> DomainMessage:
+    """Rehydrate an encoded payload against this process's emulation."""
+    from repro.core.packet import PacketDescriptor
+
+    payload = message.payload
+    if payload[0] == _ENC_PACKET:
+        return message._replace(payload=payload[1])
+    (_, packet, pipe_ids, hop_index, entry_core, entered_at,
+     ideal_time, tunnel_hops) = payload
+    pipes_by_id = emulation._pipes_by_id
+    descriptor = PacketDescriptor.acquire(
+        packet,
+        tuple(pipes_by_id[pipe_id] for pipe_id in pipe_ids),
+        entry_core,
+        entered_at,
+    )
+    descriptor.hop_index = hop_index
+    descriptor.ideal_time = ideal_time
+    descriptor.tunnel_hops = tunnel_hops
+    return message._replace(payload=descriptor)
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+
+def _build_from_spec(spec):
+    """Rebuild the scenario in this process (identical by determinism
+    of the build path) and return (scenario, partitioned sim,
+    emulation)."""
+    from repro.api import Scenario
+
+    scenario = Scenario.from_spec(spec)
+    emulation = scenario.build()
+    sim = scenario.sim
+    if getattr(sim, "domains", None) is None or sim.num_domains < 2:
+        raise ParallelExecutionError(
+            "spec did not produce a partitioned simulator; the "
+            "multiprocess backend needs num_domains >= 2"
+        )
+    return scenario, sim, emulation
+
+
+def _collect_worker_stats(emulation, sim, owned: Sequence[int], probes) -> dict:
+    """Everything the parent needs to reconstruct run statistics."""
+    owned_set = set(owned)
+    cores: Dict[int, Dict[str, Any]] = {}
+    for core in emulation.cores:
+        if core.domain_id not in owned_set:
+            continue
+        cores[core.index] = {
+            "wakeups": core.scheduler.wakeups,
+            "hops_serviced": core.scheduler.hops_serviced,
+            "cpu_busy_s": core.cpu_busy_s,
+            "packets_processed": core.packets_processed,
+            "hops_processed": core.hops_processed,
+            "tick_overruns": core.tick_overruns,
+            "tunnels_sent": core.tunnels_sent,
+            "tunnels_received": core.tunnels_received,
+            "nic_in_bytes": (
+                core.ingress_link.bytes_sent if core.ingress_link else 0
+            ),
+            "nic_out_bytes": (
+                core.egress_link.bytes_sent if core.egress_link else 0
+            ),
+        }
+    pipes: Dict[int, Tuple] = {}
+    domain_of_core = emulation._domain_of_core
+    for pipe in emulation.pipes.values():
+        if domain_of_core[pipe.owner] not in owned_set:
+            continue
+        pipes[pipe.id] = (
+            pipe.arrivals,
+            pipe.departures,
+            pipe.drops_overflow,
+            pipe.drops_random,
+            pipe.drops_down,
+            pipe.bytes_accepted,
+            pipe.bytes_through,
+            pipe.peak_backlog,
+        )
+    hosts: Dict[int, Tuple[int, int]] = {}
+    edge_cpu_busy = 0.0
+    edge_switches = 0
+    for host in emulation.hosts:
+        if emulation._domain_of_host[host.index] not in owned_set:
+            continue
+        hosts[host.index] = (host.uplink.bytes_sent, host.downlink.bytes_sent)
+        if host.cpu is not None:
+            stats = host.cpu.stats()
+            edge_cpu_busy += stats["busy_s"]
+            edge_switches += stats["context_switches"]
+    tcp: Dict[str, int] = {}
+    for vn in emulation.vns:
+        if emulation.domain_of_vn(vn.vn_id) not in owned_set:
+            continue
+        for key, value in vn.stack.tcp_stats().items():
+            tcp[key] = tcp.get(key, 0) + value
+    monitor = emulation.monitor
+    return {
+        "domains": {
+            d: (sim.domains[d]._dispatched, sim.domains[d]._now) for d in owned
+        },
+        "cores": cores,
+        "pipes": pipes,
+        "hosts": hosts,
+        "edge_cpu": (edge_cpu_busy, edge_switches),
+        "tcp": tcp,
+        "monitor": {
+            "packets_entered": monitor.packets_entered,
+            "packets_delivered": monitor.packets_delivered,
+            "packets_unroutable": monitor.packets_unroutable,
+            "physical_drops_ring": monitor.physical_drops_ring,
+            "physical_drops_egress": monitor.physical_drops_egress,
+            "physical_drops_uplink": monitor.physical_drops_uplink,
+            "tunnels": monitor.tunnels,
+            "error_samples": list(monitor.error_samples),
+        },
+        "digests": {
+            d: (probe.hexdigest(), probe.count) for d, probe in probes.items()
+        },
+    }
+
+
+def _worker_main(conn, spec, owned: List[int], sanitize: bool) -> None:
+    """One worker: rebuild, then serve epoch commands until 'finish'."""
+    try:
+        _scenario, sim, emulation = _build_from_spec(spec)
+        probes = {}
+        if sanitize:
+            from repro.check.sanitize import DomainProbe
+
+            for d in owned:
+                probes[d] = DomainProbe(d, keep_records=False).attach(
+                    sim.domains[d]
+                )
+        conn.send(
+            ("ready", {d: sim.domains[d].next_event_time() for d in owned})
+        )
+        while True:
+            command = conn.recv()
+            op = command[0]
+            if op == "epoch":
+                _, horizon, inclusive, raw_messages = command
+                if raw_messages:
+                    sim.router.inject(
+                        sim.domains,
+                        [decode_message(m, emulation) for m in raw_messages],
+                    )
+                for d in owned:
+                    sim.domains[d].run_until(horizon, inclusive)
+                outbox = [
+                    encode_message(m) for m in sim.router.take_pending()
+                ]
+                conn.send(
+                    (
+                        "done",
+                        {d: sim.domains[d].next_event_time() for d in owned},
+                        outbox,
+                    )
+                )
+            elif op == "finish":
+                _, until = command
+                if until is not None:
+                    for d in owned:
+                        domain = sim.domains[d]
+                        if domain._now < until:
+                            domain._now = until
+                conn.send(
+                    ("result", _collect_worker_stats(emulation, sim, owned, probes))
+                )
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol is fixed
+                raise ParallelExecutionError(f"unknown command {op!r}")
+    except BaseException:
+        import traceback
+
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass
+        raise
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+
+class MultiprocessResult:
+    """Outcome of one multiprocess run, before report assembly."""
+
+    def __init__(self) -> None:
+        self.epochs = 0
+        self.messages_routed = 0
+        self.events_by_domain: Dict[int, int] = {}
+        self.domain_digests: Dict[int, str] = {}
+        self.domain_digest_events: Dict[int, int] = {}
+        #: Flat metric overrides for stats that live in worker object
+        #: state the parent cannot patch (TCP stacks, edge CPUs).
+        self.metric_overlay: Dict[str, Any] = {}
+        self.wall_time_s = 0.0
+        self.workers = 0
+
+    @property
+    def events_dispatched(self) -> int:
+        return sum(self.events_by_domain.values())
+
+    @property
+    def composed_digest(self) -> str:
+        from repro.check.sanitize import compose_domain_digests
+
+        return compose_domain_digests(self.domain_digests)
+
+
+def _mp_context():
+    """fork where available (cheap, no spec pickling through argv);
+    spawn otherwise. Both paths keep the spec picklable anyway."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _recv(conn):
+    reply = conn.recv()
+    if reply[0] == "error":
+        raise ParallelExecutionError(f"worker failed:\n{reply[1]}")
+    return reply
+
+
+def run_multiprocess(
+    scenario,
+    until: float,
+    workers: int = 0,
+    sanitize: bool = False,
+) -> MultiprocessResult:
+    """Run a built partitioned ``scenario`` to ``until`` across worker
+    processes, patch its (never-run) parent objects with the merged
+    statistics, and return the :class:`MultiprocessResult`.
+
+    ``workers == 0`` means one per domain. Domains are dealt to
+    workers round-robin; any worker count from 1 to ``num_domains``
+    produces identical digests.
+    """
+    sim = scenario.sim
+    if getattr(sim, "domains", None) is None or sim.num_domains < 2:
+        raise ParallelExecutionError(
+            "multiprocess backend needs a partitioned scenario with "
+            ">= 2 domains (set backend/num_domains before build)"
+        )
+    spec = scenario.to_spec()
+    num_domains = sim.num_domains
+    num_workers = min(workers or num_domains, num_domains)
+    owned = [list(range(w, num_domains, num_workers)) for w in range(num_workers)]
+    owner_of_domain = [d % num_workers for d in range(num_domains)]
+
+    result = MultiprocessResult()
+    result.workers = num_workers
+    ctx = _mp_context()
+    conns = []
+    procs = []
+    t0 = perf_counter()  # repro: allow-wallclock
+    try:
+        for w in range(num_workers):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(child_conn, spec, owned[w], sanitize),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            conns.append(parent_conn)
+            procs.append(proc)
+
+        next_times: Dict[int, float] = {}
+        for conn in conns:
+            reply = _recv(conn)
+            next_times.update(reply[1])
+        pending: List[DomainMessage] = []
+        lookahead = sim.lookahead
+        while True:
+            next_min = min(next_times.values()) if next_times else INFINITY
+            for message in pending:
+                if message.time < next_min:
+                    next_min = message.time
+            window = epoch_window(next_min, lookahead, until)
+            if window is None:
+                break
+            horizon, inclusive = window
+            pending.sort(key=lambda m: (m.time, m.src_domain, m.seq))
+            slices: List[List[DomainMessage]] = [[] for _ in range(num_workers)]
+            for message in pending:
+                slices[owner_of_domain[message.dst_domain]].append(message)
+            result.messages_routed += len(pending)
+            pending = []
+            for w, conn in enumerate(conns):
+                conn.send(("epoch", horizon, inclusive, slices[w]))
+            for conn in conns:
+                reply = _recv(conn)
+                next_times.update(reply[1])
+                pending.extend(reply[2])
+            result.epochs += 1
+
+        stats = []
+        for conn in conns:
+            conn.send(("finish", until))
+        for conn in conns:
+            stats.append(_recv(conn)[1])
+    finally:
+        for conn in conns:
+            try:
+                conn.close()
+            except Exception:
+                pass
+        for proc in procs:
+            proc.join(timeout=30)
+            if proc.is_alive():
+                proc.terminate()
+    result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
+
+    _merge_stats(scenario, stats, until, result)
+    return result
+
+
+def _merge_stats(scenario, stats: List[dict], until, result) -> None:
+    """Patch the parent's never-run emulation with worker state so the
+    standard report path reads true numbers."""
+    sim = scenario.sim
+    emulation = scenario.emulation
+    monitor = emulation.monitor
+    edge_cpu_busy = 0.0
+    edge_switches = 0
+    tcp_totals: Dict[str, int] = {}
+    samples: List[Tuple[int, List[float]]] = []
+    for worker_stats in stats:
+        for d, (dispatched, now) in worker_stats["domains"].items():
+            domain = sim.domains[d]
+            domain._dispatched = dispatched
+            domain._now = now
+            result.events_by_domain[d] = dispatched
+        for index, fields in worker_stats["cores"].items():
+            core = emulation.cores[index]
+            core.scheduler.wakeups = fields["wakeups"]
+            core.scheduler.hops_serviced = fields["hops_serviced"]
+            core.cpu_busy_s = fields["cpu_busy_s"]
+            core.packets_processed = fields["packets_processed"]
+            core.hops_processed = fields["hops_processed"]
+            core.tick_overruns = fields["tick_overruns"]
+            core.tunnels_sent = fields["tunnels_sent"]
+            core.tunnels_received = fields["tunnels_received"]
+            if core.ingress_link is not None:
+                core.ingress_link.bytes_sent = fields["nic_in_bytes"]
+            if core.egress_link is not None:
+                core.egress_link.bytes_sent = fields["nic_out_bytes"]
+        for pipe_id, values in worker_stats["pipes"].items():
+            pipe = emulation._pipes_by_id[pipe_id]
+            (pipe.arrivals, pipe.departures, pipe.drops_overflow,
+             pipe.drops_random, pipe.drops_down, pipe.bytes_accepted,
+             pipe.bytes_through, pipe.peak_backlog) = values
+        for host_index, (up, down) in worker_stats["hosts"].items():
+            host = emulation.hosts[host_index]
+            host.uplink.bytes_sent = up
+            host.downlink.bytes_sent = down
+        busy, switches = worker_stats["edge_cpu"]
+        edge_cpu_busy += busy
+        edge_switches += switches
+        for key, value in worker_stats["tcp"].items():
+            tcp_totals[key] = tcp_totals.get(key, 0) + value
+        m = worker_stats["monitor"]
+        monitor.packets_entered += m["packets_entered"]
+        monitor.packets_delivered += m["packets_delivered"]
+        monitor.packets_unroutable += m["packets_unroutable"]
+        monitor.physical_drops_ring += m["physical_drops_ring"]
+        monitor.physical_drops_egress += m["physical_drops_egress"]
+        monitor.physical_drops_uplink += m["physical_drops_uplink"]
+        monitor.tunnels += m["tunnels"]
+        for d, (digest, count) in worker_stats["digests"].items():
+            result.domain_digests[d] = digest
+            result.domain_digest_events[d] = count
+        min_domain = min(worker_stats["domains"]) if worker_stats["domains"] else 0
+        samples.append((min_domain, m["error_samples"]))
+    # Error samples merged in domain order so the stored list is
+    # worker-count independent (derived stats are order-invariant
+    # regardless, via the sort in monitor.report()).
+    for _, worker_samples in sorted(samples, key=lambda pair: pair[0]):
+        room = monitor.max_samples - len(monitor.error_samples)
+        if room <= 0:
+            break
+        monitor.error_samples.extend(worker_samples[:room])
+    sim.epochs = result.epochs
+    sim.router.messages_routed = result.messages_routed
+    if until is not None:
+        for domain in sim.domains:
+            if domain._now < until:
+                domain._now = until
+    for key, value in tcp_totals.items():
+        result.metric_overlay[f"tcp.{key}"] = value
+    if any(host.cpu is not None for host in emulation.hosts):
+        result.metric_overlay["edge.cpu_busy_s"] = edge_cpu_busy
+        result.metric_overlay["edge.context_switches"] = edge_switches

@@ -1,289 +1,33 @@
-"""The event loop: a clock and a heap of timestamped callbacks."""
+"""The event loop: a clock and a heap of timestamped callbacks.
+
+The kernel implementation lives in :mod:`repro.engine.domain` — one
+:class:`~repro.engine.domain.EventDomain` is one clock + heap + seq
+counter. This module keeps the historical front door: ``Simulator``
+is the single-domain engine every non-partitioned component builds
+on, and ``Event`` / ``SimulationError`` re-export from the domain
+module so existing imports keep working.
+
+For partitioned multi-core execution (one domain per emulated core
+node, epoch-synchronized), see
+:class:`repro.engine.sync.PartitionedSimulator`.
+"""
 
 from __future__ import annotations
 
-import heapq
-from typing import Any, Callable, Optional, Tuple
+from repro.engine.domain import Event, EventDomain, SimulationError
+
+__all__ = ["Event", "Simulator", "SimulationError"]
 
 
-class SimulationError(RuntimeError):
-    """Raised for misuse of the simulation kernel (e.g. scheduling in
-    the past or running a simulator that is already running)."""
-
-
-class Event:
-    """A scheduled callback.
-
-    Returned by :meth:`Simulator.schedule` and :meth:`Simulator.at` so
-    the caller can cancel the callback before it fires. Cancelled
-    events stay in the heap but are skipped when popped; this makes
-    cancellation O(1), which matters for TCP retransmission timers
-    that are cancelled on nearly every ACK.
-
-    The heap itself stores ``(time, seq, event)`` tuples rather than
-    the events: tuple comparison runs in C, and heap sift compares are
-    the single hottest operation of a large run. ``__lt__`` is kept
-    for callers that sort events directly.
-    """
-
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
-
-    def __init__(self, time: float, seq: int, fn: Callable, args: tuple):
-        self.time = time
-        self.seq = seq
-        self.fn = fn
-        self.args = args
-        self.cancelled = False
-
-    def cancel(self) -> None:
-        """Prevent the callback from firing. Idempotent."""
-        self.cancelled = True
-        # Drop references so cancelled timers don't pin large objects
-        # (packets, sockets) until the heap drains past them.
-        self.fn = None
-        self.args = ()
-
-    def __lt__(self, other: "Event") -> bool:
-        if self.time != other.time:
-            return self.time < other.time
-        return self.seq < other.seq
-
-    def __repr__(self) -> str:
-        if self.cancelled:
-            state = "cancelled"
-        elif self.fn is None:
-            # Dispatch clears fn/args so fired events don't pin their
-            # arguments; such an event is spent, not pending.
-            state = "dispatched"
-        else:
-            state = "pending"
-        return f"<Event t={self.time:.6f} {state}>"
-
-
-class Simulator:
+class Simulator(EventDomain):
     """A discrete-event simulator with a virtual clock.
 
     The clock starts at 0.0 and only moves forward, jumping to the
     timestamp of each event as it is dispatched. All times are float
-    seconds.
+    seconds. This is exactly one :class:`EventDomain` — the classic
+    global kernel — and dispatches a byte-identical event stream to
+    the pre-partitioning engine.
     """
 
     def __init__(self) -> None:
-        self._now = 0.0
-        self._heap: list[Tuple[float, int, Event]] = []
-        self._seq = 0
-        self._running = False
-        self._stopped = False
-        self._dispatched = 0
-        #: Optional tracing hook: called as ``on_dispatch(event, fn)``
-        #: immediately before each event fires (the sanitizer's probe
-        #: point). ``fn`` is passed separately because dispatch clears
-        #: ``event.fn``. The hook test is hoisted out of the dispatch
-        #: loop: :meth:`run` selects the fast (no-hook) or slow
-        #: (hooked) loop once per call, so the None default costs
-        #: nothing per event. Consequently, installing a hook *during*
-        #: a run takes effect at the next :meth:`run`/:meth:`step`.
-        self.on_dispatch: Optional[Callable[[Event, Callable], None]] = None
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in seconds."""
-        return self._now
-
-    @property
-    def events_dispatched(self) -> int:
-        """Total number of events fired so far (for instrumentation)."""
-        return self._dispatched
-
-    @property
-    def pending(self) -> int:
-        """Number of events still in the heap (including cancelled)."""
-        return len(self._heap)
-
-    def schedule(self, delay: float, fn: Callable, *args: Any) -> Event:
-        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
-        if delay < 0:
-            raise SimulationError(f"cannot schedule {delay}s in the past")
-        return self.at(self._now + delay, fn, *args)
-
-    def at(self, time: float, fn: Callable, *args: Any) -> Event:
-        """Run ``fn(*args)`` at absolute virtual time ``time``."""
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} before now={self._now}"
-            )
-        self._seq = seq = self._seq + 1
-        event = Event(time, seq, fn, args)
-        heapq.heappush(self._heap, (time, seq, event))
-        return event
-
-    def post(self, time: float, fn: Callable, *args: Any) -> None:
-        """Like :meth:`at`, but fire-and-forget: no :class:`Event`
-        handle is returned and the callback cannot be cancelled.
-
-        The heap entry is a bare ``(time, seq, None, fn, args)`` tuple
-        — no Event allocation. Physical-wire serialization and
-        delivery callbacks (two per transmitted packet, never
-        cancelled) are the intended users; they dominate the heap of a
-        saturated run. Sequence numbers come from the same counter as
-        :meth:`at`, so traces are identical either way.
-        """
-        if time < self._now:
-            raise SimulationError(
-                f"cannot schedule at t={time} before now={self._now}"
-            )
-        self._seq = seq = self._seq + 1
-        heapq.heappush(self._heap, (time, seq, None, fn, args))
-
-    def call_soon(self, fn: Callable, *args: Any) -> Event:
-        """Run ``fn(*args)`` at the current time, after pending events
-        already scheduled for this instant."""
-        return self.at(self._now, fn, *args)
-
-    def stop(self) -> None:
-        """Ask a running :meth:`run` to return after the current event."""
-        self._stopped = True
-
-    def step(self) -> bool:
-        """Dispatch the single next non-cancelled event.
-
-        Returns False when the heap is exhausted.
-        """
-        heap = self._heap
-        while heap:
-            entry = heapq.heappop(heap)
-            time = entry[0]
-            event = entry[2]
-            if event is None:  # anonymous fire-and-forget (see post())
-                fn = entry[3]
-                args = entry[4]
-            else:
-                fn = event.fn
-                if fn is None:  # cancelled, or spent by a previous dispatch
-                    continue
-                args = event.args
-                event.fn = None
-                event.args = ()
-            if time < self._now:
-                raise SimulationError(
-                    f"clock would move backwards: event at t={time} "
-                    f"but now={self._now}"
-                )
-            self._now = time
-            self._dispatched += 1
-            if self.on_dispatch is not None:
-                if event is None:
-                    event = Event(time, entry[1], None, ())
-                self.on_dispatch(event, fn)
-            fn(*args)
-            return True
-        return False
-
-    def run(self, until: Optional[float] = None) -> float:
-        """Dispatch events until the heap is empty, the clock would
-        pass ``until``, or :meth:`stop` is called.
-
-        If ``until`` is given and the run *drains naturally* (the heap
-        empties or only later events remain), the clock is left
-        exactly at ``until`` and a subsequent ``run`` continues from
-        there. A run halted by :meth:`stop` keeps the clock at the
-        last dispatched event — fast-forwarding past still-pending
-        events would let the next ``run`` move the clock backwards.
-        Returns the final clock value.
-        """
-        if self._running:
-            raise SimulationError("simulator is already running")
-        if until is not None and until < self._now:
-            raise SimulationError(
-                f"cannot run until t={until}, already at t={self._now}"
-            )
-        self._running = True
-        self._stopped = False
-        # The dispatch loop exists in two variants with the rare-path
-        # branches hoisted out: the fast loop assumes no on_dispatch
-        # hook; the slow loop services it. Locals beat attribute loads
-        # in the loop body.
-        heap = self._heap
-        pop = heapq.heappop
-        limit = float("inf") if until is None else until
-        now = self._now
-        dispatched = 0
-        hook = self.on_dispatch
-        try:
-            if hook is None:
-                while heap and not self._stopped:
-                    entry = heap[0]
-                    event = entry[2]
-                    if event is None:  # anonymous entry (see post())
-                        time = entry[0]
-                        if time > limit:
-                            break
-                        if time < now:
-                            raise SimulationError(
-                                f"clock would move backwards: event at "
-                                f"t={time} but now={now}"
-                            )
-                        pop(heap)
-                        self._now = now = time
-                        dispatched += 1
-                        entry[3](*entry[4])
-                        continue
-                    fn = event.fn
-                    if fn is None:  # cancelled or spent: discard
-                        pop(heap)
-                        continue
-                    time = entry[0]
-                    if time > limit:
-                        break
-                    if time < now:
-                        raise SimulationError(
-                            f"clock would move backwards: event at "
-                            f"t={time} but now={now}"
-                        )
-                    pop(heap)
-                    self._now = now = time
-                    dispatched += 1
-                    args = event.args
-                    event.fn = None
-                    event.args = ()
-                    fn(*args)
-            else:
-                while heap and not self._stopped:
-                    entry = heap[0]
-                    event = entry[2]
-                    if event is None:
-                        fn = entry[3]
-                        args = entry[4]
-                    else:
-                        fn = event.fn
-                        if fn is None:
-                            pop(heap)
-                            continue
-                        args = event.args
-                    time = entry[0]
-                    if time > limit:
-                        break
-                    if time < now:
-                        raise SimulationError(
-                            f"clock would move backwards: event at "
-                            f"t={time} but now={now}"
-                        )
-                    pop(heap)
-                    self._now = now = time
-                    dispatched += 1
-                    if event is None:
-                        # Synthesize a handle for the hook; anonymous
-                        # entries carry the same (time, seq) identity.
-                        event = Event(time, entry[1], None, ())
-                    else:
-                        event.fn = None
-                        event.args = ()
-                    hook(event, fn)
-                    fn(*args)
-        finally:
-            self._running = False
-            self._dispatched += dispatched
-        if until is not None and not self._stopped and self._now < until:
-            # Natural drain: fast-forward the idle clock to the target.
-            self._now = until
-        return self._now
+        super().__init__(domain_id=0)

@@ -1,0 +1,370 @@
+"""Partitioned execution: per-core event domains under epoch sync.
+
+The paper's multi-core deployment partitions pipes across core nodes
+and tunnels cross-core packets over the cluster switch. This module
+turns that modeled structure into a real execution architecture:
+
+* each emulated core node owns an :class:`~repro.engine.domain.EventDomain`
+  (its own heap, clock, and seq counter);
+* cross-domain work — tunneled descriptors, payload-caching delivery
+  orders, packets exiting toward a remote host — travels as
+  :class:`DomainMessage`\\ s through a :class:`DomainRouter` mailbox
+  instead of as direct calls;
+* a conservative epoch barrier advances all domains in lockstep
+  windows no wider than the **lookahead** — the minimum cross-core
+  latency from :mod:`repro.hardware.calibration`. A message sent at
+  time ``t`` arrives no earlier than ``t + lookahead``, so everything
+  strictly inside the current window is safe to dispatch without
+  hearing from other domains (the SimBricks/conservative-PDES
+  argument).
+
+Determinism contract: between epochs, pending messages are injected
+into their destination heaps in ``(time, src_domain, seq)`` order —
+a total order independent of execution interleaving — so the serial
+executor here and the multiprocess executor in
+:mod:`repro.engine.parallel` produce identical per-domain event
+streams for the same scenario.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+
+from repro.engine.domain import INFINITY, EventDomain, SimulationError
+
+# Cross-domain message kinds.
+MSG_TUNNEL = 0   # a PacketDescriptor whose next pipe lives on another core
+MSG_DELIVER = 1  # a payload-caching delivery order returning to the entry core
+MSG_HOST = 2     # a packet exiting the core fabric toward a remote edge host
+
+
+class DomainMessage(NamedTuple):
+    """One cross-domain send, as the router queues it.
+
+    ``seq`` is the *source domain's* send counter: together with
+    ``(time, src_domain)`` it totally orders every message in an
+    epoch, which is what makes injection deterministic regardless of
+    how domains were interleaved while producing them.
+    """
+
+    time: float
+    src_domain: int
+    seq: int
+    dst_domain: int
+    kind: int
+    target: int  # core index (tunnel/deliver) or host index (to-host)
+    payload: Any
+
+
+class DomainChannel:
+    """The cross-domain wire: serialization at NIC rate plus switch
+    latency, tracked synchronously.
+
+    Cross-domain sends cannot ride the sender's
+    :class:`~repro.hardware.links.PhysicalLink` (its delivery callback
+    would fire on the *sender's* clock and call into a domain whose
+    clock is elsewhere), so the channel computes the arrival time at
+    send time: serialization start is the later of now and the wire
+    becoming free, and delivery is serialization end plus latency.
+    The latency is never below the synchronizer's lookahead — that is
+    the conservative-sync safety condition.
+    """
+
+    __slots__ = ("rate_bps", "latency_s", "_s_per_byte", "_free_at",
+                 "messages", "bytes_sent")
+
+    def __init__(self, rate_bps: float, latency_s: float):
+        if rate_bps <= 0:
+            raise ValueError("channel rate must be positive")
+        if latency_s <= 0:
+            raise ValueError("channel latency must be positive (lookahead)")
+        self.rate_bps = float(rate_bps)
+        self.latency_s = float(latency_s)
+        self._s_per_byte = 8.0 / self.rate_bps
+        self._free_at = 0.0
+        self.messages = 0
+        self.bytes_sent = 0
+
+    def delivery_time(self, now: float, size_bytes: int) -> float:
+        """Arrival time of a ``size_bytes`` message sent at ``now``."""
+        start = self._free_at
+        if start < now:
+            start = now
+        done = start + size_bytes * self._s_per_byte
+        self._free_at = done
+        self.messages += 1
+        self.bytes_sent += size_bytes
+        return done + self.latency_s
+
+
+class DomainRouter:
+    """The mailbox fabric between domains.
+
+    Senders call :meth:`send` during an epoch; the synchronizer calls
+    :meth:`flush` between epochs to inject everything queued, sorted
+    by ``(time, src_domain, seq)``. Target resolution (core/host index
+    to a live object) happens at injection against the bound
+    emulation, which is what lets the multiprocess backend ship the
+    same messages between processes as plain data.
+    """
+
+    def __init__(self, num_domains: int):
+        self.num_domains = num_domains
+        self._send_seq = [0] * num_domains
+        self._pending: List[DomainMessage] = []
+        self._emulation = None
+        self.messages_routed = 0
+
+    def bind(self, emulation) -> None:
+        """Attach the emulation whose cores/hosts messages address."""
+        self._emulation = emulation
+
+    def send(
+        self,
+        time: float,
+        src_domain: int,
+        dst_domain: int,
+        kind: int,
+        target: int,
+        payload: Any,
+    ) -> None:
+        """Queue a message for delivery at virtual ``time``."""
+        seq = self._send_seq[src_domain]
+        self._send_seq[src_domain] = seq + 1
+        self._pending.append(
+            DomainMessage(time, src_domain, seq, dst_domain, kind, target, payload)
+        )
+
+    # -- synchronizer interface -----------------------------------------
+
+    def take_pending(self) -> List[DomainMessage]:
+        """Drain the queue (the multiprocess worker's export path)."""
+        pending = self._pending
+        self._pending = []
+        return pending
+
+    def min_pending_time(self) -> float:
+        if not self._pending:
+            return INFINITY
+        return min(message.time for message in self._pending)
+
+    def flush(self, domains: List[EventDomain]) -> int:
+        """Inject every queued message into its destination domain in
+        deterministic ``(time, src_domain, seq)`` order."""
+        if not self._pending:
+            return 0
+        pending = self._pending
+        self._pending = []
+        pending.sort(key=lambda m: (m.time, m.src_domain, m.seq))
+        self.inject(domains, pending)
+        return len(pending)
+
+    def inject(self, domains: List[EventDomain], messages) -> None:
+        """Schedule already-ordered ``messages`` into their domains.
+
+        Callers other than :meth:`flush` (the multiprocess worker)
+        must pass messages pre-sorted by ``(time, src_domain, seq)``
+        — heap seq numbers are assigned in iteration order, so the
+        order here *is* the same-timestamp tie-break.
+        """
+        from repro.core.node import DELIVER, TUNNEL_IN
+
+        emulation = self._emulation
+        if emulation is None:
+            raise SimulationError("router has no bound emulation")
+        for message in messages:
+            domain = domains[message.dst_domain]
+            kind = message.kind
+            if kind == MSG_TUNNEL:
+                domain.post(
+                    message.time,
+                    emulation.cores[message.target].physical_ingress,
+                    TUNNEL_IN,
+                    message.payload,
+                )
+            elif kind == MSG_DELIVER:
+                domain.post(
+                    message.time,
+                    emulation.cores[message.target].physical_ingress,
+                    DELIVER,
+                    message.payload,
+                )
+            elif kind == MSG_HOST:
+                domain.post(
+                    message.time,
+                    emulation.hosts[message.target].receive_from_switch,
+                    message.payload,
+                )
+            else:  # pragma: no cover - kinds are module constants
+                raise SimulationError(f"unknown message kind {kind}")
+        self.messages_routed += len(messages)
+
+
+def epoch_window(
+    next_min: float, lookahead: float, until: Optional[float]
+) -> Optional[Tuple[float, bool]]:
+    """The next epoch's ``(horizon, inclusive)``, or None when done.
+
+    The window opens at the earliest pending event and extends one
+    lookahead: any message sent inside it arrives at or after the
+    horizon, so the window is causally closed. The final window is
+    clamped to ``until`` and inclusive, matching the single-kernel
+    ``run(until=T)`` convention of dispatching events at exactly
+    ``T``. Both executors — serial and multiprocess — call this one
+    function, so their epoch sequences are identical by construction.
+    """
+    if next_min == INFINITY:
+        return None
+    if until is not None:
+        if next_min > until:
+            return None
+        horizon = next_min + lookahead
+        if horizon >= until:
+            return until, True
+        return horizon, False
+    return next_min + lookahead, False
+
+
+class PartitionedSimulator:
+    """N event domains advancing under an epoch barrier (serial
+    executor).
+
+    Implements the same surface the classic
+    :class:`~repro.engine.simulator.Simulator` exposes — ``now``,
+    ``run(until)``, ``schedule``/``at``/``post``, ``stop``,
+    ``events_dispatched`` — so the emulation layer and the Scenario
+    facade treat either interchangeably. Direct ``schedule``/``at``
+    calls land on domain 0 (the convention for app-level/global
+    events); components bound to a domain schedule on their own
+    domain's clock.
+    """
+
+    def __init__(self, num_domains: int, lookahead: float):
+        if num_domains < 1:
+            raise SimulationError("need at least one domain")
+        if not lookahead > 0.0:
+            raise SimulationError(
+                f"epoch lookahead must be positive, got {lookahead} "
+                f"(partitioned execution needs a nonzero minimum "
+                f"cross-core latency)"
+            )
+        self.lookahead = float(lookahead)
+        self.domains: List[EventDomain] = [
+            EventDomain(domain_id=index) for index in range(num_domains)
+        ]
+        self.router = DomainRouter(num_domains)
+        self.epochs = 0
+        self._running = False
+        self._stopped = False
+
+    # -- facade surface --------------------------------------------------
+
+    @property
+    def num_domains(self) -> int:
+        return len(self.domains)
+
+    @property
+    def now(self) -> float:
+        """The barrier clock: no domain is behind this time."""
+        return min(domain._now for domain in self.domains)
+
+    # Some hot paths read ``sim._now`` directly; keep the alias honest.
+    @property
+    def _now(self) -> float:
+        return self.now
+
+    @property
+    def events_dispatched(self) -> int:
+        return sum(domain._dispatched for domain in self.domains)
+
+    def events_by_domain(self) -> List[int]:
+        """Per-domain dispatch counts (load-imbalance attribution)."""
+        return [domain._dispatched for domain in self.domains]
+
+    @property
+    def pending(self) -> int:
+        return sum(domain.pending for domain in self.domains) + len(
+            self.router._pending
+        )
+
+    @property
+    def on_dispatch(self) -> Optional[Callable]:
+        return self.domains[0].on_dispatch
+
+    @on_dispatch.setter
+    def on_dispatch(self, hook: Optional[Callable]) -> None:
+        # Broadcast: a plain hook observes every domain's events. The
+        # sanitizer installs per-domain probes itself for composable
+        # digests; this setter is the compatibility path.
+        for domain in self.domains:
+            domain.on_dispatch = hook
+
+    def schedule(self, delay: float, fn: Callable, *args: Any):
+        return self.domains[0].schedule(delay, fn, *args)
+
+    def at(self, time: float, fn: Callable, *args: Any):
+        return self.domains[0].at(time, fn, *args)
+
+    def post(self, time: float, fn: Callable, *args: Any) -> None:
+        self.domains[0].post(time, fn, *args)
+
+    def call_soon(self, fn: Callable, *args: Any):
+        return self.domains[0].call_soon(fn, *args)
+
+    def stop(self) -> None:
+        """Halt at the next epoch boundary."""
+        self._stopped = True
+
+    # -- the epoch loop ---------------------------------------------------
+
+    def next_event_time(self) -> float:
+        """Earliest pending work across heaps and undelivered mail."""
+        next_min = self.router.min_pending_time()
+        for domain in self.domains:
+            t = domain.next_event_time()
+            if t < next_min:
+                next_min = t
+        return next_min
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance all domains to ``until`` (or until drained) in
+        lookahead-bounded epochs with deterministic mail delivery."""
+        if self._running:
+            raise SimulationError("simulator is already running")
+        if until is not None and until < self.now:
+            raise SimulationError(
+                f"cannot run until t={until}, already at t={self.now}"
+            )
+        self._running = True
+        self._stopped = False
+        domains = self.domains
+        router = self.router
+        try:
+            while not self._stopped:
+                router.flush(domains)
+                next_min = INFINITY
+                for domain in domains:
+                    t = domain.next_event_time()
+                    if t < next_min:
+                        next_min = t
+                window = epoch_window(next_min, self.lookahead, until)
+                if window is None:
+                    break
+                horizon, inclusive = window
+                for domain in domains:
+                    domain.run_until(horizon, inclusive)
+                self.epochs += 1
+        finally:
+            self._running = False
+        if until is not None and not self._stopped:
+            # Natural drain: align every idle clock with the target.
+            for domain in domains:
+                if domain._now < until:
+                    domain._now = until
+        return self.now
+
+    def __repr__(self) -> str:
+        return (
+            f"<PartitionedSimulator domains={self.num_domains} "
+            f"lookahead={self.lookahead:g}s epochs={self.epochs}>"
+        )

@@ -92,6 +92,26 @@ class EdgeHostSpec:
     link_latency_s: float = 20e-6
 
 
+def min_cross_core_latency(core_spec: "CoreSpec" = None) -> float:
+    """The minimum latency of any core-to-core crossing: one way
+    across the cluster switch.
+
+    This is the partitioned engine's **lookahead**: a descriptor
+    tunneled at virtual time ``t`` cannot influence another core
+    before ``t + min_cross_core_latency``, so the epoch synchronizer
+    (:mod:`repro.engine.sync`) may advance every domain through a
+    window of this width without coordination. Serialization time only
+    adds to the bound, so the switch latency alone is the safe floor.
+    """
+    spec = DEFAULT_CORE_SPEC if core_spec is None else core_spec
+    if spec.switch_latency_s <= 0.0:
+        raise ValueError(
+            "cross-core lookahead requires a positive switch latency; "
+            f"got {spec.switch_latency_s}"
+        )
+    return spec.switch_latency_s
+
+
 #: The paper's core router: 1.4 GHz P-III, FreeBSD, gigabit NIC.
 DEFAULT_CORE_SPEC = CoreSpec()
 

@@ -53,10 +53,27 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     registry.gauge("sim.events_dispatched").set(sim.events_dispatched)
     registry.gauge("sim.events_pending").set(sim.pending)
 
+    # -- partitioned engine (backend, domains, epoch barrier) -----------
+    partitioned = emulation.num_domains > 1
+    registry.gauge("engine.num_domains").set(emulation.num_domains)
+    if partitioned:
+        registry.gauge("engine.epochs").set(getattr(sim, "epochs", 0))
+        registry.gauge("engine.lookahead_s").set(getattr(sim, "lookahead", 0.0))
+        if emulation.router is not None:
+            registry.gauge("engine.messages_routed").set(
+                emulation.router.messages_routed
+            )
+        for domain in emulation.domains:
+            registry.gauge(
+                "sim.events_dispatched", domain=domain.domain_id
+            ).set(domain.events_dispatched)
+
     # -- scheduler + cores (Fig. 4 / Table 1 substrate) -----------------
     elapsed = sim.now
     for core in emulation.cores:
         label = {"core": core.index}
+        if partitioned:
+            label["domain"] = core.domain_id
         sched = core.scheduler
         registry.gauge("sched.wakeups", **label).set(sched.wakeups)
         registry.gauge("sched.hops_serviced", **label).set(sched.hops_serviced)

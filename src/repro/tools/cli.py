@@ -13,8 +13,10 @@ source lacks. This CLI provides those offline steps:
     repro-net distill ring.gml --mode last-mile -o distilled.gml
     repro-net route ts.gml --src 40 --dst 90
     repro-net run ts.gml --cores 2 --flows 8 --report out.json
+    repro-net run ts.gml --cores 4 --backend multiprocess --workers 2
     repro-net check src/
     repro-net sanitize examples/dumbbell.gml --seeds 1,2,3
+    repro-net sanitize ring8.gml --cores 4 --backend multiprocess
     repro-net bench --profile short
     repro-net bench --compare old/BENCH_dumbbell_netperf.json BENCH_dumbbell_netperf.json
 """
@@ -194,6 +196,7 @@ def _cmd_run(args) -> int:
         .bind(args.hosts)
         .seed(args.seed)
         .netperf(flows=args.flows)
+        .backend(args.backend, domains=args.domains, workers=args.workers)
     )
     if args.reference:
         scenario.config(reference=True)
@@ -272,10 +275,20 @@ def _cmd_check(args) -> int:
 
 def _cmd_sanitize(args) -> int:
     """Run a scenario twice per seed and diff the event digests."""
+    import json
+
     from repro.api import Scenario
-    from repro.check import sanitize_scenario
+    from repro.check import sanitize_scenario, sanitize_scenario_multiprocess
 
     seeds = [int(s) for s in args.seeds.split(",") if s.strip()]
+    expected = {}
+    if args.expect_digests:
+        with open(args.expect_digests) as handle:
+            expected = {
+                int(key): value
+                for key, value in json.load(handle).items()
+                if not key.startswith("_")
+            }
 
     def make_scenario() -> Scenario:
         scenario = (
@@ -284,6 +297,7 @@ def _cmd_sanitize(args) -> int:
             .assign(args.cores)
             .netperf(flows=args.flows)
             .observe(False)
+            .backend(args.backend, domains=args.domains, workers=args.workers)
         )
         if args.inject_fault:
             scenario.traffic(_nondeterminism_fault(args.seconds))
@@ -291,20 +305,43 @@ def _cmd_sanitize(args) -> int:
 
     failures = 0
     for seed in seeds:
-        result = sanitize_scenario(
-            make_scenario,
-            until=args.seconds,
-            seed=seed,
-            runs=args.runs,
-            freeze_packets=args.freeze_packets,
-        )
+        if args.backend == "multiprocess":
+            # Vary the worker count across runs: identical digests then
+            # prove invariance to how domains are dealt to workers, not
+            # just run-to-run repeatability.
+            counts = (args.workers, 1) if args.workers else (0, 2)
+            result = sanitize_scenario_multiprocess(
+                make_scenario,
+                until=args.seconds,
+                seed=seed,
+                runs=args.runs,
+                worker_counts=counts,
+            )
+        else:
+            result = sanitize_scenario(
+                make_scenario,
+                until=args.seconds,
+                seed=seed,
+                runs=args.runs,
+                freeze_packets=args.freeze_packets,
+            )
         print(result.summary())
         if not result.identical:
             failures += 1
+        elif seed in expected and result.digests[0] != expected[seed]:
+            print(
+                f"seed {seed}: DIGEST DRIFT — got {result.digests[0][:16]}, "
+                f"baseline {expected[seed][:16]} ({args.expect_digests})"
+            )
+            failures += 1
     if failures:
-        print(f"sanitize: {failures}/{len(seeds)} seed(s) nondeterministic")
+        print(f"sanitize: {failures}/{len(seeds)} seed(s) failed")
         return 1
-    print(f"sanitize: all {len(seeds)} seed(s) digest-identical over {args.runs} runs")
+    suffix = f" (baseline: {args.expect_digests})" if expected else ""
+    print(
+        f"sanitize: all {len(seeds)} seed(s) digest-identical "
+        f"over {args.runs} runs{suffix}"
+    )
     return 0
 
 
@@ -347,7 +384,18 @@ def _cmd_bench(args) -> int:
         return 2
     exit_code = 0
     for name in names:
-        result = run_scenario(name, profile=args.profile, seed=args.seed)
+        try:
+            result = run_scenario(
+                name,
+                profile=args.profile,
+                seed=args.seed,
+                backend=args.backend,
+                domains=args.domains,
+                workers=args.workers,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         if args.baseline:
             baseline_path = args.baseline
             if os.path.isdir(baseline_path):
@@ -380,6 +428,24 @@ def _nondeterminism_fault(seconds: float):
         sim.schedule(rng.uniform(1e-3, 1e-2), tick)
 
     return chaos
+
+
+def _add_backend_flags(parser, default_backend="serial") -> None:
+    """``--backend/--domains/--workers``: select the execution engine
+    (shared by the run/sanitize/bench subcommands)."""
+    parser.add_argument(
+        "--backend", choices=["serial", "multiprocess"],
+        default=default_backend,
+        help="execution backend (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--domains", type=int, default=None,
+        help="event domains (default: 1 serial, one per core multiprocess)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="multiprocess worker processes (default: one per domain)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -467,6 +533,7 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--flows", type=int, default=4)
     run.add_argument("--seconds", type=float, default=3.0)
     run.add_argument("--seed", type=int, default=0)
+    _add_backend_flags(run)
     run.add_argument(
         "--reference", action="store_true",
         help="exact-time, infinite-hardware configuration",
@@ -509,6 +576,11 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument("--cores", type=int, default=1)
     sanitize.add_argument("--flows", type=int, default=4)
     sanitize.add_argument("--seconds", type=float, default=1.0)
+    _add_backend_flags(sanitize)
+    sanitize.add_argument(
+        "--expect-digests",
+        help="JSON file mapping seed -> expected digest; fail on drift",
+    )
     sanitize.add_argument(
         "--freeze-packets", action="store_true",
         help="raise on packet mutation after pipe enqueue",
@@ -532,6 +604,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload size (short for CI smoke, full for real numbers)",
     )
     bench.add_argument("--seed", type=int, default=None, help="override the fixed seed")
+    _add_backend_flags(bench, default_backend=None)
     bench.add_argument(
         "--out-dir", default=".",
         help="where to write BENCH_<name>.json (default: repo root / cwd)",

@@ -214,3 +214,31 @@ def test_scenario_run_is_freeze_clean():
         _tiny_scenario, until=0.3, seed=1, freeze_packets=True
     )
     assert result.identical, result.summary()
+
+
+# ----------------------------------------------------------------------
+# Multiprocess backend
+# ----------------------------------------------------------------------
+
+def test_sanitize_scenario_multiprocess_varies_workers():
+    from repro.check.sanitize import sanitize_scenario_multiprocess
+    from repro.topology import ring_topology
+
+    def make():
+        return (
+            Scenario(
+                ring_topology(num_routers=8, vns_per_router=2),
+                name="ring8",
+            )
+            .distill("hop-by-hop")
+            .assign(4)
+            .netperf(flows=8)
+            .observe(False)
+            .backend("multiprocess", domains=4)
+        )
+
+    result = sanitize_scenario_multiprocess(
+        make, until=0.03, seed=1, runs=2, worker_counts=(1, 2)
+    )
+    assert result.identical, result.summary()
+    assert result.events[0] == result.events[1] > 0

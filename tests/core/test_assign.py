@@ -31,6 +31,34 @@ def test_invalid_assignment_rejected():
         Assignment(2, {0: 5})
 
 
+def test_assignment_rejects_non_int_and_negative_cores():
+    with pytest.raises(TopologyError, match="valid cores: 0..1"):
+        Assignment(2, {0: -1})
+    with pytest.raises(TopologyError, match="invalid core"):
+        Assignment(2, {0: "0"})
+
+
+def test_assignment_rejects_empty_core():
+    # Core 1 owns nothing: a partitioned engine would idle its domain.
+    with pytest.raises(TopologyError, match="own no links"):
+        Assignment(2, {0: 0, 1: 0})
+    # ...unless the caller says the lopsidedness is deliberate.
+    assignment = Assignment(2, {0: 0, 1: 0}, allow_empty_cores=True)
+    assert assignment.load_balance() == [2, 0]
+    # A fully empty assignment never trips the emptiness check.
+    assert Assignment(3, {}).load_balance() == [0, 0, 0]
+
+
+def test_assignment_rejects_links_absent_from_topology():
+    topology = star_topology(2)
+    known = sorted(topology.links)
+    bogus = max(known) + 100
+    with pytest.raises(TopologyError, match=f"{bogus}"):
+        Assignment(
+            1, {known[0]: 0, bogus: 0}, topology=topology
+        )
+
+
 def test_greedy_covers_all_links():
     topology = ring_topology(num_routers=8, vns_per_router=4)
     assignment = greedy_k_clusters(topology, 4, random.Random(1))
@@ -73,6 +101,66 @@ def test_greedy_handles_disconnected_topology():
     topology.add_link(4, 5, 1e6, 1e-3)
     assignment = greedy_k_clusters(topology, 2, random.Random(3))
     assert len(assignment.link_to_core) == 3
+    assert sorted(assignment.link_to_core) == sorted(topology.links)
+
+
+def test_greedy_disconnected_many_components_balances():
+    """With more components than cores, the re-seeding path must keep
+    taking one link per cluster per round, so no core is starved even
+    though no cluster can ever bridge components."""
+    import repro.topology as rt
+
+    topology = rt.Topology()
+    for _ in range(12):
+        topology.add_node()
+    for pair in range(6):  # six disjoint two-node islands
+        topology.add_link(2 * pair, 2 * pair + 1, 1e6, 1e-3)
+    for seed in range(5):
+        assignment = greedy_k_clusters(topology, 3, random.Random(seed))
+        assert sorted(assignment.link_to_core) == sorted(topology.links)
+        assert assignment.load_balance() == [2, 2, 2]
+
+
+def test_cross_core_hops_hand_computed():
+    """Chain 0-1-2-3-4, split 2+2 across two cores: the one route
+    crosses cores exactly once in its three consecutive-pipe pairs."""
+    import repro.topology as rt
+
+    topology = rt.Topology()
+    for _ in range(5):
+        topology.add_node()
+    chain_links = [
+        topology.add_link(i, i + 1, 1e6, 1e-3).id for i in range(4)
+    ]
+    assignment = Assignment(
+        2,
+        {
+            chain_links[0]: 0,
+            chain_links[1]: 0,
+            chain_links[2]: 1,
+            chain_links[3]: 1,
+        },
+        topology=topology,
+    )
+    route = CachedRouting(topology).route(0, 4)
+    assert [hop.link.id for hop in route] == chain_links
+    assert cross_core_hops(topology, assignment, [route]) == pytest.approx(1 / 3)
+    # Same route on a single core never crosses.
+    assert cross_core_hops(topology, single_core(topology), [route]) == 0.0
+    # No consecutive pairs at all -> defined as 0, not a ZeroDivision.
+    assert cross_core_hops(topology, assignment, [route[:1]]) == 0.0
+
+
+def test_load_balance_counts():
+    topology = star_topology(4)
+    link_ids = sorted(topology.links)
+    assignment = Assignment(
+        3,
+        {link_ids[0]: 0, link_ids[1]: 0, link_ids[2]: 1, link_ids[3]: 2},
+        topology=topology,
+    )
+    assert assignment.load_balance() == [2, 1, 1]
+    assert assignment.links_of_core(0) == link_ids[:2]
 
 
 def test_greedy_clusters_are_connected():

@@ -1,0 +1,303 @@
+"""Unit tests for the partitioned kernel: EventDomain epochs, the
+DomainRouter mailbox, epoch_window arithmetic, and the
+PartitionedSimulator facade."""
+
+import pytest
+
+from repro.engine import (
+    EventDomain,
+    PartitionedSimulator,
+    SimulationError,
+    Simulator,
+)
+from repro.engine.domain import INFINITY, Event
+from repro.engine.sync import (
+    MSG_DELIVER,
+    MSG_HOST,
+    MSG_TUNNEL,
+    DomainChannel,
+    DomainRouter,
+    epoch_window,
+)
+
+
+# ----------------------------------------------------------------------
+# Event ordering: the (time, seq) tuple prefix is the only ordering
+# ----------------------------------------------------------------------
+
+def test_event_defines_no_ordering():
+    """The PR 3 tuple-heap migration left ``Event.__lt__`` behind as
+    dead code; it is gone now. Events must not be orderable at all —
+    any comparison besides the heap's ``(time, seq)`` tuple prefix
+    would be a second, driftable definition of dispatch order."""
+    assert "__lt__" not in Event.__dict__
+    a = Event(1.0, 1, print, ())
+    b = Event(2.0, 2, print, ())
+    with pytest.raises(TypeError):
+        a < b  # noqa: B015 - the raise is the assertion
+
+
+def test_heap_order_is_time_then_seq():
+    sim = Simulator()
+    fired = []
+    sim.at(2.0, fired.append, "t2-first")
+    sim.at(1.0, fired.append, "t1-first")
+    sim.at(1.0, fired.append, "t1-second")
+    sim.post(1.0, fired.append, "t1-third")  # anonymous, same counter
+    sim.at(2.0, fired.append, "t2-second")
+    sim.run()
+    assert fired == [
+        "t1-first", "t1-second", "t1-third", "t2-first", "t2-second",
+    ]
+
+
+# ----------------------------------------------------------------------
+# EventDomain.run_until: one epoch
+# ----------------------------------------------------------------------
+
+def test_run_until_exclusive_stops_before_horizon():
+    domain = EventDomain()
+    fired = []
+    domain.at(1.0, fired.append, "inside")
+    domain.at(2.0, fired.append, "boundary")
+    domain.at(3.0, fired.append, "beyond")
+    count = domain.run_until(2.0)
+    assert count == 1
+    assert fired == ["inside"]
+    assert domain.now == 2.0  # clock lands exactly on the horizon
+
+
+def test_run_until_inclusive_takes_boundary_events():
+    domain = EventDomain()
+    fired = []
+    domain.at(2.0, fired.append, "boundary")
+    domain.at(2.0, fired.append, "boundary-2")
+    domain.at(3.0, fired.append, "beyond")
+    count = domain.run_until(2.0, inclusive=True)
+    assert count == 2
+    assert fired == ["boundary", "boundary-2"]
+    assert domain.now == 2.0
+
+
+def test_run_until_idle_domain_fast_forwards():
+    domain = EventDomain()
+    assert domain.run_until(5.0) == 0
+    assert domain.now == 5.0
+
+
+def test_run_until_horizon_in_past_raises():
+    domain = EventDomain()
+    domain.run_until(2.0)
+    with pytest.raises(SimulationError):
+        domain.run_until(1.0)
+
+
+def test_run_until_fires_dispatch_hook():
+    domain = EventDomain()
+    seen = []
+    domain.on_dispatch = lambda event, fn: seen.append((event.time, event.seq))
+    domain.at(0.5, lambda: None)
+    domain.post(1.0, lambda: None)
+    domain.run_until(2.0)
+    assert seen == [(0.5, 1), (1.0, 2)]
+
+
+def test_run_until_skips_cancelled():
+    domain = EventDomain()
+    fired = []
+    victim = domain.at(1.0, fired.append, "victim")
+    domain.at(1.5, fired.append, "live")
+    victim.cancel()
+    assert domain.run_until(2.0) == 1
+    assert fired == ["live"]
+
+
+def test_next_event_time():
+    domain = EventDomain()
+    assert domain.next_event_time() == INFINITY
+    cancelled = domain.at(1.0, lambda: None)
+    domain.at(2.0, lambda: None)
+    cancelled.cancel()
+    # The cancelled head is discarded by the peek, not dispatched.
+    assert domain.next_event_time() == 2.0
+    assert domain.pending == 1
+
+
+# ----------------------------------------------------------------------
+# epoch_window
+# ----------------------------------------------------------------------
+
+def test_epoch_window_arithmetic():
+    # No pending work anywhere: done.
+    assert epoch_window(INFINITY, 0.1, None) is None
+    assert epoch_window(INFINITY, 0.1, 5.0) is None
+    # Earliest work beyond the target: done.
+    assert epoch_window(6.0, 0.1, 5.0) is None
+    # Plenty of room: exclusive window one lookahead wide.
+    assert epoch_window(1.0, 0.1, 5.0) == (1.1, False)
+    assert epoch_window(1.0, 0.1, None) == (1.1, False)
+    # Window reaching the target clamps to it and turns inclusive,
+    # matching run(until=T)'s convention of dispatching events at T.
+    assert epoch_window(4.95, 0.1, 5.0) == (5.0, True)
+    assert epoch_window(5.0, 0.1, 5.0) == (5.0, True)
+
+
+# ----------------------------------------------------------------------
+# DomainChannel
+# ----------------------------------------------------------------------
+
+def test_domain_channel_serializes_back_to_back():
+    channel = DomainChannel(rate_bps=8e6, latency_s=1e-3)  # 1 us/byte
+    first = channel.delivery_time(0.0, 1000)
+    assert first == pytest.approx(1000e-6 + 1e-3)
+    # Sent while the wire is busy: serialization queues behind.
+    second = channel.delivery_time(0.0, 1000)
+    assert second == pytest.approx(2000e-6 + 1e-3)
+    # After the wire drains, a later send starts from `now`.
+    third = channel.delivery_time(1.0, 1000)
+    assert third == pytest.approx(1.0 + 1000e-6 + 1e-3)
+    assert channel.messages == 3
+    assert channel.bytes_sent == 3000
+
+
+def test_domain_channel_rejects_zero_latency():
+    with pytest.raises(ValueError):
+        DomainChannel(1e9, 0.0)
+
+
+# ----------------------------------------------------------------------
+# DomainRouter
+# ----------------------------------------------------------------------
+
+class _FakeCore:
+    def __init__(self):
+        self.received = []
+
+    def physical_ingress(self, kind, payload):
+        self.received.append((kind, payload))
+
+
+class _FakeHost:
+    def __init__(self):
+        self.received = []
+
+    def receive_from_switch(self, packet):
+        self.received.append(packet)
+
+
+class _FakeEmulation:
+    def __init__(self, num_cores, num_hosts):
+        self.cores = [_FakeCore() for _ in range(num_cores)]
+        self.hosts = [_FakeHost() for _ in range(num_hosts)]
+
+
+def test_router_flush_orders_by_time_src_seq():
+    from repro.core.node import DELIVER, TUNNEL_IN
+
+    domains = [EventDomain(domain_id=i) for i in range(2)]
+    emulation = _FakeEmulation(num_cores=2, num_hosts=1)
+    router = DomainRouter(2)
+    router.bind(emulation)
+    # Queued deliberately out of order; all destined for domain 1.
+    router.send(2.0, 0, 1, MSG_TUNNEL, 1, "late")
+    router.send(1.0, 1, 1, MSG_DELIVER, 1, "src1")
+    router.send(1.0, 0, 1, MSG_TUNNEL, 1, "src0")
+    router.send(1.0, 0, 1, MSG_HOST, 0, "src0-second")
+    assert router.min_pending_time() == 1.0
+    assert router.flush(domains) == 4
+    assert router.messages_routed == 4
+    assert router.min_pending_time() == INFINITY
+    domains[1].run_until(3.0)
+    core = emulation.cores[1]
+    # (time, src_domain, seq) order: src0's two sends (seq 0 then 1)
+    # precede src1's at the shared time; the t=2.0 send is last.
+    assert core.received == [
+        (TUNNEL_IN, "src0"), (DELIVER, "src1"), (TUNNEL_IN, "late"),
+    ]
+    assert emulation.hosts[0].received == ["src0-second"]
+
+
+def test_router_unbound_raises():
+    router = DomainRouter(1)
+    router.send(1.0, 0, 0, MSG_TUNNEL, 0, "x")
+    with pytest.raises(SimulationError):
+        router.flush([EventDomain()])
+
+
+# ----------------------------------------------------------------------
+# PartitionedSimulator (serial executor)
+# ----------------------------------------------------------------------
+
+def test_partitioned_single_domain_matches_simulator():
+    """With one domain the epoch loop must dispatch the exact stream
+    the classic Simulator does (same events, same clock behavior)."""
+
+    def drive(sim):
+        fired = []
+        sim.at(1.0, fired.append, "a")
+        sim.schedule(1.5, fired.append, "b")
+        sim.post(2.0, fired.append, "c")
+        doomed = sim.at(2.5, fired.append, "never")
+        doomed.cancel()
+        return fired
+
+    plain = Simulator()
+    part = PartitionedSimulator(1, lookahead=0.25)
+    fired_plain = drive(plain)
+    fired_part = drive(part)
+    assert plain.run(until=3.0) == part.run(until=3.0) == 3.0
+    assert fired_plain == fired_part == ["a", "b", "c"]
+    assert plain.events_dispatched == part.events_dispatched == 3
+    assert part.now == 3.0
+
+
+def test_partitioned_domains_advance_in_lockstep():
+    sim = PartitionedSimulator(2, lookahead=0.5)
+    order = []
+    sim.domains[0].at(1.0, order.append, ("d0", 1.0))
+    sim.domains[1].at(1.2, order.append, ("d1", 1.2))
+    sim.domains[0].at(3.0, order.append, ("d0", 3.0))
+    sim.run(until=4.0)
+    assert order == [("d0", 1.0), ("d1", 1.2), ("d0", 3.0)]
+    assert sim.now == 4.0  # every domain clock aligned with the target
+    assert sim.events_by_domain() == [2, 1]
+    assert sim.epochs >= 2
+
+
+def test_partitioned_run_delivers_router_mail():
+    from repro.core.node import TUNNEL_IN
+
+    sim = PartitionedSimulator(2, lookahead=0.1)
+    emulation = _FakeEmulation(num_cores=2, num_hosts=0)
+    sim.router.bind(emulation)
+
+    def cross_send():
+        # A domain-0 event sends to domain 1, one lookahead out.
+        sim.router.send(
+            sim.domains[0].now + 0.1, 0, 1, MSG_TUNNEL, 1, "ping"
+        )
+
+    sim.domains[0].at(1.0, cross_send)
+    sim.run(until=2.0)
+    assert emulation.cores[1].received == [(TUNNEL_IN, "ping")]
+    assert sim.router.messages_routed == 1
+
+
+def test_partitioned_stop_halts_at_epoch_boundary():
+    sim = PartitionedSimulator(1, lookahead=0.1)
+    fired = []
+    sim.at(1.0, fired.append, "a")
+    sim.at(1.0, sim.stop)
+    sim.at(5.0, fired.append, "b")
+    sim.run(until=10.0)
+    assert fired == ["a"]
+    assert sim.now < 5.0
+    sim.run(until=10.0)
+    assert fired == ["a", "b"]
+
+
+def test_partitioned_validates_construction():
+    with pytest.raises(SimulationError):
+        PartitionedSimulator(0, lookahead=0.1)
+    with pytest.raises(SimulationError):
+        PartitionedSimulator(2, lookahead=0.0)
