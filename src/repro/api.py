@@ -95,6 +95,38 @@ class ScenarioSpec:
     seed: int
     #: ``(flows, seed)`` per :meth:`Scenario.netperf` call.
     netperf: Tuple[Tuple[int, Optional[int]], ...]
+    #: :meth:`Scenario.inject_fault` duration — a *deliberately*
+    #: nondeterministic workload (sanitizer self-test). Declarative so
+    #: the fault reaches multiprocess workers instead of being masked
+    #: by the custom-traffic rejection in :meth:`Scenario.to_spec`.
+    fault_seconds: Optional[float] = None
+
+
+def _nondeterminism_fault(seconds: float) -> Callable[[Emulation], Any]:
+    """Traffic callback that deliberately breaks determinism.
+
+    Schedules a self-perpetuating tick whose period comes from an
+    *unseeded* RNG, so two same-seed runs dispatch different event
+    streams — the positive control for ``repro-net sanitize``. The
+    ticks land on the emulation's front-door clock (domain 0 for a
+    partitioned simulator), so on the multiprocess backend the
+    divergence happens *inside a worker* and must be caught by the
+    composed per-domain digests.
+    """
+    import random as _random
+
+    def setup(emulation: Emulation):
+        rng = _random.Random()  # repro: allow-rng (deliberate fault)
+        sim = emulation.sim
+
+        def tick() -> None:
+            if sim.now < seconds:
+                sim.schedule(rng.uniform(1e-4, 1e-3), tick)
+
+        sim.schedule(rng.uniform(1e-4, 1e-3), tick)
+
+    setup._fault_params = float(seconds)
+    return setup
 
 
 class Scenario:
@@ -117,6 +149,12 @@ class Scenario:
         self._registry: Optional[MetricsRegistry] = None
         self._observe = True
         self._traffic: List[Callable[[Emulation], Any]] = []
+        self._fault_seconds: Optional[float] = None
+        #: Resilience knobs (None = plain execution) and an optional
+        #: checkpoint to resume from. Parent-side only: neither enters
+        #: the spec, so they never change what workers compute.
+        self._resilience = None
+        self._resume = None
         # Build products.
         self.sim: Optional[Union[Simulator, PartitionedSimulator]] = None
         self.pipeline: Optional[ExperimentPipeline] = None
@@ -285,6 +323,86 @@ class Scenario:
         setup._netperf_params = (flows, seed)
         return self.traffic(setup)
 
+    def inject_fault(self, seconds: float = 0.01) -> "Scenario":
+        """Install a *deliberately nondeterministic* workload for
+        ``seconds`` of virtual time (the sanitizer's positive
+        control). Declarative, so it survives the spec round trip and
+        runs inside multiprocess workers — divergence must be
+        detected there, not masked by the parent."""
+        self._check_mutable()
+        if seconds <= 0:
+            raise ValueError(f"fault duration must be > 0, got {seconds}")
+        self._fault_seconds = float(seconds)
+        return self.traffic(_nondeterminism_fault(seconds))
+
+    def resilience(
+        self,
+        checkpoint_every: Optional[float] = None,
+        checkpoint: Optional[str] = None,
+        max_wall: Optional[float] = None,
+        max_rss_mb: Optional[float] = None,
+        max_events: Optional[int] = None,
+        epoch_timeout: Optional[float] = None,
+        heartbeat_interval: Optional[float] = None,
+        retries: Optional[int] = None,
+        degrade: Optional[bool] = None,
+        chaos_kill: Optional[Tuple[int, int]] = None,
+        chaos_signal: Optional[int] = None,
+    ) -> "Scenario":
+        """Enable supervised execution (see :mod:`repro.resilience`).
+
+        Any non-``None`` argument updates the scenario's
+        :class:`~repro.resilience.policy.ResilienceConfig`; calling
+        with no arguments enables the resilient run path with
+        defaults. These knobs are parent-side only — they never enter
+        the spec, so digests are unaffected. Unlike pipeline stages
+        they may be set after :meth:`build` (they configure the run,
+        not the object graph).
+        """
+        from repro.resilience import ResilienceConfig
+
+        cfg = self._resilience or ResilienceConfig()
+        if checkpoint_every is not None:
+            cfg.checkpoint_every_s = float(checkpoint_every)
+        if checkpoint is not None:
+            cfg.checkpoint_path = checkpoint
+        if max_wall is not None:
+            cfg.max_wall_s = float(max_wall)
+        if max_rss_mb is not None:
+            cfg.max_rss_mb = float(max_rss_mb)
+        if max_events is not None:
+            cfg.max_events = int(max_events)
+        if epoch_timeout is not None:
+            cfg.epoch_timeout_s = float(epoch_timeout)
+        if heartbeat_interval is not None:
+            cfg.heartbeat_interval_s = float(heartbeat_interval)
+        if retries is not None:
+            cfg.max_attempts = int(retries)
+        if degrade is not None:
+            cfg.degrade = bool(degrade)
+        if chaos_kill is not None:
+            cfg.chaos_kill = chaos_kill
+        if chaos_signal is not None:
+            cfg.chaos_signal = chaos_signal
+        self._resilience = cfg
+        return self
+
+    @classmethod
+    def from_checkpoint(cls, checkpoint) -> "Scenario":
+        """Reconstruct a scenario from a checkpoint (path or
+        :class:`~repro.resilience.checkpoint.Checkpoint`) for
+        ``--resume``: the run replays deterministically from t=0,
+        *verifies* digests/event counts/RNG states at the checkpoint
+        barrier, then continues to ``until``. Like worker rebuilds,
+        the resumed scenario observes with the null registry."""
+        from repro.resilience import Checkpoint, load_checkpoint
+
+        if not isinstance(checkpoint, Checkpoint):
+            checkpoint = load_checkpoint(checkpoint)
+        scenario = cls.from_spec(checkpoint.spec)
+        scenario._resume = checkpoint
+        return scenario
+
     # -- Build / Run --------------------------------------------------------
 
     def _check_mutable(self) -> None:
@@ -348,17 +466,43 @@ class Scenario:
             setup(self.emulation)
         return self.emulation
 
-    def run(self, until: float) -> RunReport:
+    def run(self, until: Optional[float] = None) -> RunReport:
         """Build (if needed), run the clock to ``until`` virtual
-        seconds, and return the :class:`RunReport`."""
+        seconds, and return the :class:`RunReport`.
+
+        ``until`` defaults to the original run's target when resuming
+        from a checkpoint. With resilience configured (or a resume
+        pending) the supervised run path applies: budget guards,
+        checkpoints, verified resume, and multiprocess degradation;
+        a budget abort raises
+        :class:`~repro.resilience.policy.RunAborted` carrying the
+        partial report.
+        """
+        if until is None:
+            if self._resume is None:
+                raise ValueError(
+                    "until is required (only checkpoint resumes have "
+                    "an implied target)"
+                )
+            until = self._resume.until
         if until <= 0:
             raise ValueError(f"until must be > 0, got {until}")
         emulation = self.build()
         registry = self.registry
-        if (
+        multiprocess = (
             emulation.config.backend == "multiprocess"
             and emulation.num_domains > 1
-        ):
+        )
+        if self._resilience is not None or self._resume is not None:
+            from repro.resilience import ResilienceConfig
+
+            res = self._resilience or ResilienceConfig()
+            if multiprocess:
+                return self._run_multiprocess_resilient(
+                    until, registry, res
+                )
+            return self._run_serial_resilient(until, registry, res)
+        if multiprocess:
             return self._run_multiprocess(until, registry)
         t0 = perf_counter()
         with registry.timed("phase.run_s"):
@@ -398,6 +542,348 @@ class Scenario:
         self.report.metrics.update(result.metric_overlay)
         return self.report
 
+    # -- resilient run paths ----------------------------------------------
+
+    def _checkpoint_writer(self, res, until):
+        from repro.resilience import CheckpointWriter
+
+        if not res.checkpoint_every_s:
+            return None
+        path = res.checkpoint_path or f"{self.name}.ckpt"
+        return CheckpointWriter(
+            path, res.checkpoint_every_s, self.to_spec(), until, self._seed
+        )
+
+    def _annotate_resilience(
+        self,
+        report: RunReport,
+        outcome: str,
+        digest: str,
+        events: Optional[int] = None,
+        writer=None,
+        counters=None,
+        downgrades: int = 0,
+    ) -> None:
+        """Record ``run.outcome`` and every resilience counter in the
+        report — present (zero-valued if idle) on all resilient runs,
+        so partial reports are machine-checkable."""
+        merged = {"heartbeats_missed": 0, "workers_restarted": 0, "retries": 0}
+        if counters:
+            merged.update(counters)
+        metrics = report.metrics
+        metrics["run.outcome"] = outcome
+        metrics["run.digest"] = digest
+        if events is not None:
+            metrics["run.events"] = events
+        metrics["resilience.heartbeats_missed"] = merged["heartbeats_missed"]
+        metrics["resilience.workers_restarted"] = merged["workers_restarted"]
+        metrics["resilience.retries"] = merged["retries"]
+        metrics["resilience.checkpoints_written"] = (
+            writer.written if writer is not None else 0
+        )
+        metrics["resilience.downgrades"] = downgrades
+
+    def _run_serial_resilient(
+        self,
+        until: float,
+        registry: MetricsRegistry,
+        res,
+        degrade_reason: Optional[str] = None,
+        counters=None,
+    ) -> RunReport:
+        """Serial execution under supervision: digest streaming, budget
+        checks and checkpoints at barriers, verified resume.
+
+        Partitioned scenarios hook the epoch barrier (`on_epoch`), so
+        budget/checkpoint logic never alters the epoch structure;
+        single-domain scenarios run in virtual-time chunks, which is
+        stream-identical for one kernel. Also the landing path for
+        multiprocess degradation (``degrade_reason`` set): the parent's
+        never-run emulation executes serially with identical digests
+        by construction.
+        """
+        from repro.check.sanitize import SimSanitizer
+        from repro.resilience import (
+            BudgetExceeded,
+            CheckpointError,
+            ResumeVerifier,
+            RunAborted,
+        )
+
+        emulation = self.emulation
+        sim = self.sim
+        resume = self._resume
+        budget = res.budget().start()
+        writer = self._checkpoint_writer(res, until)
+        verifier = ResumeVerifier(resume) if resume is not None else None
+        partitioned = (
+            getattr(sim, "domains", None) is not None and sim.num_domains > 1
+        )
+        sanitizer = SimSanitizer(keep_records=False).attach(sim)
+        abort: Optional[BudgetExceeded] = None
+        t0 = perf_counter()
+        try:
+            with registry.timed("phase.run_s"):
+                if partitioned:
+                    self._drive_partitioned_serial(
+                        sim, emulation, until, budget, writer, verifier,
+                        sanitizer, resume,
+                    )
+                else:
+                    self._drive_single_domain(
+                        sim, emulation, until, res, budget, writer,
+                        verifier, sanitizer, resume,
+                    )
+        except BudgetExceeded as exc:
+            abort = exc
+        finally:
+            sanitizer.detach()
+        wall = perf_counter() - t0
+        report = build_report(
+            emulation,
+            registry=registry if registry.enabled else None,
+            name=self.name,
+            wall_time_s=wall,
+        )
+        self.report = report
+        if abort is not None:
+            outcome = f"aborted{{reason={abort.reason}}}"
+        elif degrade_reason is not None:
+            outcome = f"degraded{{reason={degrade_reason}}}"
+        else:
+            outcome = "completed"
+        self._annotate_resilience(
+            report,
+            outcome=outcome,
+            digest=sanitizer.digest,
+            events=sanitizer.events_observed(),
+            writer=writer,
+            counters=counters,
+            downgrades=1 if degrade_reason is not None else 0,
+        )
+        if resume is not None:
+            report.metrics["run.resumed_from_t"] = resume.barrier_time
+        if abort is not None:
+            raise RunAborted(abort.reason, report=report, detail=str(abort))
+        if verifier is not None and not verifier.verified:
+            raise CheckpointError(
+                "resume completed without crossing the checkpoint "
+                f"barrier (t={resume.barrier_time:g}); the replayed "
+                "prefix was never verified — is `until` shorter than "
+                "the checkpoint?"
+            )
+        return report
+
+    def _drive_partitioned_serial(
+        self, sim, emulation, until, budget, writer, verifier, sanitizer,
+        resume,
+    ) -> None:
+        from repro.resilience import rng_stream_states
+
+        def on_epoch(epoch_index: int, horizon: float) -> None:
+            events = sanitizer.events_observed()
+            budget.check(events=events)
+            if (
+                verifier is not None
+                and not verifier.verified
+                and resume.epoch is not None
+                and epoch_index == resume.epoch
+            ):
+                verifier.verify(
+                    digest=sanitizer.digest,
+                    events=events,
+                    domain_digests=sanitizer.domain_digests(),
+                    rng_states=rng_stream_states(emulation.rng),
+                )
+            if writer is not None and writer.due(horizon):
+                writer.write(
+                    barrier_time=horizon,
+                    events=events,
+                    digest=sanitizer.digest,
+                    epoch=epoch_index,
+                    domain_digests=sanitizer.domain_digests(),
+                    domain_counts=sanitizer.domain_counts(),
+                    snapshots=sim.snapshot(),
+                    rng_states=rng_stream_states(emulation.rng),
+                    metrics={"sim.events_dispatched": events},
+                )
+
+        sim.on_epoch = on_epoch
+        try:
+            sim.run(until=until)
+        finally:
+            sim.on_epoch = None
+
+    def _drive_single_domain(
+        self, sim, emulation, until, res, budget, writer, verifier,
+        sanitizer, resume,
+    ) -> None:
+        from repro.resilience import rng_stream_states
+
+        if writer is None and verifier is None and not budget.active:
+            sim.run(until=until)
+            return
+        # Chunking one kernel at virtual-time marks is stream-identical
+        # to a single run (the heap and seq counter are untouched), so
+        # barriers here are free determinism-wise.
+        step = res.checkpoint_every_s or (until / 16.0)
+        next_mark = step
+        while sim.now < until:
+            target = min(until, next_mark)
+            if (
+                verifier is not None
+                and not verifier.verified
+                and sim.now < resume.barrier_time
+            ):
+                target = min(target, resume.barrier_time)
+            if target <= sim.now:
+                next_mark += step
+                continue
+            sim.run(until=target)
+            events = sanitizer.events_observed()
+            budget.check(events=events)
+            if (
+                verifier is not None
+                and not verifier.verified
+                and sim.now >= resume.barrier_time
+            ):
+                verifier.verify(
+                    digest=sanitizer.digest,
+                    events=events,
+                    rng_states=rng_stream_states(emulation.rng),
+                )
+            if writer is not None and writer.due(sim.now):
+                writer.write(
+                    barrier_time=sim.now,
+                    events=events,
+                    digest=sanitizer.digest,
+                    epoch=None,
+                    snapshots=[sim.snapshot()],
+                    rng_states=rng_stream_states(emulation.rng),
+                    metrics={"sim.events_dispatched": events},
+                )
+            while next_mark <= sim.now:
+                next_mark += step
+
+    def _run_multiprocess_resilient(
+        self, until: float, registry: MetricsRegistry, res
+    ) -> RunReport:
+        """Supervised multiprocess run: verified worker recovery via
+        the supervisor, budget checks and checkpoints at epoch
+        barriers, and (by default) degradation to serial partitioned
+        execution when a worker is unrecoverable — same digests by
+        construction, with the downgrade recorded in the report."""
+        from repro.check.sanitize import compose_domain_digests
+        from repro.engine.parallel import run_multiprocess
+        from repro.resilience import (
+            CheckpointError,
+            ResumeVerifier,
+            RunAborted,
+            SupervisionEscalation,
+        )
+
+        emulation = self.emulation
+        resume = self._resume
+        budget = res.budget().start()
+        writer = self._checkpoint_writer(res, until)
+        verifier = ResumeVerifier(resume) if resume is not None else None
+
+        def on_epoch(epoch_index, horizon, digests, counts) -> None:
+            events = sum(counts.values())
+            if (
+                verifier is not None
+                and not verifier.verified
+                and resume.epoch is not None
+                and epoch_index == resume.epoch
+            ):
+                verifier.verify(
+                    digest=compose_domain_digests(digests),
+                    events=events,
+                    domain_digests=digests,
+                )
+            if writer is not None and writer.due(horizon):
+                writer.write(
+                    barrier_time=horizon,
+                    events=events,
+                    digest=compose_domain_digests(digests),
+                    epoch=epoch_index,
+                    domain_digests=digests,
+                    domain_counts=counts,
+                    metrics={"sim.events_dispatched": events},
+                )
+
+        t0 = perf_counter()
+        try:
+            with registry.timed("phase.run_s"):
+                result = run_multiprocess(
+                    self,
+                    until,
+                    workers=emulation.config.workers,
+                    policy=res.retry_policy(self._seed),
+                    epoch_timeout_s=res.epoch_timeout_s,
+                    heartbeat_interval_s=res.heartbeat_interval_s,
+                    budget=budget,
+                    on_epoch=on_epoch,
+                    chaos_kill=res.chaos_kill,
+                    chaos_signal=res.chaos_signal,
+                )
+        except SupervisionEscalation as escalation:
+            if not res.degrade:
+                raise
+            return self._run_serial_resilient(
+                until,
+                registry,
+                res,
+                degrade_reason=(
+                    f"worker {escalation.worker} unrecoverable after "
+                    f"{escalation.attempts} attempt(s)"
+                ),
+                counters=getattr(escalation, "counters", None),
+            )
+        wall = perf_counter() - t0
+        self.mp_result = result
+        report = build_report(
+            emulation,
+            registry=registry if registry.enabled else None,
+            name=self.name,
+            wall_time_s=wall,
+        )
+        report.metrics.update(result.metric_overlay)
+        self.report = report
+        outcome = (
+            "completed"
+            if result.outcome == "completed"
+            else f"aborted{{reason={result.abort_reason}}}"
+        )
+        self._annotate_resilience(
+            report,
+            outcome=outcome,
+            digest=result.composed_digest,
+            events=result.events_dispatched,
+            writer=writer,
+            counters={
+                "heartbeats_missed": result.heartbeats_missed,
+                "workers_restarted": result.workers_restarted,
+                "retries": result.retries,
+            },
+        )
+        if resume is not None:
+            report.metrics["run.resumed_from_t"] = resume.barrier_time
+        if result.outcome != "completed":
+            raise RunAborted(
+                result.abort_reason or "aborted",
+                report=report,
+                detail=str(result.budget_error or ""),
+            )
+        if verifier is not None and not verifier.verified:
+            raise CheckpointError(
+                "resume completed without crossing the checkpoint "
+                f"barrier (epoch {resume.epoch}); the replayed prefix "
+                "was never verified — is `until` shorter than the "
+                "checkpoint?"
+            )
+        return report
+
     # -- spec round trip (multiprocess workers) ---------------------------
 
     def to_spec(self) -> ScenarioSpec:
@@ -409,6 +895,8 @@ class Scenario:
         """
         netperf: List[Tuple[int, Optional[int]]] = []
         for setup in self._traffic:
+            if getattr(setup, "_fault_params", None) is not None:
+                continue  # declarative too: travels as fault_seconds
             params = getattr(setup, "_netperf_params", None)
             if params is None:
                 raise ValueError(
@@ -432,6 +920,7 @@ class Scenario:
             reference=self._reference,
             seed=self._seed,
             netperf=tuple(netperf),
+            fault_seconds=self._fault_seconds,
         )
 
     @classmethod
@@ -457,6 +946,8 @@ class Scenario:
         scenario._observe = False
         for flows, flow_seed in spec.netperf:
             scenario.netperf(flows, flow_seed)
+        if getattr(spec, "fault_seconds", None) is not None:
+            scenario.inject_fault(spec.fault_seconds)
         return scenario
 
     def __repr__(self) -> str:

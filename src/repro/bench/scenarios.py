@@ -26,6 +26,12 @@ Four workloads cover the hot paths the ROADMAP cares about:
     Reports both backends' events/sec and the wall-clock speedup (or
     slowdown), and cross-checks their composed per-domain digests.
 
+``chaos_recovery``
+    The resilience acceptance gate: SIGKILL one multiprocess worker
+    mid-run (at the baseline's midpoint epoch) for each of two worker
+    counts and require the supervised recovery to reproduce the
+    fault-free composed digest and event count exactly.
+
 Every scenario builds its topology in code (no file dependencies), is
 seeded, and dispatches an identical event stream for identical
 (profile, seed, params) — which is what lets ``--compare`` treat
@@ -345,11 +351,119 @@ def multicore_scaling(
     return result.finalize()
 
 
+def chaos_recovery(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    workers: Optional[int] = None,
+) -> BenchResult:
+    """SIGKILL a multiprocess worker mid-run and prove the supervisor
+    recovers it with the event stream intact.
+
+    First a fault-free sanitized run fixes the baseline composed
+    digest and epoch count; then, for each worker count, worker 0 is
+    killed at the midpoint epoch and the recovered run's digest and
+    event count must be byte-identical to the baseline (with at least
+    one recorded restart) or the scenario raises.
+    """
+    import signal as _signal
+
+    from repro.api import Scenario
+    from repro.engine.parallel import run_multiprocess
+
+    seed = DEFAULT_SEED if seed is None else seed
+    seconds = 0.25 if profile == "short" else 1.0
+    flows, cores = 4, 4
+    worker_counts = (workers,) if workers else (2, 4)
+
+    def make():
+        return (
+            Scenario.from_topology(dumbbell_topology(3), name="bench-dumbbell")
+            .distill("hop-by-hop")
+            .assign(cores)
+            .netperf(flows=flows)
+            .observe(False)
+            .seed(seed)
+            .backend("multiprocess", domains=cores)
+        )
+
+    result = BenchResult(
+        name="chaos_recovery",
+        profile=profile,
+        seed=seed,
+        params={
+            "seconds": seconds, "flows": flows, "cores": cores,
+            "worker_counts": list(worker_counts), "signal": "SIGKILL",
+        },
+    )
+
+    t0 = perf_counter()
+    scenario = make()
+    scenario.build()
+    build_s = perf_counter() - t0
+    t1 = perf_counter()
+    baseline = run_multiprocess(
+        scenario, until=seconds, workers=worker_counts[0], sanitize=True
+    )
+    baseline_s = perf_counter() - t1
+    kill_epoch = max(1, baseline.epochs // 2)
+
+    events = baseline.events_dispatched
+    extras: Dict[str, object] = {
+        "baseline_digest": baseline.composed_digest,
+        "baseline_events": baseline.events_dispatched,
+        "kill_epoch": kill_epoch,
+        "epochs": baseline.epochs,
+    }
+    phases = {"build_s": round(build_s, 6), "baseline_s": round(baseline_s, 6)}
+    chaos_wall = 0.0
+    for count in worker_counts:
+        t2 = perf_counter()
+        scenario = make()
+        scenario.build()
+        chaos = run_multiprocess(
+            scenario, until=seconds, workers=count, sanitize=True,
+            chaos_kill=(kill_epoch, 0), chaos_signal=_signal.SIGKILL,
+        )
+        wall = perf_counter() - t2
+        chaos_wall += wall
+        events += chaos.events_dispatched
+        if chaos.composed_digest != baseline.composed_digest:
+            raise RuntimeError(
+                f"chaos_recovery[w={count}]: recovered digest diverged "
+                f"({chaos.composed_digest[:16]} vs "
+                f"{baseline.composed_digest[:16]})"
+            )
+        if chaos.events_dispatched != baseline.events_dispatched:
+            raise RuntimeError(
+                f"chaos_recovery[w={count}]: recovered event count "
+                f"{chaos.events_dispatched} != baseline "
+                f"{baseline.events_dispatched}"
+            )
+        if chaos.workers_restarted < 1:
+            raise RuntimeError(
+                f"chaos_recovery[w={count}]: no worker restart recorded "
+                f"— the kill never landed"
+            )
+        phases[f"chaos_w{count}_s"] = round(wall, 6)
+        extras[f"restarts[w={count}]"] = chaos.workers_restarted
+        extras[f"retries[w={count}]"] = chaos.retries
+
+    result.wall_s = baseline_s + chaos_wall
+    result.events = events
+    result.virtual_pkts = 0
+    result.virtual_time_s = (1 + len(worker_counts)) * seconds
+    result.phases = phases
+    result.digest = baseline.composed_digest
+    result.extras = extras
+    return result.finalize()
+
+
 SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
     "dumbbell_netperf": dumbbell_netperf,
     "capacity_sweep": capacity_sweep,
     "sanitize_smoke": sanitize_smoke,
     "multicore_scaling": multicore_scaling,
+    "chaos_recovery": chaos_recovery,
 }
 
 

@@ -24,6 +24,13 @@ DET004    ``id()`` / ``hash()`` used as a heap tie-break (inside
 NED001    ``lambda`` event callbacks that capture mutable packet
           objects from the enclosing scope — the packet can mutate
           between scheduling and dispatch.
+ROB001    Bare/broad ``except`` (``except:``, ``except Exception``,
+          ``except BaseException``) with a silent body (``pass`` /
+          ``continue`` / ``...``) inside ``engine/`` or ``core/``:
+          it swallows worker crashes and desyncs that the supervisor
+          must see. Narrow the exception or re-raise a typed error;
+          deliberate last-resort handlers carry an explicit
+          ``# repro: allow-broad-except``.
 ========  ============================================================
 
 A violation is suppressed by ``# repro: allow-<tag>`` (or
@@ -73,10 +80,20 @@ RULES: Dict[str, Tuple[str, str]] = {
         "lambda event callback captures a mutable packet from the "
         "enclosing scope; pass it as an explicit argument",
     ),
+    "ROB001": (
+        "broad-except",
+        "bare/broad except with a silent body swallows failures the "
+        "supervisor must see; narrow it or re-raise a typed error",
+    ),
 }
 
 #: Path components that mark a file as simulation code for DET002.
 SIM_PACKAGES = {"engine", "core", "net", "apps", "obs"}
+
+#: Path components where silent broad excepts are flagged (ROB001):
+#: the kernel and emulation core, where a swallowed error means a
+#: wedged or silently-desynced run instead of a typed failure.
+ROB_PACKAGES = {"engine", "core"}
 
 #: The one module allowed to construct random.Random directly.
 RNG_HOME = os.path.join("engine", "randomness.py")
@@ -195,11 +212,12 @@ def _attr_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
 
 class _Linter(ast.NodeVisitor):
     def __init__(self, path: str, imports: _Imports, sim_scope: bool,
-                 rng_home: bool):
+                 rng_home: bool, rob_scope: bool = False):
         self.path = path
         self.imports = imports
         self.sim_scope = sim_scope
         self.rng_home = rng_home
+        self.rob_scope = rob_scope
         self.violations: List[Violation] = []
         self._lt_depth = 0
 
@@ -297,6 +315,43 @@ class _Linter(ast.NodeVisitor):
         self.generic_visit(node)
 
     visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    # -- ROB001 ---------------------------------------------------------
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        if self.rob_scope:
+            detail = self._broad_except(node.type)
+            if detail and self._silent_body(node.body):
+                self._flag("ROB001", node, detail)
+        self.generic_visit(node)
+
+    @staticmethod
+    def _broad_except(node: Optional[ast.expr]) -> Optional[str]:
+        """``except:`` / ``except Exception`` / ``except BaseException``
+        (alone or anywhere in a tuple of types)."""
+        if node is None:
+            return "bare except"
+        names = []
+        if isinstance(node, ast.Tuple):
+            names = [e.id for e in node.elts if isinstance(e, ast.Name)]
+        elif isinstance(node, ast.Name):
+            names = [node.id]
+        for name in names:
+            if name in {"Exception", "BaseException"}:
+                return f"except {name}"
+        return None
+
+    @staticmethod
+    def _silent_body(body: Sequence[ast.stmt]) -> bool:
+        """True when the handler does nothing: only ``pass``,
+        ``continue``, ``...``, or bare string/constant expressions."""
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Constant):
+                continue
+            return False
+        return True
 
     # -- DET003 ---------------------------------------------------------
 
@@ -435,21 +490,30 @@ def _is_sim_scope(path: str) -> bool:
     return bool(SIM_PACKAGES.intersection(parts))
 
 
+def _is_rob_scope(path: str) -> bool:
+    parts = os.path.normpath(path).split(os.sep)
+    return bool(ROB_PACKAGES.intersection(parts))
+
+
 def lint_source(
     source: str,
     path: str = "<string>",
     sim_scope: Optional[bool] = None,
+    rob_scope: Optional[bool] = None,
 ) -> List[Violation]:
     """Lint Python source text. ``sim_scope`` forces or disables
-    DET002; by default it is inferred from the path (any component in
-    ``engine/core/net/apps/obs``)."""
+    DET002; ``rob_scope`` does the same for ROB001; by default both
+    are inferred from the path (``engine/core/net/apps/obs`` and
+    ``engine/core`` respectively)."""
     tree = ast.parse(source, filename=path)
     imports = _Imports()
     imports.collect(tree)
     if sim_scope is None:
         sim_scope = _is_sim_scope(path)
+    if rob_scope is None:
+        rob_scope = _is_rob_scope(path)
     rng_home = os.path.normpath(path).endswith(RNG_HOME)
-    linter = _Linter(path, imports, sim_scope, rng_home)
+    linter = _Linter(path, imports, sim_scope, rng_home, rob_scope)
     linter.visit(tree)
     allowed = _suppressed_lines(source)
     return [

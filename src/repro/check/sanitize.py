@@ -103,6 +103,19 @@ class DomainProbe:
         return self._hash.hexdigest()
 
 
+def diff_domain_digests(expected, actual) -> List[int]:
+    """Domain ids whose digests disagree (or exist on one side only).
+
+    The recovery digest compare: the resilience supervisor uses this
+    to decide whether a replayed worker reproduced its pre-crash event
+    stream, and ``--resume`` uses it to verify a replayed prefix
+    against a checkpoint. Values are hex digest strings keyed by
+    domain id.
+    """
+    ids = sorted(set(expected) | set(actual))
+    return [d for d in ids if expected.get(d) != actual.get(d)]
+
+
 def compose_domain_digests(digests) -> str:
     """Fold per-domain digests into one, sorted by domain id.
 
@@ -127,13 +140,19 @@ class SimSanitizer:
     'e3b0c442...'
     """
 
-    def __init__(self, freeze_packets: bool = False):
+    def __init__(self, freeze_packets: bool = False, keep_records: bool = True):
         self.records: List[DispatchRecord] = []
         self.dispatched = 0
         self._hash = hashlib.sha256()
         self._sim: Optional[Simulator] = None
         self._probes: Optional[List[DomainProbe]] = None
         self._freeze_packets = freeze_packets
+        #: ``keep_records=False`` keeps only the streaming digest —
+        #: O(1) memory for long supervised runs that never need the
+        #: record-level diff (resilience attaches sanitizers for the
+        #: whole run; storing every DispatchRecord would dwarf the
+        #: emulation itself).
+        self._keep_records = keep_records
         self._frozen_ids: set = set()
         self._freeze_undo: Optional[Callable[[], None]] = None
 
@@ -153,7 +172,9 @@ class SimSanitizer:
         domains = getattr(sim, "domains", None)
         if domains is not None and len(domains) > 1:
             self._probes = [
-                DomainProbe(domain.domain_id).attach(domain)
+                DomainProbe(
+                    domain.domain_id, keep_records=self._keep_records
+                ).attach(domain)
                 for domain in domains
             ]
         else:
@@ -194,10 +215,11 @@ class SimSanitizer:
     # -- recording ------------------------------------------------------
 
     def _observe(self, event: Event, fn: Callable) -> None:
-        record = DispatchRecord(event.time, event.seq, _callsite(fn))
-        self._hash.update(struct.pack("<dq", record.time, record.seq))
-        self._hash.update(record.callsite.encode())
-        self.records.append(record)
+        callsite = _callsite(fn)
+        self._hash.update(struct.pack("<dq", event.time, event.seq))
+        self._hash.update(callsite.encode())
+        if self._keep_records:
+            self.records.append(DispatchRecord(event.time, event.seq, callsite))
         self.dispatched += 1
 
     def domain_digests(self) -> Optional[dict]:
@@ -205,6 +227,20 @@ class SimSanitizer:
         if self._probes is None:
             return None
         return {probe.domain_id: probe.hexdigest() for probe in self._probes}
+
+    def domain_counts(self) -> Optional[dict]:
+        """Per-domain event counts of a partitioned attach (else None)."""
+        if self._probes is None:
+            return None
+        return {probe.domain_id: probe.count for probe in self._probes}
+
+    def events_observed(self) -> int:
+        """Events observed so far — valid mid-run, unlike
+        ``dispatched`` which (for partitioned attaches) is only
+        materialized at :meth:`detach`."""
+        if self._probes is not None:
+            return sum(probe.count for probe in self._probes)
+        return self.dispatched
 
     @property
     def digest(self) -> str:

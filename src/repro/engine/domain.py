@@ -176,6 +176,23 @@ class EventDomain:
             return entry[0]
         return INFINITY
 
+    def snapshot(self) -> dict:
+        """Cheap, picklable view of kernel progress at a barrier.
+
+        Used by resilience checkpoints to record (and later verify)
+        where a domain stood: clock, dispatch count, sequence counter,
+        and heap occupancy. This is *progress* state, not full kernel
+        state — resume works by deterministic replay, not by restoring
+        heaps (live events hold unpicklable closures).
+        """
+        return {
+            "domain": self.domain_id,
+            "now": self._now,
+            "dispatched": self._dispatched,
+            "seq": self._seq,
+            "pending": len(self._heap),
+        }
+
     def step(self) -> bool:
         """Dispatch the single next non-cancelled event.
 

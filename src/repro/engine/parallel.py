@@ -26,6 +26,16 @@ Hence the composed per-domain digests of a multiprocess run match the
 serial partitioned run of the same scenario exactly — the property
 ``repro-net sanitize --backend multiprocess`` enforces.
 
+Execution is supervised (:mod:`repro.resilience`): every worker runs a
+heartbeat thread, replies carry streaming per-domain digests, and the
+parent drives the epoch barrier through a
+:class:`~repro.resilience.supervisor.WorkerSupervisor` that detects
+crashes and hangs, respawns dead workers from the spec, and replays
+them to the last completed barrier with a digest check — so a SIGKILL
+mid-run yields the same composed digest as an undisturbed run.
+Budget guards and checkpoint callbacks observe the loop at epoch
+boundaries and never alter the epoch structure.
+
 One synchronous round trip per worker per epoch is the price of the
 barrier. With the default 20 us lookahead that is tens of thousands
 of round trips per virtual second, so the multiprocess backend only
@@ -36,8 +46,10 @@ are reported honestly either way (see DESIGN.md §8).
 from __future__ import annotations
 
 import multiprocessing
+import signal as _signal
+import threading
 from time import perf_counter
-from typing import Any, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.domain import INFINITY
 from repro.engine.sync import (
@@ -45,6 +57,13 @@ from repro.engine.sync import (
     MSG_HOST,
     epoch_window,
 )
+from repro.resilience.policy import (
+    BudgetExceeded,
+    BudgetGuard,
+    ResilienceError,
+    RetryPolicy,
+)
+from repro.resilience.supervisor import WorkerSupervisor
 
 #: Payload encodings on the wire between processes.
 _ENC_DESCRIPTOR = 0
@@ -208,19 +227,50 @@ def _collect_worker_stats(emulation, sim, owned: Sequence[int], probes) -> dict:
     }
 
 
-def _worker_main(conn, spec, owned: List[int], sanitize: bool) -> None:
-    """One worker: rebuild, then serve epoch commands until 'finish'."""
+def _worker_main(
+    conn,
+    spec,
+    owned: List[int],
+    worker_index: int = 0,
+    heartbeat_interval_s: float = 0.5,
+) -> None:
+    """One worker: rebuild, then serve epoch commands until 'finish'.
+
+    A daemon heartbeat thread shares the reply pipe (under a send
+    lock) so the supervisor can tell a dead or stopped process from a
+    livelocked one. Digest probes are always attached: every ``done``
+    reply carries ``{domain: (hexdigest, count)}``, which is what makes
+    crash recovery *verifiable* — the supervisor replays a respawned
+    worker and compares these digests against the pre-crash ones.
+    """
+    send_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def _send(payload) -> None:
+        with send_lock:
+            conn.send(payload)
+
+    def _beat() -> None:
+        while not stop_beating.wait(heartbeat_interval_s):
+            try:
+                _send(("hb",))
+            except (OSError, ValueError):
+                return
+
+    if heartbeat_interval_s > 0:
+        threading.Thread(
+            target=_beat, daemon=True, name=f"repro-hb-{worker_index}"
+        ).start()
+    epoch_index = 0
     try:
         _scenario, sim, emulation = _build_from_spec(spec)
-        probes = {}
-        if sanitize:
-            from repro.check.sanitize import DomainProbe
+        from repro.check.sanitize import DomainProbe
 
-            for d in owned:
-                probes[d] = DomainProbe(d, keep_records=False).attach(
-                    sim.domains[d]
-                )
-        conn.send(
+        probes = {
+            d: DomainProbe(d, keep_records=False).attach(sim.domains[d])
+            for d in owned
+        }
+        _send(
             ("ready", {d: sim.domains[d].next_event_time() for d in owned})
         )
         while True:
@@ -238,13 +288,18 @@ def _worker_main(conn, spec, owned: List[int], sanitize: bool) -> None:
                 outbox = [
                     encode_message(m) for m in sim.router.take_pending()
                 ]
-                conn.send(
+                _send(
                     (
                         "done",
                         {d: sim.domains[d].next_event_time() for d in owned},
                         outbox,
+                        {
+                            d: (probes[d].hexdigest(), probes[d].count)
+                            for d in owned
+                        },
                     )
                 )
+                epoch_index += 1
             elif op == "finish":
                 _, until = command
                 if until is not None:
@@ -252,7 +307,8 @@ def _worker_main(conn, spec, owned: List[int], sanitize: bool) -> None:
                         domain = sim.domains[d]
                         if domain._now < until:
                             domain._now = until
-                conn.send(
+                stop_beating.set()
+                _send(
                     ("result", _collect_worker_stats(emulation, sim, owned, probes))
                 )
                 conn.close()
@@ -262,9 +318,21 @@ def _worker_main(conn, spec, owned: List[int], sanitize: bool) -> None:
     except BaseException:
         import traceback
 
+        stop_beating.set()
         try:
-            conn.send(("error", traceback.format_exc()))
-        except Exception:
+            _send(
+                (
+                    "error",
+                    {
+                        "worker": worker_index,
+                        "domains": list(owned),
+                        "epoch": epoch_index,
+                        "traceback": traceback.format_exc(),
+                    },
+                )
+            )
+        except (OSError, ValueError):
+            # Parent is gone; a nonzero exit is the only report left.
             pass
         raise
 
@@ -287,6 +355,14 @@ class MultiprocessResult:
         self.metric_overlay: Dict[str, Any] = {}
         self.wall_time_s = 0.0
         self.workers = 0
+        #: ``completed`` or ``aborted`` (budget exhaustion mid-run).
+        self.outcome = "completed"
+        self.abort_reason: Optional[str] = None
+        self.budget_error: Optional[BudgetExceeded] = None
+        # Supervision counters (surfaced as resilience.* metrics).
+        self.heartbeats_missed = 0
+        self.workers_restarted = 0
+        self.retries = 0
 
     @property
     def events_dispatched(self) -> int:
@@ -308,26 +384,43 @@ def _mp_context():
     )
 
 
-def _recv(conn):
-    reply = conn.recv()
-    if reply[0] == "error":
-        raise ParallelExecutionError(f"worker failed:\n{reply[1]}")
-    return reply
-
-
 def run_multiprocess(
     scenario,
     until: float,
     workers: int = 0,
     sanitize: bool = False,
+    policy: Optional[RetryPolicy] = None,
+    epoch_timeout_s: float = 30.0,
+    heartbeat_interval_s: float = 0.5,
+    budget: Optional[BudgetGuard] = None,
+    on_epoch: Optional[Callable[[int, float, dict, dict], None]] = None,
+    chaos_kill: Optional[Tuple[int, int]] = None,
+    chaos_signal: int = _signal.SIGKILL,
 ) -> MultiprocessResult:
-    """Run a built partitioned ``scenario`` to ``until`` across worker
-    processes, patch its (never-run) parent objects with the merged
-    statistics, and return the :class:`MultiprocessResult`.
+    """Run a built partitioned ``scenario`` to ``until`` across
+    supervised worker processes, patch its (never-run) parent objects
+    with the merged statistics, and return the
+    :class:`MultiprocessResult`.
 
     ``workers == 0`` means one per domain. Domains are dealt to
     workers round-robin; any worker count from 1 to ``num_domains``
-    produces identical digests.
+    produces identical digests. ``sanitize`` is kept for API
+    compatibility: digests are always streamed now (supervision needs
+    them for verified recovery).
+
+    Supervision: a crashed or hung worker is respawned from the spec
+    and deterministically replayed to the last completed epoch barrier
+    (digest-verified) per ``policy``; when retries run out a
+    :class:`~repro.resilience.supervisor.SupervisionEscalation`
+    propagates so the caller can degrade to the serial backend.
+    ``budget`` is checked at every epoch barrier; exhaustion ends the
+    run early with ``result.outcome == "aborted"`` and whatever stats
+    the workers could still report. ``on_epoch(epoch_index, horizon,
+    domain_digests, domain_counts)`` fires after every epoch (the
+    checkpoint hook). ``chaos_kill=(epoch, worker)`` delivers
+    ``chaos_signal`` to one worker just before that epoch — the
+    deterministic fault-injection hook for tests and the
+    ``chaos_recovery`` benchmark.
     """
     sim = scenario.sim
     if getattr(sim, "domains", None) is None or sim.num_domains < 2:
@@ -344,26 +437,31 @@ def run_multiprocess(
     result = MultiprocessResult()
     result.workers = num_workers
     ctx = _mp_context()
-    conns = []
-    procs = []
+
+    def spawn(index: int):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_worker_main,
+            args=(child_conn, spec, owned[index], index, heartbeat_interval_s),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        return parent_conn, proc
+
+    supervisor = WorkerSupervisor(
+        spawn,
+        owned,
+        policy=policy,
+        epoch_timeout_s=epoch_timeout_s,
+        heartbeat_interval_s=heartbeat_interval_s,
+    )
+    if budget is not None and budget._t0 is None:
+        budget.start()
+    stats: List[dict] = []
     t0 = perf_counter()  # repro: allow-wallclock
     try:
-        for w in range(num_workers):
-            parent_conn, child_conn = ctx.Pipe()
-            proc = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, spec, owned[w], sanitize),
-                daemon=True,
-            )
-            proc.start()
-            child_conn.close()
-            conns.append(parent_conn)
-            procs.append(proc)
-
-        next_times: Dict[int, float] = {}
-        for conn in conns:
-            reply = _recv(conn)
-            next_times.update(reply[1])
+        next_times: Dict[int, float] = supervisor.start()
         pending: List[DomainMessage] = []
         lookahead = sim.lookahead
         while True:
@@ -381,32 +479,51 @@ def run_multiprocess(
                 slices[owner_of_domain[message.dst_domain]].append(message)
             result.messages_routed += len(pending)
             pending = []
-            for w, conn in enumerate(conns):
-                conn.send(("epoch", horizon, inclusive, slices[w]))
-            for conn in conns:
-                reply = _recv(conn)
+            if chaos_kill is not None and supervisor.epoch_index == chaos_kill[0]:
+                supervisor.kill(chaos_kill[1] % num_workers, chaos_signal)
+            replies = supervisor.run_epoch(horizon, inclusive, slices)
+            for reply in replies:
                 next_times.update(reply[1])
                 pending.extend(reply[2])
+                for d, (digest, count) in reply[3].items():
+                    result.domain_digests[d] = digest
+                    result.domain_digest_events[d] = count
             result.epochs += 1
-
-        stats = []
-        for conn in conns:
-            conn.send(("finish", until))
-        for conn in conns:
-            stats.append(_recv(conn)[1])
+            if budget is not None:
+                budget.check(
+                    events=sum(result.domain_digest_events.values()),
+                    pids=supervisor.pids(),
+                )
+            if on_epoch is not None:
+                on_epoch(
+                    result.epochs - 1,
+                    horizon,
+                    dict(result.domain_digests),
+                    dict(result.domain_digest_events),
+                )
+        stats = supervisor.finish(until)
+    except BudgetExceeded as exc:
+        result.outcome = "aborted"
+        result.abort_reason = exc.reason
+        result.budget_error = exc
+        try:
+            # Best-effort partial stats: no clock fast-forward.
+            stats = supervisor.finish(None)
+        except ResilienceError:
+            stats = []
     finally:
-        for conn in conns:
-            try:
-                conn.close()
-            except Exception:
-                pass
-        for proc in procs:
-            proc.join(timeout=30)
-            if proc.is_alive():
-                proc.terminate()
+        result.heartbeats_missed = supervisor.heartbeats_missed
+        result.workers_restarted = supervisor.workers_restarted
+        result.retries = supervisor.retries
+        supervisor.shutdown()
     result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
 
-    _merge_stats(scenario, stats, until, result)
+    _merge_stats(
+        scenario,
+        stats,
+        until if result.outcome == "completed" else None,
+        result,
+    )
     return result
 
 

@@ -254,6 +254,12 @@ class PartitionedSimulator:
         ]
         self.router = DomainRouter(num_domains)
         self.epochs = 0
+        #: Optional barrier hook ``fn(epoch_index, horizon)`` invoked
+        #: after every completed epoch. Resilience uses it for budget
+        #: checks and checkpoints; it must not schedule events (it runs
+        #: between epochs, outside any domain's dispatch loop), and the
+        #: epoch structure is identical whether or not it is set.
+        self.on_epoch: Optional[Callable[[int, float], None]] = None
         self._running = False
         self._stopped = False
 
@@ -280,6 +286,10 @@ class PartitionedSimulator:
     def events_by_domain(self) -> List[int]:
         """Per-domain dispatch counts (load-imbalance attribution)."""
         return [domain._dispatched for domain in self.domains]
+
+    def snapshot(self) -> List[dict]:
+        """Per-domain :meth:`EventDomain.snapshot` list (checkpoints)."""
+        return [domain.snapshot() for domain in self.domains]
 
     @property
     def pending(self) -> int:
@@ -354,6 +364,8 @@ class PartitionedSimulator:
                 for domain in domains:
                     domain.run_until(horizon, inclusive)
                 self.epochs += 1
+                if self.on_epoch is not None:
+                    self.on_epoch(self.epochs - 1, horizon)
         finally:
             self._running = False
         if until is not None and not self._stopped:

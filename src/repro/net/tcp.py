@@ -712,7 +712,11 @@ class TcpConnection:
             end += 1
         if segment.messages:
             for mark, message in segment.messages:
-                self._ooo_msgs.setdefault(mark, message)
+                # A mark at or below rcv_nxt was already delivered; a
+                # retransmitted segment must not resurrect it (framing
+                # is exactly-once even when the ACK was lost).
+                if mark > self.rcv_nxt:
+                    self._ooo_msgs.setdefault(mark, message)
         if end <= self.rcv_nxt:
             # Entirely duplicate; re-ack so the sender can make progress.
             self._send_ack()

@@ -14,6 +14,8 @@ source lacks. This CLI provides those offline steps:
     repro-net route ts.gml --src 40 --dst 90
     repro-net run ts.gml --cores 2 --flows 8 --report out.json
     repro-net run ts.gml --cores 4 --backend multiprocess --workers 2
+    repro-net run ts.gml --checkpoint-every 0.25 --checkpoint run.ckpt --max-events 100000
+    repro-net run --resume run.ckpt --expect-digests examples/dumbbell.digests.json
     repro-net check src/
     repro-net sanitize examples/dumbbell.gml --seeds 1,2,3
     repro-net sanitize ring8.gml --cores 4 --backend multiprocess
@@ -184,25 +186,7 @@ def _cmd_emulate(args) -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    """The Run phase: drive a Scenario over a GML topology and emit
-    its RunReport."""
-    from repro.api import Scenario
-
-    scenario = (
-        Scenario.from_gml(args.input)
-        .distill(args.mode, walk_in=args.walk_in, walk_out=args.walk_out)
-        .assign(args.cores)
-        .bind(args.hosts)
-        .seed(args.seed)
-        .netperf(flows=args.flows)
-        .backend(args.backend, domains=args.domains, workers=args.workers)
-    )
-    if args.reference:
-        scenario.config(reference=True)
-    if args.no_obs:
-        scenario.observe(False)
-    report = scenario.run(until=args.seconds)
+def _emit_report(args, report) -> None:
     if args.report:
         report.save(args.report)
         print(f"wrote {args.report}")
@@ -213,6 +197,105 @@ def _cmd_run(args) -> int:
         print(report.summary())
     else:
         print(report.to_json())
+
+
+def _cmd_run(args) -> int:
+    """The Run phase: drive a Scenario over a GML topology and emit
+    its RunReport. With --resume/--checkpoint-every/--max-* the
+    supervised (resilient) run path applies; budget aborts save the
+    partial report and exit 3."""
+    import json
+
+    from repro.api import Scenario
+    from repro.resilience import (
+        CheckpointDivergence,
+        CheckpointError,
+        RunAborted,
+    )
+
+    if args.resume:
+        try:
+            scenario = Scenario.from_checkpoint(args.resume)
+        except CheckpointError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    else:
+        if args.seconds is None:
+            args.seconds = 3.0
+        if not args.input:
+            print(
+                "error: a GML topology is required unless --resume is given",
+                file=sys.stderr,
+            )
+            return 2
+        scenario = (
+            Scenario.from_gml(args.input)
+            .distill(args.mode, walk_in=args.walk_in, walk_out=args.walk_out)
+            .assign(args.cores)
+            .bind(args.hosts)
+            .seed(args.seed)
+            .netperf(flows=args.flows)
+            .backend(args.backend, domains=args.domains, workers=args.workers)
+        )
+    if args.reference:
+        scenario.config(reference=True)
+    if args.no_obs:
+        scenario.observe(False)
+    resilient = args.resume or args.expect_digests or any(
+        value is not None
+        for value in (
+            args.checkpoint_every, args.checkpoint, args.max_wall,
+            args.max_rss, args.max_events, args.epoch_timeout, args.retries,
+        )
+    ) or args.no_degrade
+    if resilient:
+        scenario.resilience(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint=args.checkpoint,
+            max_wall=args.max_wall,
+            max_rss_mb=args.max_rss,
+            max_events=args.max_events,
+            epoch_timeout=args.epoch_timeout,
+            retries=args.retries,
+            degrade=False if args.no_degrade else None,
+        )
+    try:
+        report = scenario.run(until=args.seconds)
+    except RunAborted as abort:
+        # A budget abort is an *orderly* exit: the partial report (with
+        # run.outcome and the resilience counters) is still emitted.
+        if abort.report is not None:
+            _emit_report(args, abort.report)
+        print(f"run aborted: {abort.reason}", file=sys.stderr)
+        return 3
+    except CheckpointDivergence as error:
+        print(f"resume diverged from checkpoint: {error}", file=sys.stderr)
+        return 4
+    _emit_report(args, report)
+    if args.expect_digests:
+        with open(args.expect_digests) as handle:
+            expected = {
+                int(key): value
+                for key, value in json.load(handle).items()
+                if not key.startswith("_")
+            }
+        digest = report.metrics.get("run.digest")
+        want = expected.get(scenario._seed)
+        if want is None:
+            print(
+                f"error: no baseline digest for seed {scenario._seed} "
+                f"in {args.expect_digests}",
+                file=sys.stderr,
+            )
+            return 2
+        if digest != want:
+            print(
+                f"seed {scenario._seed}: DIGEST DRIFT — got "
+                f"{str(digest)[:16]}, baseline {want[:16]} "
+                f"({args.expect_digests})"
+            )
+            return 1
+        print(f"digest matches baseline for seed {scenario._seed}")
     return 0
 
 
@@ -243,7 +326,7 @@ def _cmd_import(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    """Static determinism lint (rules DET001-DET004, NED001)."""
+    """Static determinism lint (rules DET001-DET004, NED001, ROB001)."""
     import os
 
     from repro.check import RULES, format_violation, lint_paths, load_baseline
@@ -300,7 +383,10 @@ def _cmd_sanitize(args) -> int:
             .backend(args.backend, domains=args.domains, workers=args.workers)
         )
         if args.inject_fault:
-            scenario.traffic(_nondeterminism_fault(args.seconds))
+            # Declarative fault: survives the spec round trip, so it
+            # runs *inside* multiprocess workers too — divergence is
+            # detected there, not masked by the parent.
+            scenario.inject_fault(args.seconds)
         return scenario
 
     failures = 0
@@ -410,26 +496,6 @@ def _cmd_bench(args) -> int:
     return exit_code
 
 
-def _nondeterminism_fault(seconds: float):
-    """A deliberately broken traffic source for testing the sanitizer:
-    an *unseeded* RNG (OS entropy) jitters its own schedule, so two
-    same-seed runs dispatch it at different virtual times."""
-
-    def chaos(emulation):
-        import random as _random
-
-        rng = _random.Random()  # repro: allow-rng (deliberate fault)
-        sim = emulation.sim
-
-        def tick() -> None:
-            if sim.now < seconds:
-                sim.schedule(rng.uniform(1e-3, 1e-2), tick)
-
-        sim.schedule(rng.uniform(1e-3, 1e-2), tick)
-
-    return chaos
-
-
 def _add_backend_flags(parser, default_backend="serial") -> None:
     """``--backend/--domains/--workers``: select the execution engine
     (shared by the run/sanitize/bench subcommands)."""
@@ -524,14 +590,21 @@ def build_parser() -> argparse.ArgumentParser:
         "run",
         help="run a Scenario over a GML topology and emit its RunReport",
     )
-    run.add_argument("input")
+    run.add_argument(
+        "input", nargs="?", default=None,
+        help="GML topology (optional with --resume)",
+    )
     run.add_argument("--mode", choices=sorted(_MODES), default="hop-by-hop")
     run.add_argument("--walk-in", type=int, default=1)
     run.add_argument("--walk-out", type=int, default=0)
     run.add_argument("--cores", type=int, default=1)
     run.add_argument("--hosts", type=int, default=1)
+    run.add_argument(
+        "--seconds", type=float, default=None,
+        help="virtual seconds to run (default 3.0; --resume defaults "
+        "to the checkpointed run's target)",
+    )
     run.add_argument("--flows", type=int, default=4)
-    run.add_argument("--seconds", type=float, default=3.0)
     run.add_argument("--seed", type=int, default=0)
     _add_backend_flags(run)
     run.add_argument(
@@ -544,10 +617,59 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--report", help="write the RunReport JSON here")
     run.add_argument("--csv", help="write the metrics as CSV here")
+    resilience = run.add_argument_group(
+        "resilience",
+        "supervised execution: checkpoints, budget guards, recovery "
+        "(any of these flags enables the resilient run path)",
+    )
+    resilience.add_argument(
+        "--checkpoint-every", type=float, default=None, metavar="VSEC",
+        help="write a checkpoint every VSEC virtual seconds",
+    )
+    resilience.add_argument(
+        "--checkpoint", default=None, metavar="PATH",
+        help="checkpoint file path (default: <scenario>.ckpt)",
+    )
+    resilience.add_argument(
+        "--resume", default=None, metavar="CKPT",
+        help="resume from a checkpoint: replay to its barrier, verify "
+        "digests, then continue",
+    )
+    resilience.add_argument(
+        "--max-wall", type=float, default=None, metavar="SEC",
+        help="abort after SEC wall-clock seconds (exit 3)",
+    )
+    resilience.add_argument(
+        "--max-rss", type=float, default=None, metavar="MB",
+        help="abort when resident memory exceeds MB megabytes (exit 3)",
+    )
+    resilience.add_argument(
+        "--max-events", type=int, default=None,
+        help="abort after this many dispatched events (exit 3)",
+    )
+    resilience.add_argument(
+        "--epoch-timeout", type=float, default=None, metavar="SEC",
+        help="declare a multiprocess worker hung after SEC seconds "
+        "without an epoch reply (default 30)",
+    )
+    resilience.add_argument(
+        "--retries", type=int, default=None,
+        help="recovery attempts per worker before escalation (default 2)",
+    )
+    resilience.add_argument(
+        "--no-degrade", action="store_true",
+        help="on escalation, fail instead of degrading multiprocess "
+        "to serial partitioned execution",
+    )
+    resilience.add_argument(
+        "--expect-digests", metavar="JSON",
+        help="JSON file mapping seed -> expected digest; compare "
+        "run.digest and fail on drift",
+    )
     run.set_defaults(func=_cmd_run)
 
     check = sub.add_parser(
-        "check", help="static determinism lint (DET001-DET004, NED001)"
+        "check", help="static determinism lint (DET001-DET004, NED001, ROB001)"
     )
     check.add_argument("paths", nargs="*", help="files or directories to lint")
     check.add_argument(

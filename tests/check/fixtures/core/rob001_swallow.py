@@ -1,0 +1,48 @@
+"""Seeded ROB001 bugs: silent broad excepts in a ``core/`` path.
+
+Exactly three handlers below swallow failures silently; the narrow,
+annotated, and loud ones must not be flagged.
+"""
+
+
+def swallow_exception(work):
+    try:
+        work()
+    except Exception:
+        pass
+
+
+def swallow_bare(work):
+    try:
+        work()
+    except:  # noqa: E722 - the seeded bug
+        ...
+
+
+def swallow_in_tuple(items, work):
+    for item in items:
+        try:
+            work(item)
+        except (ValueError, BaseException):
+            continue
+
+
+def allowed_last_resort(work):
+    try:
+        work()
+    except Exception:  # repro: allow-broad-except
+        pass
+
+
+def narrow_is_fine(work):
+    try:
+        work()
+    except OSError:
+        pass
+
+
+def broad_but_loud(work):
+    try:
+        work()
+    except Exception as error:
+        raise RuntimeError("wrapped") from error

@@ -32,6 +32,7 @@ SEEDED_BUGS = [
     (fixture("det003_set_fanout.py"), "DET003", 2),
     (fixture("det004_id_tiebreak.py"), "DET004", 3),
     (fixture("ned001_lambda_capture.py"), "NED001", 1),
+    (fixture("core", "rob001_swallow.py"), "ROB001", 3),
 ]
 
 
@@ -139,6 +140,56 @@ def test_annotations_are_not_flagged():
     assert lint_source(source, path="x.py") == []
 
 
+def test_rob001_only_fires_in_engine_and_core():
+    source = (
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:\n"
+        "        pass\n"
+    )
+    assert lint_source(source, path="src/repro/tools/cli.py") == []
+    assert lint_source(source, path="src/repro/resilience/supervisor.py") == []
+    for where in ("src/repro/engine/parallel.py", "src/repro/core/faults.py"):
+        assert [v.rule for v in lint_source(source, path=where)] == ["ROB001"]
+
+
+def test_rob001_scope_override():
+    source = "try:\n    x = 1\nexcept BaseException:\n    pass\n"
+    assert lint_source(source, path="anywhere.py", rob_scope=True)
+    assert lint_source(source, path="src/repro/core/x.py", rob_scope=False) == []
+
+
+def test_rob001_requires_silent_body():
+    loud = (
+        "def f(work, log):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception as error:\n"
+        "        log(error)\n"
+    )
+    assert lint_source(loud, path="src/repro/engine/x.py") == []
+    reraise = (
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except BaseException:\n"
+        "        raise\n"
+    )
+    assert lint_source(reraise, path="src/repro/engine/x.py") == []
+
+
+def test_rob001_escape_hatch():
+    source = (
+        "def f(work):\n"
+        "    try:\n"
+        "        work()\n"
+        "    except Exception:  # repro: allow-broad-except\n"
+        "        pass\n"
+    )
+    assert lint_source(source, path="src/repro/engine/x.py") == []
+
+
 def test_det003_requires_heap_feeding_body():
     source = "def f(peers):\n    return [p.name for p in peers]\n"
     assert lint_source(source, path="x.py") == []
@@ -205,7 +256,7 @@ def test_baseline_rejects_incomplete_entries(tmp_path):
 def test_cli_list_rules(capsys):
     assert main(["check", "--list-rules"]) == 0
     out = capsys.readouterr().out
-    for rule in ("DET001", "DET002", "DET003", "DET004", "NED001"):
+    for rule in ("DET001", "DET002", "DET003", "DET004", "NED001", "ROB001"):
         assert rule in out
 
 

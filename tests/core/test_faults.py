@@ -75,6 +75,62 @@ def test_partition_cuts_traffic():
     assert emulation.monitor.packets_unroutable == 1
 
 
+def test_node_failure_recomputes_routes_and_recovery_restores_them():
+    """Failing r1 reroutes c0->c3 over the 20 ms detour through r2;
+    recovering it snaps traffic back to the 1 ms path (the paper's
+    instantaneous shortest-path recomputation)."""
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    received = []
+    emulation.vn(1).udp_socket(port=9, on_receive=lambda *a: received.append(sim.now))
+    sender = emulation.vn(0).udp_socket()
+    injector.fail_node_at(1.0, 1)
+    injector.recover_node_at(3.0, 1)
+    sends = (0.5, 1.5, 3.5)
+    for when in sends:
+        sim.at(when, sender.send_to, 1, 9, 100)
+    sim.run(until=5.0)
+    assert len(received) == 3
+    latencies = [t - s for t, s in zip(received, sends)]
+    assert latencies[0] < 0.010          # short path: 2 x 1 ms
+    assert latencies[1] > 0.030          # detour: 2 x 20 ms
+    assert latencies[2] < 0.010          # back on the short path
+    assert latencies[2] == pytest.approx(latencies[0])
+
+
+def test_in_flight_packets_on_failed_links_are_dropped():
+    """A failure flushes the link's pipes: packets already in flight
+    are dropped, never delivered late over a dead link."""
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    received = []
+    emulation.vn(1).udp_socket(port=9, on_receive=lambda *a: received.append(sim.now))
+    sender = emulation.vn(0).udp_socket()
+    # In flight on the c0-r1 hop (1 ms latency) when r1 dies at t=1.0.
+    sim.at(0.9995, sender.send_to, 1, 9, 100)
+    injector.fail_node_at(1.0, 1)
+    sim.run(until=2.0)
+    assert received == []
+
+
+def test_partition_recovery_restores_connectivity():
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    received = []
+    emulation.vn(1).udp_socket(port=9, on_receive=lambda *a: received.append(sim.now))
+    sender = emulation.vn(0).udp_socket()
+    cut = [0, 2]  # both of c0's access links
+    injector.partition_at(1.0, cut)
+    for link_id in cut:
+        injector.recover_link_at(2.0, link_id)
+    sim.at(1.5, sender.send_to, 1, 9, 100)  # inside the partition: lost
+    sim.at(2.5, sender.send_to, 1, 9, 100)  # after healing: delivered
+    sim.run(until=4.0)
+    assert len(received) == 1
+    assert received[0] > 2.5
+    assert emulation.monitor.packets_unroutable == 1
+
+
 def test_perturbation_changes_latencies_within_bounds():
     topology = ring_topology(num_routers=6, vns_per_router=2)
     sim = Simulator()
@@ -173,6 +229,45 @@ def test_random_stress_respects_protected_links():
         assert emulation.topology.links[link_id].up
     with pytest.raises(ValueError):
         injector.random_stress(0.0, 10.0, protect=[0, 1, 2, 3])
+
+
+def test_random_stress_with_perturbation_restores_originals():
+    """After the stress window closes, every link is up and every
+    perturbed parameter (latency, bandwidth, loss) is back at its
+    original value — on the topology link AND its pipes."""
+    sim, emulation = build_square()
+    injector = FaultInjector(emulation)
+    originals = {
+        link_id: (link.bandwidth_bps, link.latency_s, link.loss_rate)
+        for link_id, link in emulation.topology.links.items()
+    }
+    injector.random_stress(
+        start_s=0.0, stop_s=20.0, mean_failure_interval_s=3.0,
+        mean_outage_s=1.0,
+        perturbation=LinkPerturbation(
+            period_s=2.0, link_fraction=1.0,
+            latency_scale=(1.1, 1.5),
+            bandwidth_scale=(0.5, 0.9),
+            loss_add=(0.0, 0.2),
+        ),
+    )
+    sim.run(until=10.0)
+    # Mid-window the perturbation has visibly moved something.
+    assert any(
+        emulation.topology.links[link_id].latency_s != pytest.approx(lat)
+        for link_id, (_, lat, _) in originals.items()
+    )
+    sim.run(until=25.0)
+    assert all(link.up for link in emulation.topology.links.values())
+    for link_id, (bw, lat, loss) in originals.items():
+        link = emulation.topology.links[link_id]
+        assert link.bandwidth_bps == pytest.approx(bw)
+        assert link.latency_s == pytest.approx(lat)
+        assert link.loss_rate == pytest.approx(loss)
+        for pipe in emulation.pipes_of_link(link_id):
+            assert pipe.bandwidth_bps == pytest.approx(bw)
+            assert pipe.latency_s == pytest.approx(lat)
+            assert pipe.loss_rate == pytest.approx(loss)
 
 
 def test_random_stress_deterministic_given_seed():

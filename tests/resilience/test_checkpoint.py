@@ -1,0 +1,180 @@
+"""Tests for checkpoint serialization, cadence, and resume verification."""
+
+import pickle
+
+import pytest
+
+from repro.resilience import (
+    Checkpoint,
+    CheckpointDivergence,
+    CheckpointError,
+    CheckpointWriter,
+    ResumeVerifier,
+    load_checkpoint,
+    write_checkpoint,
+)
+
+
+def make_checkpoint(**overrides) -> Checkpoint:
+    fields = dict(
+        spec={"topology": "dumbbell"},
+        until=1.0,
+        seed=2,
+        barrier_time=0.5,
+        epoch=42,
+        events=1234,
+        digest="a" * 64,
+        domain_digests={0: "b" * 64, 1: "c" * 64},
+        domain_counts={0: 600, 1: 634},
+        rng_states={"faults": (3, (1, 2, 3), None)},
+        metrics={"run.events": 1234},
+    )
+    fields.update(overrides)
+    return Checkpoint(**fields)
+
+
+# ----------------------------------------------------------------------
+# Write / load round trip
+# ----------------------------------------------------------------------
+
+def test_round_trip(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    original = make_checkpoint()
+    write_checkpoint(path, original)
+    loaded = load_checkpoint(path)
+    assert loaded == original
+
+
+def test_write_is_atomic_no_tmp_left_behind(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    write_checkpoint(path, make_checkpoint())
+    write_checkpoint(path, make_checkpoint(index=1))
+    assert [p.name for p in tmp_path.iterdir()] == ["run.ckpt"]
+    assert load_checkpoint(path).index == 1
+
+
+def test_load_missing_file_is_checkpoint_error(tmp_path):
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(tmp_path / "nope.ckpt"))
+
+
+def test_load_garbage_is_checkpoint_error(tmp_path):
+    path = tmp_path / "garbage.ckpt"
+    path.write_bytes(b"not a pickle")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(path))
+
+
+def test_load_wrong_type_is_checkpoint_error(tmp_path):
+    path = tmp_path / "wrong.ckpt"
+    path.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+    with pytest.raises(CheckpointError):
+        load_checkpoint(str(path))
+
+
+def test_load_wrong_version_is_checkpoint_error(tmp_path):
+    path = str(tmp_path / "old.ckpt")
+    write_checkpoint(path, make_checkpoint(version=99))
+    with pytest.raises(CheckpointError, match="version 99"):
+        load_checkpoint(path)
+
+
+# ----------------------------------------------------------------------
+# CheckpointWriter cadence
+# ----------------------------------------------------------------------
+
+def test_writer_cadence(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    writer = CheckpointWriter(path, 0.25, spec=None, until=1.0, seed=1)
+    assert not writer.due(0.1)
+    assert writer.due(0.25)
+    writer.write(0.25, events=10, digest="d" * 64)
+    assert writer.written == 1
+    assert not writer.due(0.49)
+    assert writer.due(0.5)
+
+
+def test_writer_skips_past_missed_marks(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    writer = CheckpointWriter(path, 0.25, spec=None, until=1.0, seed=1)
+    # A long epoch jumped the clock over three marks at once: one
+    # checkpoint is written and the next mark lands beyond the barrier.
+    writer.write(0.8, events=10, digest="d" * 64)
+    assert not writer.due(0.99)
+    assert writer.due(1.0)
+
+
+def test_writer_rejects_nonpositive_cadence(tmp_path):
+    with pytest.raises(ValueError):
+        CheckpointWriter(str(tmp_path / "x"), 0.0, None, 1.0, 1)
+
+
+def test_writer_records_barrier_fields(tmp_path):
+    path = str(tmp_path / "run.ckpt")
+    writer = CheckpointWriter(path, 0.5, spec="SPEC", until=2.0, seed=9)
+    writer.write(
+        0.5, events=77, digest="e" * 64, epoch=13,
+        domain_digests={0: "f" * 64}, domain_counts={0: 77},
+        metrics={"run.events": 77},
+    )
+    loaded = load_checkpoint(path)
+    assert loaded.spec == "SPEC"
+    assert loaded.until == 2.0
+    assert loaded.seed == 9
+    assert loaded.barrier_time == 0.5
+    assert loaded.epoch == 13
+    assert loaded.events == 77
+    assert loaded.domain_counts == {0: 77}
+
+
+# ----------------------------------------------------------------------
+# ResumeVerifier
+# ----------------------------------------------------------------------
+
+def test_verifier_passes_on_exact_match():
+    ckpt = make_checkpoint()
+    verifier = ResumeVerifier(ckpt)
+    assert not verifier.verified
+    verifier.verify(
+        digest=ckpt.digest,
+        events=ckpt.events,
+        domain_digests=dict(ckpt.domain_digests),
+        rng_states=dict(ckpt.rng_states),
+    )
+    assert verifier.verified
+
+
+def test_verifier_rejects_digest_mismatch():
+    verifier = ResumeVerifier(make_checkpoint())
+    with pytest.raises(CheckpointDivergence, match="composed digest"):
+        verifier.verify(digest="0" * 64)
+    assert not verifier.verified
+
+
+def test_verifier_rejects_event_count_mismatch():
+    verifier = ResumeVerifier(make_checkpoint())
+    with pytest.raises(CheckpointDivergence, match="event count"):
+        verifier.verify(events=999)
+
+
+def test_verifier_rejects_domain_digest_mismatch():
+    ckpt = make_checkpoint()
+    verifier = ResumeVerifier(ckpt)
+    wrong = dict(ckpt.domain_digests)
+    wrong[1] = "0" * 64
+    with pytest.raises(CheckpointDivergence, match=r"\[1\]"):
+        verifier.verify(domain_digests=wrong)
+
+
+def test_verifier_rejects_rng_state_mismatch():
+    ckpt = make_checkpoint()
+    verifier = ResumeVerifier(ckpt)
+    with pytest.raises(CheckpointDivergence, match="RNG stream"):
+        verifier.verify(rng_states={"faults": (9, (9,), None)})
+
+
+def test_verifier_collects_all_mismatches():
+    verifier = ResumeVerifier(make_checkpoint())
+    with pytest.raises(CheckpointDivergence) as info:
+        verifier.verify(digest="0" * 64, events=1)
+    assert len(info.value.mismatches) == 2

@@ -1,0 +1,259 @@
+"""Unit tests for WorkerSupervisor failure typing and recovery.
+
+These drive the supervisor against in-process fakes (no real worker
+processes) so each failure mode — crash, hang, remote error, desync,
+escalation — is exercised deterministically and fast. The end-to-end
+recovery paths over real multiprocess workers live in
+``test_scenario_resilience.py``.
+"""
+
+import pytest
+
+from repro.resilience import (
+    RetryPolicy,
+    SupervisionEscalation,
+    WorkerCrash,
+    WorkerDesync,
+    WorkerHang,
+    WorkerSupervisor,
+)
+
+
+class FakeConn:
+    """Scripted pipe end: yields queued replies, EOFs when empty."""
+
+    def __init__(self, replies=()):
+        self.replies = list(replies)
+        self.sent = []
+        self.closed = False
+
+    def poll(self, timeout=None):
+        return bool(self.replies)
+
+    def recv(self):
+        if not self.replies:
+            raise EOFError("script exhausted")
+        item = self.replies.pop(0)
+        if isinstance(item, BaseException):
+            raise item
+        return item
+
+    def send(self, command):
+        self.sent.append(command)
+
+    def close(self):
+        self.closed = True
+
+
+class FakeProc:
+    def __init__(self, alive=True):
+        self._alive = alive
+        self.pid = 4242
+        self.exitcode = None if alive else -9
+
+    def is_alive(self):
+        return self._alive
+
+    def join(self, timeout=None):
+        pass
+
+    def terminate(self):
+        self._alive = False
+
+    def kill(self):
+        self._alive = False
+
+
+def fast_policy(attempts=2):
+    return RetryPolicy(max_attempts=attempts, base_backoff_s=0.0, jitter=0.0)
+
+
+def make_supervisor(spawn, **kwargs):
+    kwargs.setdefault("policy", fast_policy())
+    kwargs.setdefault("epoch_timeout_s", 0.2)
+    kwargs.setdefault("heartbeat_interval_s", 0.05)
+    return WorkerSupervisor(spawn, owned=[[0, 1]], **kwargs)
+
+
+# ----------------------------------------------------------------------
+# Failure classification in _recv
+# ----------------------------------------------------------------------
+
+def test_silent_live_worker_is_a_hang_with_missed_heartbeats():
+    supervisor = make_supervisor(lambda i: (FakeConn(), FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=True)
+    with pytest.raises(WorkerHang, match="no heartbeats"):
+        supervisor._recv(handle)
+    assert supervisor.heartbeats_missed > 0
+
+
+def test_heartbeating_but_unresponsive_worker_is_a_livelock_hang():
+    conn = FakeConn([("hb",)] * 100)
+    supervisor = make_supervisor(lambda i: (conn, FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = conn, FakeProc(alive=True)
+    with pytest.raises(WorkerHang, match="livelock"):
+        supervisor._recv(handle)
+
+
+def test_dead_process_is_a_crash_not_a_hang():
+    supervisor = make_supervisor(lambda i: (FakeConn(), FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
+    with pytest.raises(WorkerCrash, match="process died"):
+        supervisor._recv(handle)
+
+
+def test_eof_is_a_crash():
+    conn = FakeConn([EOFError("peer gone")])
+    supervisor = make_supervisor(lambda i: (conn, FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = conn, FakeProc(alive=True)
+    with pytest.raises(WorkerCrash, match="pipe closed"):
+        supervisor._recv(handle)
+
+
+def test_remote_error_reply_carries_the_worker_traceback():
+    conn = FakeConn([
+        ("error", {"worker": 0, "epoch": 7, "traceback": "Traceback: boom"}),
+    ])
+    supervisor = make_supervisor(lambda i: (conn, FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = conn, FakeProc(alive=True)
+    with pytest.raises(WorkerCrash) as info:
+        supervisor._recv(handle)
+    assert info.value.epoch == 7
+    assert "Traceback: boom" in str(info.value)
+    assert "worker traceback" in str(info.value)
+
+
+def test_heartbeats_are_swallowed_before_the_real_reply():
+    conn = FakeConn([("hb",), ("hb",), ("done", {}, [], {})])
+    supervisor = make_supervisor(lambda i: (conn, FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = conn, FakeProc(alive=True)
+    assert supervisor._recv(handle)[0] == "done"
+
+
+# ----------------------------------------------------------------------
+# Typed failure metadata
+# ----------------------------------------------------------------------
+
+def test_failures_carry_worker_domains_and_epoch():
+    failure = WorkerCrash(3, [6, 7], 12, detail="gone")
+    assert failure.worker == 3
+    assert failure.domains == [6, 7]
+    assert failure.epoch == 12
+    message = str(failure)
+    assert "worker 3" in message and "[6, 7]" in message and "epoch 12" in message
+    assert WorkerHang.kind == "hung"
+    assert WorkerDesync.kind == "desynchronized"
+
+
+# ----------------------------------------------------------------------
+# Recovery: respawn + replay + escalation
+# ----------------------------------------------------------------------
+
+def test_recovery_replays_history_and_resends_inflight_command():
+    """After a crash the respawned worker must see: ready handshake,
+    every completed epoch (digest-identical), then the in-flight
+    command again."""
+    digests = {0: ("d0", 5), 1: ("d1", 6)}
+    respawned = FakeConn([
+        ("ready", {0: 0.1, 1: 0.2}),
+        ("done", {0: 0.3, 1: 0.4}, [], digests),   # replayed epoch 0
+        ("done", {0: 0.5, 1: 0.6}, [], digests),   # re-sent in-flight epoch
+    ])
+    supervisor = make_supervisor(lambda i: (respawned, FakeProc()))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
+    handle.completed = 1
+    handle.last_digests = dict(digests)
+    supervisor._history.append((0.3, False, [["m0"]]))
+    inflight = ("epoch", 0.5, False, ["m1"])
+    failure = WorkerCrash(0, [0, 1], 1, detail="killed")
+    reply = supervisor._handle_failure(handle, failure, resend=inflight)
+    assert reply[0] == "done"
+    assert supervisor.workers_restarted == 1
+    assert supervisor.retries == 1
+    # Replay first, then the in-flight command, in order.
+    assert respawned.sent == [("epoch", 0.3, False, ["m0"]), inflight]
+
+
+def test_replay_digest_mismatch_is_a_desync():
+    good = {0: ("d0", 5), 1: ("d1", 6)}
+    bad = {0: ("DIFFERENT", 5), 1: ("d1", 6)}
+    respawned = FakeConn([
+        ("ready", {0: 0.1, 1: 0.2}),
+        ("done", {0: 0.3, 1: 0.4}, [], bad),
+    ])
+    supervisor = make_supervisor(
+        lambda i: (respawned, FakeProc()), policy=fast_policy(attempts=1)
+    )
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
+    handle.completed = 1
+    handle.last_digests = good
+    supervisor._history.append((0.3, False, [["m0"]]))
+    with pytest.raises(SupervisionEscalation) as info:
+        supervisor._handle_failure(
+            handle, WorkerCrash(0, [0, 1], 1), resend=("epoch", 0.5, False, [])
+        )
+    assert isinstance(info.value.last, WorkerDesync)
+
+
+def test_replay_event_count_mismatch_is_a_desync():
+    good = {0: ("d0", 5)}
+    same_digest_wrong_count = {0: ("d0", 99)}
+    respawned = FakeConn([
+        ("ready", {0: 0.1}),
+        ("done", {0: 0.3}, [], same_digest_wrong_count),
+    ])
+    supervisor = make_supervisor(
+        lambda i: (respawned, FakeProc()), policy=fast_policy(attempts=1)
+    )
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
+    handle.completed = 1
+    handle.last_digests = good
+    supervisor._history.append((0.3, False, [[]]))
+    with pytest.raises(SupervisionEscalation) as info:
+        supervisor._handle_failure(
+            handle, WorkerCrash(0, [0, 1], 1), resend=("epoch", 0.5, False, [])
+        )
+    assert isinstance(info.value.last, WorkerDesync)
+
+
+def test_escalation_counts_every_attempt_and_carries_counters():
+    """A spawn that always dies exhausts the retry budget; the
+    escalation must record the attempts and expose the supervisor's
+    counters for the degraded run's report."""
+    supervisor = make_supervisor(
+        lambda i: (FakeConn(), FakeProc(alive=False)),
+        policy=fast_policy(attempts=3),
+    )
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
+    with pytest.raises(SupervisionEscalation) as info:
+        supervisor._handle_failure(
+            handle, WorkerCrash(0, [0, 1], 0), resend=None
+        )
+    escalation = info.value
+    assert escalation.attempts == 3
+    assert supervisor.retries == 3
+    assert escalation.counters["retries"] == 3
+    assert escalation.counters["workers_restarted"] == 3
+    assert "workers_restarted" in escalation.counters
+    assert "heartbeats_missed" in escalation.counters
+
+
+def test_shutdown_reaps_and_closes_everything():
+    conn, proc = FakeConn(), FakeProc(alive=True)
+    supervisor = make_supervisor(lambda i: (conn, proc))
+    handle = supervisor.workers[0]
+    handle.conn, handle.proc = conn, proc
+    supervisor.shutdown()
+    assert conn.closed
+    assert not proc.is_alive()
+    assert handle.proc is None and handle.conn is None
