@@ -28,9 +28,10 @@ or routing protocols.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import itertools
+from dataclasses import dataclass, replace
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
 
 from repro.core.assign import Assignment
 from repro.core.bind import Binding
@@ -100,6 +101,91 @@ class ScenarioSpec:
     #: the fault reaches multiprocess workers instead of being masked
     #: by the custom-traffic rejection in :meth:`Scenario.to_spec`.
     fault_seconds: Optional[float] = None
+    #: ``(entry_name, ((param, value), ...))`` per
+    #: :meth:`Scenario.workload` call — registry workloads from
+    #: :mod:`repro.traffic`, portable across process boundaries.
+    traffic: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        """Derive a new spec with the named knobs replaced — the single
+        sanctioned way to parameterize sweeps.
+
+        Accepted names, resolved in this order: spec-level fields
+        (``name``, ``seed``, ``mode`` — string or enum — ``cores``,
+        ``hosts``, ``strategy``, ``walk_in``, ``walk_out``,
+        ``reference``, ``fault_seconds``, ``topology``), then
+        :class:`EmulationConfig` knobs (merged into ``knobs``), then
+        parameters of any registered traffic entry this spec carries
+        (applied to every entry that declares them; ``flows`` also
+        rewrites :meth:`Scenario.netperf` tuples). Unknown names raise
+        :class:`ValueError` listing the valid ones, the same contract
+        as :meth:`Scenario.config`.
+
+        Overriding ``cores`` drops a precomputed assignment and
+        ``hosts`` drops a precomputed binding — an explicit placement
+        is only valid for the geometry it was computed for.
+        """
+        from repro.traffic import traffic_params
+
+        spec_passthrough = {
+            "name", "topology", "walk_in", "walk_out", "strategy",
+            "reference", "seed", "fault_seconds",
+        }
+        config_fields = set(EmulationConfig.field_names())
+        updates: Dict[str, Any] = {}
+        knobs = dict(self.knobs)
+        netperf = list(self.netperf)
+        traffic = [(name, dict(params)) for name, params in self.traffic]
+        unknown = []
+        for key, value in overrides.items():
+            if key == "mode":
+                updates["mode"] = resolve_distill_mode(value)
+            elif key == "cores":
+                updates["cores"] = int(value)
+                updates["assignment"] = None
+            elif key == "hosts":
+                updates["hosts"] = int(value)
+                updates["binding"] = None
+            elif key in spec_passthrough:
+                updates[key] = value
+            else:
+                applied = False
+                if key in config_fields:
+                    knobs[key] = value
+                    applied = True
+                for name, params in traffic:
+                    if key in traffic_params(name):
+                        params[key] = value
+                        applied = True
+                if key == "flows" and netperf:
+                    netperf = [(int(value), s) for _, s in netperf]
+                    applied = True
+                if not applied:
+                    unknown.append(key)
+        if unknown:
+            valid = (
+                spec_passthrough
+                | {"mode", "cores", "hosts"}
+                | config_fields
+            )
+            for name, _ in traffic:
+                valid |= set(traffic_params(name))
+            if netperf:
+                valid.add("flows")
+            raise ValueError(
+                f"unknown override knob(s) {sorted(unknown)}; valid: "
+                f"{', '.join(sorted(valid))}"
+            )
+        return replace(
+            self,
+            knobs=knobs,
+            netperf=tuple(netperf),
+            traffic=tuple(
+                (name, tuple(sorted(params.items())))
+                for name, params in traffic
+            ),
+            **updates,
+        )
 
 
 def _nondeterminism_fault(seconds: float) -> Callable[[Emulation], Any]:
@@ -160,6 +246,9 @@ class Scenario:
         self.pipeline: Optional[ExperimentPipeline] = None
         self.emulation: Optional[Emulation] = None
         self.report: Optional[RunReport] = None
+        #: Whatever each traffic setup returned, in registration
+        #: order; registry workload handles expose ``metrics()``.
+        self.traffic_handles: List[Any] = []
         #: Filled by a multiprocess run: epochs, digests, worker count.
         self.mp_result = None
 
@@ -323,6 +412,40 @@ class Scenario:
         setup._netperf_params = (flows, seed)
         return self.traffic(setup)
 
+    def workload(self, name: str, **params) -> "Scenario":
+        """Install a named workload from the :mod:`repro.traffic`
+        registry (``netperf``, ``udp-cbr``, ``cfs``, ``acdc``).
+
+        Registry workloads are declarative: they survive
+        :meth:`to_spec`/:meth:`from_spec`, so sweeps and multiprocess
+        workers can carry them as plain ``(name, params)`` data.
+        Unknown entry or parameter names raise :class:`ValueError`.
+        """
+        from repro.traffic import make_setup
+
+        self._check_mutable()
+        return self.traffic(make_setup(name, params))
+
+    def variants(self, **axes) -> List[ScenarioSpec]:
+        """Expand this scenario into the cartesian product of the
+        given axes, one :class:`ScenarioSpec` per point.
+
+        Each axis is ``knob=[value, ...]`` with any name
+        :meth:`ScenarioSpec.with_overrides` accepts. Axes expand in
+        keyword order with the last axis varying fastest, so the list
+        order is deterministic:
+
+        >>> specs = scenario.variants(seed=[1, 2], cores=[1, 4])
+        >>> [(s.seed, s.cores) for s in specs]
+        [(1, 1), (1, 4), (2, 1), (2, 4)]
+        """
+        base = self.to_spec()
+        names = list(axes)
+        return [
+            base.with_overrides(**dict(zip(names, point)))
+            for point in itertools.product(*(axes[n] for n in names))
+        ]
+
     def inject_fault(self, seconds: float = 0.01) -> "Scenario":
         """Install a *deliberately nondeterministic* workload for
         ``seconds`` of virtual time (the sanitizer's positive
@@ -462,9 +585,21 @@ class Scenario:
         registry.gauge("distill.preserved_links").set(
             self.pipeline.distillation.preserved_links
         )
-        for setup in self._traffic:
-            setup(self.emulation)
+        self.traffic_handles = [
+            setup(self.emulation) for setup in self._traffic
+        ]
         return self.emulation
+
+    def _export_traffic_metrics(self, report: RunReport) -> None:
+        """Fold workload-level results (``handle.metrics()``) into the
+        report under ``traffic.<entry>.<key>``. Only meaningful after
+        the clock ran in *this* process, so the multiprocess parent —
+        whose emulation never runs — skips it."""
+        for handle in self.traffic_handles:
+            metrics = getattr(handle, "metrics", None)
+            if callable(metrics):
+                for key, value in metrics().items():
+                    report.metrics[f"traffic.{key}"] = value
 
     def run(self, until: Optional[float] = None) -> RunReport:
         """Build (if needed), run the clock to ``until`` virtual
@@ -514,6 +649,7 @@ class Scenario:
             name=self.name,
             wall_time_s=wall,
         )
+        self._export_traffic_metrics(self.report)
         return self.report
 
     def _run_multiprocess(
@@ -645,6 +781,7 @@ class Scenario:
             name=self.name,
             wall_time_s=wall,
         )
+        self._export_traffic_metrics(report)
         self.report = report
         if abort is not None:
             outcome = f"aborted{{reason={abort.reason}}}"
@@ -890,19 +1027,26 @@ class Scenario:
         """Snapshot this scenario as picklable plain data.
 
         Raises :class:`ValueError` if any registered traffic callback
-        is not declarative (i.e. not from :meth:`netperf`) — closures
-        cannot be shipped to worker processes reproducibly.
+        is not declarative (i.e. not from :meth:`netperf` or
+        :meth:`workload`) — closures cannot be shipped to worker
+        processes reproducibly.
         """
         netperf: List[Tuple[int, Optional[int]]] = []
+        traffic: List[Tuple[str, Tuple[Tuple[str, Any], ...]]] = []
         for setup in self._traffic:
             if getattr(setup, "_fault_params", None) is not None:
                 continue  # declarative too: travels as fault_seconds
+            entry = getattr(setup, "_traffic_entry", None)
+            if entry is not None:
+                traffic.append(entry)
+                continue
             params = getattr(setup, "_netperf_params", None)
             if params is None:
                 raise ValueError(
                     "the multiprocess backend supports declarative "
-                    "traffic only (Scenario.netperf); custom traffic "
-                    "callables cannot cross process boundaries"
+                    "traffic only (Scenario.netperf / "
+                    "Scenario.workload); custom traffic callables "
+                    "cannot cross process boundaries"
                 )
             netperf.append(params)
         return ScenarioSpec(
@@ -921,6 +1065,7 @@ class Scenario:
             seed=self._seed,
             netperf=tuple(netperf),
             fault_seconds=self._fault_seconds,
+            traffic=tuple(traffic),
         )
 
     @classmethod
@@ -946,6 +1091,8 @@ class Scenario:
         scenario._observe = False
         for flows, flow_seed in spec.netperf:
             scenario.netperf(flows, flow_seed)
+        for entry_name, entry_params in getattr(spec, "traffic", ()):
+            scenario.workload(entry_name, **dict(entry_params))
         if getattr(spec, "fault_seconds", None) is not None:
             scenario.inject_fault(spec.fault_seconds)
         return scenario

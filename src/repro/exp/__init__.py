@@ -1,0 +1,66 @@
+"""repro.exp: declarative experiment suites and the sweep runner.
+
+The experiment layer turns the paper's figures into one-command
+regenerations::
+
+    repro-net exp run fig4 --quick
+    repro-net exp report fig4
+
+An :class:`Experiment` declares a base scenario plus sweep axes and
+expands into deterministic :class:`RunSpec` s (:mod:`repro.exp.suite`);
+:func:`run_sweep` executes them with per-run resilience and
+resumable, content-addressed ``results/<suite>/<run-id>/`` output
+(:mod:`repro.exp.runner`); :func:`aggregate_suite` folds the reports
+into a tidy CSV/JSON dataset keyed by the axes
+(:mod:`repro.exp.aggregate`). Importing this package registers the
+built-in paper suites (:mod:`repro.exp.suites`).
+"""
+
+from repro.exp.aggregate import (
+    Dataset,
+    NONDETERMINISTIC_FIELDS,
+    aggregate_suite,
+    report_digest,
+)
+from repro.exp.runner import (
+    MANIFEST_NAME,
+    RunOutcome,
+    SweepResult,
+    execute_run,
+    load_manifest,
+    report_path,
+    run_dir,
+    run_sweep,
+)
+from repro.exp.suite import (
+    SUITES,
+    Experiment,
+    RunSpec,
+    get_suite,
+    register_suite,
+    run_id_for,
+    suite_names,
+)
+from repro.exp import suites as _builtin_suites  # noqa: F401
+
+__all__ = [
+    "Experiment",
+    "RunSpec",
+    "SUITES",
+    "register_suite",
+    "get_suite",
+    "suite_names",
+    "run_id_for",
+    "run_sweep",
+    "execute_run",
+    "RunOutcome",
+    "SweepResult",
+    "run_dir",
+    "report_path",
+    "load_manifest",
+    "MANIFEST_NAME",
+    "aggregate_suite",
+    "Dataset",
+    "report_digest",
+    "NONDETERMINISTIC_FIELDS",
+]

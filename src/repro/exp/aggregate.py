@@ -1,0 +1,160 @@
+"""Fold per-run reports into one tidy dataset per suite.
+
+The runner leaves one ``report.json`` per run id; this module walks
+the sweep manifest (``suite.json`` — the authoritative row order),
+extracts each suite's declared columns, and writes
+``<out-dir>/<suite>/dataset.csv`` and ``dataset.json``: one row per
+run, keyed by the sweep axes, ready for plotting a paper figure.
+
+Determinism contract: datasets contain *only* virtual-time-derived
+values — ``wall_time_s`` and ``created_at`` never enter a row or the
+per-report digest — so an interrupted-then-resumed sweep aggregates
+to byte-identical output as an uninterrupted one. The ``digest``
+column (a hash of the report minus its wall-clock fields) is what the
+CI ``exp-smoke`` job compares.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import io
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.exp.runner import load_manifest, report_path
+from repro.exp.suite import Experiment
+
+__all__ = [
+    "Dataset",
+    "aggregate_suite",
+    "report_digest",
+    "NONDETERMINISTIC_FIELDS",
+]
+
+#: Report fields that legitimately differ between same-seed runs;
+#: everything else must be reproducible.
+NONDETERMINISTIC_FIELDS = ("wall_time_s", "created_at")
+
+
+def report_digest(report_dict: Dict[str, Any]) -> str:
+    """Content hash of a report with its wall-clock content removed —
+    equal iff two runs computed the same thing.
+
+    Besides ``wall_time_s``/``created_at``, dict-valued metrics are
+    dropped: those are the registry's timing histograms
+    (``phase.run_s``, ``pipe.enqueue_s``, ...), wall-clock
+    measurements by construction. Every scalar metric is
+    virtual-time-derived and must reproduce.
+    """
+    clean = {
+        key: value
+        for key, value in report_dict.items()
+        if key not in NONDETERMINISTIC_FIELDS
+    }
+    clean["metrics"] = {
+        key: value
+        for key, value in report_dict.get("metrics", {}).items()
+        if not isinstance(value, dict)
+    }
+    payload = json.dumps(clean, sort_keys=True).encode()
+    return hashlib.sha1(payload).hexdigest()
+
+
+def _column_value(spec: Any, report_dict: Dict[str, Any]) -> Any:
+    if callable(spec):
+        return spec(report_dict)
+    metrics = report_dict.get("metrics", {})
+    if spec in metrics:
+        return metrics[spec]
+    return report_dict.get(spec)
+
+
+@dataclass
+class Dataset:
+    """One suite's tidy table: a row per run, keyed by the axes."""
+
+    suite: str
+    fieldnames: List[str]
+    rows: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return all(row.get("status") == "ok" for row in self.rows)
+
+    def to_csv(self) -> str:
+        out = io.StringIO()
+        writer = csv.DictWriter(
+            out, fieldnames=self.fieldnames, restval="", lineterminator="\n"
+        )
+        writer.writeheader()
+        for row in self.rows:
+            writer.writerow(row)
+        return out.getvalue()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "format": "repro-exp-dataset/1",
+                "suite": self.suite,
+                "columns": self.fieldnames,
+                "rows": self.rows,
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    def save(self, suite_dir: str) -> Dict[str, str]:
+        """Write ``dataset.csv`` + ``dataset.json``; returns paths."""
+        os.makedirs(suite_dir, exist_ok=True)
+        paths = {
+            "csv": os.path.join(suite_dir, "dataset.csv"),
+            "json": os.path.join(suite_dir, "dataset.json"),
+        }
+        with open(paths["csv"], "w") as handle:
+            handle.write(self.to_csv())
+        with open(paths["json"], "w") as handle:
+            handle.write(self.to_json() + "\n")
+        return paths
+
+    def summary(self) -> str:
+        done = sum(1 for row in self.rows if row.get("status") == "ok")
+        return f"dataset {self.suite}: {done}/{len(self.rows)} runs aggregated"
+
+
+def aggregate_suite(
+    experiment: Experiment,
+    out_dir: str = "results",
+    manifest: Optional[Dict[str, Any]] = None,
+) -> Dataset:
+    """Assemble the suite's dataset from whatever reports exist.
+
+    Rows follow the manifest's expansion order exactly; runs without
+    a loadable report appear with ``status`` ``missing`` and empty
+    value cells, so partial sweeps still aggregate (and ``exp ls``
+    can show progress) without inventing data.
+    """
+    manifest = manifest or load_manifest(out_dir, experiment.name)
+    axes: List[str] = manifest.get("axes", [])
+    columns = list(experiment.columns)
+    fieldnames = ["run_id", *axes, "status", *columns, "digest"]
+    rows: List[Dict[str, Any]] = []
+    for run_id, point in zip(manifest["run_ids"], manifest["points"]):
+        row: Dict[str, Any] = {"run_id": run_id}
+        for axis in axes:
+            row[axis] = point.get(axis)
+        try:
+            with open(report_path(out_dir, experiment.name, run_id)) as fh:
+                raw = json.load(fh)
+        except (OSError, ValueError):
+            row["status"] = "missing"
+            rows.append(row)
+            continue
+        row["status"] = "ok"
+        for name in columns:
+            row[name] = _column_value(experiment.columns[name], raw)
+        row["digest"] = report_digest(raw)
+        rows.append(row)
+    return Dataset(suite=experiment.name, fieldnames=fieldnames, rows=rows)

@@ -1,0 +1,464 @@
+"""The resilient sweep runner: a work queue over local processes.
+
+One :class:`~repro.exp.suite.RunSpec` at a time is rebuilt from its
+spec (:meth:`Scenario.from_spec` — the same portability contract the
+multiprocess backend uses), run to its horizon, and its
+:class:`~repro.obs.RunReport` written to
+``<out-dir>/<suite>/<run-id>/report.json``. Everything the runner
+does is restartable:
+
+- reports are written atomically (temp file + ``os.replace``), so an
+  interrupted sweep never leaves a torn report;
+- ``resume=True`` skips any run id whose report already exists and
+  matches — re-running an interrupted sweep completes exactly the
+  missing runs, and because each run is deterministic the completed
+  sweep's aggregate output is byte-identical to an uninterrupted one
+  (the CI ``exp-smoke`` job enforces this);
+- per-run failures are retried under a
+  :class:`~repro.resilience.policy.RetryPolicy` and recorded, never
+  fatal to the sweep;
+- per-run budgets (``run_max_wall``/``run_max_events``) ride the
+  scenario's own supervised run path
+  (:meth:`Scenario.resilience`), and a sweep-level wall budget uses
+  :class:`~repro.resilience.policy.BudgetGuard`.
+
+``workers <= 1`` executes inline in this process — fully
+deterministic ordering, the mode CI uses. ``workers > 1`` fans runs
+out to child processes (fork where available, spawn otherwise, like
+:mod:`repro.engine.parallel`) with at most ``workers`` in flight.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.api import Scenario
+from repro.exp.suite import Experiment, RunSpec
+from repro.resilience import BudgetExceeded, BudgetGuard, RetryPolicy, RunAborted
+
+__all__ = [
+    "execute_run",
+    "run_sweep",
+    "RunOutcome",
+    "SweepResult",
+    "run_dir",
+    "report_path",
+    "load_manifest",
+    "MANIFEST_NAME",
+]
+
+MANIFEST_NAME = "suite.json"
+REPORT_NAME = "report.json"
+
+
+# ----------------------------------------------------------------------
+# One run
+# ----------------------------------------------------------------------
+
+def execute_run(
+    runspec: RunSpec,
+    max_wall: Optional[float] = None,
+    max_events: Optional[int] = None,
+) -> Dict[str, Any]:
+    """Build, run, and label one sweep point; returns the report dict.
+
+    Module-level and driven purely by the picklable ``runspec``, so it
+    executes identically inline or inside a worker process. A per-run
+    budget abort raises :class:`RunAborted` with the partial report
+    already labeled.
+    """
+    scenario = Scenario.from_spec(runspec.spec)
+    scenario.observe(True)  # from_spec defaults workers to no-obs
+    if max_wall is not None or max_events is not None:
+        scenario.resilience(max_wall=max_wall, max_events=max_events)
+    labels = {
+        "suite": runspec.suite,
+        "run_id": runspec.run_id,
+        "index": runspec.index,
+        **runspec.point_dict,
+    }
+    try:
+        report = scenario.run(until=runspec.until)
+    except RunAborted as abort:
+        if abort.report is not None:
+            abort.report.labels = labels
+        raise
+    report.labels = labels
+    return report.to_dict()
+
+
+def _child_main(conn, runspec, max_wall, max_events) -> None:
+    try:
+        payload = execute_run(
+            runspec, max_wall=max_wall, max_events=max_events
+        )
+        conn.send(("ok", payload, ""))
+    except RunAborted as abort:
+        conn.send(
+            (
+                "aborted",
+                abort.report.to_dict() if abort.report else None,
+                abort.reason,
+            )
+        )
+    except Exception as exc:  # noqa: BLE001 — report, don't crash the sweep
+        conn.send(("error", None, f"{type(exc).__name__}: {exc}"))
+    finally:
+        conn.close()
+
+
+# ----------------------------------------------------------------------
+# Layout
+# ----------------------------------------------------------------------
+
+def run_dir(out_dir: str, suite: str, run_id: str) -> str:
+    return os.path.join(out_dir, suite, run_id)
+
+
+def report_path(out_dir: str, suite: str, run_id: str) -> str:
+    return os.path.join(run_dir(out_dir, suite, run_id), REPORT_NAME)
+
+
+def _atomic_write_json(path: str, payload: Any) -> None:
+    tmp = f"{path}.tmp"
+    with open(tmp, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    os.replace(tmp, path)
+
+
+def _is_complete(out_dir: str, runspec: RunSpec) -> bool:
+    """A run is complete iff its report loads and carries its own id —
+    a torn or foreign file is re-run, never trusted."""
+    try:
+        with open(report_path(out_dir, runspec.suite, runspec.run_id)) as fh:
+            raw = json.load(fh)
+    except (OSError, ValueError):
+        return False
+    return raw.get("labels", {}).get("run_id") == runspec.run_id
+
+
+def _write_manifest(
+    out_dir: str, experiment: Experiment, runs: List[RunSpec], quick: bool
+) -> str:
+    """Record the sweep's exact expansion so ``exp report`` / ``exp
+    ls`` need no ``--quick`` re-guessing: the manifest *is* the row
+    order. Deliberately timestamp-free so interrupted and fresh
+    sweeps write identical bytes."""
+    manifest = {
+        "format": "repro-exp/1",
+        "suite": experiment.name,
+        "quick": bool(quick),
+        "until": runs[0].until if runs else experiment.until,
+        "axes": experiment.axis_names(quick=quick),
+        "run_ids": [r.run_id for r in runs],
+        "points": [r.point_dict for r in runs],
+    }
+    path = os.path.join(out_dir, experiment.name, MANIFEST_NAME)
+    _atomic_write_json(path, manifest)
+    return path
+
+
+def load_manifest(out_dir: str, suite: str) -> Dict[str, Any]:
+    path = os.path.join(out_dir, suite, MANIFEST_NAME)
+    try:
+        with open(path) as handle:
+            return json.load(handle)
+    except OSError:
+        raise ValueError(
+            f"no sweep manifest at {path}; run "
+            f"`repro-net exp run {suite}` first"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# The sweep
+# ----------------------------------------------------------------------
+
+@dataclass
+class RunOutcome:
+    """What happened to one run id in this sweep invocation."""
+
+    run_id: str
+    #: ok | skipped (already complete) | aborted (per-run budget) |
+    #: error (failed after retries) | pending (limit/budget cut)
+    status: str
+    detail: str = ""
+    retries: int = 0
+
+
+@dataclass
+class SweepResult:
+    suite: str
+    outcomes: List[RunOutcome] = field(default_factory=list)
+    #: True when the sweep-level wall budget cut execution short.
+    aborted: bool = False
+
+    def counts(self) -> Dict[str, int]:
+        tally: Dict[str, int] = {}
+        for outcome in self.outcomes:
+            tally[outcome.status] = tally.get(outcome.status, 0) + 1
+        return tally
+
+    @property
+    def failed(self) -> int:
+        return sum(
+            1 for o in self.outcomes if o.status in ("error", "aborted")
+        )
+
+    @property
+    def complete(self) -> bool:
+        return not self.aborted and all(
+            o.status in ("ok", "skipped") for o in self.outcomes
+        )
+
+    def summary(self) -> str:
+        parts = ", ".join(
+            f"{count} {status}" for status, count in sorted(self.counts().items())
+        )
+        suffix = " [sweep budget exhausted]" if self.aborted else ""
+        return f"sweep {self.suite}: {parts}{suffix}"
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def run_sweep(
+    experiment: Experiment,
+    out_dir: str = "results",
+    quick: bool = False,
+    workers: int = 1,
+    limit: Optional[int] = None,
+    resume: bool = False,
+    retries: int = 2,
+    max_wall: Optional[float] = None,
+    run_max_wall: Optional[float] = None,
+    run_max_events: Optional[int] = None,
+    log=None,
+) -> SweepResult:
+    """Execute (the incomplete part of) a suite's run matrix.
+
+    ``limit`` stops after that many executed runs — the deterministic
+    stand-in for an interruption that CI uses. ``resume`` skips run
+    ids whose reports already exist. ``retries`` is the total attempt
+    bound per run (:class:`RetryPolicy` semantics); per-run budget
+    aborts are deliberate and are not retried.
+    """
+    say = log or (lambda *_: None)
+    runs = experiment.matrix(quick=quick)
+    suite_dir = os.path.join(out_dir, experiment.name)
+    os.makedirs(suite_dir, exist_ok=True)
+    _write_manifest(out_dir, experiment, runs, quick)
+
+    outcomes: Dict[str, RunOutcome] = {}
+    todo: List[RunSpec] = []
+    for runspec in runs:
+        if resume and _is_complete(out_dir, runspec):
+            outcomes[runspec.run_id] = RunOutcome(runspec.run_id, "skipped")
+        else:
+            os.makedirs(
+                run_dir(out_dir, runspec.suite, runspec.run_id),
+                exist_ok=True,
+            )
+            todo.append(runspec)
+    if limit is not None and limit >= 0:
+        for runspec in todo[limit:]:
+            outcomes[runspec.run_id] = RunOutcome(
+                runspec.run_id, "pending", detail="beyond --limit"
+            )
+        todo = todo[:limit]
+
+    policy = RetryPolicy(max_attempts=max(1, retries))
+    budget = BudgetGuard(max_wall_s=max_wall).start()
+    aborted = False
+    if workers <= 1:
+        aborted = _drain_inline(
+            todo, out_dir, outcomes, policy, budget,
+            run_max_wall, run_max_events, say,
+        )
+    else:
+        aborted = _drain_pool(
+            todo, out_dir, outcomes, policy, budget, workers,
+            run_max_wall, run_max_events, say,
+        )
+    ordered = [outcomes[runspec.run_id] for runspec in runs]
+    return SweepResult(
+        suite=experiment.name, outcomes=ordered, aborted=aborted
+    )
+
+
+def _record(out_dir, runspec, status, payload, detail, retries, outcomes, say):
+    if status == "ok":
+        _atomic_write_json(
+            report_path(out_dir, runspec.suite, runspec.run_id), payload
+        )
+    elif payload is not None:
+        # Partial (aborted) reports are kept beside, never as, the
+        # completion marker — resume re-runs them.
+        _atomic_write_json(
+            os.path.join(
+                run_dir(out_dir, runspec.suite, runspec.run_id),
+                "aborted.json",
+            ),
+            payload,
+        )
+    outcomes[runspec.run_id] = RunOutcome(
+        runspec.run_id, status, detail=detail, retries=retries
+    )
+    say(f"  {runspec.run_id}: {status}" + (f" ({detail})" if detail else ""))
+
+
+def _drain_inline(
+    todo, out_dir, outcomes, policy, budget,
+    run_max_wall, run_max_events, say,
+) -> bool:
+    """Sequential execution in this process (the deterministic mode)."""
+    for position, runspec in enumerate(todo):
+        try:
+            budget.check()
+        except BudgetExceeded as exc:
+            for rest in todo[position:]:
+                outcomes[rest.run_id] = RunOutcome(
+                    rest.run_id, "pending", detail=str(exc)
+                )
+            return True
+        retry_count = [0]
+
+        def attempt(runspec=runspec):
+            try:
+                return "ok", execute_run(
+                    runspec,
+                    max_wall=run_max_wall,
+                    max_events=run_max_events,
+                ), ""
+            except RunAborted as abort:
+                return (
+                    "aborted",
+                    abort.report.to_dict() if abort.report else None,
+                    abort.reason,
+                )
+
+        def count_retry(attempt_index, exc):
+            retry_count[0] = attempt_index
+
+        try:
+            status, payload, detail = policy.call(
+                attempt, on_retry=count_retry
+            )
+        except Exception as exc:  # noqa: BLE001 — sweep survives run failures
+            status, payload = "error", None
+            detail = f"{type(exc).__name__}: {exc}"
+        _record(
+            out_dir, runspec, status, payload, detail,
+            retry_count[0], outcomes, say,
+        )
+    return False
+
+
+def _drain_pool(
+    todo, out_dir, outcomes, policy, budget, workers,
+    run_max_wall, run_max_events, say,
+) -> bool:
+    """Fan runs out to child processes, at most ``workers`` in flight.
+
+    A child that exits without reporting (crash, OOM kill) or exceeds
+    the parent-side hard timeout is retried like an inline failure.
+    """
+    ctx = _mp_context()
+    # A hung child cannot check its own budget; give the parent a
+    # generous hard stop when a per-run wall budget exists.
+    hard_timeout = run_max_wall * 2 + 30.0 if run_max_wall else None
+    queue = deque((runspec, 1) for runspec in todo)
+    active: Dict[str, tuple] = {}
+
+    def spawn(runspec, attempt):
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(
+            target=_child_main,
+            args=(child_conn, runspec, run_max_wall, run_max_events),
+        )
+        process.start()
+        child_conn.close()
+        active[runspec.run_id] = (
+            process, parent_conn, runspec, attempt, time.perf_counter(),
+        )
+
+    def finish(runspec, attempt, status, payload, detail):
+        if status == "error" and attempt < policy.max_attempts:
+            policy.sleep(attempt)
+            queue.append((runspec, attempt + 1))
+            return
+        _record(
+            out_dir, runspec, status, payload, detail,
+            attempt - 1, outcomes, say,
+        )
+
+    aborted = False
+    while queue or active:
+        try:
+            budget.check(pids=[entry[0].pid for entry in active.values()])
+        except BudgetExceeded as exc:
+            aborted = True
+            for process, conn, runspec, _, _ in active.values():
+                process.terminate()
+                process.join()
+                conn.close()
+                outcomes[runspec.run_id] = RunOutcome(
+                    runspec.run_id, "pending", detail=str(exc)
+                )
+            for runspec, _ in queue:
+                outcomes[runspec.run_id] = RunOutcome(
+                    runspec.run_id, "pending", detail=str(exc)
+                )
+            active.clear()
+            queue.clear()
+            break
+        while queue and len(active) < workers:
+            spawn(*queue.popleft())
+        progressed = False
+        for run_id, (process, conn, runspec, attempt, t0) in list(
+            active.items()
+        ):
+            if conn.poll(0):
+                status, payload, detail = conn.recv()
+                process.join()
+                conn.close()
+                del active[run_id]
+                finish(runspec, attempt, status, payload, detail)
+                progressed = True
+            elif not process.is_alive():
+                process.join()
+                conn.close()
+                del active[run_id]
+                finish(
+                    runspec, attempt, "error", None,
+                    f"worker exited without a report "
+                    f"(exitcode {process.exitcode})",
+                )
+                progressed = True
+            elif (
+                hard_timeout is not None
+                and time.perf_counter() - t0 > hard_timeout
+            ):
+                process.terminate()
+                process.join()
+                conn.close()
+                del active[run_id]
+                finish(
+                    runspec, attempt, "error", None,
+                    f"worker hung past {hard_timeout:g}s; terminated",
+                )
+                progressed = True
+        if not progressed:
+            time.sleep(0.02)
+    return aborted

@@ -1,0 +1,225 @@
+"""Declarative experiment suites: a base scenario plus sweep axes.
+
+The paper's results are sweeps — Fig. 4 sweeps hop counts and flow
+counts, Figs. 7-9 sweep CFS prefetch windows, Fig. 12 sweeps topology
+scale — so the unit of experiment definition here is the *matrix*,
+not the run. An :class:`Experiment` names a base scenario (a
+:class:`~repro.api.ScenarioSpec`, an unbuilt
+:class:`~repro.api.Scenario`, or a factory callable for axes that
+change the topology itself) and a dict of axes; :meth:`.matrix`
+expands the cartesian product into a deterministic list of
+:class:`RunSpec` s with stable, content-derived run ids. The sweep
+runner (:mod:`repro.exp.runner`) executes those; the aggregation
+layer (:mod:`repro.exp.aggregate`) folds the resulting reports into
+one tidy dataset per suite, keyed by the axes.
+
+Axis values are applied through
+:meth:`ScenarioSpec.with_overrides` — the single sanctioned override
+path — so an axis can name anything it accepts: spec fields
+(``seed``, ``cores``, ``mode``), :class:`EmulationConfig` knobs, or
+parameters of a registered traffic entry (``flows``,
+``prefetch_kb``). Unknown names fail at expansion time, before any
+run starts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+from repro.api import Scenario, ScenarioSpec
+
+__all__ = [
+    "RunSpec",
+    "Experiment",
+    "SUITES",
+    "register_suite",
+    "get_suite",
+    "suite_names",
+    "run_id_for",
+]
+
+
+def _slug(value: Any) -> str:
+    return "".join(
+        c if c.isalnum() or c in "._-" else "-" for c in str(value)
+    )
+
+
+def run_id_for(
+    suite: str, until: float, point: Tuple[Tuple[str, Any], ...]
+) -> str:
+    """Stable, content-derived id for one sweep point.
+
+    Human-readable axis slug plus a short hash over (suite, until,
+    point) — so the same point always lands in the same
+    ``results/<suite>/<run-id>/`` directory across sweeps, while a
+    changed horizon or axis value yields a fresh directory instead of
+    silently reusing stale reports.
+    """
+    payload = repr((suite, float(until), tuple(sorted(point)))).encode()
+    digest = hashlib.sha1(payload).hexdigest()[:8]
+    slug = "_".join(f"{k}={_slug(v)}" for k, v in point) or "base"
+    return f"{slug}-{digest}"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable sweep point: a fully-resolved scenario spec plus
+    its coordinates in the suite's matrix. Picklable — this is what
+    crosses into worker processes."""
+
+    suite: str
+    index: int
+    run_id: str
+    point: Tuple[Tuple[str, Any], ...]
+    spec: ScenarioSpec
+    until: float
+
+    @property
+    def point_dict(self) -> Dict[str, Any]:
+        return dict(self.point)
+
+
+class Experiment:
+    """A named run matrix: base scenario x axes -> list of runs.
+
+    ``base`` may be:
+
+    - a :class:`ScenarioSpec` — axes apply via ``with_overrides``;
+    - an unbuilt :class:`Scenario` — snapshotted with ``to_spec()``;
+    - a callable — invoked per point with whichever axis values its
+      signature declares (axes the factory does not accept still go
+      through ``with_overrides``). This is how axes that change the
+      *topology* (Fig. 4's ``hops``) are expressed: the factory
+      rebuilds the scenario, override knobs handle the rest.
+
+    ``columns`` maps dataset column names to either a metric name
+    (looked up in the report's ``metrics``, falling back to top-level
+    report fields like ``virtual_time_s``) or a callable taking the
+    raw report dict. ``quick_axes``/``quick_until`` define the
+    CI-sized variant behind ``repro-net exp run <suite> --quick``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        base: Union[ScenarioSpec, Scenario, Callable[..., Any]],
+        until: float,
+        axes: Optional[Dict[str, List[Any]]] = None,
+        columns: Optional[Dict[str, Any]] = None,
+        quick_axes: Optional[Dict[str, List[Any]]] = None,
+        quick_until: Optional[float] = None,
+        description: str = "",
+    ) -> None:
+        if until <= 0:
+            raise ValueError(f"until must be > 0, got {until}")
+        self.name = name
+        self.base = base
+        self.until = float(until)
+        self.axes = dict(axes or {})
+        self.columns = dict(columns or {})
+        self.quick_axes = dict(quick_axes) if quick_axes else None
+        self.quick_until = quick_until
+        self.description = description
+        for axis, values in self.axes.items():
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    def _factory_params(self) -> Optional[set]:
+        """Axis names the base factory consumes directly; None when
+        the factory takes **kwargs (consumes everything)."""
+        signature = inspect.signature(self.base)
+        names = set()
+        for param in signature.parameters.values():
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                return None
+            names.add(param.name)
+        return names
+
+    def spec_for(self, point: Dict[str, Any]) -> ScenarioSpec:
+        """Resolve one axis point into a concrete ScenarioSpec."""
+        if isinstance(self.base, ScenarioSpec):
+            return self.base.with_overrides(**point)
+        if isinstance(self.base, Scenario):
+            return self.base.to_spec().with_overrides(**point)
+        params = self._factory_params()
+        if params is None:
+            consumed = dict(point)
+        else:
+            consumed = {k: v for k, v in point.items() if k in params}
+        produced = self.base(**consumed)
+        spec = (
+            produced.to_spec()
+            if isinstance(produced, Scenario)
+            else produced
+        )
+        leftover = {k: v for k, v in point.items() if k not in consumed}
+        return spec.with_overrides(**leftover) if leftover else spec
+
+    def matrix(self, quick: bool = False) -> List[RunSpec]:
+        """Expand the axes into the deterministic run list.
+
+        Axes expand in declaration order with the last axis varying
+        fastest; the returned order *is* the dataset row order.
+        """
+        axes = self.quick_axes if quick and self.quick_axes else self.axes
+        until = (
+            self.quick_until
+            if quick and self.quick_until is not None
+            else self.until
+        )
+        names = list(axes)
+        runs: List[RunSpec] = []
+        for index, values in enumerate(
+            itertools.product(*(axes[n] for n in names))
+        ):
+            point = tuple(zip(names, values))
+            runs.append(
+                RunSpec(
+                    suite=self.name,
+                    index=index,
+                    run_id=run_id_for(self.name, until, point),
+                    point=point,
+                    spec=self.spec_for(dict(point)),
+                    until=until,
+                )
+            )
+        return runs
+
+    def axis_names(self, quick: bool = False) -> List[str]:
+        axes = self.quick_axes if quick and self.quick_axes else self.axes
+        return list(axes)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Experiment {self.name!r} axes={list(self.axes)} "
+            f"until={self.until:g}>"
+        )
+
+
+#: The suite registry: ``repro-net exp run <name>`` looks here.
+SUITES: Dict[str, Experiment] = {}
+
+
+def register_suite(experiment: Experiment) -> Experiment:
+    if experiment.name in SUITES:
+        raise ValueError(f"suite {experiment.name!r} already registered")
+    SUITES[experiment.name] = experiment
+    return experiment
+
+
+def get_suite(name: str) -> Experiment:
+    try:
+        return SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; valid: {', '.join(suite_names())}"
+        ) from None
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)

@@ -1,0 +1,253 @@
+"""Built-in suites: the paper's figures as declarative run matrices.
+
+Importing this module registers four suites; ``repro-net exp run
+<name> [--quick] && repro-net exp report <name>`` regenerates a
+figure's dataset in one command.
+
+``smoke``
+    4 runs over the shared-bottleneck dumbbell (seed x flows) — the
+    CI interrupt/resume fixture, small enough for seconds.
+
+``fig4``
+    Emulator capacity vs. per-path hop count: netperf pairs over
+    private chains on one core with gigabit edges, sweeping (hops,
+    flows). Columns give packets/sec forwarded, goodput, and core
+    utilization — the Fig. 4 axes.
+
+``fig8``
+    CFS download speeds vs. prefetch window (Figs. 7-9): every client
+    of the RON-derived topology fetches a file through a Chord ring
+    under the reference (exact-time) configuration; columns are the
+    per-sweep-point download-speed quantiles the CDFs are drawn from.
+
+``fig12``
+    ACDC adaptation under link perturbation: an adaptive overlay on a
+    transit-stub topology while 25% of links get their latency scaled
+    every 25 s; columns track cost-vs-MST before/during/after the
+    perturbation window — the Fig. 12 story.
+
+Full matrices target real figure datasets and take minutes; the
+``--quick`` variants cover the same code paths in CI-sized runs.
+"""
+
+from __future__ import annotations
+
+from repro.api import Scenario
+from repro.engine.randomness import RngRegistry
+from repro.exp.suite import Experiment, register_suite
+from repro.topology import TransitStubSpec, transit_stub_topology
+from repro.topology.generators import chain_topology, dumbbell_topology
+
+__all__ = ["SMOKE", "FIG4", "FIG8", "FIG12"]
+
+
+def _per_virtual_second(metric: str):
+    def column(report: dict) -> float:
+        elapsed = report.get("virtual_time_s", 0.0)
+        if not elapsed:
+            return 0.0
+        return report.get("metrics", {}).get(metric, 0.0) / elapsed
+
+    return column
+
+
+# ----------------------------------------------------------------------
+# smoke: the CI interrupt/resume fixture
+# ----------------------------------------------------------------------
+
+def _smoke_base() -> Scenario:
+    return (
+        Scenario.from_topology(dumbbell_topology(3), name="smoke")
+        .workload("netperf", flows=2)
+    )
+
+
+SMOKE = register_suite(
+    Experiment(
+        name="smoke",
+        base=_smoke_base,
+        until=0.4,
+        axes={"seed": [1, 2], "flows": [2, 4]},
+        columns={
+            "goodput_bps": "traffic.netperf.goodput_bps",
+            "delivered": "accuracy.packets_delivered",
+            "virtual_drops": "accuracy.virtual_drops",
+            "events": "sim.events_dispatched",
+        },
+        description=(
+            "4-run dumbbell sweep (seed x flows); the CI "
+            "interrupt/resume fixture"
+        ),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# fig4: capacity vs. hop count
+# ----------------------------------------------------------------------
+
+def _fig4_base(hops: int, flows: int) -> Scenario:
+    from repro.hardware import GIGABIT_EDGE_SPEC
+
+    return (
+        Scenario.from_topology(
+            chain_topology(flows, hops), name="fig4"
+        )
+        .distill("hop-by-hop")
+        .assign(1)
+        .bind(10)
+        .config(edge_spec=GIGABIT_EDGE_SPEC)
+        .workload("netperf", flows=flows, pairing="sequential")
+    )
+
+
+FIG4 = register_suite(
+    Experiment(
+        name="fig4",
+        base=_fig4_base,
+        until=2.0,
+        axes={"hops": [1, 2, 4, 8], "flows": [8, 24]},
+        quick_axes={"hops": [1, 4], "flows": [4]},
+        quick_until=0.5,
+        columns={
+            "pps": _per_virtual_second("pipe.arrivals"),
+            "goodput_bps": "traffic.netperf.goodput_bps",
+            "cpu_utilization": "core.utilization{core=0}",
+            "physical_drops": "accuracy.physical_drops",
+        },
+        description=(
+            "emulator capacity vs. per-path hops (netperf chains, "
+            "one core, gigabit edges) — Fig. 4"
+        ),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# fig8: CFS download speed vs. prefetch window
+# ----------------------------------------------------------------------
+
+def _fig8_base() -> Scenario:
+    from repro.apps.rondata import ron_topology
+
+    topology, _ = ron_topology(seed=7)
+    return (
+        Scenario.from_topology(topology, name="fig8")
+        .bind(12)
+        .seed(7)
+        .config(reference=True)
+        .workload(
+            "cfs",
+            clients=12,
+            prefetch_kb=24,
+            file_bytes=1_000_000,
+            stagger_s=30.0,
+        )
+    )
+
+
+FIG8 = register_suite(
+    Experiment(
+        name="fig8",
+        base=_fig8_base,
+        until=420.0,
+        axes={"prefetch_kb": [8, 24, 40]},
+        quick_axes={
+            "prefetch_kb": [8, 40],
+            "clients": [4],
+            "file_bytes": [200_000],
+            "stagger_s": [10.0],
+        },
+        quick_until=60.0,
+        columns={
+            "completed": "traffic.cfs.downloads_completed",
+            "speed_p10_bytes_s": "traffic.cfs.speed_p10_bytes_s",
+            "speed_p50_bytes_s": "traffic.cfs.speed_p50_bytes_s",
+            "speed_p90_bytes_s": "traffic.cfs.speed_p90_bytes_s",
+            "speed_mean_bytes_s": "traffic.cfs.speed_mean_bytes_s",
+        },
+        description=(
+            "CFS download-speed quantiles vs. prefetch window over "
+            "the RON topology — Figs. 7-9"
+        ),
+    )
+)
+
+
+# ----------------------------------------------------------------------
+# fig12: ACDC adaptation under perturbation
+# ----------------------------------------------------------------------
+
+_FIG12_SCALES = {
+    "small": TransitStubSpec(
+        transit_nodes_per_domain=2,
+        stub_domains_per_transit_node=2,
+        stub_nodes_per_domain=3,
+    ),
+    "mid": TransitStubSpec(
+        transit_nodes_per_domain=4,
+        stub_domains_per_transit_node=3,
+        stub_nodes_per_domain=4,
+    ),
+}
+
+_FIG12_MEMBERS = {"small": 8, "mid": 16}
+
+
+def _fig12_base(scale: str = "small") -> Scenario:
+    try:
+        spec = _FIG12_SCALES[scale]
+    except KeyError:
+        raise ValueError(
+            f"unknown fig12 scale {scale!r}; valid: "
+            f"{', '.join(sorted(_FIG12_SCALES))}"
+        ) from None
+    topology = transit_stub_topology(
+        spec, RngRegistry(3).stream("fig12-topology")
+    )
+    return (
+        Scenario.from_topology(topology, name="fig12")
+        .seed(3)
+        .config(reference=True)
+        .workload(
+            "acdc",
+            members=_FIG12_MEMBERS[scale],
+            perturb_start=60.0,
+            perturb_stop=180.0,
+            period_s=25.0,
+            link_fraction=0.25,
+            latency_scale_max=1.25,
+            sample_every_s=25.0,
+            horizon=240.0,
+        )
+    )
+
+
+FIG12 = register_suite(
+    Experiment(
+        name="fig12",
+        base=_fig12_base,
+        until=240.0,
+        axes={"scale": ["small", "mid"]},
+        quick_axes={
+            "scale": ["small"],
+            "perturb_start": [20.0],
+            "perturb_stop": [60.0],
+            "sample_every_s": [10.0],
+            "horizon": [80.0],
+        },
+        quick_until=80.0,
+        columns={
+            "cost_initial": "traffic.acdc.cost_initial",
+            "cost_settled": "traffic.acdc.cost_settled",
+            "cost_stressed": "traffic.acdc.cost_stressed",
+            "cost_recovered": "traffic.acdc.cost_recovered",
+            "max_delay_final": "traffic.acdc.max_delay_final",
+            "perturbations": "traffic.acdc.perturbations_applied",
+        },
+        description=(
+            "ACDC overlay cost vs. MST before/during/after link "
+            "perturbation — Fig. 12"
+        ),
+    )
+)

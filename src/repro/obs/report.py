@@ -199,6 +199,10 @@ class RunReport:
     virtual_time_s: float = 0.0
     wall_time_s: float = 0.0
     metrics: Dict[str, Any] = field(default_factory=dict)
+    #: Sweep coordinates: which suite/run/axis point produced this
+    #: report. Filled by the :mod:`repro.exp` runner; the aggregation
+    #: layer keys tidy datasets on these instead of parsing names.
+    labels: Dict[str, Any] = field(default_factory=dict)
     #: Wall-clock stamp. Left None while the report lives in memory so
     #: same-seed runs produce identical manifests (the determinism
     #: sanitizer diffs them); :meth:`save` stamps it on first write.
@@ -232,6 +236,7 @@ class RunReport:
             "virtual_time_s": self.virtual_time_s,
             "wall_time_s": self.wall_time_s,
             "metrics": self.metrics,
+            "labels": self.labels,
             "created_at": self.created_at,
         }
 
@@ -248,6 +253,7 @@ class RunReport:
             virtual_time_s=raw.get("virtual_time_s", 0.0),
             wall_time_s=raw.get("wall_time_s", 0.0),
             metrics=raw.get("metrics", {}),
+            labels=raw.get("labels", {}),
             created_at=raw.get("created_at"),
         )
 

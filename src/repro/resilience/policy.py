@@ -103,6 +103,25 @@ class RetryPolicy:
             time.sleep(delay)
         return delay
 
+    def call(self, fn, retryable=(Exception,), on_retry=None):
+        """Run ``fn()`` under this policy: up to ``max_attempts``
+        calls, backing off between them.
+
+        Only exceptions matching ``retryable`` are retried; anything
+        else propagates immediately, as does the final failure.
+        ``on_retry(attempt, exc)`` fires before each backoff sleep —
+        the sweep runner uses it to count retries in run reports.
+        """
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                return fn()
+            except retryable as exc:
+                if attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(attempt, exc)
+                self.sleep(attempt)
+
 
 def _read_rss_bytes(pid: Optional[int] = None) -> int:
     """Resident set size of ``pid`` (default: this process), bytes.

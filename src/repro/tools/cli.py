@@ -21,6 +21,10 @@ source lacks. This CLI provides those offline steps:
     repro-net sanitize ring8.gml --cores 4 --backend multiprocess
     repro-net bench --profile short
     repro-net bench --compare old/BENCH_dumbbell_netperf.json BENCH_dumbbell_netperf.json
+    repro-net exp ls
+    repro-net exp run fig4 --quick
+    repro-net exp report fig4
+    repro-net exp resume fig8
 """
 
 from __future__ import annotations
@@ -150,43 +154,44 @@ def _cmd_route(args) -> int:
 
 
 def _cmd_emulate(args) -> int:
-    """Run netperf-style TCP flows over a GML topology and report."""
-    from repro.apps.netperf import TcpStream
-    from repro.core import EmulationConfig, ExperimentPipeline
-    from repro.engine import Simulator
-
-    topology = load_gml(args.input)
-    sim = Simulator()
-    pipeline = (
-        ExperimentPipeline(sim, seed=args.seed)
-        .create(topology)
-        .distill(_MODES[args.mode], walk_in=args.walk_in)
-        .assign(args.cores)
-        .bind(max(1, args.cores))
+    """Deprecated alias: the Run phase lives in ``repro-net run``."""
+    print(
+        "warning: 'repro-net emulate' is deprecated and will be removed; "
+        "use 'repro-net run' (same topology/flows/seconds flags, plus "
+        "--report/--csv/--out-dir for the RunReport)",
+        file=sys.stderr,
     )
-    emulation = pipeline.run(EmulationConfig())
-    clients = list(range(emulation.num_vns))
-    rng = RngRegistry(args.seed).stream("emulate-pairs")
-    flows = min(args.flows, len(clients) // 2)
-    streams = []
-    available = list(clients)
-    rng.shuffle(available)
-    for _ in range(flows):
-        src = available.pop()
-        dst = available.pop()
-        streams.append(TcpStream(emulation, src, dst))
-    sim.run(until=args.seconds)
-    print(f"distilled pipes: {pipeline.distillation.total_pipes}")
-    for index, stream in enumerate(streams):
-        print(
-            f"flow {index}: vn{stream.src_vn}->vn{stream.dst_vn} "
-            f"{stream.bytes_received * 8 / args.seconds / 1e6:.3f} Mb/s"
-        )
-    print(emulation.accuracy_report())
-    return 0
+    return main([
+        "run", args.input,
+        "--mode", args.mode,
+        "--walk-in", str(args.walk_in),
+        "--cores", str(args.cores),
+        "--hosts", str(max(1, args.cores)),
+        "--flows", str(args.flows),
+        "--seconds", str(args.seconds),
+        "--seed", str(args.seed),
+    ])
+
+
+def _resolve_report_paths(out_dir, report=None, csv=None, basename="report"):
+    """One rule for where run artifacts land, shared by run/bench/exp:
+    explicit paths win; otherwise ``--out-dir`` (created on demand)
+    supplies ``<out-dir>/<basename>.json`` and ``.csv``."""
+    import os
+
+    if out_dir:
+        os.makedirs(out_dir, exist_ok=True)
+        if report is None:
+            report = os.path.join(out_dir, f"{basename}.json")
+        if csv is None:
+            csv = os.path.join(out_dir, f"{basename}.csv")
+    return report, csv
 
 
 def _emit_report(args, report) -> None:
+    args.report, args.csv = _resolve_report_paths(
+        getattr(args, "out_dir", None), args.report, args.csv
+    )
     if args.report:
         report.save(args.report)
         print(f"wrote {args.report}")
@@ -468,6 +473,7 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 2
+    _resolve_report_paths(args.out_dir)  # shared out-dir handling
     exit_code = 0
     for name in names:
         try:
@@ -494,6 +500,103 @@ def _cmd_bench(args) -> int:
         print(result.summary())
         print(f"wrote {path}")
     return exit_code
+
+
+def _cmd_exp_run(args) -> int:
+    """Execute a suite's run matrix (``exp resume`` = skip completed)."""
+    import os
+
+    from repro.exp import aggregate_suite, get_suite, run_sweep
+
+    try:
+        experiment = get_suite(args.suite)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    result = run_sweep(
+        experiment,
+        out_dir=args.out_dir,
+        quick=args.quick,
+        workers=args.workers,
+        limit=args.limit,
+        resume=args.resume,
+        retries=args.retries,
+        max_wall=args.max_wall,
+        run_max_wall=args.run_max_wall,
+        run_max_events=args.run_max_events,
+        log=print,
+    )
+    print(result.summary())
+    if result.complete:
+        dataset = aggregate_suite(experiment, out_dir=args.out_dir)
+        paths = dataset.save(os.path.join(args.out_dir, experiment.name))
+        print(f"wrote {paths['csv']}")
+        print(f"wrote {paths['json']}")
+    if result.aborted:
+        return 3
+    return 1 if result.failed else 0
+
+
+def _cmd_exp_report(args) -> int:
+    """Aggregate a suite's completed reports into its dataset."""
+    import os
+
+    from repro.exp import aggregate_suite, get_suite
+
+    try:
+        experiment = get_suite(args.suite)
+        dataset = aggregate_suite(experiment, out_dir=args.out_dir)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    paths = dataset.save(os.path.join(args.out_dir, experiment.name))
+    print(dataset.summary())
+    print(f"wrote {paths['csv']}")
+    print(f"wrote {paths['json']}")
+    if not dataset.complete:
+        print(
+            "warning: dataset has missing runs; "
+            f"`repro-net exp resume {args.suite}` completes them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_exp_ls(args) -> int:
+    """List registered suites, or one suite's per-run progress."""
+    import json
+    import os
+
+    from repro.exp import SUITES, load_manifest, report_path
+
+    if not args.suite:
+        for name in sorted(SUITES):
+            experiment = SUITES[name]
+            runs = len(experiment.matrix())
+            print(f"{name:>8}: {runs:>3} runs  {experiment.description}")
+        return 0
+    try:
+        manifest = load_manifest(args.out_dir, args.suite)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    done = 0
+    for run_id in manifest["run_ids"]:
+        path = report_path(args.out_dir, args.suite, run_id)
+        status = "missing"
+        try:
+            with open(path) as handle:
+                if json.load(handle).get("labels", {}).get("run_id") == run_id:
+                    status = "ok"
+                    done += 1
+        except (OSError, ValueError):
+            pass
+        print(f"  {run_id}: {status}")
+    total = len(manifest["run_ids"])
+    variant = " (quick)" if manifest.get("quick") else ""
+    print(f"{args.suite}{variant}: {done}/{total} complete")
+    return 0 if done == total else 1
 
 
 def _add_backend_flags(parser, default_backend="serial") -> None:
@@ -575,7 +678,8 @@ def build_parser() -> argparse.ArgumentParser:
     import_cmd.set_defaults(func=_cmd_import)
 
     emulate = sub.add_parser(
-        "emulate", help="run TCP flows over a GML topology and report"
+        "emulate",
+        help="(deprecated) alias for `run` — use `repro-net run`",
     )
     emulate.add_argument("input")
     emulate.add_argument("--mode", choices=sorted(_MODES), default="hop-by-hop")
@@ -617,6 +721,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--report", help="write the RunReport JSON here")
     run.add_argument("--csv", help="write the metrics as CSV here")
+    run.add_argument(
+        "--out-dir", default=None,
+        help="directory for report.json/report.csv (explicit "
+        "--report/--csv paths win)",
+    )
     resilience = run.add_argument_group(
         "resilience",
         "supervised execution: checkpoints, budget guards, recovery "
@@ -745,6 +854,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="fractional events/sec noise band for --compare (default 0.10)",
     )
     bench.set_defaults(func=_cmd_bench)
+
+    exp = sub.add_parser(
+        "exp",
+        help="declarative experiment suites: run sweeps, aggregate "
+        "paper-figure datasets",
+    )
+    exp_sub = exp.add_subparsers(dest="exp_command", required=True)
+
+    def _exp_sweep_flags(parser) -> None:
+        parser.add_argument("suite", help="suite name (see `exp ls`)")
+        parser.add_argument(
+            "--quick", action="store_true",
+            help="CI-sized matrix and horizon",
+        )
+        parser.add_argument(
+            "--out-dir", default="results",
+            help="results root (default: %(default)s)",
+        )
+        parser.add_argument(
+            "--workers", type=int, default=1,
+            help="concurrent runs (<=1 = inline, deterministic order)",
+        )
+        parser.add_argument(
+            "--limit", type=int, default=None,
+            help="stop after N executed runs (deterministic interruption)",
+        )
+        parser.add_argument(
+            "--retries", type=int, default=2,
+            help="attempts per run before it is recorded as failed",
+        )
+        parser.add_argument(
+            "--max-wall", type=float, default=None, metavar="SEC",
+            help="sweep-level wall budget; exceeding it exits 3",
+        )
+        parser.add_argument(
+            "--run-max-wall", type=float, default=None, metavar="SEC",
+            help="per-run wall budget (supervised run path)",
+        )
+        parser.add_argument(
+            "--run-max-events", type=int, default=None,
+            help="per-run event budget (supervised run path)",
+        )
+
+    exp_run = exp_sub.add_parser(
+        "run", help="execute a suite's run matrix"
+    )
+    _exp_sweep_flags(exp_run)
+    exp_run.add_argument(
+        "--resume", action="store_true",
+        help="skip run ids whose reports already exist",
+    )
+    exp_run.set_defaults(func=_cmd_exp_run)
+
+    exp_resume = exp_sub.add_parser(
+        "resume", help="complete an interrupted sweep (skip finished runs)"
+    )
+    _exp_sweep_flags(exp_resume)
+    exp_resume.set_defaults(func=_cmd_exp_run, resume=True)
+
+    exp_report = exp_sub.add_parser(
+        "report", help="fold a suite's reports into dataset.csv/json"
+    )
+    exp_report.add_argument("suite")
+    exp_report.add_argument("--out-dir", default="results")
+    exp_report.set_defaults(func=_cmd_exp_report)
+
+    exp_ls = exp_sub.add_parser(
+        "ls", help="list suites, or one suite's run statuses"
+    )
+    exp_ls.add_argument("suite", nargs="?", default=None)
+    exp_ls.add_argument("--out-dir", default="results")
+    exp_ls.set_defaults(func=_cmd_exp_ls)
     return parser
 
 

@@ -1,0 +1,197 @@
+"""Sweep runner: resilience, resume, and byte-identical aggregation."""
+
+import json
+import os
+
+import pytest
+
+from repro.api import Scenario
+from repro.exp import (
+    Experiment,
+    aggregate_suite,
+    load_manifest,
+    report_path,
+    run_dir,
+    run_sweep,
+)
+from repro.exp import runner as runner_mod
+from repro.topology.generators import star_topology
+
+
+def _tiny_experiment(name="unit"):
+    base = Scenario.from_topology(star_topology(6), name=name).workload(
+        "netperf", flows=2
+    )
+    return Experiment(
+        name=name,
+        base=base,
+        until=0.2,
+        axes={"seed": [1, 2], "flows": [2, 3]},
+        columns={
+            "goodput_bps": "traffic.netperf.goodput_bps",
+            "events": "sim.events_dispatched",
+        },
+    )
+
+
+def _read_report(out_dir, suite, run_id):
+    with open(report_path(out_dir, suite, run_id)) as handle:
+        return json.load(handle)
+
+
+def test_run_sweep_writes_labeled_reports(tmp_path):
+    exp = _tiny_experiment()
+    result = run_sweep(exp, out_dir=str(tmp_path))
+    assert result.complete
+    assert result.counts() == {"ok": 4}
+    for runspec in exp.matrix():
+        raw = _read_report(str(tmp_path), exp.name, runspec.run_id)
+        assert raw["labels"]["suite"] == exp.name
+        assert raw["labels"]["run_id"] == runspec.run_id
+        for axis, value in runspec.point:
+            assert raw["labels"][axis] == value
+        assert raw["metrics"]["sim.events_dispatched"] > 0
+
+
+def test_manifest_records_expansion(tmp_path):
+    exp = _tiny_experiment()
+    run_sweep(exp, out_dir=str(tmp_path), limit=0)
+    manifest = load_manifest(str(tmp_path), exp.name)
+    assert manifest["format"] == "repro-exp/1"
+    assert manifest["axes"] == ["seed", "flows"]
+    assert manifest["run_ids"] == [r.run_id for r in exp.matrix()]
+    with pytest.raises(ValueError, match="no sweep manifest"):
+        load_manifest(str(tmp_path), "never-ran")
+
+
+def test_limit_leaves_remaining_runs_pending(tmp_path):
+    exp = _tiny_experiment()
+    result = run_sweep(exp, out_dir=str(tmp_path), limit=1)
+    assert result.counts() == {"ok": 1, "pending": 3}
+    assert not result.complete
+
+
+def test_resume_skips_completed_runs(tmp_path):
+    exp = _tiny_experiment()
+    run_sweep(exp, out_dir=str(tmp_path), limit=2)
+    first = {
+        r.run_id: _read_report(str(tmp_path), exp.name, r.run_id)
+        for r in exp.matrix()[:2]
+    }
+    result = run_sweep(exp, out_dir=str(tmp_path), resume=True)
+    assert result.complete
+    assert result.counts() == {"ok": 2, "skipped": 2}
+    # Skipped runs were not rewritten with different content.
+    for run_id, raw in first.items():
+        assert _read_report(str(tmp_path), exp.name, run_id) == raw
+
+
+def test_resume_distrusts_foreign_or_torn_reports(tmp_path):
+    exp = _tiny_experiment()
+    runs = exp.matrix()
+    torn = report_path(str(tmp_path), exp.name, runs[0].run_id)
+    foreign = report_path(str(tmp_path), exp.name, runs[1].run_id)
+    os.makedirs(os.path.dirname(torn))
+    os.makedirs(os.path.dirname(foreign))
+    with open(torn, "w") as handle:
+        handle.write('{"truncated')
+    with open(foreign, "w") as handle:
+        json.dump({"labels": {"run_id": "someone-else"}}, handle)
+    result = run_sweep(exp, out_dir=str(tmp_path), resume=True)
+    assert result.counts() == {"ok": 4}
+
+
+def test_interrupted_then_resumed_aggregates_byte_identically(tmp_path):
+    exp = _tiny_experiment()
+    full_dir = str(tmp_path / "full")
+    cut_dir = str(tmp_path / "cut")
+    assert run_sweep(exp, out_dir=full_dir).complete
+    run_sweep(exp, out_dir=cut_dir, limit=2)
+    assert run_sweep(exp, out_dir=cut_dir, resume=True).complete
+    full = aggregate_suite(exp, out_dir=full_dir)
+    cut = aggregate_suite(exp, out_dir=cut_dir)
+    assert full.to_csv() == cut.to_csv()
+    assert full.to_json() == cut.to_json()
+    assert full.complete
+
+
+def test_failed_run_is_retried_then_recorded(tmp_path, monkeypatch):
+    exp = _tiny_experiment()
+    real = runner_mod.execute_run
+    calls = {"n": 0}
+
+    def flaky(runspec, **kwargs):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            raise RuntimeError("transient worker death")
+        return real(runspec, **kwargs)
+
+    monkeypatch.setattr(runner_mod, "execute_run", flaky)
+    result = run_sweep(exp, out_dir=str(tmp_path), limit=1, retries=2)
+    (outcome,) = [o for o in result.outcomes if o.status == "ok"]
+    assert outcome.retries == 1
+
+
+def test_exhausted_retries_record_error_not_crash(tmp_path, monkeypatch):
+    exp = _tiny_experiment()
+
+    def always_fails(runspec, **kwargs):
+        raise RuntimeError("persistent failure")
+
+    monkeypatch.setattr(runner_mod, "execute_run", always_fails)
+    result = run_sweep(exp, out_dir=str(tmp_path), limit=1, retries=2)
+    errored = [o for o in result.outcomes if o.status == "error"]
+    assert len(errored) == 1
+    assert "persistent failure" in errored[0].detail
+    assert result.failed == 1
+    assert not result.complete
+
+
+def test_per_run_event_budget_aborts_without_retry(tmp_path):
+    exp = _tiny_experiment()
+    result = run_sweep(
+        exp, out_dir=str(tmp_path), limit=1, run_max_events=3
+    )
+    aborted = [o for o in result.outcomes if o.status == "aborted"]
+    assert len(aborted) == 1
+    assert aborted[0].retries == 0  # deliberate abort, not retried
+    runspec = exp.matrix()[0]
+    rdir = run_dir(str(tmp_path), exp.name, runspec.run_id)
+    # Partial report saved beside, never as, the completion marker.
+    assert os.path.exists(os.path.join(rdir, "aborted.json"))
+    assert not os.path.exists(os.path.join(rdir, "report.json"))
+    # Resume without the budget completes the aborted run.
+    resumed = run_sweep(exp, out_dir=str(tmp_path), resume=True)
+    assert resumed.complete
+
+
+def test_sweep_wall_budget_marks_rest_pending(tmp_path):
+    exp = _tiny_experiment()
+    result = run_sweep(exp, out_dir=str(tmp_path), max_wall=0.0)
+    assert result.aborted
+    assert result.counts() == {"pending": 4}
+
+
+def test_pool_mode_matches_inline_output(tmp_path):
+    exp = _tiny_experiment()
+    inline_dir = str(tmp_path / "inline")
+    pool_dir = str(tmp_path / "pool")
+    assert run_sweep(exp, out_dir=inline_dir).complete
+    assert run_sweep(exp, out_dir=pool_dir, workers=2).complete
+    inline = aggregate_suite(exp, out_dir=inline_dir)
+    pool = aggregate_suite(exp, out_dir=pool_dir)
+    assert inline.to_csv() == pool.to_csv()
+    assert inline.to_json() == pool.to_json()
+
+
+def test_aggregate_marks_missing_runs(tmp_path):
+    exp = _tiny_experiment()
+    run_sweep(exp, out_dir=str(tmp_path), limit=1)
+    dataset = aggregate_suite(exp, out_dir=str(tmp_path))
+    statuses = [row["status"] for row in dataset.rows]
+    assert statuses == ["ok", "missing", "missing", "missing"]
+    assert not dataset.complete
+    # Axis keys are present even for missing rows.
+    assert dataset.rows[-1]["seed"] == 2
+    assert dataset.rows[-1]["flows"] == 3
+    assert dataset.fieldnames[:3] == ["run_id", "seed", "flows"]

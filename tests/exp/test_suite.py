@@ -1,0 +1,136 @@
+"""Experiment definitions: matrix expansion and stable run ids."""
+
+import pytest
+
+from repro.api import Scenario
+from repro.core.distill import DistillationMode
+from repro.exp import Experiment, get_suite, run_id_for, suite_names
+from repro.topology.generators import dumbbell_topology, star_topology
+
+
+def _base_scenario():
+    return Scenario.from_topology(star_topology(6), name="unit").workload(
+        "netperf", flows=2
+    )
+
+
+def test_matrix_expands_cartesian_product_in_axis_order():
+    exp = Experiment(
+        name="m1",
+        base=_base_scenario(),
+        until=0.5,
+        axes={"seed": [1, 2], "flows": [2, 4]},
+    )
+    runs = exp.matrix()
+    assert [r.point for r in runs] == [
+        (("seed", 1), ("flows", 2)),
+        (("seed", 1), ("flows", 4)),
+        (("seed", 2), ("flows", 2)),
+        (("seed", 2), ("flows", 4)),
+    ]
+    assert [r.index for r in runs] == [0, 1, 2, 3]
+    # Axis values land in the resolved specs.
+    assert runs[0].spec.seed == 1
+    assert dict(runs[1].spec.traffic[0][1])["flows"] == 4
+
+
+def test_run_ids_are_stable_and_content_derived():
+    point = (("seed", 1), ("flows", 2))
+    assert run_id_for("m1", 0.5, point) == run_id_for("m1", 0.5, point)
+    # Any change to suite, horizon, or point yields a fresh id.
+    assert run_id_for("m1", 0.5, point) != run_id_for("m2", 0.5, point)
+    assert run_id_for("m1", 1.0, point) != run_id_for("m1", 0.5, point)
+    assert run_id_for("m1", 0.5, (("seed", 2), ("flows", 2))) != run_id_for(
+        "m1", 0.5, point
+    )
+    # Readable: the slug names the axis point.
+    assert run_id_for("m1", 0.5, point).startswith("seed=1_flows=2-")
+
+
+def test_matrix_is_deterministic_across_expansions():
+    exp = Experiment(
+        name="m2",
+        base=_base_scenario(),
+        until=0.5,
+        axes={"seed": [3, 4]},
+    )
+    first = exp.matrix()
+    second = exp.matrix()
+    assert [r.run_id for r in first] == [r.run_id for r in second]
+    assert [r.spec for r in first] == [r.spec for r in second]
+
+
+def test_factory_base_consumes_its_axes_and_overrides_the_rest():
+    built_with = []
+
+    def factory(pairs):
+        built_with.append(pairs)
+        return Scenario.from_topology(
+            dumbbell_topology(pairs), name="fac"
+        ).workload("netperf", flows=2)
+
+    exp = Experiment(
+        name="m3",
+        base=factory,
+        until=0.2,
+        axes={"pairs": [2, 3], "seed": [7]},
+    )
+    runs = exp.matrix()
+    # 'pairs' went to the factory, 'seed' through with_overrides.
+    assert built_with == [2, 3]
+    assert all(r.spec.seed == 7 for r in runs)
+    assert runs[0].spec.topology.num_nodes != runs[1].spec.topology.num_nodes
+
+
+def test_quick_variant_swaps_axes_and_horizon():
+    exp = Experiment(
+        name="m4",
+        base=_base_scenario(),
+        until=2.0,
+        axes={"seed": [1, 2, 3]},
+        quick_axes={"seed": [1]},
+        quick_until=0.1,
+    )
+    assert len(exp.matrix()) == 3
+    quick = exp.matrix(quick=True)
+    assert len(quick) == 1
+    assert quick[0].until == 0.1
+    # Different horizon -> different run id (no stale-report reuse).
+    assert quick[0].run_id != exp.matrix()[0].run_id
+
+
+def test_unknown_axis_fails_at_expansion_time():
+    exp = Experiment(
+        name="m5",
+        base=_base_scenario(),
+        until=0.5,
+        axes={"frobnicate": [1]},
+    )
+    with pytest.raises(ValueError, match="frobnicate"):
+        exp.matrix()
+
+
+def test_mode_axis_accepts_string_spellings():
+    exp = Experiment(
+        name="m6",
+        base=_base_scenario(),
+        until=0.5,
+        axes={"mode": ["hop-by-hop", "last-mile"]},
+    )
+    modes = [r.spec.mode for r in exp.matrix()]
+    assert modes == [DistillationMode.HOP_BY_HOP, DistillationMode.WALK_IN]
+
+
+def test_builtin_suites_registered_and_expand():
+    assert {"smoke", "fig4", "fig8", "fig12"} <= set(suite_names())
+    smoke = get_suite("smoke")
+    assert len(smoke.matrix()) == 4
+    for name in ("fig4", "fig8", "fig12"):
+        suite = get_suite(name)
+        assert suite.matrix(quick=True), name
+        assert suite.matrix(), name
+
+
+def test_unknown_suite_lists_valid_names():
+    with pytest.raises(ValueError, match="smoke"):
+        get_suite("nope")

@@ -1,0 +1,86 @@
+"""Declarative traffic registry: validation, spec round trip, metrics."""
+
+import pytest
+
+from repro.api import Scenario, ScenarioSpec
+from repro.traffic import (
+    make_setup,
+    traffic_factory,
+    traffic_names,
+    traffic_params,
+    validate_params,
+)
+from repro.topology.generators import dumbbell_topology, star_topology
+
+
+def test_registry_lists_paper_workloads():
+    names = traffic_names()
+    assert {"netperf", "udp-cbr", "cfs", "acdc"} <= set(names)
+    assert names == sorted(names)
+
+
+def test_traffic_params_exposes_defaults_without_emulation():
+    params = traffic_params("udp-cbr")
+    assert "emulation" not in params
+    assert {"flows", "rate_mbps", "packet_bytes", "start_at"} <= set(params)
+
+
+def test_unknown_entry_and_unknown_param_are_rejected():
+    with pytest.raises(ValueError, match="netperf"):
+        traffic_factory("warez")
+    with pytest.raises(ValueError, match="rate_mbps"):
+        validate_params("udp-cbr", {"rate_mpbs": 2.0})  # typo'd knob
+    with pytest.raises(ValueError, match="unknown"):
+        make_setup("netperf", {"bandwidth": 1})
+
+
+def test_make_setup_attaches_portable_marker():
+    setup = make_setup("udp-cbr", {"rate_mbps": 2.0, "flows": 2})
+    # Marker is what Scenario.to_spec serialises: name + sorted params.
+    name, params = setup._traffic_entry
+    assert name == "udp-cbr"
+    assert params == (("flows", 2), ("rate_mbps", 2.0))
+
+
+def test_workload_metrics_surface_in_report():
+    report = (
+        Scenario.from_topology(dumbbell_topology(2), name="cbr")
+        .seed(5)
+        .workload("udp-cbr", flows=2, rate_mbps=0.5)
+        .run(until=0.5)
+    )
+    assert report.metrics["traffic.udp-cbr.flows"] == 2
+    assert report.metrics["traffic.udp-cbr.datagrams_sent"] > 0
+    assert 0.0 <= report.metrics["traffic.udp-cbr.delivery_ratio"] <= 1.0
+
+
+def test_workload_round_trips_through_spec():
+    scenario = (
+        Scenario.from_topology(star_topology(6), name="rt")
+        .seed(9)
+        .workload("netperf", flows=2, pairing="sequential")
+    )
+    spec = scenario.to_spec()
+    assert spec.traffic == (
+        ("netperf", (("flows", 2), ("pairing", "sequential"))),
+    )
+    assert isinstance(spec, ScenarioSpec)
+    direct = scenario.run(until=0.4)
+    replayed = Scenario.from_spec(spec).observe(True).run(until=0.4)
+    assert (
+        replayed.metrics["traffic.netperf.bytes_received"]
+        == direct.metrics["traffic.netperf.bytes_received"]
+    )
+
+
+def test_netperf_random_pairing_is_seed_deterministic():
+    def run(seed):
+        return (
+            Scenario.from_topology(star_topology(8), name="pair")
+            .seed(seed)
+            .workload("netperf", flows=3, pairing="random")
+            .run(until=0.4)
+            .metrics["traffic.netperf.bytes_received"]
+        )
+
+    assert run(11) == run(11)

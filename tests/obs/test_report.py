@@ -177,3 +177,15 @@ def test_explicit_created_at_round_trips():
     report = build_report(emulation, created_at=123.5)
     assert report.created_at == 123.5
     assert RunReport.from_json(report.to_json()).created_at == 123.5
+
+
+def test_labels_survive_json_round_trip():
+    emulation, _ = _run_emulation()
+    report = build_report(emulation, name="labeled", wall_time_s=0.5)
+    report.labels = {"suite": "smoke", "run_id": "seed=1-abc", "seed": 1}
+    clone = RunReport.from_json(report.to_json())
+    assert clone.labels == report.labels
+    # Pre-labels reports (older files) load with empty labels.
+    legacy = dict(report.to_dict())
+    del legacy["labels"]
+    assert RunReport.from_dict(legacy).labels == {}

@@ -126,3 +126,47 @@ def test_run_aborted_carries_reason_and_report():
     assert error.reason == "max_wall"
     assert error.report == {"partial": True}
     assert "max_wall" in str(error) and "5s > 2s" in str(error)
+
+
+def test_call_returns_first_success_without_sleeping():
+    policy = RetryPolicy(max_attempts=3, base_backoff_s=10.0)
+    start = time.perf_counter()
+    assert policy.call(lambda: "done") == "done"
+    assert time.perf_counter() - start < 1.0
+
+
+def test_call_retries_until_success_and_reports_attempts():
+    policy = RetryPolicy(max_attempts=3, base_backoff_s=0.0, jitter=0.0)
+    attempts = []
+    state = {"n": 0}
+
+    def flaky():
+        state["n"] += 1
+        if state["n"] < 3:
+            raise RuntimeError(f"boom {state['n']}")
+        return state["n"]
+
+    result = policy.call(
+        flaky, on_retry=lambda attempt, exc: attempts.append((attempt, str(exc)))
+    )
+    assert result == 3
+    assert attempts == [(1, "boom 1"), (2, "boom 2")]
+
+
+def test_call_raises_after_exhausting_attempts():
+    policy = RetryPolicy(max_attempts=2, base_backoff_s=0.0, jitter=0.0)
+    with pytest.raises(RuntimeError, match="persistent"):
+        policy.call(lambda: (_ for _ in ()).throw(RuntimeError("persistent")))
+
+
+def test_call_only_retries_listed_exception_types():
+    policy = RetryPolicy(max_attempts=3, base_backoff_s=0.0, jitter=0.0)
+    calls = {"n": 0}
+
+    def raises_key_error():
+        calls["n"] += 1
+        raise KeyError("not retryable here")
+
+    with pytest.raises(KeyError):
+        policy.call(raises_key_error, retryable=(ValueError,))
+    assert calls["n"] == 1  # non-retryable exceptions propagate immediately

@@ -151,3 +151,91 @@ def test_scenario_accepts_external_registry():
         .run(until=1.0)
     )
     assert registry.snapshot()["pipe.enqueue_s"]["count"] > 0
+
+
+def _rich_scenario():
+    """A scenario with a non-default value in every ScenarioSpec field."""
+    import random
+
+    from repro.core.assign import greedy_k_clusters
+    from repro.core.bind import bind_vns
+
+    topology = dumbbell_topology(clients_per_side=3)
+    return (
+        Scenario.from_topology(topology, name="rich")
+        .distill("last-mile", walk_in=2, walk_out=1)
+        .assign(assignment=greedy_k_clusters(topology, 2, random.Random(0)))
+        .bind(hosts=2, strategy="round_robin",
+              binding=bind_vns(topology, 2, 2, strategy="round_robin"))
+        .config(tick_s=0.002, reference=True)
+        .seed(11)
+        .netperf(flows=3, seed=4)
+        .inject_fault(seconds=0.02)
+        .workload("udp-cbr", flows=2)
+    )
+
+
+def test_spec_round_trip_preserves_every_field():
+    """Drift guard: every public ScenarioSpec knob must both differ
+    from the default here and survive to_spec -> from_spec -> to_spec.
+    Adding a spec field without wiring it through fails this test."""
+    import dataclasses
+
+    from repro.api import ScenarioSpec
+
+    baseline = Scenario.from_topology(
+        dumbbell_topology(clients_per_side=2)
+    ).to_spec()
+    spec = _rich_scenario().to_spec()
+    for fld in dataclasses.fields(ScenarioSpec):
+        assert getattr(spec, fld.name) != getattr(baseline, fld.name), (
+            f"ScenarioSpec.{fld.name} not exercised by _rich_scenario(); "
+            "extend it so round-trip coverage stays complete"
+        )
+    assert Scenario.from_spec(spec).to_spec() == spec
+
+
+def test_with_overrides_resolves_each_knob_family():
+    spec = _rich_scenario().to_spec()
+    derived = spec.with_overrides(
+        seed=21,              # spec passthrough
+        mode="hop-by-hop",    # distillation mode by name
+        cores=3,              # drops the stale assignment
+        hosts=3,              # drops the stale binding
+        tick_s=0.01,          # EmulationConfig knob
+        flows=5,              # rewrites netperf tuples + traffic entries
+    )
+    assert derived.seed == 21
+    assert derived.mode is DistillationMode.HOP_BY_HOP
+    assert derived.cores == 3 and derived.assignment is None
+    assert derived.hosts == 3 and derived.binding is None
+    assert derived.knobs["tick_s"] == 0.01
+    assert derived.netperf == ((5, 4),)
+    assert dict(derived.traffic[0][1])["flows"] == 5
+    # The source spec is untouched (frozen derivation, not mutation).
+    assert spec.seed == 11 and spec.assignment is not None
+
+
+def test_with_overrides_rejects_unknown_knobs():
+    spec = Scenario.from_topology(
+        dumbbell_topology(clients_per_side=2)
+    ).to_spec()
+    with pytest.raises(ValueError, match="bandwidthz"):
+        spec.with_overrides(bandwidthz=10)
+
+
+def test_variants_expand_in_insertion_order_last_axis_fastest():
+    scenario = (
+        Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+        .netperf(flows=2)
+    )
+    specs = scenario.variants(seed=[1, 2], flows=[2, 4])
+    assert [(s.seed, s.netperf[0][0]) for s in specs] == [
+        (1, 2), (1, 4), (2, 2), (2, 4),
+    ]
+
+
+def test_variants_reject_unknown_axis():
+    scenario = Scenario.from_topology(dumbbell_topology(clients_per_side=2))
+    with pytest.raises(ValueError, match="warpdrive"):
+        scenario.variants(warpdrive=[1, 2])

@@ -106,20 +106,23 @@ def test_import_bgp(tmp_path):
     assert load_gml(str(out)).num_links == 3
 
 
-def test_emulate_reports_flows_and_accuracy(tmp_path, capsys):
+def test_emulate_is_a_deprecated_alias_for_run(tmp_path, capsys):
     source = tmp_path / "ring.gml"
     main(["generate", "ring", "--routers", "4", "--vns", "2", "-o", str(source)])
     capsys.readouterr()
     assert main([
         "emulate", str(source), "--flows", "2", "--seconds", "1.0",
     ]) == 0
-    text = capsys.readouterr().out
-    assert "flow 0:" in text
-    assert "Mb/s" in text
-    assert "delivered=" in text
+    captured = capsys.readouterr()
+    assert "deprecated" in captured.err
+    assert "repro-net run" in captured.err
+    import json
+
+    raw = json.loads(captured.out)  # delegates to `run`: RunReport JSON
+    assert raw["metrics"]["accuracy.packets_delivered"] > 0
 
 
-def test_emulate_distilled_multicore(tmp_path, capsys):
+def test_emulate_forwards_mode_and_cores(tmp_path, capsys):
     source = tmp_path / "ring.gml"
     main(["generate", "ring", "--routers", "6", "--vns", "2", "-o", str(source)])
     capsys.readouterr()
@@ -127,8 +130,11 @@ def test_emulate_distilled_multicore(tmp_path, capsys):
         "emulate", str(source), "--mode", "last-mile", "--cores", "2",
         "--flows", "2", "--seconds", "1.0",
     ]) == 0
-    text = capsys.readouterr().out
-    assert "distilled pipes:" in text
+    import json
+
+    raw = json.loads(capsys.readouterr().out)
+    assert raw["config"]["num_cores"] == 2
+    assert raw["metrics"]["distill.pipes"] > 0
 
 
 def test_run_writes_run_report(tmp_path, capsys):
@@ -202,3 +208,66 @@ def test_sanitize_detects_injected_fault(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "NONDETERMINISTIC" in out
     assert "run 1:" in out and "t=" in out  # first-divergence report
+
+
+def test_exp_ls_lists_builtin_suites(capsys):
+    assert main(["exp", "ls"]) == 0
+    text = capsys.readouterr().out
+    for name in ("smoke", "fig4", "fig8", "fig12"):
+        assert name in text
+
+
+def test_exp_run_and_report_produce_tidy_dataset(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["exp", "run", "smoke", "--out-dir", out_dir]) == 0
+    capsys.readouterr()
+    assert main(["exp", "report", "smoke", "--out-dir", out_dir]) == 0
+    capsys.readouterr()
+    csv_text = (tmp_path / "results" / "smoke" / "dataset.csv").read_text()
+    header = csv_text.splitlines()[0].split(",")
+    assert header[:3] == ["run_id", "seed", "flows"]  # keyed by the axes
+    assert "goodput_bps" in header
+    assert len(csv_text.splitlines()) == 5  # header + 4 runs
+    import json
+
+    data = json.loads(
+        (tmp_path / "results" / "smoke" / "dataset.json").read_text()
+    )
+    assert data["format"] == "repro-exp-dataset/1"
+    assert all(row["status"] == "ok" for row in data["rows"])
+
+
+def test_exp_resume_completes_interrupted_sweep(tmp_path, capsys):
+    out_dir = str(tmp_path / "results")
+    assert main(["exp", "run", "smoke", "--out-dir", out_dir, "--limit", "2"]) == 0
+    assert main(["exp", "ls", "smoke", "--out-dir", out_dir]) == 1  # incomplete
+    capsys.readouterr()
+    assert main(["exp", "resume", "smoke", "--out-dir", out_dir]) == 0
+    text = capsys.readouterr().out
+    assert "2 skipped" in text
+    assert main(["exp", "ls", "smoke", "--out-dir", out_dir]) == 0
+
+
+def test_exp_report_before_run_fails_with_hint(tmp_path, capsys):
+    assert main([
+        "exp", "report", "smoke", "--out-dir", str(tmp_path / "empty"),
+    ]) == 2
+    assert "no sweep manifest" in capsys.readouterr().err
+
+
+def test_exp_rejects_unknown_suite(tmp_path, capsys):
+    assert main(["exp", "run", "figZ", "--out-dir", str(tmp_path)]) == 2
+    assert "figZ" in capsys.readouterr().err
+
+
+def test_run_out_dir_defaults_report_paths(tmp_path, capsys):
+    source = tmp_path / "star.gml"
+    main(["generate", "star", "--vns", "4", "-o", str(source)])
+    capsys.readouterr()
+    out_dir = tmp_path / "outrun"
+    assert main([
+        "run", str(source), "--flows", "2", "--seconds", "0.5",
+        "--out-dir", str(out_dir),
+    ]) == 0
+    assert (out_dir / "report.json").exists()
+    assert (out_dir / "report.csv").exists()
