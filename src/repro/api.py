@@ -232,15 +232,18 @@ class Scenario:
         self._knobs: dict = {}
         self._reference = False
         self._seed = 0
-        self._registry: Optional[MetricsRegistry] = None
-        self._observe = True
+        # Observability wiring is parent-side runtime state: a worker
+        # rebuilt from the spec attaches its own registry, so neither
+        # field belongs in the ScenarioSpec round-trip.
+        self._registry: Optional[MetricsRegistry] = None  # repro: allow-spec-drift
+        self._observe = True  # repro: allow-spec-drift
         self._traffic: List[Callable[[Emulation], Any]] = []
         self._fault_seconds: Optional[float] = None
         #: Resilience knobs (None = plain execution) and an optional
         #: checkpoint to resume from. Parent-side only: neither enters
         #: the spec, so they never change what workers compute.
-        self._resilience = None
-        self._resume = None
+        self._resilience = None  # repro: allow-spec-drift
+        self._resume = None  # repro: allow-spec-drift
         # Build products.
         self.sim: Optional[Union[Simulator, PartitionedSimulator]] = None
         self.pipeline: Optional[ExperimentPipeline] = None

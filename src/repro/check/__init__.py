@@ -13,12 +13,23 @@ that contract two ways:
   event scheduling, identity-based heap tie-breaks, mutable-packet
   captures in event callbacks).
 
+* :mod:`repro.check.domains` — cross-domain safety (DOM) and epoch
+  discipline (EPO) rules over the ownership model in
+  :mod:`repro.check.model`: cross-domain effects only through
+  ``DomainRouter.send``, no foreign clock/heap reads outside the
+  barrier, no sends below the sync horizon.
+
+* :mod:`repro.check.portability` — spec-portability (PORT) rules:
+  nothing unpicklable crosses the process boundary, and every
+  persistent ``Scenario`` field round-trips through
+  ``to_spec``/``from_spec``.
+
 * :mod:`repro.check.sanitize` — a runtime sanitizer that records a
   streaming digest of every dispatched event, runs a scenario twice
   with the same seed, and pinpoints the *first* divergent event when
   the traces disagree.
 
-Both are wired into the ``repro-net check`` / ``repro-net sanitize``
+All are wired into the ``repro-net check`` / ``repro-net sanitize``
 CLI subcommands and CI.
 """
 
@@ -29,6 +40,15 @@ from repro.check.lint import (
     lint_paths,
     lint_source,
     load_baseline,
+)
+from repro.check.model import (
+    BaselineEntry,
+    CheckReport,
+    ModuleModel,
+    check_paths,
+    iter_python_files,
+    registered_rules,
+    resolve_select,
 )
 from repro.check.sanitize import (
     Divergence,
@@ -44,7 +64,14 @@ from repro.check.sanitize import (
 
 __all__ = [
     "RULES",
+    "BaselineEntry",
+    "CheckReport",
+    "ModuleModel",
     "Violation",
+    "check_paths",
+    "iter_python_files",
+    "registered_rules",
+    "resolve_select",
     "format_violation",
     "lint_paths",
     "lint_source",

@@ -50,8 +50,23 @@ from __future__ import annotations
 
 import ast
 import os
-from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# Shared infrastructure lives in repro.check.model (one Violation
+# shape, one suppression/baseline mechanism across every analysis
+# family). Re-exported here for backward compatibility: this module
+# was the original home of all of these names.
+from repro.check.model import (  # noqa: F401  (re-exports)
+    BaselineEntry,
+    ModuleModel,
+    Violation,
+    _parse_baseline_fallback,
+    format_violation,
+    iter_python_files,
+    load_baseline,
+    register_rules,
+    scan_suppressions,
+)
 
 #: Rule id -> (suppression tag, one-line description).
 RULES: Dict[str, Tuple[str, str]] = {
@@ -86,6 +101,8 @@ RULES: Dict[str, Tuple[str, str]] = {
         "supervisor must see; narrow it or re-raise a typed error",
     ),
 }
+
+register_rules(RULES)
 
 #: Path components that mark a file as simulation code for DET002.
 SIM_PACKAGES = {"engine", "core", "net", "apps", "obs"}
@@ -128,24 +145,6 @@ _PIPE_MUTATORS = {"arrival", "enqueue", "set_params", "flush"}
 #: Free-variable names in a callback that look like mutable packets
 #: (NED001).
 _PACKETISH_PREFIXES = ("packet", "pkt", "descriptor", "desc")
-
-
-@dataclass(frozen=True)
-class Violation:
-    """One lint finding."""
-
-    rule: str
-    path: str
-    line: int
-    col: int
-    message: str
-
-
-def format_violation(violation: Violation) -> str:
-    return (
-        f"{violation.path}:{violation.line}:{violation.col}: "
-        f"{violation.rule} {violation.message}"
-    )
 
 
 # ----------------------------------------------------------------------
@@ -395,90 +394,20 @@ class _Linter(ast.NodeVisitor):
 
 
 # ----------------------------------------------------------------------
-# Suppressions + baseline
+# Suppressions (standalone lint_source path; check_paths does its own)
 # ----------------------------------------------------------------------
 
 def _suppressed_lines(source: str) -> Dict[int, Set[str]]:
     """Map line number -> set of rule ids allowed on that line (the
     marker also covers the line below it, so it can sit above a long
-    statement)."""
-    tag_to_rule = {tag: rule for rule, (tag, _) in RULES.items()}
+    statement). Tags resolve against the full cross-family registry."""
     out: Dict[int, Set[str]] = {}
-    for lineno, text in enumerate(source.splitlines(), start=1):
-        marker = text.find("# repro: allow-")
-        if marker < 0:
+    for marker in scan_suppressions(source):
+        if marker.rule is None:
             continue
-        token = text[marker + len("# repro: allow-"):].split()[0].strip(",;")
-        rule = tag_to_rule.get(token, token if token in RULES else None)
-        if rule is None:
-            continue
-        out.setdefault(lineno, set()).add(rule)
-        out.setdefault(lineno + 1, set()).add(rule)
+        out.setdefault(marker.line, set()).add(marker.rule)
+        out.setdefault(marker.line + 1, set()).add(marker.rule)
     return out
-
-
-@dataclass(frozen=True)
-class BaselineEntry:
-    file: str
-    rule: str
-    line: Optional[int] = None
-
-    def matches(self, violation: Violation) -> bool:
-        if self.rule != violation.rule:
-            return False
-        if self.line is not None and self.line != violation.line:
-            return False
-        normalized = violation.path.replace(os.sep, "/")
-        return normalized.endswith(self.file.replace(os.sep, "/"))
-
-
-def load_baseline(path: str) -> List[BaselineEntry]:
-    """Parse a ``check-baseline.toml``. Uses :mod:`tomllib` when
-    available (3.11+), else a minimal parser that understands exactly
-    the ``[[suppress]]`` table-array shape documented above."""
-    with open(path, "rb") as handle:
-        raw = handle.read()
-    try:
-        import tomllib
-        data = tomllib.loads(raw.decode())
-        tables = data.get("suppress", [])
-    except ModuleNotFoundError:  # Python 3.10
-        tables = _parse_baseline_fallback(raw.decode())
-    entries = []
-    for table in tables:
-        if "file" not in table or "rule" not in table:
-            raise ValueError(
-                f"{path}: every [[suppress]] entry needs 'file' and 'rule'"
-            )
-        entries.append(
-            BaselineEntry(
-                file=str(table["file"]),
-                rule=str(table["rule"]),
-                line=int(table["line"]) if "line" in table else None,
-            )
-        )
-    return entries
-
-
-def _parse_baseline_fallback(text: str) -> List[Dict[str, object]]:
-    tables: List[Dict[str, object]] = []
-    current: Optional[Dict[str, object]] = None
-    for raw_line in text.splitlines():
-        line = raw_line.split("#", 1)[0].strip()
-        if not line:
-            continue
-        if line == "[[suppress]]":
-            current = {}
-            tables.append(current)
-            continue
-        if "=" in line and current is not None:
-            key, _, value = line.partition("=")
-            value = value.strip()
-            if value.startswith(("'", '"')):
-                current[key.strip()] = value[1:-1]
-            else:
-                current[key.strip()] = int(value)
-    return tables
 
 
 # ----------------------------------------------------------------------
@@ -522,24 +451,21 @@ def lint_source(
     ]
 
 
-def iter_python_files(paths: Iterable[str]) -> List[str]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
-    found: List[str] = []
-    for path in paths:
-        if os.path.isdir(path):
-            for root, dirs, files in os.walk(path):
-                dirs[:] = sorted(
-                    d for d in dirs
-                    if d != "__pycache__" and not d.startswith(".")
-                )
-                for name in sorted(files):
-                    if name.endswith(".py"):
-                        found.append(os.path.join(root, name))
-        elif path.endswith(".py"):
-            found.append(path)
-        else:
-            raise FileNotFoundError(f"not a Python file or directory: {path}")
-    return found
+def collect(model: ModuleModel) -> List[Violation]:
+    """Raw determinism violations for one parsed module — the
+    :func:`repro.check.model.check_paths` family hook (suppressions
+    and the baseline are applied by the driver)."""
+    imports = _Imports()
+    imports.collect(model.tree)
+    linter = _Linter(
+        model.path,
+        imports,
+        _is_sim_scope(model.path),
+        os.path.normpath(model.path).endswith(RNG_HOME),
+        _is_rob_scope(model.path),
+    )
+    linter.visit(model.tree)
+    return linter.violations
 
 
 def lint_paths(

@@ -1,0 +1,613 @@
+"""Shared static-analysis infrastructure and the domain-ownership model.
+
+Every analysis family in :mod:`repro.check` — the PR 2 determinism
+lints (:mod:`repro.check.lint`), the cross-domain safety rules
+(:mod:`repro.check.domains`), and the spec-portability rules
+(:mod:`repro.check.portability`) — reports through the same
+:class:`Violation` shape, honors the same ``# repro: allow-<tag>``
+inline suppressions, and is grandfathered by the same
+``check-baseline.toml``. This module owns that shared machinery plus
+the :class:`ModuleModel`: a one-parse-per-file index of functions,
+classes, call targets, local aliases, and *domain-table ownership*
+that lets the rule modules reason about "whose object is this
+expression" without each re-walking the AST.
+
+Ownership model
+---------------
+
+The partitioned engine's isolation invariant is: **cross-domain
+effects travel only through** :meth:`~repro.engine.sync.DomainRouter.send`.
+Statically we approximate "another domain's object" as any expression
+that reaches into one of the shared ownership tables —
+
+* ``<x>.domains[i]`` / ``domains[i]`` — an :class:`EventDomain` kernel
+  (clock, heap, seq counter) that may belong to another worker;
+* ``<x>.cores[i]`` / ``cores[i]`` — a :class:`CoreNode` whose heap and
+  scheduler live on that domain's clock;
+* ``<x>.hosts[i]`` / ``hosts[i]`` — an :class:`EdgeHost`, clocked by
+  the domain of the core it attaches to —
+
+either directly or through a simple local alias (``d = sim.domains[i]``
+or ``for d in sim.domains:``). Subscripting a table is how code
+addresses *potentially foreign* objects; components reach their *own*
+kernel through bound attributes (``self.sim``), which the model never
+classifies. The approximation is conservative by design: legal
+barrier-side code (the epoch synchronizer, worker stat collection)
+either lives in the sanctioned module (``engine/sync.py``) or carries
+an explicit inline allow that documents why the touch is safe.
+
+Driver
+------
+
+:func:`check_paths` runs every registered family over a set of files
+with one parse per file, applies suppressions and the baseline
+centrally, and — unlike the per-family entry points — *accounts* for
+escapes: an inline allow that matched no violation is reported as a
+:data:`WARN_UNUSED_SUPPRESSION` warning, and a baseline entry that no
+longer matches anything as :data:`WARN_STALE_BASELINE`, so stale
+escapes shrink instead of accumulating.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# ----------------------------------------------------------------------
+# Violations
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding from any analysis family."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+
+def format_violation(violation: Violation) -> str:
+    return (
+        f"{violation.path}:{violation.line}:{violation.col}: "
+        f"{violation.rule} {violation.message}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Rule registry (filled by each family module at import)
+# ----------------------------------------------------------------------
+
+#: rule id -> (suppression tag, one-line description), across families.
+_REGISTRY: Dict[str, Tuple[str, str]] = {}
+
+#: Warning pseudo-rules (never suppressible, never fail the run).
+WARN_UNUSED_SUPPRESSION = "SUP001"
+WARN_STALE_BASELINE = "SUP002"
+WARNING_RULES: Dict[str, str] = {
+    WARN_UNUSED_SUPPRESSION: (
+        "unused '# repro: allow-<tag>' (no matching violation on the "
+        "covered lines); delete the stale escape"
+    ),
+    WARN_STALE_BASELINE: (
+        "baseline entry matches no current violation; delete it from "
+        "check-baseline.toml"
+    ),
+}
+
+
+def register_rules(rules: Dict[str, Tuple[str, str]]) -> None:
+    """Register a family's rules so suppressions and ``--select``
+    resolve across every analysis module."""
+    _REGISTRY.update(rules)
+
+
+def registered_rules() -> Dict[str, Tuple[str, str]]:
+    """All rules across imported families (id -> (tag, description))."""
+    _load_families()
+    return dict(_REGISTRY)
+
+
+def _load_families() -> None:
+    # Import every family for its registration side effect. Function-
+    # level to avoid a cycle: family modules import this module.
+    from repro.check import domains, lint, portability  # noqa: F401
+
+
+def resolve_select(select: Optional[Iterable[str]]) -> Set[str]:
+    """Expand ``--select`` tokens (rule ids or prefixes like ``DOM``,
+    or ``all``) into a concrete rule-id set.
+
+    Raises :class:`ValueError` for a token matching nothing — a usage
+    error, not a clean run.
+    """
+    _load_families()
+    if not select:
+        return set(_REGISTRY)
+    chosen: Set[str] = set()
+    for raw in select:
+        token = raw.strip()
+        if not token:
+            continue
+        if token.lower() == "all":
+            chosen |= set(_REGISTRY)
+            continue
+        matched = {
+            rule for rule in _REGISTRY
+            if rule == token or rule.startswith(token.upper())
+        }
+        if not matched:
+            raise ValueError(
+                f"--select token {token!r} matches no rule; known: "
+                f"{', '.join(sorted(_REGISTRY))}"
+            )
+        chosen |= matched
+    return chosen
+
+
+# ----------------------------------------------------------------------
+# Inline suppressions
+# ----------------------------------------------------------------------
+
+_MARKER = "# repro: allow-"
+
+
+@dataclass
+class SuppressionMarker:
+    """One inline allow: covers its own line and the line below."""
+
+    line: int
+    rule: Optional[str]  # None for an unknown tag
+    token: str
+    used: bool = False
+
+    def covers(self, line: int) -> bool:
+        return line in (self.line, self.line + 1)
+
+
+def scan_suppressions(source: str) -> List[SuppressionMarker]:
+    """Find every ``# repro: allow-<tag>`` marker; tags resolve
+    against the full cross-family registry (or a bare rule id).
+
+    Only *actual comments* count (via :mod:`tokenize`), so docstrings
+    and f-strings that merely mention the marker syntax are ignored.
+    """
+    import io
+    import tokenize
+
+    _load_families()
+    tag_to_rule = {tag: rule for rule, (tag, _) in _REGISTRY.items()}
+    markers: List[SuppressionMarker] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return markers
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        at = tok.string.find(_MARKER)
+        if at < 0:
+            continue
+        token = tok.string[at + len(_MARKER):].split()[0].strip(",;")
+        rule = tag_to_rule.get(token, token if token in _REGISTRY else None)
+        markers.append(SuppressionMarker(tok.start[0], rule, token))
+    return markers
+
+
+# ----------------------------------------------------------------------
+# Baseline
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class BaselineEntry:
+    """One grandfathered finding from ``check-baseline.toml``."""
+
+    file: str
+    rule: str
+    line: Optional[int] = None
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, violation: Violation) -> bool:
+        if self.rule != violation.rule:
+            return False
+        if self.line is not None and self.line != violation.line:
+            return False
+        normalized = violation.path.replace(os.sep, "/")
+        return normalized.endswith(self.file.replace(os.sep, "/"))
+
+
+def load_baseline(path: str) -> List[BaselineEntry]:
+    """Parse a ``check-baseline.toml``. Uses :mod:`tomllib` when
+    available (3.11+), else a minimal parser that understands exactly
+    the ``[[suppress]]`` table-array shape."""
+    with open(path, "rb") as handle:
+        raw = handle.read()
+    try:
+        import tomllib
+        data = tomllib.loads(raw.decode())
+        tables = data.get("suppress", [])
+    except ModuleNotFoundError:  # Python 3.10
+        tables = _parse_baseline_fallback(raw.decode())
+    entries = []
+    for table in tables:
+        if "file" not in table or "rule" not in table:
+            raise ValueError(
+                f"{path}: every [[suppress]] entry needs 'file' and 'rule'"
+            )
+        entries.append(
+            BaselineEntry(
+                file=str(table["file"]),
+                rule=str(table["rule"]),
+                line=int(table["line"]) if "line" in table else None,
+            )
+        )
+    return entries
+
+
+def _parse_baseline_fallback(text: str) -> List[Dict[str, object]]:
+    tables: List[Dict[str, object]] = []
+    current: Optional[Dict[str, object]] = None
+    for raw_line in text.splitlines():
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "[[suppress]]":
+            current = {}
+            tables.append(current)
+            continue
+        if "=" in line and current is not None:
+            key, _, value = line.partition("=")
+            value = value.strip()
+            if value.startswith(("'", '"')):
+                current[key.strip()] = value[1:-1]
+            else:
+                current[key.strip()] = int(value)
+    return tables
+
+
+# ----------------------------------------------------------------------
+# File discovery
+# ----------------------------------------------------------------------
+
+
+def iter_python_files(paths: Iterable[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs
+                    if d != "__pycache__" and not d.startswith(".")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        found.append(os.path.join(root, name))
+        elif path.endswith(".py") and os.path.exists(path):
+            found.append(path)
+        else:
+            raise FileNotFoundError(f"not a Python file or directory: {path}")
+    return found
+
+
+# ----------------------------------------------------------------------
+# AST helpers
+# ----------------------------------------------------------------------
+
+
+def attr_chain(node: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``a.b.c`` -> ("a", "b", "c"); None for non-trivial bases."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return tuple(reversed(parts))
+    return None
+
+
+#: Ownership tables: attribute/name -> kind of object the table holds.
+DOMAIN_TABLES: Dict[str, str] = {
+    "domains": "domain",
+    "cores": "core",
+    "hosts": "host",
+}
+
+
+class ModuleModel:
+    """A one-parse index of a module for the analysis families.
+
+    Exposes the parsed ``tree`` plus:
+
+    * ``functions`` — every (async) function/method with its enclosing
+      class name (None at module level);
+    * ``classes`` — class name -> :class:`ast.ClassDef`;
+    * ``module_functions`` — names defined by module-level ``def``;
+    * ``nested_functions(fn)`` — names of ``def``\\ s nested in ``fn``;
+    * ``table_subscript(expr)`` — ownership-table classification;
+    * ``aliases(fn)`` — local names bound to table elements;
+    * ``const_number(expr)`` — tiny constant folder (module-level
+      numeric constants, ``+ - * /``, unary minus).
+    """
+
+    def __init__(self, source: str, path: str = "<string>"):
+        self.source = source
+        self.path = path
+        self.tree = ast.parse(source, filename=path)
+        self.functions: List[Tuple[ast.AST, Optional[str]]] = []
+        self.classes: Dict[str, ast.ClassDef] = {}
+        self.module_functions: Set[str] = set()
+        self._nested: Dict[ast.AST, Set[str]] = {}
+        self._aliases: Dict[ast.AST, Dict[str, str]] = {}
+        self._constants: Dict[str, float] = {}
+        self._index()
+
+    # -- indexing -------------------------------------------------------
+
+    def _index(self) -> None:
+        for node in self.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_functions.add(node.name)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = self._fold(node.value)
+                if isinstance(target, ast.Name) and value is not None:
+                    self._constants[target.id] = value
+
+        def walk(body: Iterable[ast.stmt], cls: Optional[str]) -> None:
+            for node in body:
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self.functions.append((node, cls))
+                    walk(node.body, cls)
+                elif isinstance(node, ast.ClassDef):
+                    self.classes[node.name] = node
+                    walk(node.body, node.name)
+                elif isinstance(node, (ast.If, ast.Try, ast.With, ast.For,
+                                       ast.While)):
+                    # Defs hiding under conditionals still count.
+                    for sub in ast.iter_child_nodes(node):
+                        if isinstance(sub, ast.stmt):
+                            walk([sub], cls)
+
+        walk(self.tree.body, None)
+
+    # -- functions ------------------------------------------------------
+
+    def nested_functions(self, fn: ast.AST) -> Set[str]:
+        """Names of functions defined *inside* ``fn`` (these cannot be
+        pickled across a process boundary)."""
+        cached = self._nested.get(fn)
+        if cached is None:
+            cached = {
+                node.name
+                for node in ast.walk(fn)
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not fn
+            }
+            self._nested[fn] = cached
+        return cached
+
+    def methods_of(self, cls: ast.ClassDef) -> Dict[str, ast.AST]:
+        return {
+            node.name: node
+            for node in cls.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+
+    # -- ownership ------------------------------------------------------
+
+    def table_subscript(self, expr: ast.expr) -> Optional[str]:
+        """Kind of ownership table ``expr`` subscripts, if any:
+        ``sim.domains[i]`` -> "domain", ``cores[i]`` -> "core", ..."""
+        if not isinstance(expr, ast.Subscript):
+            return None
+        base = expr.value
+        if isinstance(base, ast.Attribute):
+            return DOMAIN_TABLES.get(base.attr)
+        if isinstance(base, ast.Name):
+            return DOMAIN_TABLES.get(base.id)
+        return None
+
+    def table_iter(self, expr: ast.expr) -> Optional[str]:
+        """Kind of table ``expr`` iterates (``for d in sim.domains``)."""
+        if isinstance(expr, ast.Attribute):
+            return DOMAIN_TABLES.get(expr.attr)
+        if isinstance(expr, ast.Name):
+            return DOMAIN_TABLES.get(expr.id)
+        return None
+
+    def aliases(self, fn: ast.AST) -> Dict[str, str]:
+        """Local names bound to ownership-table elements inside ``fn``:
+        ``d = sim.domains[i]`` and ``for d in sim.domains`` both bind
+        ``d`` as a "domain" alias. Flow-insensitive (a name bound to a
+        table element anywhere in the function is treated as one
+        everywhere) — conservative, like the rest of the model."""
+        cached = self._aliases.get(fn)
+        if cached is not None:
+            return cached
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(fn):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                kind = self.table_subscript(node.value)
+                if kind and isinstance(target, ast.Name):
+                    aliases[target.id] = kind
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                kind = self.table_iter(node.iter)
+                if kind and isinstance(node.target, ast.Name):
+                    aliases[node.target.id] = kind
+        self._aliases[fn] = aliases
+        return aliases
+
+    def owned_kind(self, expr: ast.expr, aliases: Dict[str, str]) -> Optional[str]:
+        """Classify ``expr`` as a potentially-foreign table element:
+        a direct table subscript or a known alias name."""
+        kind = self.table_subscript(expr)
+        if kind:
+            return kind
+        if isinstance(expr, ast.Name):
+            return aliases.get(expr.id)
+        return None
+
+    # -- constant folding -----------------------------------------------
+
+    def const_number(self, expr: ast.expr) -> Optional[float]:
+        """Fold ``expr`` to a float when it is a numeric literal, a
+        module-level constant name, or ``+ - * /`` / unary-minus over
+        those. None when not statically known."""
+        return self._fold(expr)
+
+    def _fold(self, expr: ast.expr) -> Optional[float]:
+        if isinstance(expr, ast.Constant) and isinstance(
+            expr.value, (int, float)
+        ) and not isinstance(expr.value, bool):
+            return float(expr.value)
+        if isinstance(expr, ast.Name):
+            return self._constants.get(expr.id)
+        if isinstance(expr, ast.UnaryOp) and isinstance(expr.op, ast.USub):
+            value = self._fold(expr.operand)
+            return -value if value is not None else None
+        if isinstance(expr, ast.BinOp):
+            left = self._fold(expr.left)
+            right = self._fold(expr.right)
+            if left is None or right is None:
+                return None
+            if isinstance(expr.op, ast.Add):
+                return left + right
+            if isinstance(expr.op, ast.Sub):
+                return left - right
+            if isinstance(expr.op, ast.Mult):
+                return left * right
+            if isinstance(expr.op, ast.Div):
+                return left / right if right != 0 else None
+        return None
+
+
+# ----------------------------------------------------------------------
+# The cross-family driver
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class CheckReport:
+    """Outcome of :func:`check_paths` over a file set."""
+
+    violations: List[Violation] = field(default_factory=list)
+    warnings: List[Violation] = field(default_factory=list)
+    files: int = 0
+    baselined: int = 0
+    #: Files that failed to parse: (path, message). Reported as
+    #: violations too (rule "E999"-style is ruff's job; we surface the
+    #: SyntaxError as a usage-level problem instead).
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations and not self.errors
+
+
+def check_paths(
+    paths: Iterable[str],
+    select: Optional[Iterable[str]] = None,
+    baseline: Sequence[BaselineEntry] = (),
+) -> CheckReport:
+    """Run every selected analysis family over ``paths``.
+
+    One parse per file feeds all families. Inline suppressions and the
+    baseline are applied centrally, with usage accounting: escapes that
+    matched nothing come back as warnings (:data:`WARN_UNUSED_SUPPRESSION`
+    / :data:`WARN_STALE_BASELINE`). Warnings never affect
+    :attr:`CheckReport.clean`.
+    """
+    from repro.check import domains, lint, portability
+
+    selected = resolve_select(select)
+    collectors = (lint.collect, domains.collect, portability.collect)
+    report = CheckReport()
+    for filename in iter_python_files(paths):
+        with open(filename, encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            model = ModuleModel(source, path=filename)
+        except SyntaxError as exc:
+            report.errors.append((filename, str(exc)))
+            continue
+        report.files += 1
+        raw: List[Violation] = []
+        for collect in collectors:
+            raw.extend(collect(model))
+        # Nested defs are visited both standalone and inside their
+        # enclosing function; identical findings collapse to one.
+        raw = list(dict.fromkeys(raw))
+        markers = scan_suppressions(source)
+        for violation in sorted(raw, key=lambda v: (v.line, v.rule)):
+            if violation.rule not in selected:
+                # Still burns a matching marker: the escape is "in use"
+                # even when the family is filtered out this run.
+                for marker in markers:
+                    if marker.rule == violation.rule and marker.covers(
+                        violation.line
+                    ):
+                        marker.used = True
+                continue
+            suppressed = False
+            for marker in markers:
+                if marker.rule == violation.rule and marker.covers(
+                    violation.line
+                ):
+                    marker.used = True
+                    suppressed = True
+            if suppressed:
+                continue
+            matched_baseline = False
+            for entry in baseline:
+                if entry.matches(violation):
+                    entry.used = True
+                    matched_baseline = True
+            if matched_baseline:
+                report.baselined += 1
+                continue
+            report.violations.append(violation)
+        for marker in markers:
+            if marker.used:
+                continue
+            if marker.rule is None:
+                detail = (
+                    f"tag {marker.token!r} names no known rule "
+                    f"(typo in the escape?)"
+                )
+            elif marker.rule not in selected:
+                continue  # its family did not run; can't call it unused
+            else:
+                detail = f"allow-{marker.token}"
+            report.warnings.append(
+                Violation(
+                    WARN_UNUSED_SUPPRESSION,
+                    filename,
+                    marker.line,
+                    1,
+                    f"{WARNING_RULES[WARN_UNUSED_SUPPRESSION]} [{detail}]",
+                )
+            )
+    for entry in baseline:
+        if not entry.used and entry.rule in selected:
+            where = entry.file + (f":{entry.line}" if entry.line else "")
+            report.warnings.append(
+                Violation(
+                    WARN_STALE_BASELINE,
+                    entry.file,
+                    entry.line or 0,
+                    1,
+                    f"{WARNING_RULES[WARN_STALE_BASELINE]} "
+                    f"[{entry.rule} @ {where}]",
+                )
+            )
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule))
+    report.warnings.sort(key=lambda v: (v.path, v.line, v.rule))
+    return report

@@ -379,21 +379,26 @@ def _is_tie_flip(
     a: List[DispatchRecord], b: List[DispatchRecord], index: int
 ) -> bool:
     """Do both runs dispatch the same multiset of events at the
-    divergent timestamp, just in a different order?"""
+    divergent timestamp, just in a different order?
+
+    Sequence numbers are excluded from the comparison: the heap
+    assigns them in insertion order, so an insertion-order flip (the
+    very bug this classifies) re-pairs seq with callsite and would
+    otherwise make the multisets look genuinely different."""
     t_a, t_b = a[index].time, b[index].time
     if t_a != t_b:
         return False
 
-    def group(records: List[DispatchRecord], time: float) -> List[DispatchRecord]:
+    def group(records: List[DispatchRecord], time: float) -> List[tuple]:
         start = index
         while start > 0 and records[start - 1].time == time:
             start -= 1
         stop = index
         while stop < len(records) and records[stop].time == time:
             stop += 1
-        return records[start:stop]
+        return sorted((r.time, r.callsite) for r in records[start:stop])
 
-    return sorted(group(a, t_a)) == sorted(group(b, t_b))
+    return group(a, t_a) == group(b, t_b)
 
 
 def compare_runs(

@@ -509,9 +509,14 @@ class Emulation:
         return DropTailQueue()
 
     def _direct_transmit(self, packet: Packet) -> None:
-        """Reference mode: packets enter the entry core instantly."""
+        """Reference mode: packets enter the entry core instantly.
+
+        Reference mode cannot be partitioned (build() raises when
+        ``num_domains > 1`` without ``model_physical``), so this core
+        is always on our own — the only — event domain.
+        """
         core = self.cores[self.binding.core_of_vn(packet.src)]
-        core.ingress_packet(packet)
+        core.ingress_packet(packet)  # repro: allow-unrouted-peer-call
 
     def _bump_route_generation(self) -> None:
         """Invalidate every memoized route without touching the table."""

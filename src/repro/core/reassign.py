@@ -36,6 +36,16 @@ class DynamicReassigner:
     ):
         if len(emulation.cores) < 2:
             raise ValueError("reassignment needs multiple cores")
+        if getattr(emulation, "num_domains", 1) > 1:
+            # Migration pokes the destination core's scheduler heap
+            # directly; under partitioned execution that core may live
+            # on another event domain (or another worker process), so
+            # the poke would bypass the DomainRouter and desync digests.
+            raise ValueError(
+                "dynamic reassignment requires single-domain execution "
+                f"(got {emulation.num_domains} event domains); it "
+                "migrates scheduler state that must not cross domains"
+            )
         self.emulation = emulation
         self.period_s = period_s
         self.max_moves_per_round = max_moves_per_round
@@ -151,8 +161,10 @@ class DynamicReassigner:
         pipe.owner = new_core
         pipe._sched_hint = INFINITY
         core = self.emulation.cores[new_core]
-        core.scheduler.notify(pipe)
-        core._reschedule_wake()
+        # Single-domain by construction: __init__ rejects partitioned
+        # emulations, so this core shares our clock and heap.
+        core.scheduler.notify(pipe)  # repro: allow-unrouted-peer-call
+        core._reschedule_wake()  # repro: allow-unrouted-peer-call
         forward, _reverse = self.emulation.pipes_of_link(pipe.link_id)
         self.emulation.pod._link_to_core[pipe.link_id] = forward.owner
         self.emulation.assignment.link_to_core[pipe.link_id] = forward.owner

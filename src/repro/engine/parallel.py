@@ -203,8 +203,11 @@ def _collect_worker_stats(emulation, sim, owned: Sequence[int], probes) -> dict:
             tcp[key] = tcp.get(key, 0) + value
     monitor = emulation.monitor
     return {
+        # Progress of domains this worker *owns* — a local read that the
+        # ownership model cannot distinguish from a foreign peek.
         "domains": {
-            d: (sim.domains[d]._dispatched, sim.domains[d]._now) for d in owned
+            d: (sim.domains[d]._dispatched, sim.domains[d]._now)  # repro: allow-cross-domain-clock
+            for d in owned
         },
         "cores": cores,
         "pipes": pipes,
@@ -303,10 +306,7 @@ def _worker_main(
             elif op == "finish":
                 _, until = command
                 if until is not None:
-                    for d in owned:
-                        domain = sim.domains[d]
-                        if domain._now < until:
-                            domain._now = until
+                    sim.fast_forward(until, owned)
                 stop_beating.set()
                 _send(
                     ("result", _collect_worker_stats(emulation, sim, owned, probes))
@@ -539,9 +539,7 @@ def _merge_stats(scenario, stats: List[dict], until, result) -> None:
     samples: List[Tuple[int, List[float]]] = []
     for worker_stats in stats:
         for d, (dispatched, now) in worker_stats["domains"].items():
-            domain = sim.domains[d]
-            domain._dispatched = dispatched
-            domain._now = now
+            sim.domains[d].restore_progress(dispatched, now)
             result.events_by_domain[d] = dispatched
         for index, fields in worker_stats["cores"].items():
             core = emulation.cores[index]
@@ -595,9 +593,9 @@ def _merge_stats(scenario, stats: List[dict], until, result) -> None:
     sim.epochs = result.epochs
     sim.router.messages_routed = result.messages_routed
     if until is not None:
-        for domain in sim.domains:
-            if domain._now < until:
-                domain._now = until
+        # The parent's kernels never ran; their heaps still hold the
+        # initial schedule, so this alignment cannot be strict.
+        sim.fast_forward(until, strict=False)
     for key, value in tcp_totals.items():
         result.metric_overlay[f"tcp.{key}"] = value
     if any(host.cpu is not None for host in emulation.hosts):

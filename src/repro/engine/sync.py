@@ -28,7 +28,7 @@ streams for the same scenario.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, NamedTuple, Optional, Tuple
+from typing import Any, Callable, Iterable, List, NamedTuple, Optional, Tuple
 
 from repro.engine.domain import INFINITY, EventDomain, SimulationError
 
@@ -325,6 +325,32 @@ class PartitionedSimulator:
         """Halt at the next epoch boundary."""
         self._stopped = True
 
+    def fast_forward(
+        self,
+        until: float,
+        domain_ids: Optional[Iterable[int]] = None,
+        strict: bool = True,
+    ) -> None:
+        """Align idle domain clocks with ``until`` (barrier-side API).
+
+        This is the sanctioned way for executors — the serial epoch
+        loop, the multiprocess workers at ``finish``, and the parent's
+        stat merge — to advance drained domains to the run target
+        without touching ``EventDomain`` internals (which the DOM002 /
+        EPO001 static rules forbid outside this module). ``domain_ids``
+        restricts the sweep to the domains a worker owns; the default
+        covers all of them. Delegates to
+        :meth:`EventDomain.fast_forward`, which refuses to skip over
+        pending work.
+        """
+        domains = (
+            self.domains
+            if domain_ids is None
+            else [self.domains[d] for d in domain_ids]
+        )
+        for domain in domains:
+            domain.fast_forward(until, strict=strict)
+
     # -- the epoch loop ---------------------------------------------------
 
     def next_event_time(self) -> float:
@@ -370,9 +396,7 @@ class PartitionedSimulator:
             self._running = False
         if until is not None and not self._stopped:
             # Natural drain: align every idle clock with the target.
-            for domain in domains:
-                if domain._now < until:
-                    domain._now = until
+            self.fast_forward(until)
         return self.now
 
     def __repr__(self) -> str:

@@ -468,7 +468,7 @@ class WorkerSupervisor:
         if handle.conn is not None:
             try:
                 handle.conn.close()
-            except OSError:  # repro: allow-broad-except (best-effort close)
+            except OSError:  # best-effort close
                 pass
             handle.conn = None
         proc = handle.proc

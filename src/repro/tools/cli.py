@@ -331,31 +331,96 @@ def _cmd_import(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    """Static determinism lint (rules DET001-DET004, NED001, ROB001)."""
+    """Static analysis: determinism (DET/NED/ROB), cross-domain safety
+    (DOM/EPO), and spec portability (PORT) families.
+
+    Exit codes: 0 clean, 1 violations found, 2 usage error (no paths,
+    unknown --select token, unreadable input). Warnings (unused
+    suppressions, stale baseline entries) never affect the exit code.
+    """
+    import json
     import os
 
-    from repro.check import RULES, format_violation, lint_paths, load_baseline
+    from repro.check.model import (
+        check_paths,
+        format_violation,
+        load_baseline,
+        registered_rules,
+        resolve_select,
+    )
 
     if args.list_rules:
-        for rule, (tag, description) in sorted(RULES.items()):
+        for rule, (tag, description) in sorted(registered_rules().items()):
             print(f"{rule}  (# repro: allow-{tag})")
             print(f"    {description}")
         return 0
     if not args.paths:
         print("error: no paths given (or use --list-rules)", file=sys.stderr)
         return 2
+    select = None
+    if args.select:
+        select = [
+            token for part in args.select for token in part.split(",")
+        ]
+        try:
+            resolve_select(select)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     baseline = []
     baseline_path = args.baseline
     if baseline_path is None and os.path.exists("check-baseline.toml"):
         baseline_path = "check-baseline.toml"
     if baseline_path and not args.no_baseline:
         baseline = load_baseline(baseline_path)
-    violations = lint_paths(args.paths, baseline=baseline)
-    for violation in violations:
+    try:
+        report = check_paths(args.paths, select=select, baseline=baseline)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        payload = {
+            "format": "repro-check/1",
+            "files": report.files,
+            "clean": report.clean,
+            "baselined": report.baselined,
+            "violations": [
+                {
+                    "rule": v.rule, "path": v.path, "line": v.line,
+                    "col": v.col, "message": v.message,
+                }
+                for v in report.violations
+            ],
+            "warnings": [
+                {
+                    "rule": w.rule, "path": w.path, "line": w.line,
+                    "col": w.col, "message": w.message,
+                }
+                for w in report.warnings
+            ],
+            "errors": [
+                {"path": path, "message": message}
+                for path, message in report.errors
+            ],
+        }
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0 if report.clean else 1
+
+    for path, message in report.errors:
+        print(f"{path}: parse error: {message}", file=sys.stderr)
+    for violation in report.violations:
         print(format_violation(violation))
-    suffix = f" ({len(baseline)} baselined suppressions)" if baseline else ""
-    if violations:
-        print(f"{len(violations)} determinism violation(s){suffix}")
+    for warning in report.warnings:
+        print(f"warning: {format_violation(warning)}")
+    suffix = (
+        f" ({report.baselined} baselined suppression(s))"
+        if report.baselined
+        else ""
+    )
+    if not report.clean:
+        count = len(report.violations) + len(report.errors)
+        print(f"{count} violation(s){suffix}")
         return 1
     print(f"clean: no determinism violations{suffix}")
     return 0
@@ -778,9 +843,21 @@ def build_parser() -> argparse.ArgumentParser:
     run.set_defaults(func=_cmd_run)
 
     check = sub.add_parser(
-        "check", help="static determinism lint (DET001-DET004, NED001, ROB001)"
+        "check",
+        help="static analysis: determinism (DET/NED/ROB), domain "
+        "safety (DOM/EPO), spec portability (PORT)",
+        description="Exit codes: 0 clean, 1 violations, 2 usage error.",
     )
     check.add_argument("paths", nargs="*", help="files or directories to lint")
+    check.add_argument(
+        "--select", action="append", metavar="RULES",
+        help="comma-separated rule ids or family prefixes to run "
+        "(e.g. DOM,PORT,EPO or DET001); default: all families",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (json prints a repro-check/1 report)",
+    )
     check.add_argument(
         "--baseline",
         help="baseline TOML (default: ./check-baseline.toml when present)",

@@ -1,0 +1,6 @@
+"""Seeded DOM001: scheduling directly onto another domain's kernel."""
+
+
+def broadcast_tick(sim, fn):
+    for d in range(len(sim.domains)):
+        sim.domains[d].post(sim.now + 0.001, fn)

@@ -1,0 +1,6 @@
+"""Seeded DOM002: mutating another domain's kernel state."""
+
+
+def patch_clocks(sim, until):
+    for domain in sim.domains:
+        domain._now = until

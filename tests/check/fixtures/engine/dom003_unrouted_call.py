@@ -1,0 +1,6 @@
+"""Seeded DOM003: poking a peer core with no domain guard in sight."""
+
+
+def poke_peer(emulation, index, pipe):
+    core = emulation.cores[index]
+    core.scheduler.notify(pipe)

@@ -1,0 +1,5 @@
+"""Seeded EPO001: reading another domain's clock outside the barrier."""
+
+
+def is_behind(sim, d, horizon):
+    return sim.domains[d]._now < horizon

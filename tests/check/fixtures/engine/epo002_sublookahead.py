@@ -1,0 +1,8 @@
+"""Seeded EPO002: cross-domain sends below the sync horizon."""
+
+TOO_SMALL = 1e-6
+
+
+def send_too_early(router, now, dst, payload):
+    router.send(now, 0, dst, "deliver", 0, payload)
+    router.send(now + TOO_SMALL, 0, dst, "deliver", 0, payload)

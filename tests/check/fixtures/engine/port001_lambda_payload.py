@@ -1,0 +1,12 @@
+"""Seeded PORT001: a closure riding a cross-domain payload."""
+
+
+def ship(router, channel, now, packet):
+    router.send(
+        channel.delivery_time(now, 64),
+        0,
+        1,
+        "call",
+        7,
+        lambda: packet.retire(),
+    )

@@ -1,0 +1,10 @@
+"""Seeded PORT002: a Process target that cannot be pickled."""
+
+import multiprocessing
+
+
+def launch(conn):
+    def _child():
+        conn.send(("hb",))
+
+    return multiprocessing.Process(target=_child, daemon=True)

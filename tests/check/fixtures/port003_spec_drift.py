@@ -1,0 +1,17 @@
+"""Seeded PORT003: a persistent field that misses the spec round-trip."""
+
+
+class MiniScenario:
+    def __init__(self, name):
+        self._name = name
+        self._seed = 0
+        self._route_cache = {}
+
+    def to_spec(self):
+        return {"name": self._name, "seed": self._seed}
+
+    @classmethod
+    def from_spec(cls, spec):
+        scenario = cls(spec["name"])
+        scenario._seed = spec["seed"]
+        return scenario

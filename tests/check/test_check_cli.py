@@ -1,0 +1,149 @@
+"""CLI contract for `repro-net check`: formats and exit codes.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error. Warnings
+(unused suppressions, stale baseline entries) never affect the code.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.tools import main
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+# ----------------------------------------------------------------------
+# Exit codes
+# ----------------------------------------------------------------------
+
+def test_exit_0_on_clean(capsys):
+    assert main(["check", fixture("engine", "clean_partitioned.py")]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_exit_1_on_violations(capsys):
+    assert main(["check", fixture("engine", "dom001_cross_post.py")]) == 1
+    assert "DOM001" in capsys.readouterr().out
+
+
+def test_exit_2_on_no_paths(capsys):
+    assert main(["check"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+def test_exit_2_on_unknown_select(capsys):
+    assert main(["check", "--select", "NOPE", FIXTURES]) == 2
+    assert "NOPE" in capsys.readouterr().err
+
+
+def test_exit_2_on_missing_path(capsys):
+    assert main(["check", "no/such/dir"]) == 2
+    assert "error" in capsys.readouterr().err
+
+
+# ----------------------------------------------------------------------
+# --select
+# ----------------------------------------------------------------------
+
+def test_select_restricts_families(capsys):
+    path = fixture("engine", "dom001_cross_post.py")
+    assert main(["check", "--select", "DET", path]) == 0
+    capsys.readouterr()
+    assert main(["check", "--select", "DOM,PORT,EPO", path]) == 1
+    assert "DOM001" in capsys.readouterr().out
+
+
+def test_select_repeated_flags_accumulate(capsys):
+    path = fixture("engine", "epo002_sublookahead.py")
+    assert main(["check", "--select", "DOM", "--select", "EPO", path]) == 1
+    assert "EPO002" in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# Text format
+# ----------------------------------------------------------------------
+
+def test_text_format_path_line_col_rule(capsys):
+    path = fixture("engine", "epo001_clock_peek.py")
+    assert main(["check", path]) == 1
+    line = next(
+        l for l in capsys.readouterr().out.splitlines() if "EPO001" in l
+    )
+    location = line.split(" ", 1)[0]
+    assert location.startswith(f"{path}:")
+    assert location.count(":") >= 3  # path:line:col:
+
+
+# ----------------------------------------------------------------------
+# JSON format
+# ----------------------------------------------------------------------
+
+def test_json_clean_report(capsys):
+    path = fixture("engine", "clean_partitioned.py")
+    assert main(["check", "--format", "json", path]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["format"] == "repro-check/1"
+    assert payload["clean"] is True
+    assert payload["files"] == 1
+    assert payload["violations"] == []
+
+
+def test_json_violation_report(capsys):
+    path = fixture("engine", "dom002_foreign_state.py")
+    assert main(["check", "--format", "json", path]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is False
+    [violation] = payload["violations"]
+    assert violation["rule"] == "DOM002"
+    assert violation["path"] == path
+    assert violation["line"] > 0
+    assert violation["col"] > 0
+    assert violation["message"]
+
+
+def test_json_carries_warnings_without_failing(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("x = 1  # repro: allow-rng\n")
+    assert main(["check", "--format", "json", str(target)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["clean"] is True
+    [warning] = payload["warnings"]
+    assert warning["rule"] == "SUP001"
+
+
+def test_every_seeded_fixture_rule_in_one_json_sweep(capsys):
+    assert main(["check", "--format", "json", "--no-baseline", FIXTURES]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    flagged = {v["rule"] for v in payload["violations"]}
+    assert flagged == {
+        "DET001", "DET002", "DET003", "DET004", "NED001", "ROB001",
+        "DOM001", "DOM002", "DOM003", "EPO001", "EPO002",
+        "PORT001", "PORT002", "PORT003",
+    }
+
+
+# ----------------------------------------------------------------------
+# Warnings in text mode
+# ----------------------------------------------------------------------
+
+def test_text_mode_prints_warnings_but_stays_clean(tmp_path, capsys):
+    target = tmp_path / "x.py"
+    target.write_text("x = 1  # repro: allow-wallclock\n")
+    assert main(["check", str(target)]) == 0
+    out = capsys.readouterr().out
+    assert "warning:" in out
+    assert "SUP001" in out
+    assert "clean" in out
+
+
+def test_list_rules_spans_families(capsys):
+    assert main(["check", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule in ("DET001", "DOM001", "EPO002", "PORT003"):
+        assert rule in out

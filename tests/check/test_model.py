@@ -1,0 +1,207 @@
+"""Tests for the shared analysis infrastructure (repro.check.model)."""
+
+import os
+import time
+
+import pytest
+
+from repro.check.model import (
+    BaselineEntry,
+    ModuleModel,
+    Violation,
+    check_paths,
+    registered_rules,
+    resolve_select,
+    scan_suppressions,
+)
+
+FIXTURES = os.path.join(os.path.dirname(__file__), "fixtures")
+SRC = os.path.normpath(
+    os.path.join(os.path.dirname(__file__), "..", "..", "src")
+)
+
+
+def fixture(*parts: str) -> str:
+    return os.path.join(FIXTURES, *parts)
+
+
+# ----------------------------------------------------------------------
+# Registry + --select resolution
+# ----------------------------------------------------------------------
+
+def test_registry_spans_every_family():
+    rules = registered_rules()
+    for rule in ("DET001", "NED001", "ROB001", "DOM001", "DOM002", "DOM003",
+                 "EPO001", "EPO002", "PORT001", "PORT002", "PORT003"):
+        assert rule in rules
+
+
+def test_resolve_select_prefixes_ids_and_all():
+    assert resolve_select(["DOM"]) == {"DOM001", "DOM002", "DOM003"}
+    assert resolve_select(["EPO001"]) == {"EPO001"}
+    assert resolve_select(["DOM", "PORT", "EPO"]) == {
+        "DOM001", "DOM002", "DOM003", "EPO001", "EPO002",
+        "PORT001", "PORT002", "PORT003",
+    }
+    assert resolve_select(["all"]) == set(registered_rules())
+    assert resolve_select(None) == set(registered_rules())
+    with pytest.raises(ValueError):
+        resolve_select(["NOPE"])
+
+
+def test_select_filters_families():
+    path = fixture("engine", "dom001_cross_post.py")
+    assert check_paths([path], select=["DOM"]).violations
+    assert check_paths([path], select=["DET"]).violations == []
+
+
+# ----------------------------------------------------------------------
+# Suppression scanning + usage accounting
+# ----------------------------------------------------------------------
+
+def test_scan_suppressions_ignores_strings_and_docstrings(tmp_path):
+    source = (
+        '"""Docs mention # repro: allow-wallclock but are not comments."""\n'
+        "x = '# repro: allow-rng'\n"
+        "y = 1  # repro: allow-tiebreak\n"
+    )
+    markers = scan_suppressions(source)
+    assert [(m.line, m.rule) for m in markers] == [(3, "DET004")]
+
+
+def test_unused_suppression_is_warned(tmp_path):
+    target = tmp_path / "engine" / "x.py"
+    target.parent.mkdir()
+    target.write_text(
+        "def f(sim, fn):\n"
+        "    sim.domains[0].post(0.1, fn)  # repro: allow-cross-domain-schedule\n"
+        "    return None  # repro: allow-cross-domain-clock\n"
+    )
+    report = check_paths([str(target)])
+    assert report.violations == []  # DOM001 suppressed
+    assert [w.rule for w in report.warnings] == ["SUP001"]
+    assert "cross-domain-clock" in report.warnings[0].message
+    assert report.clean  # warnings never fail the run
+
+
+def test_unknown_suppression_tag_is_warned(tmp_path):
+    target = tmp_path / "x.py"
+    target.write_text("x = 1  # repro: allow-tpyo\n")
+    report = check_paths([str(target)])
+    assert [w.rule for w in report.warnings] == ["SUP001"]
+    assert "tpyo" in report.warnings[0].message
+
+
+def test_suppression_for_unselected_family_is_not_warned(tmp_path):
+    target = tmp_path / "engine" / "x.py"
+    target.parent.mkdir()
+    target.write_text(
+        "def f(sim, fn):\n"
+        "    sim.domains[0].post(0.1, fn)  # repro: allow-cross-domain-schedule\n"
+    )
+    report = check_paths([str(target)], select=["DET"])
+    assert report.violations == []
+    assert report.warnings == []
+
+
+# ----------------------------------------------------------------------
+# Baseline accounting
+# ----------------------------------------------------------------------
+
+def test_baseline_grandfathers_and_counts():
+    path = fixture("engine", "dom002_foreign_state.py")
+    entry = BaselineEntry(file="dom002_foreign_state.py", rule="DOM002")
+    report = check_paths([path], baseline=[entry])
+    assert report.violations == []
+    assert report.baselined == 1
+    assert entry.used
+
+
+def test_stale_baseline_entry_is_warned():
+    path = fixture("engine", "clean_partitioned.py")
+    entry = BaselineEntry(file="clean_partitioned.py", rule="DOM001", line=99)
+    report = check_paths([path], baseline=[entry])
+    assert report.violations == []
+    assert [w.rule for w in report.warnings] == ["SUP002"]
+    assert report.clean
+
+
+def test_stale_entry_for_unselected_rule_is_silent():
+    path = fixture("engine", "clean_partitioned.py")
+    entry = BaselineEntry(file="clean_partitioned.py", rule="DOM001")
+    report = check_paths([path], baseline=[entry], select=["PORT"])
+    assert report.warnings == []
+
+
+# ----------------------------------------------------------------------
+# Ownership model
+# ----------------------------------------------------------------------
+
+def test_aliases_from_assignment_and_iteration():
+    model = ModuleModel(
+        "def f(sim, emulation):\n"
+        "    d = sim.domains[0]\n"
+        "    for c in emulation.cores:\n"
+        "        pass\n"
+        "    hs = [h for h in emulation.hosts]\n"
+        "    return d, hs\n"
+    )
+    fn = model.functions[0][0]
+    aliases = model.aliases(fn)
+    assert aliases == {"d": "domain", "c": "core", "h": "host"}
+
+
+def test_owned_kind_classifies_subscripts_and_aliases():
+    model = ModuleModel(
+        "def f(sim):\n"
+        "    d = sim.domains[1]\n"
+        "    return d\n"
+    )
+    import ast
+
+    fn = model.functions[0][0]
+    aliases = model.aliases(fn)
+    sub = ast.parse("sim.domains[1]").body[0].value
+    name = ast.parse("d").body[0].value
+    other = ast.parse("self.sim").body[0].value
+    assert model.owned_kind(sub, aliases) == "domain"
+    assert model.owned_kind(name, aliases) == "domain"
+    assert model.owned_kind(other, aliases) is None
+
+
+def test_const_number_folds_module_constants():
+    model = ModuleModel("BASE = 10e-6\nDOUBLE = BASE * 2\n")
+    import ast
+
+    expr = ast.parse("DOUBLE + 1e-6").body[0].value
+    assert model.const_number(expr) == pytest.approx(21e-6)
+    unknown = ast.parse("x + 1").body[0].value
+    assert model.const_number(unknown) is None
+
+
+def test_syntax_error_is_reported_not_raised(tmp_path):
+    target = tmp_path / "broken.py"
+    target.write_text("def f(:\n")
+    report = check_paths([str(target)])
+    assert report.violations == []
+    assert len(report.errors) == 1
+    assert not report.clean
+
+
+# ----------------------------------------------------------------------
+# Performance: the acceptance bar is < 10 s over src/
+# ----------------------------------------------------------------------
+
+def test_analyzer_completes_over_src_quickly():
+    t0 = time.perf_counter()
+    report = check_paths([SRC])
+    elapsed = time.perf_counter() - t0
+    assert report.files > 50
+    assert elapsed < 10.0, f"analyzer took {elapsed:.1f}s over src/"
+
+
+def test_repo_src_is_clean_across_all_families():
+    report = check_paths([SRC])
+    assert report.violations == []
+    assert report.errors == []
+    assert report.warnings == []  # no stale escapes either

@@ -10,6 +10,7 @@ from repro.check.sanitize import (
     SimSanitizer,
     _first_divergence,
     compare_runs,
+    compose_domain_digests,
     sanitize_scenario,
 )
 from repro.engine.simulator import Simulator
@@ -158,6 +159,75 @@ def test_tie_flip_detection():
     assert not divergence.tie_order_only
 
 
+def test_tie_flip_ignores_heap_sequence_pairing():
+    """An insertion-order flip re-pairs seq numbers with callsites
+    (the heap assigns seq in insertion order), so the classifier must
+    compare the timestamp group on (time, callsite) only."""
+    a = [DispatchRecord(0.1, 1, "f"), DispatchRecord(0.1, 2, "g")]
+    b = [DispatchRecord(0.1, 1, "g"), DispatchRecord(0.1, 2, "f")]
+    divergence = _first_divergence(a, b)
+    assert divergence.index == 0
+    assert divergence.tie_order_only
+
+
+def test_tie_flip_group_extends_past_equal_prefix_records():
+    # Divergence mid-group: earlier records at the tied timestamp
+    # matched exactly, but they still belong to the comparison window.
+    a = [
+        DispatchRecord(0.1, 1, "x"),
+        DispatchRecord(0.1, 2, "f"),
+        DispatchRecord(0.1, 3, "g"),
+        DispatchRecord(0.2, 4, "h"),
+    ]
+    b = [a[0], DispatchRecord(0.1, 2, "g"), DispatchRecord(0.1, 3, "f"), a[3]]
+    divergence = _first_divergence(a, b)
+    assert divergence.index == 1
+    assert divergence.tie_order_only
+
+
+def test_same_timestamp_different_events_is_not_tie_flip():
+    a = [DispatchRecord(0.1, 1, "f")]
+    b = [DispatchRecord(0.1, 1, "g")]
+    divergence = _first_divergence(a, b)
+    assert divergence.index == 0
+    assert divergence.time == pytest.approx(0.1)
+    assert not divergence.tie_order_only
+
+
+def _flip_a():
+    pass
+
+
+def _flip_b():
+    pass
+
+
+def test_insertion_order_flip_classified_end_to_end():
+    """Deterministic tie-flip repro: the second run inserts the two
+    same-timestamp events in the opposite order. compare_runs must
+    flag the divergence AND classify it as tie-order-only."""
+    runs_so_far = []
+
+    def run(sanitizer):
+        sim = Simulator()
+        sanitizer.attach(sim)
+        callbacks = [_flip_a, _flip_b]
+        if runs_so_far:
+            callbacks.reverse()
+        runs_so_far.append(True)
+        for fn in callbacks:
+            sim.schedule(0.1, fn)
+        sim.run()
+
+    result = compare_runs(run)
+    assert not result.identical
+    assert result.divergence is not None
+    assert result.divergence.index == 0
+    assert result.divergence.time == pytest.approx(0.1)
+    assert result.divergence.tie_order_only
+    assert "same-timestamp events changed relative order" in result.summary()
+
+
 # ----------------------------------------------------------------------
 # Scenario-level equality (the acceptance bar)
 # ----------------------------------------------------------------------
@@ -214,6 +284,47 @@ def test_scenario_run_is_freeze_clean():
         _tiny_scenario, until=0.3, seed=1, freeze_packets=True
     )
     assert result.identical, result.summary()
+
+
+# ----------------------------------------------------------------------
+# Domain digest composition
+# ----------------------------------------------------------------------
+
+def test_compose_domain_digests_with_empty_domain():
+    import hashlib
+
+    empty = hashlib.sha256(b"").hexdigest()
+    active = hashlib.sha256(b"events").hexdigest()
+    with_idle = compose_domain_digests({0: active, 1: empty})
+    # An idle domain is part of the run's identity: dropping it must
+    # change the composition (a 2-domain run with one idle domain is
+    # not the same execution as a 1-domain run).
+    assert with_idle != compose_domain_digests({0: active})
+    # Composition is keyed and sorted by domain id, not dict order.
+    assert compose_domain_digests({1: empty, 0: active}) == with_idle
+    # Degenerate case: no domains at all folds to the empty digest.
+    assert compose_domain_digests({}) == empty
+
+
+def test_partitioned_attach_composes_over_idle_domain():
+    """A 2-domain partitioned run where every event lands in domain 0:
+    the idle domain contributes an empty-stream digest, and the
+    sanitizer's digest is the composition over both."""
+    import hashlib
+
+    from repro.engine.sync import PartitionedSimulator
+
+    sim = PartitionedSimulator(2, lookahead=0.01)
+    sanitizer = SimSanitizer().attach(sim)
+    sim.at(0.1, _chaos_event)  # domain 0; domain 1 never dispatches
+    sim.run(until=0.2)
+    digests = sanitizer.domain_digests()
+    assert sanitizer.domain_counts() == {0: 1, 1: 0}
+    assert digests[1] == hashlib.sha256(b"").hexdigest()
+    assert sanitizer.digest == compose_domain_digests(digests)
+    sanitizer.detach()
+    assert sanitizer.dispatched == 1
+    assert [r.time for r in sanitizer.records] == [0.1]
 
 
 # ----------------------------------------------------------------------
