@@ -41,11 +41,14 @@ EPO001    Read of another domain's clock or heap internals
           ``._seq``) — only the epoch barrier may compare clocks
           across domains.
 EPO002    ``router.send`` whose delivery time is provably below the
-          sync horizon: a bare ``now`` or a constant offset smaller
-          than ``min_cross_core_latency``. Delivery times must come
+          pairwise sync horizon: a bare ``now``, a constant offset
+          smaller than ``min_cross_core_latency`` (the floor of every
+          lookahead-matrix entry), or a ``min()``/``max()`` fold that
+          bounds the time below the floor. Delivery times must come
           from :meth:`~repro.engine.sync.DomainChannel.delivery_time`
-          (whose latency is never below the lookahead) or add at
-          least the lookahead.
+          or :meth:`~repro.engine.sync.DomainChannel.handoff_time`
+          (whose latency is never below the floor) or add at least
+          the lookahead.
 ========  ============================================================
 
 Scope: files whose path contains an ``engine`` or ``core`` component.
@@ -93,8 +96,9 @@ RULES: Dict[str, tuple] = {
     ),
     "EPO002": (
         "sub-lookahead",
-        "cross-domain send below the sync horizon; derive the "
-        "delivery time from DomainChannel.delivery_time (>= lookahead)",
+        "cross-domain send below the pairwise sync horizon; derive "
+        "the delivery time from DomainChannel.delivery_time or "
+        ".handoff_time (never below the channel floor)",
     ),
 }
 
@@ -207,26 +211,66 @@ class _DomainVisitor:
             if chain and any("router" in part for part in chain[:-1]):
                 self._check_send_horizon(node)
 
+    #: DomainChannel methods whose results satisfy the horizon by
+    #: construction (their latency is validated >= the floor).
+    _SANCTIONED_TIME_FNS = ("delivery_time", "handoff_time")
+
+    @staticmethod
+    def _is_fold_call(expr: ast.AST) -> bool:
+        return (
+            isinstance(expr, ast.Call)
+            and isinstance(expr.func, ast.Name)
+            and expr.func.id in ("min", "max")
+        )
+
+    def _fold_bound(self, expr: ast.expr) -> Optional[float]:
+        """Provable upper bound of a time expression, when one exists:
+        numeric constants, ``a + b`` of foldable parts, and
+        ``min()``/``max()`` folds. A ``min()`` is bounded by its
+        smallest foldable argument even when other arguments are
+        opaque; a ``max()`` only when every argument folds."""
+        value = self.model.const_number(expr)
+        if value is not None:
+            return value
+        if isinstance(expr, ast.BinOp) and isinstance(expr.op, ast.Add):
+            left = self._fold_bound(expr.left)
+            right = self._fold_bound(expr.right)
+            if left is not None and right is not None:
+                return left + right
+            return None
+        if self._is_fold_call(expr) and expr.args:
+            bounds = [self._fold_bound(arg) for arg in expr.args]
+            folded = [bound for bound in bounds if bound is not None]
+            if not folded:
+                return None
+            if expr.func.id == "min":
+                return min(folded)
+            if len(folded) == len(bounds):
+                return max(folded)
+        return None
+
     def _check_send_horizon(self, node: ast.Call) -> None:
         if not node.args:
             return
         time_arg = node.args[0]
-        # The sanctioned shape: a DomainChannel.delivery_time(...) call
-        # (its latency is validated >= lookahead at runtime).
-        if isinstance(time_arg, ast.Call):
+        # The sanctioned shapes: DomainChannel.delivery_time(...) /
+        # .handoff_time(...) calls (latency validated >= the floor of
+        # every lookahead-matrix entry at runtime).
+        if isinstance(time_arg, ast.Call) and not self._is_fold_call(time_arg):
             chain = attr_chain(time_arg.func)
-            if chain and chain[-1] == "delivery_time":
+            if chain and chain[-1] in self._SANCTIONED_TIME_FNS:
                 return
             return  # other computed times: not statically provable
         lookahead = _fallback_lookahead()
         # `now + C`: fold the additive offset and bound it.
         if isinstance(time_arg, ast.BinOp) and isinstance(time_arg.op, ast.Add):
             for operand in (time_arg.right, time_arg.left):
-                offset = self.model.const_number(operand)
+                offset = self._fold_bound(operand)
                 if offset is not None and offset < lookahead:
                     self._flag(
                         "EPO002", node,
-                        f"delay {offset:g}s < lookahead {lookahead:g}s",
+                        f"delay {offset:g}s < pairwise horizon floor "
+                        f"{lookahead:g}s",
                     )
                     return
             return
@@ -235,11 +279,12 @@ class _DomainVisitor:
         if chain and chain[-1] in ("now", "_now"):
             self._flag("EPO002", node, "zero-delay send (bare clock value)")
             return
-        value = self.model.const_number(time_arg)
+        value = self._fold_bound(time_arg)
         if value is not None and value < lookahead:
             self._flag(
                 "EPO002", node,
-                f"constant time {value:g}s < lookahead {lookahead:g}s",
+                f"constant time {value:g}s < pairwise horizon floor "
+                f"{lookahead:g}s",
             )
 
     # -- DOM002 ----------------------------------------------------------

@@ -29,7 +29,7 @@ from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assign import Assignment, greedy_k_clusters, single_core
-from repro.core.bind import Binding, bind_vns
+from repro.core.bind import Binding, bind_vns, bind_vns_locality
 from repro.core.monitor import EmulationMonitor
 from repro.core.node import CoreNode
 from repro.core.pipe import Pipe
@@ -428,12 +428,21 @@ class Emulation:
 
         # --- binding, hosts, VNs ----------------------------------------------
         if binding is None:
-            binding = bind_vns(
-                topology,
-                self.config.num_hosts,
-                self.config.num_cores,
-                self.config.binding_strategy,
-            )
+            if self.num_domains > 1:
+                # Partitioned default: localize each client node's edge
+                # host on the core that owns its access link. The
+                # host-count default (num_hosts=1) would pile every VN
+                # stack, edge wire, and ingress interrupt onto one
+                # domain — see bind_vns_locality's docstring.
+                binding = bind_vns_locality(topology, self.assignment)
+                self.config.num_hosts = binding.num_hosts
+            else:
+                binding = bind_vns(
+                    topology,
+                    self.config.num_hosts,
+                    self.config.num_cores,
+                    self.config.binding_strategy,
+                )
         self.binding = binding
         #: A host lives in the domain of the core it attaches to, so
         #: its uplink/downlink wires and its VNs' stacks all share one
@@ -475,6 +484,93 @@ class Emulation:
 
         if self.obs.enabled:
             self._install_timing_hooks()
+
+        # --- per-pair lookahead -------------------------------------------
+        # Derived from the actual cross-domain hop structure (pipe
+        # latencies + the channel floor), so the epoch synchronizer
+        # can grant windows per destination domain instead of the
+        # single global channel floor.
+        if self.num_domains > 1 and hasattr(sim, "install_lookahead"):
+            sim.install_lookahead(self._derive_lookahead_matrix())
+
+    def _derive_lookahead_matrix(self):
+        """The per-domain-pair lookahead matrix for this topology,
+        assignment, and binding.
+
+        Every cross-domain message the runtime can emit is one of four
+        shapes, and each contributes a lower bound on how far ahead of
+        the sender's clock it can be timestamped (``floor`` is the
+        channel's minimum cross-core latency):
+
+        R1 — a descriptor admitted to pipe P whose successor pipe is
+            foreign: announced at admission for P's *exit*, so it is
+            at least ``P.latency_s + floor`` ahead.
+        R2 — a descriptor exiting its last pipe P to a foreign host:
+            same bound, ``P.latency_s + floor``.
+        R3 — a packet admitted at its entry core whose *first* pipe is
+            foreign: tunneled immediately, only ``floor`` ahead.
+        R4 — co-located VNs whose empty route delivers directly from
+            the sender's entry domain to the receiver's host domain:
+            ``floor`` ahead.
+
+        The matrix keeps the minimum bound per (src, dst) domain pair;
+        pairs with no contributing shape stay unbounded (infinite
+        lookahead), and :class:`LookaheadMatrix` min-plus-closes the
+        result so relayed deliveries are covered too. Entry domain
+        and host domain coincide by construction (a host lives in its
+        core's domain), which is what lets R3/R4 key off the host map.
+        """
+        from repro.engine.sync import LookaheadMatrix
+        from repro.hardware.calibration import min_cross_core_latency
+
+        floor = min_cross_core_latency(self.config.core_spec)
+        # Tick-aligned send times let the synchronizer round grants up
+        # to tick boundaries — valid only when every send happens in a
+        # tick-collected wake, which debt handling and exact mode break.
+        tick_s = (
+            0.0
+            if (self.config.debt_handling or self.config.exact)
+            else self.config.tick_s
+        )
+        pairs: Dict[Tuple[int, int], float] = {}
+
+        def offer(src: int, dst: int, bound: float) -> None:
+            if src == dst:
+                return
+            prev = pairs.get((src, dst))
+            if prev is None or bound < prev:
+                pairs[(src, dst)] = bound
+
+        domain_of_pipe = {
+            pipe.id: self._domain_of_core[pipe.owner]
+            for pipe in self.pipes.values()
+        }
+        pipes_from: Dict[int, List[Pipe]] = {}
+        for pipe in self.pipes.values():
+            pipes_from.setdefault(pipe.src_node, []).append(pipe)
+        host_domains_of_node: Dict[int, set] = {}
+        for vn_id, node_id in enumerate(self._node_of_vn):
+            host_domains_of_node.setdefault(node_id, set()).add(
+                self.domain_of_vn(vn_id)
+            )
+
+        for pipe in self.pipes.values():
+            src_domain = domain_of_pipe[pipe.id]
+            in_flight = pipe.latency_s + floor
+            for next_pipe in pipes_from.get(pipe.dst_node, ()):  # R1
+                offer(src_domain, domain_of_pipe[next_pipe.id], in_flight)
+            for host_domain in host_domains_of_node.get(pipe.dst_node, ()):
+                offer(src_domain, host_domain, in_flight)  # R2
+        for vn_id, node_id in enumerate(self._node_of_vn):
+            entry_domain = self.domain_of_vn(vn_id)
+            for first_pipe in pipes_from.get(node_id, ()):  # R3
+                offer(entry_domain, domain_of_pipe[first_pipe.id], floor)
+            for host_domain in host_domains_of_node.get(node_id, ()):
+                offer(entry_domain, host_domain, floor)  # R4
+
+        return LookaheadMatrix(
+            self.num_domains, pairs, floor=floor, tick_s=tick_s
+        )
 
     def _install_timing_hooks(self) -> None:
         """Arm the hot-path wall-clock timers (live registry only):

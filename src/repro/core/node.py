@@ -24,7 +24,7 @@ from typing import Deque, Optional, Tuple
 from repro.core.packet import PacketDescriptor
 from repro.core.pipe import INFINITY, Pipe
 from repro.core.scheduler import PipeScheduler
-from repro.engine.sync import MSG_DELIVER, MSG_HOST, MSG_TUNNEL, DomainChannel
+from repro.engine.sync import MSG_HOST, MSG_TUNNEL, DomainChannel
 from repro.hardware.calibration import CoreSpec
 from repro.hardware.links import PhysicalLink
 
@@ -305,12 +305,107 @@ class CoreNode:
             descriptor, sched_arrival, descriptor.ideal_time, self._loss_rng
         )
         if accepted:
+            if self._router is not None and not self.exact:
+                self._announce_handoff(descriptor, pipe)
             self.scheduler.notify(pipe)
             self._reschedule_wake()
         # A refusal is a virtual drop, already counted by the pipe.
 
+    def _announce_handoff(self, descriptor: PacketDescriptor, pipe: Pipe) -> None:
+        """Announce a cross-domain continuation at *admission* time.
+
+        The instant ``pipe`` accepts a descriptor, its exit is fully
+        determined: ``_arrival`` fixed the dequeue time (the pipe's
+        new ``_free_at``) and the exit follows one pipe latency later,
+        regardless of when the tick scheduler collects it. So when the
+        hop *after* this pipe lives in another domain, the successor
+        can be put on the wire now, timed at that future exit — the
+        message rides the pipe's own latency, which is what lets the
+        lookahead matrix carry per-pair pipe latencies instead of the
+        20 us channel floor (the whole point of per-pair sync; see
+        ``Emulation._derive_lookahead_matrix``). The local descriptor
+        finishes its traversal for CPU/stat accounting and is marked
+        ``handoff`` so the exit handler releases it instead of
+        forwarding it a second time.
+
+        One modeled cost moves with this: with payload caching, a
+        completion whose entry core sits in a foreign domain no longer
+        bounces a delivery order back to it (that bounce would pin
+        every communicating domain pair at the channel floor); the
+        packet exits directly from the last pipe's core. Same-domain
+        delivery orders are unchanged.
+        """
+        next_index = descriptor.hop_index + 1
+        pipes = descriptor.pipes
+        exit_at = pipe._free_at + pipe.latency_s
+        emulation = self.emulation
+        if next_index < len(pipes):
+            next_pipe = pipes[next_index]
+            next_domain = self._domain_of_core[next_pipe.owner]
+            if next_domain == self.domain_id:
+                return
+            copy = PacketDescriptor.acquire(
+                descriptor.packet,
+                pipes,
+                descriptor.entry_core,
+                descriptor.entered_at,
+            )
+            copy.hop_index = next_index
+            copy.ideal_time = descriptor.ideal_time
+            copy.tunnel_hops = descriptor.tunnel_hops + 1
+            if self.pair_tracker is not None:
+                key = (pipe.id, next_pipe.id)
+                self.pair_tracker[key] = self.pair_tracker.get(key, 0) + 1
+            self.tunnels_sent += 1
+            emulation.monitor.packet_tunneled()
+            if emulation.config.payload_caching:
+                size = self.spec.descriptor_bytes
+            else:
+                size = descriptor.packet.size_bytes
+            self._router.send(
+                self._cross_channel.handoff_time(exit_at, size),
+                self.domain_id,
+                next_domain,
+                MSG_TUNNEL,
+                next_pipe.owner,
+                copy,
+            )
+            descriptor.handoff = 1
+            return
+        # Last pipe: on exit the packet leaves the core fabric toward
+        # its destination host. Announce that too when the host's
+        # domain is foreign.
+        packet = descriptor.packet
+        host = emulation.host_of_vn(packet.dst)
+        host_domain = emulation._domain_of_host[host.index]
+        if host_domain == self.domain_id:
+            return
+        self._router.send(
+            self._cross_channel.handoff_time(exit_at, packet.size_bytes),
+            self.domain_id,
+            host_domain,
+            MSG_HOST,
+            host.index,
+            packet,
+        )
+        descriptor.handoff = 2
+
     def _descriptor_exited(self, descriptor: PacketDescriptor, now: float) -> float:
         """Handle a pipe exit; returns extra CPU spent (tunnel sends)."""
+        handoff = descriptor.handoff
+        if handoff:
+            # The continuation crossed the domain boundary at admission
+            # time; this exit only accounts the local CPU cost.
+            if handoff == 1:
+                cost = self.spec.tunnel_send_s
+                if not self.emulation.config.payload_caching:
+                    cost += self.spec.tunnel_byte_s * descriptor.packet.size_bytes
+                descriptor.release()
+                return cost
+            # handoff == 2: exiting toward a foreign-domain host.
+            self.emulation.monitor.packet_exited(descriptor.ideal_time, now)
+            descriptor.release()
+            return self.spec.deliver_order_s
         previous_pipe = descriptor.current_pipe
         if descriptor.advance():
             next_pipe = descriptor.current_pipe
@@ -331,6 +426,8 @@ class CoreNode:
                 self._loss_rng,
             )
             if accepted:
+                if self._router is not None and not self.exact:
+                    self._announce_handoff(descriptor, next_pipe)
                 self.scheduler.notify(next_pipe)
             return 0.0
         return self._complete(descriptor, now)
@@ -382,16 +479,10 @@ class CoreNode:
             if router is not None:
                 entry_domain = self._domain_of_core[entry_core]
                 if entry_domain != self.domain_id:
-                    router.send(
-                        self._cross_channel.delivery_time(
-                            self.sim._now, self.spec.descriptor_bytes
-                        ),
-                        self.domain_id,
-                        entry_domain,
-                        MSG_DELIVER,
-                        entry_core,
-                        descriptor,
-                    )
+                    # Delivery orders are modeled only within a domain
+                    # (see _announce_handoff): deliver straight from
+                    # the exit core, keeping the order's CPU cost.
+                    self._deliver_local(descriptor)
                     return self.spec.deliver_order_s
             entry = self.emulation.cores[entry_core]
             if self.egress_link is not None:

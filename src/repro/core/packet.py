@@ -39,6 +39,7 @@ class PacketDescriptor:
         "entered_at",
         "ideal_time",
         "tunnel_hops",
+        "handoff",
     )
 
     #: Free list shared by all emulations (descriptors hold no
@@ -63,6 +64,11 @@ class PacketDescriptor:
         self.ideal_time = entered_at
         #: Number of core-to-core crossings this descriptor has made.
         self.tunnel_hops = 0
+        #: Cross-domain continuation already announced at admission:
+        #: 0 none, 1 tunneled onward, 2 exiting to a foreign host.
+        #: A nonzero value means the local pipe exit only accounts
+        #: CPU cost — the successor descriptor is already in flight.
+        self.handoff = 0
 
     @classmethod
     def acquire(
@@ -83,6 +89,7 @@ class PacketDescriptor:
             descriptor.entered_at = entered_at
             descriptor.ideal_time = entered_at
             descriptor.tunnel_hops = 0
+            descriptor.handoff = 0
             return descriptor
         return cls(packet, pipes, entry_core, entered_at)
 

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.assign import Assignment, greedy_k_clusters, single_core
-from repro.core.bind import Binding, bind_vns
+from repro.core.bind import Binding, bind_vns, bind_vns_locality
 from repro.core.distill import DistillationMode, DistillationResult, distill
 from repro.core.emulator import Emulation, EmulationConfig
 from repro.engine.randomness import RngRegistry
@@ -41,6 +41,7 @@ class ExperimentPipeline:
         self._num_cores = 1
         self._num_hosts = 1
         self._binding_strategy = "contiguous"
+        self._binding_explicit = False
 
     # -- Create -----------------------------------------------------------
 
@@ -114,9 +115,11 @@ class ExperimentPipeline:
             self.assign()
         if binding is not None:
             self.binding = binding
+            self._binding_explicit = True
             return self
         self._num_hosts = num_hosts
         self._binding_strategy = strategy
+        self._binding_explicit = num_hosts != 1
         self.binding = bind_vns(
             self.distilled, num_hosts, self._num_cores, strategy
         )
@@ -137,6 +140,13 @@ class ExperimentPipeline:
         if config is None:
             config = EmulationConfig()
         config.num_cores = self._num_cores
+        # The bind phase runs before the domain count is known, so the
+        # partitioned-execution default (locality binding — balanced
+        # per-domain load, pipe-latency lookahead on every crossing)
+        # is applied here, once the config says how many domains the
+        # run will use. An explicit bind() choice always wins.
+        if not self._binding_explicit and config.resolved_domains() > 1:
+            self.binding = bind_vns_locality(self.distilled, self.assignment)
         config.num_hosts = self.binding.num_hosts
         config.seed = self.seed
         config.validate()

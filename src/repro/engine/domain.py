@@ -383,6 +383,13 @@ class EventDomain:
         epochs tile time, and a later message timed at ``horizon`` or
         beyond must never read as "in the past".
 
+        :meth:`stop` called from inside a dispatched event halts the
+        window after that event, leaving the clock at the event's time
+        (not the horizon) so the next window resumes without skipping
+        still-pending work. Coalesced windows can span many events, so
+        waiting for the window to drain would defer a stop
+        arbitrarily far.
+
         Returns the number of events dispatched this epoch.
         """
         if horizon < self._now:
@@ -392,13 +399,14 @@ class EventDomain:
         if self._running:
             raise SimulationError("domain is already running")
         self._running = True
+        self._stopped = False
         heap = self._heap
         pop = heapq.heappop
         now = self._now
         dispatched = 0
         hook = self.on_dispatch
         try:
-            while heap:
+            while heap and not self._stopped:
                 entry = heap[0]
                 time = entry[0]
                 if time > horizon or (time == horizon and not inclusive):
@@ -436,6 +444,22 @@ class EventDomain:
         finally:
             self._running = False
             self._dispatched += dispatched
-        if self._now < horizon:
+        if not self._stopped and self._now < horizon:
             self._now = horizon
         return dispatched
+
+    def run_window(self, horizon: float, inclusive: bool = False) -> int:
+        """Run one granted epoch window, tolerating re-grants.
+
+        Per-pair coalescing can hand a domain the same (or an earlier)
+        horizon twice — e.g. the final ``(until, True)`` barrier is
+        re-issued when mail lands exactly at the target. Re-running an
+        inclusive window at ``now == horizon`` dispatches only events
+        injected since the previous grant (earlier ones were consumed
+        and the clock never moves backwards), so the executors may
+        call this without tracking which horizons a domain has already
+        seen. A horizon strictly below ``now`` clamps to ``now``.
+        """
+        if horizon < self._now:
+            horizon = self._now
+        return self.run_until(horizon, inclusive)

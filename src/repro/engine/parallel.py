@@ -18,13 +18,24 @@ Determinism, regardless of worker count:
 * a worker injects its slice in that order, so heap sequence numbers
   in each destination domain are assigned identically whether the
   sender lived in the same worker or another one;
-* the epoch sequence is computed from ``min(worker-reported next
-  event times, undelivered message times)``, which equals the
-  post-flush heap minimum the serial executor sees.
+* the per-domain window vector is computed by the same
+  :func:`~repro.engine.sync.epoch_windows` planner the serial
+  executor uses, on the same effective next-event vector
+  (worker-reported heap minima folded with undelivered message
+  times, which equals the post-flush heap minimum the serial
+  executor sees).
 
 Hence the composed per-domain digests of a multiprocess run match the
 serial partitioned run of the same scenario exactly — the property
 ``repro-net sanitize --backend multiprocess`` enforces.
+
+Mail crosses the process boundary as *batched frames*: each epoch
+command carries one pre-pickled bytes frame holding the worker's
+whole mail slice (``None`` when empty), and each reply carries one
+frame holding the worker's whole outbox. Frames are opaque to the
+supervisor, so crash-replay resends byte-identical commands without
+re-encoding, and the single-frame shape is the groundwork for
+shared-memory mailboxes later.
 
 Execution is supervised (:mod:`repro.resilience`): every worker runs a
 heartbeat thread, replies carry streaming per-domain digests, and the
@@ -37,15 +48,17 @@ Budget guards and checkpoint callbacks observe the loop at epoch
 boundaries and never alter the epoch structure.
 
 One synchronous round trip per worker per epoch is the price of the
-barrier. With the default 20 us lookahead that is tens of thousands
-of round trips per virtual second, so the multiprocess backend only
-wins when per-epoch event volume dwarfs the IPC cost; BENCH results
-are reported honestly either way (see DESIGN.md §8).
+barrier. Per-pair lookahead and epoch coalescing keep that price
+bounded by the *real* cross-domain pipe latencies (milliseconds on
+the paper topologies, not the 20 us channel floor), so epochs carry
+thousands of events instead of a handful; BENCH results are reported
+honestly either way (see DESIGN.md §8).
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import signal as _signal
 import threading
 from time import perf_counter
@@ -55,7 +68,7 @@ from repro.engine.domain import INFINITY
 from repro.engine.sync import (
     DomainMessage,
     MSG_HOST,
-    epoch_window,
+    epoch_windows,
 )
 from repro.resilience.policy import (
     BudgetExceeded,
@@ -123,6 +136,23 @@ def decode_message(message: DomainMessage, emulation) -> DomainMessage:
     descriptor.ideal_time = ideal_time
     descriptor.tunnel_hops = tunnel_hops
     return message._replace(payload=descriptor)
+
+
+def pack_frame(messages: List[DomainMessage]) -> Optional[bytes]:
+    """One pickle frame for a whole (already-encoded) mail batch.
+
+    ``None`` stands for the empty batch so quiet epochs ship a single
+    byte over the command pipe instead of a pickled empty list.
+    """
+    if not messages:
+        return None
+    return pickle.dumps(messages, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def unpack_frame(frame: Optional[bytes]) -> List[DomainMessage]:
+    if frame is None:
+        return []
+    return pickle.loads(frame)
 
 
 # ----------------------------------------------------------------------
@@ -236,15 +266,20 @@ def _worker_main(
     owned: List[int],
     worker_index: int = 0,
     heartbeat_interval_s: float = 0.5,
+    probe: bool = True,
 ) -> None:
     """One worker: rebuild, then serve epoch commands until 'finish'.
 
     A daemon heartbeat thread shares the reply pipe (under a send
     lock) so the supervisor can tell a dead or stopped process from a
-    livelocked one. Digest probes are always attached: every ``done``
-    reply carries ``{domain: (hexdigest, count)}``, which is what makes
-    crash recovery *verifiable* — the supervisor replays a respawned
-    worker and compares these digests against the pre-crash ones.
+    livelocked one. With ``probe`` (the default), digest probes are
+    attached: every ``done`` reply carries ``{domain: (hexdigest,
+    count)}``, which is what makes crash recovery *verifiable* — the
+    supervisor replays a respawned worker and compares these digests
+    against the pre-crash ones. The single-worker fast path disables
+    probing for pure timing runs (recovery there is a from-scratch
+    deterministic rerun, so there is no replay to verify, and the
+    serial leg it is benchmarked against runs unprobed too).
     """
     send_lock = threading.Lock()
     stop_beating = threading.Event()
@@ -267,12 +302,14 @@ def _worker_main(
     epoch_index = 0
     try:
         _scenario, sim, emulation = _build_from_spec(spec)
-        from repro.check.sanitize import DomainProbe
+        probes = {}
+        if probe:
+            from repro.check.sanitize import DomainProbe
 
-        probes = {
-            d: DomainProbe(d, keep_records=False).attach(sim.domains[d])
-            for d in owned
-        }
+            probes = {
+                d: DomainProbe(d, keep_records=False).attach(sim.domains[d])
+                for d in owned
+            }
         _send(
             ("ready", {d: sim.domains[d].next_event_time() for d in owned})
         )
@@ -280,14 +317,19 @@ def _worker_main(
             command = conn.recv()
             op = command[0]
             if op == "epoch":
-                _, horizon, inclusive, raw_messages = command
-                if raw_messages:
+                _, windows, frame = command
+                if frame is not None:
                     sim.router.inject(
                         sim.domains,
-                        [decode_message(m, emulation) for m in raw_messages],
+                        [
+                            decode_message(m, emulation)
+                            for m in unpack_frame(frame)
+                        ],
                     )
                 for d in owned:
-                    sim.domains[d].run_until(horizon, inclusive)
+                    window = windows[d]
+                    if window is not None:
+                        sim.domains[d].run_window(window[0], window[1])
                 outbox = [
                     encode_message(m) for m in sim.router.take_pending()
                 ]
@@ -295,10 +337,30 @@ def _worker_main(
                     (
                         "done",
                         {d: sim.domains[d].next_event_time() for d in owned},
-                        outbox,
+                        pack_frame(outbox),
                         {
                             d: (probes[d].hexdigest(), probes[d].count)
-                            for d in owned
+                            for d in probes
+                        },
+                    )
+                )
+                epoch_index += 1
+            elif op == "run":
+                # Single-worker fast path: this worker owns every
+                # domain, so the parent has nothing to route and the
+                # whole epoch loop can run in-process — the exact
+                # serial-partitioned loop, hence byte-identical
+                # digests with zero per-epoch IPC.
+                _, run_until = command
+                sim.run(until=run_until)
+                _send(
+                    (
+                        "done",
+                        {d: sim.domains[d].next_event_time() for d in owned},
+                        (sim.epochs, sim.router.messages_routed),
+                        {
+                            d: (probes[d].hexdigest(), probes[d].count)
+                            for d in probes
                         },
                     )
                 )
@@ -354,6 +416,11 @@ class MultiprocessResult:
         #: state the parent cannot patch (TCP stacks, edge CPUs).
         self.metric_overlay: Dict[str, Any] = {}
         self.wall_time_s = 0.0
+        #: Worker spawn + per-process scenario rebuild time, kept out
+        #: of ``wall_time_s`` so events/s compares run phases across
+        #: backends (the serial leg's build cost is outside its wall
+        #: clock too).
+        self.spawn_s = 0.0
         self.workers = 0
         #: ``completed`` or ``aborted`` (budget exhaustion mid-run).
         self.outcome = "completed"
@@ -402,11 +469,16 @@ def run_multiprocess(
     with the merged statistics, and return the
     :class:`MultiprocessResult`.
 
-    ``workers == 0`` means one per domain. Domains are dealt to
-    workers round-robin; any worker count from 1 to ``num_domains``
-    produces identical digests. ``sanitize`` is kept for API
-    compatibility: digests are always streamed now (supervision needs
-    them for verified recovery).
+    ``workers == 0`` means one per domain, capped at the machine's
+    CPU count (oversubscription buys no parallelism and pays a
+    context-switch chain at every barrier); an explicit count is
+    honored uncapped. Domains are dealt to workers round-robin; any
+    worker count from 1 to ``num_domains`` produces identical
+    digests. When a single worker owns every domain (and no chaos,
+    budget, or epoch hook is in play) the worker runs the whole epoch
+    loop in-process — one command, zero per-epoch IPC. ``sanitize``
+    is kept for API compatibility: digests are always streamed now
+    (supervision needs them for verified recovery).
 
     Supervision: a crashed or hung worker is respawned from the spec
     and deterministically replayed to the last completed epoch barrier
@@ -430,7 +502,17 @@ def run_multiprocess(
         )
     spec = scenario.to_spec()
     num_domains = sim.num_domains
-    num_workers = min(workers or num_domains, num_domains)
+    if workers <= 0:
+        # Default pool size: one worker per domain, capped at the
+        # machine's CPU count. Oversubscribing a small machine buys no
+        # parallelism and pays a context-switch chain at every barrier
+        # (on one CPU, four workers made each epoch ~1 ms of pure
+        # scheduling). Explicit counts are honored uncapped — the
+        # worker-count-invariance tests depend on that.
+        import os as _os
+
+        workers = max(1, min(num_domains, _os.cpu_count() or 1))
+    num_workers = min(workers, num_domains)
     owned = [list(range(w, num_domains, num_workers)) for w in range(num_workers)]
     owner_of_domain = [d % num_workers for d in range(num_domains)]
 
@@ -438,11 +520,27 @@ def run_multiprocess(
     result.workers = num_workers
     ctx = _mp_context()
 
+    # Single-worker fast path: one worker owns every domain and runs
+    # the whole epoch loop in-process (no per-epoch IPC). Digest probes
+    # cost ~25% of run time, so the fast path attaches them only when
+    # the caller asked to sanitize — matching the serial timing leg,
+    # which also runs unprobed.
+    fast = (
+        num_workers == 1
+        and chaos_kill is None
+        and on_epoch is None
+        and budget is None
+    )
+    probe = (not fast) or sanitize
+
     def spawn(index: int):
         parent_conn, child_conn = ctx.Pipe()
         proc = ctx.Process(
             target=_worker_main,
-            args=(child_conn, spec, owned[index], index, heartbeat_interval_s),
+            args=(
+                child_conn, spec, owned[index], index,
+                heartbeat_interval_s, probe,
+            ),
             daemon=True,
         )
         proc.start()
@@ -459,49 +557,79 @@ def run_multiprocess(
     if budget is not None and budget._t0 is None:
         budget.start()
     stats: List[dict] = []
+    matrix = sim.matrix
     t0 = perf_counter()  # repro: allow-wallclock
     try:
         next_times: Dict[int, float] = supervisor.start()
-        pending: List[DomainMessage] = []
-        lookahead = sim.lookahead
-        while True:
-            next_min = min(next_times.values()) if next_times else INFINITY
-            for message in pending:
-                if message.time < next_min:
-                    next_min = message.time
-            window = epoch_window(next_min, lookahead, until)
-            if window is None:
-                break
-            horizon, inclusive = window
-            pending.sort(key=lambda m: (m.time, m.src_domain, m.seq))
-            slices: List[List[DomainMessage]] = [[] for _ in range(num_workers)]
-            for message in pending:
-                slices[owner_of_domain[message.dst_domain]].append(message)
-            result.messages_routed += len(pending)
-            pending = []
-            if chaos_kill is not None and supervisor.epoch_index == chaos_kill[0]:
-                supervisor.kill(chaos_kill[1] % num_workers, chaos_signal)
-            replies = supervisor.run_epoch(horizon, inclusive, slices)
-            for reply in replies:
-                next_times.update(reply[1])
-                pending.extend(reply[2])
-                for d, (digest, count) in reply[3].items():
-                    result.domain_digests[d] = digest
-                    result.domain_digest_events[d] = count
-            result.epochs += 1
-            if budget is not None:
-                budget.check(
-                    events=sum(result.domain_digest_events.values()),
-                    pids=supervisor.pids(),
-                )
-            if on_epoch is not None:
-                on_epoch(
-                    result.epochs - 1,
-                    horizon,
-                    dict(result.domain_digests),
-                    dict(result.domain_digest_events),
-                )
-        stats = supervisor.finish(until)
+        # Workers are up and rebuilt; everything before this instant is
+        # spawn/build cost, reported separately so wall_time_s measures
+        # the run phase — the same phase the serial wall clock covers.
+        result.spawn_s = perf_counter() - t0  # repro: allow-wallclock
+        t0 = perf_counter()  # repro: allow-wallclock
+        if fast:
+            # One worker owns every domain: no cross-worker mail, no
+            # global minimum to compute — the worker runs the serial
+            # epoch loop itself and reports once at the end.
+            reply = supervisor.run_all(until)
+            result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
+            next_times.update(reply[1])
+            result.epochs, result.messages_routed = reply[2]
+            for d, (digest, count) in reply[3].items():
+                result.domain_digests[d] = digest
+                result.domain_digest_events[d] = count
+            stats = supervisor.finish(until)
+        else:
+            pending: List[DomainMessage] = []
+            while True:
+                eff_next = [
+                    next_times.get(d, INFINITY) for d in range(num_domains)
+                ]
+                for message in pending:
+                    if message.time < eff_next[message.dst_domain]:
+                        eff_next[message.dst_domain] = message.time
+                windows = epoch_windows(eff_next, matrix, until)
+                if windows is None:
+                    break
+                barrier = INFINITY
+                for window in windows:
+                    if window is not None and window[0] < barrier:
+                        barrier = window[0]
+                pending.sort(key=lambda m: (m.time, m.src_domain, m.seq))
+                slices: List[List[DomainMessage]] = [
+                    [] for _ in range(num_workers)
+                ]
+                for message in pending:
+                    slices[owner_of_domain[message.dst_domain]].append(message)
+                result.messages_routed += len(pending)
+                pending = []
+                frames = [pack_frame(messages) for messages in slices]
+                if (
+                    chaos_kill is not None
+                    and supervisor.epoch_index == chaos_kill[0]
+                ):
+                    supervisor.kill(chaos_kill[1] % num_workers, chaos_signal)
+                replies = supervisor.run_epoch(windows, frames)
+                for reply in replies:
+                    next_times.update(reply[1])
+                    pending.extend(unpack_frame(reply[2]))
+                    for d, (digest, count) in reply[3].items():
+                        result.domain_digests[d] = digest
+                        result.domain_digest_events[d] = count
+                result.epochs += 1
+                if budget is not None:
+                    budget.check(
+                        events=sum(result.domain_digest_events.values()),
+                        pids=supervisor.pids(),
+                    )
+                if on_epoch is not None:
+                    on_epoch(
+                        result.epochs - 1,
+                        barrier,
+                        dict(result.domain_digests),
+                        dict(result.domain_digest_events),
+                    )
+            result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
+            stats = supervisor.finish(until)
     except BudgetExceeded as exc:
         result.outcome = "aborted"
         result.abort_reason = exc.reason
@@ -516,7 +644,10 @@ def run_multiprocess(
         result.workers_restarted = supervisor.workers_restarted
         result.retries = supervisor.retries
         supervisor.shutdown()
-    result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
+    if result.wall_time_s == 0.0:
+        # Aborted runs never reached the run-phase clock stop above.
+        result.wall_time_s = perf_counter() - t0  # repro: allow-wallclock
+    result.metric_overlay["parallel.spawn_s"] = result.spawn_s
 
     _merge_stats(
         scenario,

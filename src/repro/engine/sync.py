@@ -10,25 +10,50 @@ turns that modeled structure into a real execution architecture:
   orders, packets exiting toward a remote host — travels as
   :class:`DomainMessage`\\ s through a :class:`DomainRouter` mailbox
   instead of as direct calls;
-* a conservative epoch barrier advances all domains in lockstep
-  windows no wider than the **lookahead** — the minimum cross-core
-  latency from :mod:`repro.hardware.calibration`. A message sent at
-  time ``t`` arrives no earlier than ``t + lookahead``, so everything
-  strictly inside the current window is safe to dispatch without
-  hearing from other domains (the SimBricks/conservative-PDES
-  argument).
+* a conservative epoch barrier advances every domain through its own
+  causally-closed window, computed from a :class:`LookaheadMatrix` of
+  **per-domain-pair** delivery bounds. A message from domain ``i``
+  cannot reach domain ``j`` before ``next_send(i) + L[i][j]``, so
+  domain ``j`` may dispatch everything strictly below
+  ``min_i(next_send(i) + L[i][j])`` without hearing from anyone — the
+  SimBricks argument, per channel instead of per cluster: the pairs
+  that are only connected through high-latency pipes synchronize at
+  that latency, and pairs with no cross-domain path at all never
+  constrain each other.
+
+The matrix entries come from the actual cross-domain relations the
+emulation binds (see ``Emulation._derive_lookahead_matrix``): a
+descriptor that will cross from ``i`` to ``j`` is announced when its
+*current* pipe admits it, and the pipe's latency is in-flight time the
+synchronizer gets for free. :class:`LookaheadMatrix` closes the
+entries under min-plus composition (Floyd–Warshall to a numeric
+fixpoint) because a relay chain ``i -> k -> j`` can deliver into ``j``
+after only ``L[i][k] + L[k][j]``, which may be far below the direct
+``L[i][j]`` entry.
 
 Determinism contract: between epochs, pending messages are injected
 into their destination heaps in ``(time, src_domain, seq)`` order —
-a total order independent of execution interleaving — so the serial
-executor here and the multiprocess executor in
-:mod:`repro.engine.parallel` produce identical per-domain event
-streams for the same scenario.
+a total order independent of execution interleaving — and both
+executors compute windows with the same :func:`epoch_windows` on the
+same post-flush next-event vector, so the serial executor here and
+the multiprocess executor in :mod:`repro.engine.parallel` produce
+identical per-domain event streams for the same scenario.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, List, NamedTuple, Optional, Tuple
+from math import ceil
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from repro.engine.domain import INFINITY, EventDomain, SimulationError
 
@@ -95,6 +120,172 @@ class DomainChannel:
         self.messages += 1
         self.bytes_sent += size_bytes
         return done + self.latency_s
+
+    def handoff_time(self, not_before: float, size_bytes: int) -> float:
+        """Arrival time of a handoff announced while its subject is
+        still in flight locally: the payload leaves its pipe at
+        ``not_before`` (a future instant the pipe computed at
+        admission) and only then serializes onto the cross-domain
+        wire. Announcements are made in *admission* order, which is
+        not exit order, so they deliberately do not thread through
+        ``_free_at`` (an early announce with a late exit would push
+        the wire's free time backwards); at descriptor sizes the
+        serialization gap this ignores is nanoseconds."""
+        self.messages += 1
+        self.bytes_sent += size_bytes
+        return not_before + size_bytes * self._s_per_byte + self.latency_s
+
+
+class LookaheadMatrix:
+    """Per-domain-pair conservative delivery bounds, min-plus closed.
+
+    ``pairs`` maps ``(src_domain, dst_domain)`` to the minimum virtual
+    delay between a send *opportunity* in the source domain and the
+    earliest resulting delivery into the destination domain. The
+    constructor closes the entries under min-plus composition
+    (iterated Floyd–Warshall until a numeric fixpoint): a relay chain
+    ``i -> k -> j`` bounds deliveries into ``j`` by
+    ``L[i][k] + L[k][j]`` even when the direct ``(i, j)`` relation is
+    looser or absent, and the diagonal picks up the cheapest cycle
+    through each domain (a domain can be re-entered by mail it
+    caused). Pairs with no path stay at infinity and never constrain
+    each other's windows.
+
+    ``floor`` is the smallest legal entry — the cross-domain channel
+    latency — and ``tick_s`` is the core scheduler period: all sends
+    happen inside core wakes, which land on tick boundaries, so
+    :func:`epoch_windows` may round each domain's next send
+    opportunity up to the next tick. Pass ``tick_s=0`` to disable
+    that (exact mode, or debt handling, where wakes can run at
+    unaligned instants).
+    """
+
+    __slots__ = ("num_domains", "floor", "tick_s", "direct", "_closed",
+                 "_min_finite", "_max_finite", "_finite_pairs")
+
+    def __init__(
+        self,
+        num_domains: int,
+        pairs: Optional[Dict[Tuple[int, int], float]] = None,
+        floor: float = 0.0,
+        tick_s: float = 0.0,
+    ):
+        if num_domains < 1:
+            raise SimulationError("need at least one domain")
+        if not floor > 0.0:
+            raise SimulationError(
+                f"lookahead floor must be positive, got {floor} "
+                f"(partitioned execution needs a nonzero minimum "
+                f"cross-core latency)"
+            )
+        self.num_domains = num_domains
+        self.floor = float(floor)
+        self.tick_s = float(tick_s)
+        self.direct: Dict[Tuple[int, int], float] = {}
+        for (src, dst), bound in (pairs or {}).items():
+            if not (0 <= src < num_domains and 0 <= dst < num_domains):
+                raise SimulationError(
+                    f"lookahead pair ({src}, {dst}) outside "
+                    f"[0, {num_domains})"
+                )
+            if src == dst:
+                raise SimulationError(
+                    f"lookahead pair ({src}, {dst}) is a self-loop; "
+                    f"intra-domain work never crosses the router"
+                )
+            if bound < self.floor:
+                raise SimulationError(
+                    f"lookahead pair ({src}, {dst}) = {bound:g}s is "
+                    f"below the channel floor {self.floor:g}s"
+                )
+            self.direct[(src, dst)] = float(bound)
+        self._closed = self._close()
+        finite = [
+            value
+            for row in self._closed
+            for value in row
+            if value != INFINITY
+        ]
+        self._min_finite = min(finite) if finite else INFINITY
+        self._max_finite = max(finite) if finite else INFINITY
+        self._finite_pairs = len(finite)
+
+    @classmethod
+    def uniform(cls, num_domains: int, lookahead: float) -> "LookaheadMatrix":
+        """Every off-diagonal pair at one global bound — the classic
+        single-lookahead synchronizer, as a matrix."""
+        pairs = {
+            (i, j): float(lookahead)
+            for i in range(num_domains)
+            for j in range(num_domains)
+            if i != j
+        }
+        return cls(num_domains, pairs, floor=lookahead)
+
+    def _close(self) -> List[List[float]]:
+        n = self.num_domains
+        closed = [[INFINITY] * n for _ in range(n)]
+        for (src, dst), bound in self.direct.items():
+            if bound < closed[src][dst]:
+                closed[src][dst] = bound
+        # Iterate to a numeric fixpoint (not just one Floyd-Warshall
+        # sweep): the epoch planner's monotonicity proof needs the
+        # triangle inequality to hold in *float* arithmetic for every
+        # (i, k, j) triple, which one sweep does not guarantee.
+        changed = True
+        while changed:
+            changed = False
+            for k in range(n):
+                row_k = closed[k]
+                for i in range(n):
+                    d_ik = closed[i][k]
+                    if d_ik == INFINITY:
+                        continue
+                    row_i = closed[i]
+                    for j in range(n):
+                        via = d_ik + row_k[j]
+                        if via < row_i[j]:
+                            row_i[j] = via
+                            changed = True
+        return closed
+
+    def bound(self, src: int, dst: int) -> float:
+        """The closed delivery bound from ``src`` to ``dst`` (INFINITY
+        when no chain of cross-domain relations connects them)."""
+        return self._closed[src][dst]
+
+    @property
+    def effective(self) -> float:
+        """The tightest finite bound — the scalar the old single-
+        lookahead synchronizer would have needed, and what obs reports
+        as ``engine.lookahead_s``."""
+        return self._min_finite
+
+    @property
+    def widest(self) -> float:
+        return self._max_finite
+
+    def items(self) -> List[Tuple[int, int, float]]:
+        """Finite closed entries as ``(src, dst, bound)``, sorted —
+        the per-pair breakdown obs exports."""
+        return [
+            (i, j, self._closed[i][j])
+            for i in range(self.num_domains)
+            for j in range(self.num_domains)
+            if self._closed[i][j] != INFINITY
+        ]
+
+    def __repr__(self) -> str:
+        if self._min_finite == INFINITY:
+            spread = "inf"
+        elif self._min_finite == self._max_finite:
+            spread = f"{self._min_finite:g}s"
+        else:
+            spread = f"{self._min_finite:g}..{self._max_finite:g}s"
+        return (
+            f"<LookaheadMatrix domains={self.num_domains} "
+            f"bounds={spread} pairs={self._finite_pairs}>"
+        )
 
 
 class DomainRouter:
@@ -225,6 +416,99 @@ def epoch_window(
     return next_min + lookahead, False
 
 
+def epoch_windows(
+    next_times: Sequence[float],
+    matrix: LookaheadMatrix,
+    until: Optional[float],
+) -> Optional[List[Optional[Tuple[float, bool]]]]:
+    """Per-domain ``(horizon, inclusive)`` windows for one epoch, or
+    ``None`` when the run is done.
+
+    ``next_times[d]`` is domain ``d``'s earliest pending work *after*
+    mail flush — the serial executor reads its post-flush heaps, the
+    multiprocess parent folds undelivered mail times into the worker-
+    reported minima, and both land on the same vector, so both
+    executors compute identical window sequences (the digest-equality
+    contract).
+
+    For each destination ``j`` the horizon is
+    ``min_i(psend_i + L[i][j])`` over the *closed* matrix, where
+    ``psend_i`` is domain ``i``'s next send opportunity: its next
+    event time, rounded up to the core scheduler tick when the matrix
+    carries one (all cross-domain sends are made inside core wakes,
+    which land on tick boundaries). The ``i == j`` term uses the
+    diagonal — the cheapest mail *cycle* through ``j`` — because a
+    domain's own events can come back at it through a relay. Domains
+    whose next work lies beyond ``until`` cannot send inside this run
+    and drop out of the minima. This is epoch *coalescing*: when no
+    near-horizon sender exists, windows grow to whatever the pairwise
+    bounds allow instead of creeping one global lookahead per round.
+
+    Boundary semantics at ``until``: a horizon at or past the target
+    clamps to ``(until, True)`` — the inclusive final barrier that
+    dispatches events at exactly ``until``. A later round may issue
+    ``(until, True)`` to the same domain again (mail can land exactly
+    on the target); ``EventDomain.run_window`` makes the re-run
+    dispatch only the newly injected events, so nothing double-fires
+    and the final barrier is never skipped.
+
+    Entries are ``None`` for domains with no work and no reachable
+    sender (nothing to do this round); the result is ``None`` only
+    when *no* domain has dispatchable work left.
+    """
+    n = matrix.num_domains
+    if len(next_times) != n:
+        raise SimulationError(
+            f"next_times has {len(next_times)} entries for "
+            f"{n} domains"
+        )
+    tick = matrix.tick_s
+    psend: List[float] = []
+    any_work = False
+    for t in next_times:
+        if t == INFINITY or (until is not None and t > until):
+            psend.append(INFINITY)
+            continue
+        any_work = True
+        if tick > 0.0:
+            aligned = ceil(t / tick - 1e-9) * tick
+            psend.append(aligned if aligned > t else t)
+        else:
+            psend.append(t)
+    if not any_work:
+        return None
+    closed = matrix._closed
+    windows: List[Optional[Tuple[float, bool]]] = []
+    for j in range(n):
+        horizon = INFINITY
+        row = None
+        for i in range(n):
+            p = psend[i]
+            if p == INFINITY:
+                continue
+            d = closed[i][j]
+            if d == INFINITY:
+                continue
+            v = p + d
+            if v < horizon:
+                horizon = v
+        del row
+        if until is not None:
+            if horizon >= until:
+                windows.append((until, True))
+            else:
+                windows.append((horizon, False))
+        elif horizon != INFINITY:
+            windows.append((horizon, False))
+        elif psend[j] != INFINITY:
+            # Unreachable but busy: free-run one floor past its own
+            # next event (progress without a target to clamp to).
+            windows.append((psend[j] + matrix.floor, False))
+        else:
+            windows.append(None)
+    return windows
+
+
 class PartitionedSimulator:
     """N event domains advancing under an epoch barrier (serial
     executor).
@@ -239,16 +523,26 @@ class PartitionedSimulator:
     domain's clock.
     """
 
-    def __init__(self, num_domains: int, lookahead: float):
+    def __init__(
+        self,
+        num_domains: int,
+        lookahead: Optional[float] = None,
+        matrix: Optional[LookaheadMatrix] = None,
+    ):
         if num_domains < 1:
             raise SimulationError("need at least one domain")
-        if not lookahead > 0.0:
+        if matrix is None:
+            if lookahead is None:
+                raise SimulationError(
+                    "need a lookahead scalar or a LookaheadMatrix"
+                )
+            matrix = LookaheadMatrix.uniform(num_domains, lookahead)
+        elif matrix.num_domains != num_domains:
             raise SimulationError(
-                f"epoch lookahead must be positive, got {lookahead} "
-                f"(partitioned execution needs a nonzero minimum "
-                f"cross-core latency)"
+                f"matrix covers {matrix.num_domains} domains, "
+                f"simulator has {num_domains}"
             )
-        self.lookahead = float(lookahead)
+        self.matrix = matrix
         self.domains: List[EventDomain] = [
             EventDomain(domain_id=index) for index in range(num_domains)
         ]
@@ -264,6 +558,39 @@ class PartitionedSimulator:
         self._stopped = False
 
     # -- facade surface --------------------------------------------------
+
+    @property
+    def lookahead(self) -> float:
+        """The *effective* (tightest finite) pairwise bound.
+
+        Kept as a scalar for callers that predate the matrix — obs
+        gauges, reprs, back-compat tests — but the synchronizer itself
+        always plans with the full matrix; see
+        :attr:`matrix` for the per-pair breakdown.
+        """
+        return self.matrix.effective
+
+    def install_lookahead(self, matrix: LookaheadMatrix) -> None:
+        """Replace the synchronization matrix (bind-time upgrade).
+
+        The facade constructs the simulator before the emulation knows
+        its topology, so it starts with the conservative uniform
+        floor; once binding derives the real cross-domain relations,
+        the emulation installs the derived matrix here. Refused after
+        any event has dispatched — windows already granted under the
+        old matrix are not revisited.
+        """
+        if matrix.num_domains != self.num_domains:
+            raise SimulationError(
+                f"matrix covers {matrix.num_domains} domains, "
+                f"simulator has {self.num_domains}"
+            )
+        if self._running or self.events_dispatched:
+            raise SimulationError(
+                "cannot install a lookahead matrix after execution "
+                "began"
+            )
+        self.matrix = matrix
 
     @property
     def num_domains(self) -> int:
@@ -322,8 +649,20 @@ class PartitionedSimulator:
         return self.domains[0].call_soon(fn, *args)
 
     def stop(self) -> None:
-        """Halt at the next epoch boundary."""
+        """Halt after the current event, no later than the next barrier.
+
+        The epoch loop checks the flag between barriers, but coalesced
+        windows can span many events, so the currently dispatching
+        domain is stopped too — it returns after the event that called
+        ``stop``, keeping its clock at that event's time (see
+        :meth:`EventDomain.run_until`). Domains that have not yet run
+        their window this epoch still complete it: each window entry
+        clears the per-domain flag, so the stop lands exactly at the
+        epoch boundary for everyone else.
+        """
         self._stopped = True
+        for domain in self.domains:
+            domain.stop()
 
     def fast_forward(
         self,
@@ -375,23 +714,27 @@ class PartitionedSimulator:
         self._stopped = False
         domains = self.domains
         router = self.router
+        matrix = self.matrix
         try:
             while not self._stopped:
                 router.flush(domains)
-                next_min = INFINITY
-                for domain in domains:
-                    t = domain.next_event_time()
-                    if t < next_min:
-                        next_min = t
-                window = epoch_window(next_min, self.lookahead, until)
-                if window is None:
+                next_times = [
+                    domain.next_event_time() for domain in domains
+                ]
+                windows = epoch_windows(next_times, matrix, until)
+                if windows is None:
                     break
-                horizon, inclusive = window
-                for domain in domains:
-                    domain.run_until(horizon, inclusive)
+                barrier = INFINITY
+                for domain, window in zip(domains, windows):
+                    if window is None:
+                        continue
+                    horizon, inclusive = window
+                    domain.run_window(horizon, inclusive)
+                    if horizon < barrier:
+                        barrier = horizon
                 self.epochs += 1
                 if self.on_epoch is not None:
-                    self.on_epoch(self.epochs - 1, horizon)
+                    self.on_epoch(self.epochs - 1, barrier)
         finally:
             self._running = False
         if until is not None and not self._stopped:
@@ -400,7 +743,14 @@ class PartitionedSimulator:
         return self.now
 
     def __repr__(self) -> str:
+        matrix = self.matrix
+        if matrix.effective == INFINITY:
+            bounds = "inf"
+        elif matrix.effective == matrix.widest:
+            bounds = f"{matrix.effective:g}s"
+        else:
+            bounds = f"{matrix.effective:g}..{matrix.widest:g}s"
         return (
             f"<PartitionedSimulator domains={self.num_domains} "
-            f"lookahead={self.lookahead:g}s epochs={self.epochs}>"
+            f"lookahead={bounds} epochs={self.epochs}>"
         )

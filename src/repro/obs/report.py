@@ -58,7 +58,18 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     registry.gauge("engine.num_domains").set(emulation.num_domains)
     if partitioned:
         registry.gauge("engine.epochs").set(getattr(sim, "epochs", 0))
+        # ``lookahead`` is the effective (minimum finite) bound of the
+        # per-pair matrix — the scalar consumers key dashboards on —
+        # and the matrix itself is broken out per domain pair so a
+        # slow pair (one near the channel floor) is attributable.
         registry.gauge("engine.lookahead_s").set(getattr(sim, "lookahead", 0.0))
+        matrix = getattr(sim, "matrix", None)
+        if matrix is not None:
+            registry.gauge("engine.lookahead_widest_s").set(matrix.widest)
+            for src, dst, bound in matrix.items():
+                registry.gauge(
+                    "engine.lookahead_pair_s", src=src, dst=dst
+                ).set(bound)
         if emulation.router is not None:
             registry.gauge("engine.messages_routed").set(
                 emulation.router.messages_routed

@@ -174,9 +174,12 @@ class WorkerSupervisor:
         self.epoch_timeout_s = float(epoch_timeout_s)
         self.heartbeat_interval_s = float(heartbeat_interval_s)
         self.workers = [WorkerHandle(i, group) for i, group in enumerate(owned)]
-        #: Per-epoch command history: ``(horizon, inclusive, slices)``
-        #: with one message slice per worker — the full replay input.
-        self._history: List[Tuple[float, bool, List[list]]] = []
+        #: Per-epoch command history: ``(payload, frames)`` with one
+        #: mail frame per worker — the full replay input. The payload
+        #: (the per-domain window vector) is broadcast; frames are
+        #: per-worker opaque bytes the executor encoded (kept as-is so
+        #: replay resends byte-identical commands without re-pickling).
+        self._history: List[Tuple[Any, List[Any]]] = []
         # Counters surfaced as resilience.* metrics.
         self.heartbeats_missed = 0
         self.workers_restarted = 0
@@ -202,16 +205,18 @@ class WorkerSupervisor:
             next_times.update(handle.next_times)
         return next_times
 
-    def run_epoch(self, horizon: float, inclusive: bool, slices: List[list]):
+    def run_epoch(self, payload: Any, frames: List[Any]):
         """Broadcast one epoch to every worker; recover any that fail.
 
-        Returns the list of ``("done", next_times, outbox, digests)``
-        replies, indexed by worker.
+        ``payload`` is shared by all workers (the per-domain window
+        vector); ``frames[i]`` is worker ``i``'s private mail frame.
+        Returns the list of ``("done", next_times, outbox_frame,
+        digests)`` replies, indexed by worker.
         """
-        self._history.append((horizon, inclusive, slices))
+        self._history.append((payload, frames))
         replies: List[Any] = [None] * len(self.workers)
         for handle in self.workers:
-            command = ("epoch", horizon, inclusive, slices[handle.index])
+            command = ("epoch", payload, frames[handle.index])
             try:
                 self._send(handle, command)
             except WorkerFailure as failure:
@@ -221,7 +226,7 @@ class WorkerSupervisor:
         for handle in self.workers:
             if replies[handle.index] is not None:
                 continue
-            command = ("epoch", horizon, inclusive, slices[handle.index])
+            command = ("epoch", payload, frames[handle.index])
             try:
                 replies[handle.index] = self._recv(handle)
             except WorkerFailure as failure:
@@ -233,6 +238,33 @@ class WorkerSupervisor:
             handle.next_times = dict(reply[1])
             handle.last_digests = dict(reply[3])
         return replies
+
+    def run_all(self, until, timeout_s: Optional[float] = None):
+        """Single-worker fast path: one ``("run", until)`` command has
+        the worker drive its own epoch loop to ``until`` — no per-epoch
+        parent barrier.
+
+        Only valid when one worker owns every domain (nothing to
+        route, nothing to synchronize against). The epoch history
+        stays empty, so crash recovery degenerates correctly: replay
+        is a no-op and the whole deterministic run is re-issued.
+        Returns the worker's ``("done", next_times, (epochs,
+        messages_routed), digests)`` reply.
+        """
+        if len(self.workers) != 1:
+            raise ResilienceError(
+                "run_all needs exactly one worker owning every domain"
+            )
+        handle = self.workers[0]
+        command = ("run", until)
+        try:
+            self._send(handle, command)
+            reply = self._recv(handle, timeout_s=timeout_s)
+        except WorkerFailure as failure:
+            reply = self._handle_failure(handle, failure, resend=command)
+        handle.next_times = dict(reply[1])
+        handle.last_digests = dict(reply[3])
+        return reply
 
     def finish(self, until) -> List[dict]:
         """Send the final command; returns per-worker stats dicts."""
@@ -430,9 +462,9 @@ class WorkerSupervisor:
         with :class:`WorkerDesync`.
         """
         digests: Optional[Dict[int, Tuple[str, int]]] = None
-        for horizon, inclusive, slices in self._history[: handle.completed]:
+        for payload, frames in self._history[: handle.completed]:
             self._send(
-                handle, ("epoch", horizon, inclusive, slices[handle.index])
+                handle, ("epoch", payload, frames[handle.index])
             )
             reply = self._recv(handle)
             handle.next_times = dict(reply[1])

@@ -6,3 +6,10 @@ TOO_SMALL = 1e-6
 def send_too_early(router, now, dst, payload):
     router.send(now, 0, dst, "deliver", 0, payload)
     router.send(now + TOO_SMALL, 0, dst, "deliver", 0, payload)
+
+
+def send_min_folded_below_floor(router, now, dst, payload, channel_bound):
+    # A min() is bounded above by its smallest foldable argument even
+    # when the other arguments are opaque: this delivery can constant-
+    # fold to now + 1e-6, below every pairwise horizon.
+    router.send(now + min(TOO_SMALL, channel_bound), 0, dst, "x", 0, payload)

@@ -28,7 +28,7 @@ SEEDED = [
     (fixture("engine", "dom002_foreign_state.py"), "DOM002", 1),
     (fixture("engine", "dom003_unrouted_call.py"), "DOM003", 1),
     (fixture("engine", "epo001_clock_peek.py"), "EPO001", 1),
-    (fixture("engine", "epo002_sublookahead.py"), "EPO002", 2),
+    (fixture("engine", "epo002_sublookahead.py"), "EPO002", 3),
 ]
 
 
@@ -232,3 +232,34 @@ def test_epo002_non_router_sends_are_ignored():
         "    conn.send(now)\n"
     )
     assert collect(source) == []
+
+
+def test_epo002_handoff_time_is_sanctioned():
+    source = (
+        "def f(router, channel, now, p):\n"
+        "    router.send(channel.handoff_time(now), 0, 1, 'deliver', 0, p)\n"
+    )
+    assert collect(source) == []
+
+
+def test_epo002_min_fold_bounded_by_smallest_foldable_arg():
+    # min() is provably <= its smallest constant argument, so the send
+    # is below the horizon even though the other argument is opaque.
+    source = (
+        "def f(router, now, bound, p):\n"
+        "    router.send(now + min(1e-6, bound), 0, 1, 'deliver', 0, p)\n"
+    )
+    assert [v.rule for v in collect(source)] == ["EPO002"]
+
+
+def test_epo002_max_fold_needs_every_arg_to_fold():
+    # max() with an opaque argument has no provable upper bound; a
+    # fully foldable max() below the floor still trips.
+    source = (
+        "def f(router, now, bound, p):\n"
+        "    router.send(now + max(1e-6, bound), 0, 1, 'deliver', 0, p)\n"
+        "    router.send(now + max(1e-6, 2e-6), 0, 1, 'deliver', 0, p)\n"
+    )
+    violations = collect(source)
+    assert [v.rule for v in violations] == ["EPO002"]
+    assert violations[0].line == 3

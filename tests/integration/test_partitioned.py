@@ -41,9 +41,15 @@ def test_serial_partitioned_builds_partitioned_simulator():
     emulation = scenario.build()
     assert isinstance(scenario.sim, PartitionedSimulator)
     assert emulation.num_domains == 4
-    assert scenario.sim.lookahead == pytest.approx(
-        emulation.config.core_spec.switch_latency_s
-    )
+    # Bind-time derivation replaces the uniform calibration floor with
+    # per-pair bounds from the actual cross-domain pipe latencies, so
+    # the effective lookahead is at least pipe latency + floor.
+    floor = emulation.config.core_spec.switch_latency_s
+    matrix = scenario.sim.matrix
+    assert scenario.sim.lookahead == matrix.effective > floor
+    assert matrix.widest >= matrix.effective
+    for src, dst, bound in matrix.items():
+        assert bound >= floor
     # Every core is bound to the domain the assignment dictates.
     for core in emulation.cores:
         assert core.sim is emulation.domains[core.domain_id]
@@ -98,7 +104,14 @@ def test_report_attributes_domains():
     assert report.config["num_domains"] == 4
     assert metrics["engine.num_domains"] == 4
     assert metrics["engine.epochs"] > 0
-    assert metrics["engine.lookahead_s"] == pytest.approx(20e-6)
+    # Effective (tightest) pairwise bound, plus the per-pair
+    # breakdown the scalar used to hide (satellite: lookahead
+    # under-reporting fix).
+    assert metrics["engine.lookahead_s"] > 20e-6
+    assert metrics["engine.lookahead_widest_s"] >= metrics["engine.lookahead_s"]
+    pair_gauges = [k for k in metrics if k.startswith("engine.lookahead_pair_s")]
+    assert pair_gauges, "per-pair lookahead gauges missing"
+    assert all(metrics[k] >= 20e-6 for k in pair_gauges)
     per_domain = [
         metrics[f"sim.events_dispatched{{domain={d}}}"] for d in range(4)
     ]
@@ -155,6 +168,25 @@ class TestMultiprocess:
         assert metrics["engine.epochs"] > 0
         assert metrics["sim.events_dispatched"] > 0
         assert metrics["tcp.connections"] > 0
+
+    def test_default_worker_count_is_capped_by_cpu_count(self):
+        """workers=0 must not oversubscribe the machine: more workers
+        than CPUs just adds context-switch chains at every barrier."""
+        import os
+
+        from repro.engine.parallel import run_multiprocess
+
+        scenario = _ring_scenario("multiprocess")
+        scenario.build()
+        result = run_multiprocess(
+            scenario, until=UNTIL, workers=0, sanitize=True
+        )
+        assert result.workers == max(1, min(4, os.cpu_count() or 1))
+        # The capped run keeps the digest contract with the serial
+        # executor regardless of which path (fast or epoch) it took.
+        serial_digest, serial_events = _digest(_ring_scenario())
+        assert result.composed_digest == serial_digest
+        assert result.events_dispatched == serial_events
 
     def test_custom_traffic_rejected(self):
         scenario = _ring_scenario("multiprocess")

@@ -225,7 +225,10 @@ def _desyncing_chaos_scenario(workers=2, retries=1):
         _ring_scenario("multiprocess", workers=workers)
         .inject_fault(RING_UNTIL)
         .resilience(
-            chaos_kill=(40, 0), retries=retries,
+            # Mid-run: coalesced windows leave ~15 epochs for this run
+            # (hundreds before per-pair lookahead), so the kill epoch
+            # must sit well inside that budget or it never fires.
+            chaos_kill=(5, 0), retries=retries,
         )
     )
 

@@ -170,15 +170,17 @@ def test_recovery_replays_history_and_resends_inflight_command():
     handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
     handle.completed = 1
     handle.last_digests = dict(digests)
-    supervisor._history.append((0.3, False, [["m0"]]))
-    inflight = ("epoch", 0.5, False, ["m1"])
+    # History entries are (payload, frames): the broadcast window
+    # vector plus one pre-pickled mail frame per worker.
+    supervisor._history.append(([(0.3, False)], [b"m0"]))
+    inflight = ("epoch", [(0.5, False)], b"m1")
     failure = WorkerCrash(0, [0, 1], 1, detail="killed")
     reply = supervisor._handle_failure(handle, failure, resend=inflight)
     assert reply[0] == "done"
     assert supervisor.workers_restarted == 1
     assert supervisor.retries == 1
     # Replay first, then the in-flight command, in order.
-    assert respawned.sent == [("epoch", 0.3, False, ["m0"]), inflight]
+    assert respawned.sent == [("epoch", [(0.3, False)], b"m0"), inflight]
 
 
 def test_replay_digest_mismatch_is_a_desync():
@@ -195,10 +197,11 @@ def test_replay_digest_mismatch_is_a_desync():
     handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
     handle.completed = 1
     handle.last_digests = good
-    supervisor._history.append((0.3, False, [["m0"]]))
+    supervisor._history.append(([(0.3, False)], [b"m0"]))
     with pytest.raises(SupervisionEscalation) as info:
         supervisor._handle_failure(
-            handle, WorkerCrash(0, [0, 1], 1), resend=("epoch", 0.5, False, [])
+            handle, WorkerCrash(0, [0, 1], 1),
+            resend=("epoch", [(0.5, False)], None),
         )
     assert isinstance(info.value.last, WorkerDesync)
 
@@ -217,10 +220,11 @@ def test_replay_event_count_mismatch_is_a_desync():
     handle.conn, handle.proc = FakeConn(), FakeProc(alive=False)
     handle.completed = 1
     handle.last_digests = good
-    supervisor._history.append((0.3, False, [[]]))
+    supervisor._history.append(([(0.3, False)], [None]))
     with pytest.raises(SupervisionEscalation) as info:
         supervisor._handle_failure(
-            handle, WorkerCrash(0, [0, 1], 1), resend=("epoch", 0.5, False, [])
+            handle, WorkerCrash(0, [0, 1], 1),
+            resend=("epoch", [(0.5, False)], None),
         )
     assert isinstance(info.value.last, WorkerDesync)
 
