@@ -354,6 +354,7 @@ class Scenario:
         name: str = "serial",
         domains: Optional[int] = None,
         workers: Optional[int] = None,
+        kernel: Optional[str] = None,
     ) -> "Scenario":
         """Choose the execution backend.
 
@@ -363,12 +364,18 @@ class Scenario:
         ``"multiprocess"`` runs one event domain per core (or
         ``domains``) across ``workers`` processes (0 = one per
         domain). Digests are identical across worker counts.
+
+        ``kernel`` selects the pipe hot-core implementation
+        (``"scalar"``, ``"batched"``, or ``"numpy"``); all kernels
+        dispatch digest-identical event streams.
         """
         knobs: dict = {"backend": name}
         if domains is not None:
             knobs["num_domains"] = domains
         if workers is not None:
             knobs["workers"] = workers
+        if kernel is not None:
+            knobs["kernel"] = kernel
         return self.config(**knobs)
 
     def observe(
@@ -569,9 +576,10 @@ class Scenario:
             self.sim = PartitionedSimulator(
                 num_domains,
                 lookahead=min_cross_core_latency(config.core_spec),
+                kernel=config.kernel,
             )
         else:
-            self.sim = Simulator()
+            self.sim = Simulator(kernel=config.kernel)
         with registry.timed("phase.build_s"):
             pipeline = ExperimentPipeline(self.sim, seed=self._seed)
             pipeline.create(self._topology)

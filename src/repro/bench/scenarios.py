@@ -1,12 +1,18 @@
 """The fixed-seed benchmark scenarios.
 
-Four workloads cover the hot paths the ROADMAP cares about:
+These workloads cover the hot paths the ROADMAP cares about:
 
 ``dumbbell_netperf``
     The canonical shared-bottleneck TCP workload (the same dumbbell
     the determinism CI sanitizes): four netperf streams through one
     core. Exercises the event loop, the pipe scheduler, and the TCP
     stacks together — the primary events/sec figure of merit.
+
+``kernel_dispatch``
+    The kernel seam in isolation: self-reposting timers drive the
+    dispatch loop (digest armed, no emulation payload). Reports the
+    measured kernel's events/sec and, for the optimized kernels, the
+    ratio over a scalar reference run of the identical event stream.
 
 ``capacity_sweep``
     A scaled-down Fig. 4: netperf flows through private emulated
@@ -50,10 +56,10 @@ from repro.topology.generators import chain_topology, dumbbell_topology
 DEFAULT_SEED = 1
 
 
-def _dumbbell_scenario(seed: int, flows: int):
+def _dumbbell_scenario(seed: int, flows: int, kernel: Optional[str] = None):
     from repro.api import Scenario
 
-    return (
+    scenario = (
         Scenario.from_topology(dumbbell_topology(3), name="bench-dumbbell")
         .distill("hop-by-hop")
         .assign(1)
@@ -61,11 +67,19 @@ def _dumbbell_scenario(seed: int, flows: int):
         .observe(False)
         .seed(seed)
     )
+    if kernel is not None:
+        scenario.config(kernel=kernel)
+    return scenario
 
 
-def dumbbell_netperf(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+def dumbbell_netperf(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> BenchResult:
     """Bulk TCP through the shared bottleneck: events/sec of the
-    uninstrumented event loop."""
+    uninstrumented event loop (with the native streaming digest
+    folded in, so the manifest records what stream was timed)."""
     seed = DEFAULT_SEED if seed is None else seed
     seconds = 30.0 if profile == "short" else 120.0
     flows = 4
@@ -75,11 +89,12 @@ def dumbbell_netperf(profile: str = "short", seed: Optional[int] = None) -> Benc
         seed=seed,
         params={"seconds": seconds, "flows": flows, "clients_per_side": 3},
     )
-    scenario = _dumbbell_scenario(seed, flows)
+    scenario = _dumbbell_scenario(seed, flows, kernel)
     t0 = perf_counter()
     emulation = scenario.build()
     build_s = perf_counter() - t0
     sim = emulation.sim
+    sim.enable_digest()
     events_before = sim.events_dispatched
     pkts_before = emulation.monitor.packets_entered
     t1 = perf_counter()
@@ -90,21 +105,101 @@ def dumbbell_netperf(profile: str = "short", seed: Optional[int] = None) -> Benc
     result.virtual_pkts = emulation.monitor.packets_entered - pkts_before
     result.virtual_time_s = seconds
     result.phases = {"build_s": round(build_s, 6), "run_s": round(run_s, 6)}
+    result.digest = sim.digest_hexdigest()
     result.extras = {
         "packets_delivered": emulation.monitor.packets_delivered,
         "pipe_departures": sum(p.departures for p in emulation.pipes.values()),
+        "kernel": sim.kernel,
     }
     return result.finalize()
 
 
-def capacity_sweep(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+def kernel_dispatch(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> BenchResult:
+    """Event-loop throughput of the kernel seam in isolation.
+
+    A ring of self-reposting timers drives the dispatch loop with the
+    digest armed and no emulation payload attached — every microsecond
+    is loop + heap + digest fold, none is TCP or pipe callbacks. This
+    is the scenario where the batched kernel's dispatch-loop half of
+    the seam is undiluted: ``dumbbell_netperf`` measures the same seam
+    through ~80% shared per-event callback work (see DESIGN.md §7 for
+    the decomposition), so its kernel ratio is Amdahl-compressed
+    toward 1. When ``kernel`` is not scalar, a scalar reference run of
+    the same workload is timed too and the ratio is recorded in
+    ``extras["vs_scalar"]`` — the number the bench-smoke CI gates on.
+    """
+    from repro.engine.simulator import Simulator
+
+    seed = DEFAULT_SEED if seed is None else seed
+    events = 400_000 if profile == "short" else 2_000_000
+    timers = 8
+    kernel = kernel or "batched"
+
+    def timed_run(which: str):
+        sim = Simulator(kernel=which)
+
+        def tick(dt: float = 1e-6) -> None:
+            sim.post(sim.now + dt, tick)
+
+        # Seed phase offsets so the heap always holds `timers` entries
+        # interleaved at distinct (time, seq); the dispatch order (and
+        # so the digest) is identical for every kernel.
+        for i in range(timers):
+            sim.post(i * 1e-7, tick)
+        sim.enable_digest()
+        t0 = perf_counter()
+        sim.run(until=events * 1e-6 / timers)
+        wall = perf_counter() - t0
+        return sim, wall
+
+    result = BenchResult(
+        name="kernel_dispatch",
+        profile=profile,
+        seed=seed,
+        params={"events": events, "timers": timers},
+    )
+    sim, run_s = timed_run(kernel)
+    result.wall_s = run_s
+    result.events = sim.events_dispatched
+    result.virtual_time_s = sim.now
+    result.phases = {"run_s": round(run_s, 6)}
+    result.digest = sim.digest_hexdigest()
+    result.extras = {"kernel": sim.kernel}
+    if kernel != "scalar":
+        ref, ref_s = timed_run("scalar")
+        if ref.digest_hexdigest() != result.digest:
+            raise RuntimeError(
+                f"kernel_dispatch: scalar reference digest diverged "
+                f"({ref.digest_hexdigest()[:16]} vs {result.digest[:16]})"
+            )
+        result.phases["scalar_ref_s"] = round(ref_s, 6)
+        result.extras["scalar_events_per_s"] = round(ref.events_dispatched / ref_s, 1)
+        result.extras["vs_scalar"] = round(
+            (result.events / run_s) / (ref.events_dispatched / ref_s), 3
+        )
+    return result.finalize()
+
+
+def capacity_sweep(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> BenchResult:
     """Fig. 4-style single-core capacity points: pkts/sec forwarded
     at several (hops, flows) operating points."""
+    import hashlib
+
     from repro.apps.netperf import TcpStream
     from repro.core import DistillationMode, EmulationConfig, ExperimentPipeline
+    from repro.core.kernel import DEFAULT_KERNEL
     from repro.engine import Simulator
     from repro.hardware.calibration import GIGABIT_EDGE_SPEC
 
+    kernel = DEFAULT_KERNEL if kernel is None else kernel
     seed = DEFAULT_SEED if seed is None else seed
     if profile == "short":
         points = [(1, 24), (1, 96), (8, 48)]
@@ -121,17 +216,23 @@ def capacity_sweep(profile: str = "short", seed: Optional[int] = None) -> BenchR
     build_s = run_s = 0.0
     events = pkts = 0
     virtual = 0.0
-    extras: Dict[str, float] = {}
+    extras: Dict[str, object] = {}
+    point_digests = []
     for hops, flows in points:
         t0 = perf_counter()
-        sim = Simulator()
+        sim = Simulator(kernel=kernel)
+        sim.enable_digest()
         emulation = (
             ExperimentPipeline(sim, seed=seed)
             .create(chain_topology(flows, hops=hops))
             .distill(DistillationMode.HOP_BY_HOP)
             .assign(1)
             .bind(10)
-            .run(EmulationConfig(edge_spec=GIGABIT_EDGE_SPEC, seed=seed))
+            .run(
+                EmulationConfig(
+                    edge_spec=GIGABIT_EDGE_SPEC, seed=seed, kernel=kernel
+                )
+            )
         )
         streams = [
             TcpStream(emulation, 2 * flow, 2 * flow + 1) for flow in range(flows)
@@ -150,6 +251,7 @@ def capacity_sweep(profile: str = "short", seed: Optional[int] = None) -> BenchR
         extras[f"pps[{hops}h,{flows}f]"] = round(
             emulation.monitor.window_pps(sim.now), 1
         )
+        point_digests.append(sim.digest_hexdigest())
         for stream in streams:
             stream.stop()
     result.wall_s = run_s
@@ -157,11 +259,21 @@ def capacity_sweep(profile: str = "short", seed: Optional[int] = None) -> BenchR
     result.virtual_pkts = pkts
     result.virtual_time_s = virtual
     result.phases = {"build_s": round(build_s, 6), "run_s": round(run_s, 6)}
+    # One digest over the sweep: fold the per-point stream digests in
+    # point order, so any behavior change at any operating point shows.
+    result.digest = hashlib.sha256(
+        "".join(point_digests).encode()
+    ).hexdigest()
+    extras["kernel"] = kernel
     result.extras = extras
     return result.finalize()
 
 
-def sanitize_smoke(profile: str = "short", seed: Optional[int] = None) -> BenchResult:
+def sanitize_smoke(
+    profile: str = "short",
+    seed: Optional[int] = None,
+    kernel: Optional[str] = None,
+) -> BenchResult:
     """Double-run the dumbbell under the determinism sanitizer: times
     the instrumented dispatch path and proves digests stay identical."""
     from repro.check.sanitize import SimSanitizer
@@ -180,7 +292,7 @@ def sanitize_smoke(profile: str = "short", seed: Optional[int] = None) -> BenchR
     build_s = run_s = 0.0
     for _run in range(2):
         t0 = perf_counter()
-        scenario = _dumbbell_scenario(seed, flows)
+        scenario = _dumbbell_scenario(seed, flows, kernel)
         emulation = scenario.build()
         build_s += perf_counter() - t0
         sanitizer = SimSanitizer().attach(emulation.sim)
@@ -215,6 +327,7 @@ def multicore_scaling(
     backend: Optional[str] = None,
     domains: Optional[int] = None,
     workers: Optional[int] = None,
+    kernel: Optional[str] = None,
 ) -> BenchResult:
     """Serial-partitioned vs multiprocess execution of a 4-core ring:
     the honest speedup (or slowdown) figure for the epoch-synchronized
@@ -257,7 +370,7 @@ def multicore_scaling(
             .netperf(flows=flows)
             .observe(False)
             .seed(seed)
-            .backend(name, domains=domains, workers=workers)
+            .backend(name, domains=domains, workers=workers, kernel=kernel)
         )
 
     result = BenchResult(
@@ -270,6 +383,7 @@ def multicore_scaling(
             "backends": list(backends), "topology": "ring8x2",
         },
     )
+    extras_kernel = kernel or "batched"
 
     build_s = 0.0
     walls: Dict[str, float] = {}
@@ -338,6 +452,7 @@ def multicore_scaling(
         extras["speedup"] = round(
             walls["serial"] / walls["multiprocess"], 3
         )
+    extras["kernel"] = extras_kernel
 
     result.wall_s = sum(walls.values())
     result.events = events
@@ -460,6 +575,7 @@ def chaos_recovery(
 
 SCENARIOS: Dict[str, Callable[..., BenchResult]] = {
     "dumbbell_netperf": dumbbell_netperf,
+    "kernel_dispatch": kernel_dispatch,
     "capacity_sweep": capacity_sweep,
     "sanitize_smoke": sanitize_smoke,
     "multicore_scaling": multicore_scaling,
@@ -471,6 +587,7 @@ def run_scenario(
     name: str,
     profile: str = "short",
     seed: Optional[int] = None,
+    repeats: int = 1,
     **overrides,
 ) -> BenchResult:
     """Run one registered scenario by name.
@@ -478,6 +595,15 @@ def run_scenario(
     ``overrides`` (e.g. ``backend=``, ``domains=``, ``workers=``) are
     forwarded to scenarios that parameterize on them; passing one to a
     scenario that does not raises :class:`ValueError`.
+
+    ``repeats`` runs the scenario that many times and reports the
+    best run by ``events_per_s`` — the standard shared-machine
+    methodology: wall-clock noise (scheduler preemption, cache
+    pollution from other tenants) only ever slows a run down, so the
+    fastest repeat is the closest observation of the true cost.
+    Every repeat must dispatch the identical event stream; a digest
+    or event-count mismatch across repeats raises, turning the bench
+    into a free determinism check.
     """
     try:
         fn = SCENARIOS[name]
@@ -503,11 +629,36 @@ def run_scenario(
     # process makes gen-2 collections progressively more expensive and
     # skews later measurements by 20%+ (the simulation itself does not
     # rely on GC: the event heap drains and pipes hold no cycles).
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     gc.collect()
     reenable = gc.isenabled()
     gc.disable()
     try:
-        return fn(profile=profile, seed=seed, **overrides)
+        best: Optional[BenchResult] = None
+        for _ in range(repeats):
+            result = fn(profile=profile, seed=seed, **overrides)
+            if best is not None:
+                if result.events != best.events:
+                    raise RuntimeError(
+                        f"{name}: event count varied across repeats "
+                        f"({best.events} vs {result.events}) — the "
+                        f"fixed-seed scenario is nondeterministic"
+                    )
+                if (
+                    result.digest
+                    and best.digest
+                    and result.digest != best.digest
+                ):
+                    raise RuntimeError(
+                        f"{name}: digest varied across repeats "
+                        f"({best.digest[:16]} vs {result.digest[:16]})"
+                    )
+            if best is None or result.events_per_s > best.events_per_s:
+                best = result
+        if repeats > 1:
+            best.extras["repeats"] = repeats
+        return best
     finally:
         if reenable:
             gc.enable()

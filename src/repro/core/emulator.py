@@ -30,6 +30,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.assign import Assignment, greedy_k_clusters, single_core
 from repro.core.bind import Binding, bind_vns, bind_vns_locality
+from repro.core.kernel import DEFAULT_KERNEL, KERNELS, require_kernel
 from repro.core.monitor import EmulationMonitor
 from repro.core.node import CoreNode
 from repro.core.pipe import Pipe
@@ -81,11 +82,18 @@ class EmulationConfig:
     #: Worker processes for the multiprocess backend. 0 means one per
     #: domain. Digests are worker-count invariant by construction.
     workers: int = 0
+    #: Hot-core kernel (see :mod:`repro.core.kernel`): ``"scalar"``
+    #: reference, ``"batched"`` columnar (default), or ``"numpy"``
+    #: vectorized. Selects both each pipe's delay-line engine and the
+    #: event-domain dispatch loop; every kernel dispatches a
+    #: digest-identical event stream.
+    kernel: str = DEFAULT_KERNEL
 
     #: Strategies understood by :func:`repro.core.bind.bind_vns`.
     BINDING_STRATEGIES = ("contiguous", "round_robin")
     ROUTING_WEIGHTS = ("latency", "hops", "cost")
     BACKENDS = ("serial", "multiprocess")
+    KERNELS = KERNELS
 
     def __post_init__(self) -> None:
         self.validate()
@@ -122,6 +130,7 @@ class EmulationConfig:
             )
         if self.workers < 0:
             raise ValueError(f"workers must be >= 0, got {self.workers}")
+        require_kernel(self.kernel)
         if (self.backend == "multiprocess" or self.num_domains > 1) and (
             not self.model_physical
         ):
@@ -340,6 +349,7 @@ class Emulation:
                     link_id=link.id,
                     src_node=src,
                     dst_node=dst,
+                    kernel=self.config.kernel,
                 )
                 pipe.up = link.up
                 self.pipes[(link.id, direction)] = pipe
@@ -583,6 +593,9 @@ class Emulation:
         for core in self.cores:
             core.scheduler.collect_timer = self.obs.histogram(
                 "sched.collect_s", core=core.index
+            )
+            core.scheduler.batch_hist = self.obs.histogram(
+                "sched.batch_size", core=core.index
             )
 
     # ------------------------------------------------------------------

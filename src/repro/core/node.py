@@ -210,10 +210,15 @@ class CoreNode:
             hops = 0
             per_hop = self._per_hop_s
             descriptor_exited = self._descriptor_exited
+            # Batched delivery: collect() hands back one (pipe, exits)
+            # run per serviced pipe; hop bookkeeping is per batch. The
+            # CPU charge stays per descriptor *in order* — the float
+            # accumulation sequence is part of the digest contract
+            # (summing per_hop * n would perturb the NIC-ring budget).
             for _pipe, exits in scheduler.collect(now):
+                hops += len(exits)
                 for descriptor in exits:
                     spent += per_hop
-                    hops += 1
                     spent += descriptor_exited(descriptor, now)
             self.hops_processed += hops
         else:

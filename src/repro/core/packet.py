@@ -10,11 +10,20 @@ tracks two clocks:
 * the *ideal* clock — the exact (unquantized) times the emulation
   should produce, used for accuracy accounting and for the paper's
   proposed packet-debt correction.
+
+Descriptors are recycled through a slot table rather than a free
+*list of objects*: each pooled descriptor owns a dense integer
+``slot`` into a flat array, and the free list holds slot indices.
+Besides sparing the allocator on the hot path (one admission per
+packet), the dense-id shape is the groundwork for shared-memory
+descriptor pools (ROADMAP item 1) and for kernels that column-store
+descriptor ids instead of object references
+(:mod:`repro.core.kernel`).
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Tuple
 
 from repro.net.packet import Packet
 
@@ -23,7 +32,7 @@ class PacketDescriptor:
     """A packet traversing the emulated pipe network.
 
     Descriptors are pooled: a saturated core churns through one per
-    admitted packet, and recycling them through a bounded free list
+    admitted packet, and recycling them through the slot table
     (:meth:`acquire` / :meth:`release`) spares the allocator on the
     hot path. A released descriptor must never be touched again by
     its previous owner — release happens only where a descriptor
@@ -40,12 +49,8 @@ class PacketDescriptor:
         "ideal_time",
         "tunnel_hops",
         "handoff",
+        "slot",
     )
-
-    #: Free list shared by all emulations (descriptors hold no
-    #: per-emulation state once released).
-    _pool: list = []
-    _pool_limit: int = 4096
 
     def __init__(
         self,
@@ -69,6 +74,10 @@ class PacketDescriptor:
         #: A nonzero value means the local pipe exit only accounts
         #: CPU cost — the successor descriptor is already in flight.
         self.handoff = 0
+        #: Index into the pool's slot table, or -1 for an unpooled
+        #: overflow descriptor (created beyond the table capacity and
+        #: left to the garbage collector).
+        self.slot = -1
 
     @classmethod
     def acquire(
@@ -79,28 +88,21 @@ class PacketDescriptor:
         entered_at: float,
     ) -> "PacketDescriptor":
         """A fresh descriptor, recycled from the pool when possible."""
-        pool = cls._pool
-        if pool:
-            descriptor = pool.pop()
-            descriptor.packet = packet
-            descriptor.pipes = pipes
-            descriptor.hop_index = 0
-            descriptor.entry_core = entry_core
-            descriptor.entered_at = entered_at
-            descriptor.ideal_time = entered_at
-            descriptor.tunnel_hops = 0
-            descriptor.handoff = 0
-            return descriptor
-        return cls(packet, pipes, entry_core, entered_at)
+        return POOL.acquire(packet, pipes, entry_core, entered_at)
 
     def release(self) -> None:
         """Return this descriptor to the pool (drops its references
-        so recycled descriptors don't pin packets or pipe routes)."""
-        pool = PacketDescriptor._pool
-        if len(pool) < PacketDescriptor._pool_limit:
-            self.packet = None
-            self.pipes = ()
-            pool.append(self)
+        so recycled descriptors don't pin packets or pipe routes).
+
+        The identity check keeps a descriptor that outlived a pool
+        reset (``POOL.clear``) from pushing a dangling slot index."""
+        slot = self.slot
+        if slot >= 0:
+            slots = POOL.slots
+            if slot < len(slots) and slots[slot] is self:
+                self.packet = None
+                self.pipes = ()
+                POOL.free.append(slot)
 
     @property
     def current_pipe(self):
@@ -125,3 +127,62 @@ class PacketDescriptor:
             f"<Descriptor pkt#{self.packet.id} hop {self.hop_index}/"
             f"{len(self.pipes)}>"
         )
+
+
+class DescriptorPool:
+    """Array-slot descriptor recycling.
+
+    ``slots`` is a flat, append-only table of every pooled descriptor;
+    ``free`` is a LIFO of recycled slot *indices* (LIFO keeps the
+    cache-warm descriptor first, like the old free list). The table is
+    bounded: descriptors created beyond ``limit`` stay unpooled
+    (``slot == -1``) and die with the garbage collector, so a burst
+    can never pin memory forever.
+
+    Pool state is invisible to the event stream — which object backs
+    a descriptor never enters a digest — so emulations share one
+    module-level pool (descriptors hold no per-emulation state once
+    released).
+    """
+
+    __slots__ = ("slots", "free", "limit")
+
+    def __init__(self, limit: int = 4096):
+        self.slots: list = []
+        self.free: list = []
+        self.limit = limit
+
+    def acquire(
+        self,
+        packet: Packet,
+        pipes: Tuple,
+        entry_core: int,
+        entered_at: float,
+    ) -> PacketDescriptor:
+        free = self.free
+        if free:
+            descriptor = self.slots[free.pop()]
+            descriptor.packet = packet
+            descriptor.pipes = pipes
+            descriptor.hop_index = 0
+            descriptor.entry_core = entry_core
+            descriptor.entered_at = entered_at
+            descriptor.ideal_time = entered_at
+            descriptor.tunnel_hops = 0
+            descriptor.handoff = 0
+            return descriptor
+        descriptor = PacketDescriptor(packet, pipes, entry_core, entered_at)
+        slots = self.slots
+        if len(slots) < self.limit:
+            descriptor.slot = len(slots)
+            slots.append(descriptor)
+        return descriptor
+
+    def clear(self) -> None:
+        """Forget every pooled descriptor (test isolation helper)."""
+        self.slots.clear()
+        self.free.clear()
+
+
+#: The shared slot pool (see :class:`DescriptorPool`).
+POOL = DescriptorPool()

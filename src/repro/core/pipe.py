@@ -13,14 +13,19 @@ Each pipe maintains the computation twice:
   tick-quantized) scheduler observed; this determines actual behavior;
 * in *ideal* time — exact arithmetic, used for accuracy accounting
   and for packet-debt correction when enabled.
+
+The queues themselves live behind the hot-core seam
+(:mod:`repro.core.kernel`): a pipe owns a delay-line engine — scalar
+reference, batched columnar, or numpy-vectorized — and the arrival
+math here stays kernel-agnostic. All kernels are digest-identical.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from time import perf_counter
-from typing import Deque, List, Tuple
+from typing import List
 
+from repro.core.kernel import DEFAULT_KERNEL, make_delay_line
 from repro.core.packet import PacketDescriptor
 from repro.core.queues import DropTailQueue
 
@@ -44,8 +49,8 @@ class Pipe:
         "up",
         "_free_at",
         "_ideal_free_at",
-        "_bw_queue",
-        "_delay_line",
+        "_line",
+        "kernel",
         "_sched_hint",
         "arrivals",
         "departures",
@@ -54,6 +59,7 @@ class Pipe:
         "drops_down",
         "bytes_accepted",
         "bytes_through",
+        "batch_departures",
         "peak_backlog",
         "_timer",
         "_tx_cache",
@@ -74,6 +80,7 @@ class Pipe:
         link_id: int = -1,
         src_node: int = -1,
         dst_node: int = -1,
+        kernel: str = DEFAULT_KERNEL,
     ):
         self.id = pipe_id
         self.link_id = link_id
@@ -91,10 +98,10 @@ class Pipe:
         self.up = True
         self._free_at = 0.0
         self._ideal_free_at = 0.0
-        # (descriptor, dequeue_time, ideal_exit_time)
-        self._bw_queue: Deque[Tuple[PacketDescriptor, float, float]] = deque()
-        # (descriptor, exit_time, ideal_exit_time)
-        self._delay_line: Deque[Tuple[PacketDescriptor, float, float]] = deque()
+        #: The delay-line engine behind the hot-core seam: bandwidth
+        #: queue + delay line as columns of (descriptor, time, ideal).
+        self.kernel = kernel
+        self._line = make_delay_line(kernel)
         self._sched_hint = INFINITY  # deadline the scheduler knows about
         self.arrivals = 0
         self.departures = 0
@@ -109,6 +116,10 @@ class Pipe:
         #: dying link takes its queue with it) never inflate the
         #: delivered-throughput view that monitor/obs report.
         self.bytes_through = 0
+        #: Departures delivered in multi-packet batches (a run of >= 2
+        #: due exits drained by one service call) — the §2.2 batching
+        #: win, observable as the ``pipe.batch_departures`` metric.
+        self.batch_departures = 0
         self.peak_backlog = 0
         # transmission_time memo for the current bandwidth: packet
         # sizes cluster on a handful of MTU/ACK values, so the
@@ -124,12 +135,13 @@ class Pipe:
     @property
     def backlog_pkts(self) -> int:
         """Packets waiting for (or in) transmission."""
-        return len(self._bw_queue)
+        return self._line.bw_len
 
     @property
     def in_flight(self) -> int:
         """Packets anywhere inside the pipe."""
-        return len(self._bw_queue) + len(self._delay_line)
+        line = self._line
+        return line.bw_len + line.dl_len
 
     def transmission_time(self, size_bytes: int) -> float:
         tx = self._tx_cache.get(size_bytes)
@@ -170,8 +182,8 @@ class Pipe:
         if self.loss_rate > 0.0 and rng is not None and rng.random() < self.loss_rate:
             self.drops_random += 1
             return False
-        bw_queue = self._bw_queue
-        backlog = len(bw_queue)
+        line = self._line
+        backlog = line.bw_len
         if self._droptail:
             admitted = backlog < self.queue_limit
         else:
@@ -191,7 +203,7 @@ class Pipe:
         self._ideal_free_at = ideal_dequeue
         ideal_exit = ideal_dequeue + self.latency_s
         descriptor.ideal_time = ideal_exit
-        bw_queue.append((descriptor, dequeue_at, ideal_exit))
+        line.admit(descriptor, dequeue_at, ideal_exit)
         if backlog >= self.peak_backlog:
             self.peak_backlog = backlog + 1
         self.bytes_accepted += size
@@ -200,35 +212,19 @@ class Pipe:
     def next_deadline(self) -> float:
         """Earliest future event in this pipe: a dequeue into the
         delay line or an exit from it."""
-        deadline = INFINITY
-        if self._bw_queue:
-            deadline = self._bw_queue[0][1]
-        if self._delay_line:
-            deadline = min(deadline, self._delay_line[0][1])
-        return deadline
+        return self._line.head_deadline
 
     def service(self, now: float) -> List[PacketDescriptor]:
         """Advance pipe state to ``now``; return descriptors that have
-        fully exited (dequeued and served their latency)."""
-        bw_queue = self._bw_queue
-        delay_line = self._delay_line
-        latency = self.latency_s
-        while bw_queue and bw_queue[0][1] <= now:
-            descriptor, dequeue_at, ideal_exit = bw_queue.popleft()
-            delay_line.append((descriptor, dequeue_at + latency, ideal_exit))
-        exits: List[PacketDescriptor] = []
-        if delay_line and delay_line[0][1] <= now:
-            departed = 0
-            through = 0
-            append = exits.append
-            while delay_line and delay_line[0][1] <= now:
-                descriptor, _exit_at, ideal_exit = delay_line.popleft()
-                descriptor.ideal_time = ideal_exit
-                departed += 1
-                through += descriptor.packet.size_bytes
-                append(descriptor)
+        fully exited (dequeued and served their latency). The kernel
+        drains the due *run* in one call (batched delivery)."""
+        exits, through = self._line.service(now, self.latency_s)
+        departed = len(exits)
+        if departed:
             self.departures += departed
             self.bytes_through += through
+            if departed > 1:
+                self.batch_departures += departed
         return exits
 
     def flush(self) -> int:
@@ -239,13 +235,7 @@ class Pipe:
         heap entry for this pipe goes stale and is discarded instead
         of firing a spurious wakeup — and so a post-flush arrival is
         not shadowed by the orphaned earlier deadline."""
-        lost = len(self._bw_queue) + len(self._delay_line)
-        for descriptor, _dequeue_at, _ideal in self._bw_queue:
-            descriptor.release()
-        for descriptor, _exit_at, _ideal in self._delay_line:
-            descriptor.release()
-        self._bw_queue.clear()
-        self._delay_line.clear()
+        lost = self._line.flush()
         self.drops_down += lost
         self._free_at = 0.0
         self._ideal_free_at = 0.0

@@ -48,6 +48,10 @@ class PipeScheduler:
         # time per collect() when the owning emulation runs with a
         # live registry, else None (zero overhead).
         self.collect_timer = None
+        # Observability batching hook: a Histogram of departures per
+        # serviced pipe per collect (the ``sched.batch_size`` metric),
+        # armed alongside collect_timer, else None.
+        self.batch_hist = None
 
     def quantize(self, time: float) -> float:
         """The first tick boundary at or after ``time``."""
@@ -65,21 +69,11 @@ class PipeScheduler:
         deadline needs a new entry. The superseded entry goes stale
         and is discarded lazily.
         """
-        # pipe.next_deadline(), inlined: notify runs once per offer
-        # and once per serviced pipe.
-        bw_queue = pipe._bw_queue
-        delay_line = pipe._delay_line
-        if bw_queue:
-            deadline = bw_queue[0][1]
-            if delay_line:
-                exit_at = delay_line[0][1]
-                if exit_at < deadline:
-                    deadline = exit_at
-        elif delay_line:
-            deadline = delay_line[0][1]
-        else:
-            # Empty pipe: an INFINITY deadline never beats the hint.
-            return
+        # The delay-line kernel keeps its earliest pending time
+        # current (see repro.core.kernel); one attribute read replaces
+        # the old double queue peek. An empty pipe reads INFINITY,
+        # which never beats the hint.
+        deadline = pipe._line.head_deadline
         if deadline >= pipe._sched_hint:
             return
         pipe._sched_hint = deadline
@@ -129,27 +123,24 @@ class PipeScheduler:
         heappop = heapq.heappop
         heappush = heapq.heappush
         seq = self._seq
+        batch_hist = self.batch_hist
         while heap and heap[0][0] <= cutoff:
             deadline, _seq, pipe = heappop(heap)
             if deadline != pipe._sched_hint:
                 continue  # stale entry; a fresher one covers this pipe
+            # One call drains the whole due run from this pipe's
+            # delay-line kernel (batched departures).
             exits = pipe.service(cutoff)
             if exits:
                 self.hops_serviced += len(exits)
                 serviced.append((pipe, exits))
+                if batch_hist is not None:
+                    batch_hist.observe(len(exits))
             # Re-insert with the pipe's new deadline (notify() with the
             # hint freshly cleared, inlined: any finite deadline wins).
-            bw_queue = pipe._bw_queue
-            delay_line = pipe._delay_line
-            if bw_queue:
-                deadline = bw_queue[0][1]
-                if delay_line:
-                    exit_at = delay_line[0][1]
-                    if exit_at < deadline:
-                        deadline = exit_at
-            elif delay_line:
-                deadline = delay_line[0][1]
-            else:
+            # service() refreshed the kernel's cached head deadline.
+            deadline = pipe._line.head_deadline
+            if deadline == INFINITY:
                 pipe._sched_hint = INFINITY
                 continue
             pipe._sched_hint = deadline

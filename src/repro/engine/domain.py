@@ -15,10 +15,31 @@ byte-identical event stream to the pre-partitioning kernel.
 
 from __future__ import annotations
 
+import functools
+import hashlib
 import heapq
+import struct
 from typing import Any, Callable, Optional, Tuple
 
 INFINITY = float("inf")
+
+_PACK_EVENT = struct.Struct("<dq").pack
+
+
+def _callsite_reference(fn: Callable) -> bytes:
+    """Reference callsite encoding: the exact per-event computation
+    :func:`repro.check.sanitize._callsite` performs (partials
+    unwrapped, ``__func__`` collapsed, nothing memoized). This is the
+    specification of the digest byte stream; the memoized
+    :meth:`EventDomain._callsite_bytes` fast path must produce the
+    same bytes (a test pins the equivalence).
+    """
+    while isinstance(fn, functools.partial):
+        fn = fn.func
+    fn = getattr(fn, "__func__", fn)
+    module = getattr(fn, "__module__", None) or "?"
+    qualname = getattr(fn, "__qualname__", None) or repr(fn)
+    return f"{module}.{qualname}".encode()
 
 
 class SimulationError(RuntimeError):
@@ -79,10 +100,17 @@ class EventDomain:
     seconds.
     """
 
-    def __init__(self, domain_id: int = 0) -> None:
+    def __init__(self, domain_id: int = 0, kernel: str = "batched") -> None:
         #: Index of this domain within a partitioned engine (0 for the
         #: classic single-kernel Simulator).
         self.domain_id = domain_id
+        #: Hot-core kernel selection (see :mod:`repro.core.kernel`):
+        #: ``"scalar"`` dispatches through the reference loop —
+        #: per-event rare-path checks, nothing hoisted — while
+        #: ``"batched"``/``"numpy"`` use the optimized split loops.
+        #: The same name also selects each pipe's delay-line engine;
+        #: all kernels dispatch byte-identical event streams.
+        self.kernel = kernel
         self._now = 0.0
         self._heap: list[Tuple[float, int, Event]] = []
         self._seq = 0
@@ -98,6 +126,89 @@ class EventDomain:
         #: nothing per event. Consequently, installing a hook *during*
         #: a run takes effect at the next :meth:`run`/:meth:`step`.
         self.on_dispatch: Optional[Callable[[Event, Callable], None]] = None
+        #: Streaming event digest, folded inline by the dispatch loops
+        #: when armed (:meth:`enable_digest`) — the cheap path benches
+        #: use to stamp a run's identity without paying for the
+        #: on_dispatch probe machinery. None (the default) costs one
+        #: branch per run() call, nothing per event.
+        self._digest = None
+        #: When the scalar (reference) kernel arms its digest, the fold
+        #: runs as an :attr:`on_dispatch` observer — the sanitizer's
+        #: probe machinery, per event — and this holds that observer so
+        #: the dispatch loops know the hook already folds the digest.
+        #: None whenever the digest is folded inline.
+        self._digest_hook: Optional[Callable[[Event, Callable], None]] = None
+        self._callsite_cache: dict = {}
+
+    def enable_digest(self) -> None:
+        """Arm the streaming event digest for subsequent runs.
+
+        Folds ``(time, seq, callsite)`` of every dispatched event into
+        a SHA-256 — the exact byte stream a
+        :class:`repro.check.sanitize.DomainProbe` would hash, so the
+        result is comparable with sanitize digests.
+
+        The fold mechanism is part of the kernel seam. The scalar
+        (reference) kernel digests the way the sanitizer does: an
+        :attr:`on_dispatch` observer receives every event — anonymous
+        ``post()`` entries get a synthesized :class:`Event` handle —
+        and recomputes the callsite encoding per event, nothing
+        memoized. The optimized kernels fold inline in the dispatch
+        loop, with callsite bytes memoized per function and the hash
+        fed in joined chunks; tests pin the byte equality of the two
+        mechanisms. Like :attr:`on_dispatch`, arming mid-run takes
+        effect at the next :meth:`run`/:meth:`run_until`/:meth:`step`.
+        """
+        self._digest = hashlib.sha256()
+        self._callsite_cache = {}
+        if self.kernel == "scalar" and self.on_dispatch is None:
+            digest = self._digest
+
+            def observe(event: Event, fn: Callable) -> None:
+                digest.update(_PACK_EVENT(event.time, event.seq))
+                digest.update(_callsite_reference(fn))
+
+            self._digest_hook = observe
+            self.on_dispatch = observe
+        else:
+            # A user hook is already installed (e.g. a sanitizer probe)
+            # or an optimized kernel is running: fold inline.
+            self._digest_hook = None
+
+    def digest_hexdigest(self) -> Optional[str]:
+        """Hex digest of the events dispatched since
+        :meth:`enable_digest`, or None when never armed."""
+        digest = self._digest
+        return None if digest is None else digest.hexdigest()
+
+    def _callsite_bytes(self, fn: Callable) -> bytes:
+        """Encoded ``module.qualname`` for ``fn``, memoized.
+
+        Must produce the same bytes as
+        :func:`repro.check.sanitize._callsite` (partials unwrapped,
+        ``__func__`` collapsed) — a test pins the equivalence. The
+        memo is keyed on the unwrapped function object: bound methods
+        are recreated per event but share one underlying function, so
+        the per-event cost is one ``__func__`` fetch and a dict hit.
+        """
+        while isinstance(fn, functools.partial):
+            fn = fn.func
+        fn = getattr(fn, "__func__", fn)
+        cached = self._callsite_cache.get(fn)
+        if cached is None:
+            module = getattr(fn, "__module__", None) or "?"
+            qualname = getattr(fn, "__qualname__", None)
+            if qualname is None:
+                # Exotic callable: repr is per-object, so the bytes
+                # are only valid for this exact object — which is
+                # precisely what the object-keyed memo stores.
+                qualname = repr(fn)
+            cached = f"{module}.{qualname}".encode()
+            try:
+                self._callsite_cache[fn] = cached
+            except TypeError:  # unhashable callable: recompute per event
+                pass
+        return cached
 
     @property
     def now(self) -> float:
@@ -250,10 +361,20 @@ class EventDomain:
                 )
             self._now = time
             self._dispatched += 1
-            if self.on_dispatch is not None:
+            hook = self.on_dispatch
+            if hook is not None:
                 if event is None:
                     event = Event(time, entry[1], None, ())
-                self.on_dispatch(event, fn)
+                hook(event, fn)
+            digest = self._digest
+            if digest is not None and (
+                hook is None or hook is not self._digest_hook
+            ):
+                # The scalar kernel's digest observer (if installed)
+                # already folded this event via the hook above; every
+                # other configuration folds inline here.
+                digest.update(_PACK_EVENT(time, entry[1]))
+                digest.update(self._callsite_bytes(fn))
             fn(*args)
             return True
         return False
@@ -278,18 +399,42 @@ class EventDomain:
             )
         self._running = True
         self._stopped = False
-        # The dispatch loop exists in two variants with the rare-path
-        # branches hoisted out: the fast loop assumes no on_dispatch
-        # hook; the slow loop services it. Locals beat attribute loads
-        # in the loop body.
+        # The dispatch loop exists in kernel-selected variants. The
+        # scalar kernel runs the reference loop: one pop-check-fire
+        # cycle per event with every rare-path branch (hook, digest)
+        # tested in place — the auditable yardstick. The batched and
+        # numpy kernels run the optimized split loops with the
+        # rare-path branches hoisted out: the fast loop assumes no
+        # on_dispatch hook; the slow loop services it. Locals beat
+        # attribute loads in the loop body. All variants dispatch in
+        # identical (time, seq) order from the same heap — the event
+        # streams are byte-identical.
         heap = self._heap
         pop = heapq.heappop
         limit = float("inf") if until is None else until
         now = self._now
         dispatched = 0
         hook = self.on_dispatch
+        digest = self._digest
         try:
-            if hook is None:
+            if self.kernel == "scalar":
+                # Reference dispatch: one :meth:`step` per event.
+                # ``step()`` is the specification of dispatch — every
+                # rare-path branch (hook, digest, clock check) tested
+                # in place, per event, nothing hoisted. The optimized
+                # loops below must stay observationally identical to
+                # repeating it.
+                step = self.step
+                while heap and not self._stopped:
+                    entry = heap[0]
+                    event = entry[2]
+                    if event is not None and event.fn is None:
+                        pop(heap)  # cancelled or spent: discard
+                        continue
+                    if entry[0] > limit:
+                        break
+                    step()
+            elif hook is None and digest is None:
                 while heap and not self._stopped:
                     entry = heap[0]
                     event = entry[2]
@@ -326,6 +471,73 @@ class EventDomain:
                     event.fn = None
                     event.args = ()
                     fn(*args)
+            elif hook is None:
+                # Digest-armed fast loop: the no-hook loop with the
+                # (time, seq, callsite) fold batched. Event bytes
+                # accumulate in a chunk list and feed the hash in
+                # joined blocks — SHA-256 is stream-equivalent under
+                # concatenation, so the digest is byte-identical to
+                # the reference loop's per-event fold while the
+                # per-event cost shrinks to two list appends.
+                pack = _PACK_EVENT
+                callsite_bytes = self._callsite_bytes
+                update = digest.update
+                chunks: list = []
+                append = chunks.append
+                try:
+                    while heap and not self._stopped:
+                        entry = heap[0]
+                        event = entry[2]
+                        if event is None:  # anonymous entry (see post())
+                            time = entry[0]
+                            if time > limit:
+                                break
+                            if time < now:
+                                raise SimulationError(
+                                    f"clock would move backwards: event "
+                                    f"at t={time} but now={now}"
+                                )
+                            pop(heap)
+                            self._now = now = time
+                            dispatched += 1
+                            fn = entry[3]
+                            append(pack(time, entry[1]))
+                            append(callsite_bytes(fn))
+                            if len(chunks) >= 2048:
+                                update(b"".join(chunks))
+                                chunks.clear()
+                            fn(*entry[4])
+                            continue
+                        fn = event.fn
+                        if fn is None:  # cancelled or spent: discard
+                            pop(heap)
+                            continue
+                        time = entry[0]
+                        if time > limit:
+                            break
+                        if time < now:
+                            raise SimulationError(
+                                f"clock would move backwards: event at "
+                                f"t={time} but now={now}"
+                            )
+                        pop(heap)
+                        self._now = now = time
+                        dispatched += 1
+                        args = event.args
+                        event.fn = None
+                        event.args = ()
+                        append(pack(time, entry[1]))
+                        append(callsite_bytes(fn))
+                        if len(chunks) >= 2048:
+                            update(b"".join(chunks))
+                            chunks.clear()
+                        fn(*args)
+                finally:
+                    # Every exit path (drain, stop, limit, a raising
+                    # callback) flushes, so digest_hexdigest() always
+                    # covers exactly the dispatched events.
+                    if chunks:
+                        update(b"".join(chunks))
             else:
                 while heap and not self._stopped:
                     entry = heap[0]
@@ -358,6 +570,9 @@ class EventDomain:
                         event.fn = None
                         event.args = ()
                     hook(event, fn)
+                    if digest is not None and hook is not self._digest_hook:
+                        digest.update(_PACK_EVENT(time, entry[1]))
+                        digest.update(self._callsite_bytes(fn))
                     fn(*args)
         finally:
             self._running = False
@@ -405,6 +620,7 @@ class EventDomain:
         now = self._now
         dispatched = 0
         hook = self.on_dispatch
+        digest = self._digest
         try:
             while heap and not self._stopped:
                 entry = heap[0]
@@ -440,6 +656,11 @@ class EventDomain:
                 elif event is not None:
                     event.fn = None
                     event.args = ()
+                if digest is not None and (
+                    hook is None or hook is not self._digest_hook
+                ):
+                    digest.update(_PACK_EVENT(time, entry[1]))
+                    digest.update(self._callsite_bytes(fn))
                 fn(*args)
         finally:
             self._running = False

@@ -51,6 +51,10 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     sim = emulation.sim
     registry.gauge("sim.virtual_time_s").set(sim.now)
     registry.gauge("sim.events_dispatched").set(sim.events_dispatched)
+    kernel = getattr(sim, "kernel", None) or emulation.config.kernel
+    registry.gauge("sim.events_dispatched", kernel=kernel).set(
+        sim.events_dispatched
+    )
     registry.gauge("sim.events_pending").set(sim.pending)
 
     # -- partitioned engine (backend, domains, epoch barrier) -----------
@@ -113,11 +117,12 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
             )
 
     # -- pipes: drop taxonomy and occupancy (Figs. 8-10 inputs) ---------
-    arrivals = departures = overflow = random_ = down = 0
+    arrivals = departures = batch_departures = overflow = random_ = down = 0
     bytes_accepted = bytes_through = in_flight = backlog = peak = 0
     for pipe in emulation.pipes.values():
         arrivals += pipe.arrivals
         departures += pipe.departures
+        batch_departures += pipe.batch_departures
         overflow += pipe.drops_overflow
         random_ += pipe.drops_random
         down += pipe.drops_down
@@ -130,6 +135,7 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     registry.gauge("pipe.count").set(len(emulation.pipes))
     registry.gauge("pipe.arrivals").set(arrivals)
     registry.gauge("pipe.departures").set(departures)
+    registry.gauge("pipe.batch_departures").set(batch_departures)
     registry.gauge("pipe.drops_overflow").set(overflow)
     registry.gauge("pipe.drops_random").set(random_)
     registry.gauge("pipe.drops_down").set(down)

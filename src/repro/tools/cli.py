@@ -35,6 +35,7 @@ from typing import List, Optional
 
 from repro.api import DISTILL_MODES
 from repro.core.distill import DistillationMode, distill
+from repro.core.kernel import KERNELS
 from repro.engine.randomness import RngRegistry
 from repro.routing import CachedRouting, route_latency
 from repro.topology import (
@@ -240,7 +241,12 @@ def _cmd_run(args) -> int:
             .bind(args.hosts)
             .seed(args.seed)
             .netperf(flows=args.flows)
-            .backend(args.backend, domains=args.domains, workers=args.workers)
+            .backend(
+                args.backend,
+                domains=args.domains,
+                workers=args.workers,
+                kernel=args.kernel,
+            )
         )
     if args.reference:
         scenario.config(reference=True)
@@ -450,7 +456,12 @@ def _cmd_sanitize(args) -> int:
             .assign(args.cores)
             .netperf(flows=args.flows)
             .observe(False)
-            .backend(args.backend, domains=args.domains, workers=args.workers)
+            .backend(
+                args.backend,
+                domains=args.domains,
+                workers=args.workers,
+                kernel=args.kernel,
+            )
         )
         if args.inject_fault:
             # Declarative fault: survives the spec round trip, so it
@@ -546,9 +557,11 @@ def _cmd_bench(args) -> int:
                 name,
                 profile=args.profile,
                 seed=args.seed,
+                repeats=args.repeats,
                 backend=args.backend,
                 domains=args.domains,
                 workers=args.workers,
+                kernel=args.kernel,
             )
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
@@ -679,6 +692,11 @@ def _add_backend_flags(parser, default_backend="serial") -> None:
     parser.add_argument(
         "--workers", type=int, default=None,
         help="multiprocess worker processes (default: one per domain)",
+    )
+    parser.add_argument(
+        "--kernel", choices=sorted(KERNELS), default=None,
+        help="pipe hot-core kernel (default: batched); all kernels "
+        "dispatch digest-identical event streams",
     )
 
 
@@ -912,6 +930,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="workload size (short for CI smoke, full for real numbers)",
     )
     bench.add_argument("--seed", type=int, default=None, help="override the fixed seed")
+    bench.add_argument(
+        "--repeats", type=int, default=1,
+        help="run each scenario N times and keep the fastest "
+        "(best-of-N; repeats must be digest-identical)",
+    )
     _add_backend_flags(bench, default_backend=None)
     bench.add_argument(
         "--out-dir", default=".",

@@ -1,0 +1,35 @@
+"""Seeded KERN001: per-packet departure events bypassing the batch
+kernel. Exactly two sites schedule an individual descriptor as a heap
+event; the delay-line admit and the per-pipe heap entry are the
+sanctioned shapes and must not be flagged.
+"""
+
+from heapq import heappush
+
+
+def schedule_departure_directly(sim, pipe, descriptor, now):
+    # Seeded: the pre-kernel one-event-per-packet regime.
+    sim.at(now + pipe.latency_s, pipe.deliver, descriptor)
+
+
+def push_descriptor_entry(heap, deadline, descriptor):
+    # Seeded: a descriptor-carrying heap entry.
+    heappush(heap, (deadline, descriptor))
+
+
+def admit_through_the_kernel(pipe, descriptor, dequeue_at, ideal_exit):
+    # Sanctioned: the delay line owns the departure.
+    pipe._line.admit(descriptor, dequeue_at, ideal_exit)
+
+
+def push_pipe_deadline(heap, deadline, tiebreak, pipe):
+    # Sanctioned: one heap entry per *pipe*, not per packet.
+    heappush(heap, (deadline, tiebreak, pipe))
+
+
+def allowed_probe(sim, descriptor, now):
+    sim.at(now, trace, descriptor)  # repro: allow-per-packet-event
+
+
+def trace(descriptor):
+    return descriptor

@@ -195,17 +195,44 @@ def test_transmission_time_memo_tracks_bandwidth_changes():
 
 
 def test_descriptor_pool_recycles_released_descriptors():
-    PacketDescriptor._pool.clear()
-    first = make_descriptor(size=500)
+    from repro.core.packet import POOL
+
+    POOL.clear()
+    first = PacketDescriptor.acquire(Packet(1, 2, 500, "udp"), (), 0, 0.0)
+    assert first.slot == 0  # owns a dense slot in the table
     first.release()
-    assert PacketDescriptor._pool  # parked on the free list
+    assert POOL.free == [0]  # parked as a recycled slot index
     packet = Packet(3, 4, 800, "udp")
     second = PacketDescriptor.acquire(packet, (), 1, 2.0)
     assert second is first  # recycled, not reallocated
+    assert not POOL.free
     assert second.packet is packet
     assert second.hop_index == 0
     assert second.entry_core == 1
     assert second.entered_at == 2.0
     assert second.ideal_time == 2.0
     assert second.tunnel_hops == 0
-    PacketDescriptor._pool.clear()
+    POOL.clear()
+
+
+def test_descriptor_pool_overflow_stays_unpooled():
+    from repro.core.packet import DescriptorPool
+
+    pool = DescriptorPool(limit=1)
+    a = pool.acquire(Packet(0, 1, 100, "udp"), (), 0, 0.0)
+    b = pool.acquire(Packet(0, 1, 100, "udp"), (), 0, 0.0)
+    assert a.slot == 0
+    assert b.slot == -1  # beyond capacity: left to the collector
+    b.release()
+    assert not pool.free  # module POOL untouched by the overflow
+
+
+def test_descriptor_release_after_pool_reset_is_safe():
+    from repro.core.packet import POOL
+
+    POOL.clear()
+    survivor = PacketDescriptor.acquire(Packet(0, 1, 64, "udp"), (), 0, 0.0)
+    POOL.clear()
+    survivor.release()  # stale slot index must not be re-enqueued
+    assert not POOL.free
+    POOL.clear()
