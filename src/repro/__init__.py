@@ -30,12 +30,14 @@ and figure.
 """
 
 from repro.api import Scenario
+from repro.faults import FaultPlan
 from repro.obs import MetricsRegistry, RunReport
 
 __version__ = "1.1.0"
 
 __all__ = [
     "Scenario",
+    "FaultPlan",
     "MetricsRegistry",
     "RunReport",
     "engine",

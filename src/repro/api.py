@@ -41,6 +41,7 @@ from repro.core.phases import ExperimentPipeline
 from repro.engine.randomness import RngRegistry
 from repro.engine.simulator import Simulator
 from repro.engine.sync import PartitionedSimulator
+from repro.faults import FaultPlan, PLAN_OVERRIDE_KEYS
 from repro.hardware.calibration import min_cross_core_latency
 from repro.obs import MetricsRegistry, NULL_REGISTRY, RunReport, build_report
 from repro.topology.gml import load_gml, parse_gml
@@ -105,6 +106,10 @@ class ScenarioSpec:
     #: :meth:`Scenario.workload` call — registry workloads from
     #: :mod:`repro.traffic`, portable across process boundaries.
     traffic: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
+    #: Declarative fault timeline (:class:`repro.faults.FaultPlan`) —
+    #: frozen and picklable, so scheduled topology mutation reaches
+    #: multiprocess workers, checkpoints, and sweeps intact.
+    faults: Optional[FaultPlan] = None
 
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         """Derive a new spec with the named knobs replaced — the single
@@ -117,7 +122,11 @@ class ScenarioSpec:
         :class:`EmulationConfig` knobs (merged into ``knobs``), then
         parameters of any registered traffic entry this spec carries
         (applied to every entry that declares them; ``flows`` also
-        rewrites :meth:`Scenario.netperf` tuples). Unknown names raise
+        rewrites :meth:`Scenario.netperf` tuples). ``faults`` replaces
+        the whole fault plan; the fault-intensity axes
+        (:data:`repro.faults.PLAN_OVERRIDE_KEYS`) rewrite the plan's
+        perturbation entries *and* any traffic entry sharing the name,
+        so one sweep axis moves both. Unknown names raise
         :class:`ValueError` listing the valid ones, the same contract
         as :meth:`Scenario.config`.
 
@@ -136,6 +145,7 @@ class ScenarioSpec:
         knobs = dict(self.knobs)
         netperf = list(self.netperf)
         traffic = [(name, dict(params)) for name, params in self.traffic]
+        faults = self.faults
         unknown = []
         for key, value in overrides.items():
             if key == "mode":
@@ -146,6 +156,12 @@ class ScenarioSpec:
             elif key == "hosts":
                 updates["hosts"] = int(value)
                 updates["binding"] = None
+            elif key == "faults":
+                faults = (
+                    value
+                    if (value is None or isinstance(value, FaultPlan))
+                    else FaultPlan.from_jsonable(value)
+                )
             elif key in spec_passthrough:
                 updates[key] = value
             else:
@@ -160,18 +176,23 @@ class ScenarioSpec:
                 if key == "flows" and netperf:
                     netperf = [(int(value), s) for _, s in netperf]
                     applied = True
+                if faults is not None and key in PLAN_OVERRIDE_KEYS:
+                    faults = faults.with_overrides(**{key: value})
+                    applied = True
                 if not applied:
                     unknown.append(key)
         if unknown:
             valid = (
                 spec_passthrough
-                | {"mode", "cores", "hosts"}
+                | {"mode", "cores", "hosts", "faults"}
                 | config_fields
             )
             for name, _ in traffic:
                 valid |= set(traffic_params(name))
             if netperf:
                 valid.add("flows")
+            if faults is not None:
+                valid |= set(PLAN_OVERRIDE_KEYS)
             raise ValueError(
                 f"unknown override knob(s) {sorted(unknown)}; valid: "
                 f"{', '.join(sorted(valid))}"
@@ -184,6 +205,7 @@ class ScenarioSpec:
                 (name, tuple(sorted(params.items())))
                 for name, params in traffic
             ),
+            faults=faults,
             **updates,
         )
 
@@ -239,6 +261,7 @@ class Scenario:
         self._observe = True  # repro: allow-spec-drift
         self._traffic: List[Callable[[Emulation], Any]] = []
         self._fault_seconds: Optional[float] = None
+        self._fault_plan: Optional[FaultPlan] = None
         #: Resilience knobs (None = plain execution) and an optional
         #: checkpoint to resume from. Parent-side only: neither enters
         #: the spec, so they never change what workers compute.
@@ -456,6 +479,21 @@ class Scenario:
             for point in itertools.product(*(axes[n] for n in names))
         ]
 
+    def faults(self, plan) -> "Scenario":
+        """Install a declarative fault timeline
+        (:class:`repro.faults.FaultPlan`, or its JSON-able mapping
+        form). The plan travels inside the :class:`ScenarioSpec`, is
+        applied by the single sanctioned applier on the owning
+        kernel, and produces digest-identical event streams across
+        backends, worker counts, and kernels. Validated against the
+        topology — and against the partitioned lookahead floor — at
+        :meth:`build`."""
+        self._check_mutable()
+        if plan is not None and not isinstance(plan, FaultPlan):
+            plan = FaultPlan.from_jsonable(plan)
+        self._fault_plan = plan
+        return self
+
     def inject_fault(self, seconds: float = 0.01) -> "Scenario":
         """Install a *deliberately nondeterministic* workload for
         ``seconds`` of virtual time (the sanitizer's positive
@@ -596,6 +634,10 @@ class Scenario:
         registry.gauge("distill.preserved_links").set(
             self.pipeline.distillation.preserved_links
         )
+        # The fault plan arms before traffic setups so workload
+        # handles (e.g. acdc) can read emulation.fault_applier.
+        if self._fault_plan is not None and self._fault_plan:
+            self.emulation.install_fault_plan(self._fault_plan)
         self.traffic_handles = [
             setup(self.emulation) for setup in self._traffic
         ]
@@ -828,6 +870,8 @@ class Scenario:
     ) -> None:
         from repro.resilience import rng_stream_states
 
+        applier = emulation.fault_applier
+
         def on_epoch(epoch_index: int, horizon: float) -> None:
             events = sanitizer.events_observed()
             budget.check(events=events)
@@ -842,6 +886,12 @@ class Scenario:
                     events=events,
                     domain_digests=sanitizer.domain_digests(),
                     rng_states=rng_stream_states(emulation.rng),
+                    fault_cursor=(
+                        applier.applied if applier is not None else None
+                    ),
+                    link_state=(
+                        applier.link_state() if applier is not None else None
+                    ),
                 )
             if writer is not None and writer.due(horizon):
                 writer.write(
@@ -854,6 +904,12 @@ class Scenario:
                     snapshots=sim.snapshot(),
                     rng_states=rng_stream_states(emulation.rng),
                     metrics={"sim.events_dispatched": events},
+                    fault_cursor=(
+                        applier.applied if applier is not None else None
+                    ),
+                    link_state=(
+                        applier.link_state() if applier is not None else None
+                    ),
                 )
 
         sim.on_epoch = on_epoch
@@ -890,6 +946,7 @@ class Scenario:
             sim.run(until=target)
             events = sanitizer.events_observed()
             budget.check(events=events)
+            applier = emulation.fault_applier
             if (
                 verifier is not None
                 and not verifier.verified
@@ -899,6 +956,12 @@ class Scenario:
                     digest=sanitizer.digest,
                     events=events,
                     rng_states=rng_stream_states(emulation.rng),
+                    fault_cursor=(
+                        applier.applied if applier is not None else None
+                    ),
+                    link_state=(
+                        applier.link_state() if applier is not None else None
+                    ),
                 )
             if writer is not None and writer.due(sim.now):
                 writer.write(
@@ -909,6 +972,12 @@ class Scenario:
                     snapshots=[sim.snapshot()],
                     rng_states=rng_stream_states(emulation.rng),
                     metrics={"sim.events_dispatched": events},
+                    fault_cursor=(
+                        applier.applied if applier is not None else None
+                    ),
+                    link_state=(
+                        applier.link_state() if applier is not None else None
+                    ),
                 )
             while next_mark <= sim.now:
                 next_mark += step
@@ -1077,6 +1146,7 @@ class Scenario:
             netperf=tuple(netperf),
             fault_seconds=self._fault_seconds,
             traffic=tuple(traffic),
+            faults=self._fault_plan,
         )
 
     @classmethod
@@ -1106,6 +1176,8 @@ class Scenario:
             scenario.workload(entry_name, **dict(entry_params))
         if getattr(spec, "fault_seconds", None) is not None:
             scenario.inject_fault(spec.fault_seconds)
+        if getattr(spec, "faults", None) is not None:
+            scenario.faults(spec.faults)
         return scenario
 
     def __repr__(self) -> str:

@@ -484,6 +484,7 @@ def chaos_recovery(
 
     from repro.api import Scenario
     from repro.engine.parallel import run_multiprocess
+    from repro.faults import FaultPlan, LinkDown, LinkUp, Perturbation
 
     seed = DEFAULT_SEED if seed is None else seed
     seconds = 0.25 if profile == "short" else 1.0
@@ -491,14 +492,31 @@ def chaos_recovery(
     worker_counts = (workers,) if workers else (2, 4)
 
     def make():
+        topology = dumbbell_topology(3)
+        link_ids = sorted(topology.links)
+        # A mixed declarative timeline rides the scenario spec into
+        # every worker: recovery below must reproduce the baseline
+        # digest *through* link churn and perturbation, proving that
+        # restarted workers replay the fault timeline byte-identically.
+        plan = FaultPlan.of(
+            LinkDown(seconds * 0.2, link_ids[0]),
+            LinkUp(seconds * 0.6, link_ids[0]),
+            Perturbation(
+                start_s=seconds * 0.1,
+                stop_s=seconds * 0.9,
+                period_s=seconds * 0.2,
+                link_fraction=0.25,
+            ),
+        )
         return (
-            Scenario.from_topology(dumbbell_topology(3), name="bench-dumbbell")
+            Scenario.from_topology(topology, name="bench-dumbbell")
             .distill("hop-by-hop")
             .assign(cores)
             .netperf(flows=flows)
             .observe(False)
             .seed(seed)
             .backend("multiprocess", domains=cores)
+            .faults(plan)
         )
 
     result = BenchResult(

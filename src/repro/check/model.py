@@ -115,7 +115,7 @@ def registered_rules() -> Dict[str, Tuple[str, str]]:
 def _load_families() -> None:
     # Import every family for its registration side effect. Function-
     # level to avoid a cycle: family modules import this module.
-    from repro.check import domains, kernel, lint, portability  # noqa: F401
+    from repro.check import domains, faults, kernel, lint, portability  # noqa: F401
 
 
 def resolve_select(select: Optional[Iterable[str]]) -> Set[str]:
@@ -525,11 +525,12 @@ def check_paths(
     / :data:`WARN_STALE_BASELINE`). Warnings never affect
     :attr:`CheckReport.clean`.
     """
-    from repro.check import domains, kernel, lint, portability
+    from repro.check import domains, faults, kernel, lint, portability
 
     selected = resolve_select(select)
     collectors = (
-        lint.collect, domains.collect, portability.collect, kernel.collect
+        lint.collect, domains.collect, portability.collect, kernel.collect,
+        faults.collect,
     )
     report = CheckReport()
     for filename in iter_python_files(paths):

@@ -28,7 +28,7 @@ from repro.core.bind import Binding, bind_vns
 from repro.core.emulator import Emulation, EmulationConfig, VirtualNode
 from repro.core.phases import ExperimentPipeline
 from repro.core.crosstraffic import CrossTrafficMatrix, CrossTrafficModel
-from repro.core.faults import FaultInjector, LinkPerturbation
+from repro.core.faults import FaultApplier, FaultInjector, LinkPerturbation
 from repro.core.monitor import EmulationMonitor, AccuracyReport
 from repro.core.routing_emulation import DistanceVectorRouting
 from repro.core.reassign import DynamicReassigner
@@ -54,6 +54,7 @@ __all__ = [
     "ExperimentPipeline",
     "CrossTrafficMatrix",
     "CrossTrafficModel",
+    "FaultApplier",
     "FaultInjector",
     "LinkPerturbation",
     "EmulationMonitor",

@@ -137,13 +137,17 @@ class CrossTrafficModel:
         pipe_by_id = {pipe.id: pipe for pipe in self.emulation.pipes.values()}
         for pipe_id, (bw, lat, queue) in self._baseline.items():
             if pipe_id not in adjusted_ids:
-                pipe_by_id[pipe_id].set_params(
+                # Cross-traffic distillation is its own sanctioned
+                # pipe-parameter seam: profiles are scheduled on the
+                # owning kernel, so every backend applies them at the
+                # same virtual time.
+                pipe_by_id[pipe_id].set_params(  # repro: allow-fault-mutation
                     bandwidth_bps=bw, latency_s=lat, queue_limit=queue
                 )
         for adj in adjustments:
             pipe = pipe_by_id[adj.pipe_id]
             base_bw, base_lat, _queue = self._baseline[adj.pipe_id]
-            pipe.set_params(
+            pipe.set_params(  # repro: allow-fault-mutation
                 bandwidth_bps=adj.bandwidth_bps,
                 latency_s=base_lat + adj.extra_latency_s,
                 queue_limit=adj.queue_limit,
@@ -154,7 +158,7 @@ class CrossTrafficModel:
         """Restore every pipe to its baseline parameters."""
         pipe_by_id = {pipe.id: pipe for pipe in self.emulation.pipes.values()}
         for pipe_id, (bw, lat, queue) in self._baseline.items():
-            pipe_by_id[pipe_id].set_params(
+            pipe_by_id[pipe_id].set_params(  # repro: allow-fault-mutation
                 bandwidth_bps=bw, latency_s=lat, queue_limit=queue
             )
 

@@ -222,7 +222,9 @@ def distill(
             link.cost,
             **dict(link.attrs),
         )
-        new.up = link.up
+        # Build-time topology construction (copying the source link's
+        # state into the distilled graph), not a runtime mutation.
+        new.up = link.up  # repro: allow-fault-mutation
         preserved_links += 1
 
     mesh_links = _mesh_over(topology, distilled, sorted(interior), interior)

@@ -495,6 +495,11 @@ class Emulation:
         if self.obs.enabled:
             self._install_timing_hooks()
 
+        #: The sanctioned applier for a declarative fault plan, or
+        #: None. Installed via :meth:`install_fault_plan` before the
+        #: run starts.
+        self.fault_applier = None
+
         # --- per-pair lookahead -------------------------------------------
         # Derived from the actual cross-domain hop structure (pipe
         # latencies + the channel floor), so the epoch synchronizer
@@ -503,7 +508,36 @@ class Emulation:
         if self.num_domains > 1 and hasattr(sim, "install_lookahead"):
             sim.install_lookahead(self._derive_lookahead_matrix())
 
-    def _derive_lookahead_matrix(self):
+    def install_fault_plan(self, plan):
+        """Install a declarative :class:`repro.faults.FaultPlan`.
+
+        Validates the plan against the topology, re-derives the
+        lookahead matrix from each pipe's *minimum* latency over the
+        plan's entire timeline (a matrix derived from bind-time
+        latencies would break causality the moment the timeline
+        lowers a cross-domain latency), and arms the single
+        sanctioned :class:`repro.core.faults.FaultApplier`. A plan
+        that takes a cross-domain latency below the lookahead floor
+        is refused with :class:`repro.faults.FaultPlanError` — a
+        typed error at install time, not a causality violation
+        mid-run. Must be called before the run starts.
+        """
+        from repro.core.faults import FaultApplier
+        from repro.faults import FaultPlanError
+
+        if self.fault_applier is not None:
+            raise FaultPlanError("a fault plan is already installed")
+        plan.validate(self.topology)
+        if self.num_domains > 1 and hasattr(self.sim, "install_lookahead"):
+            minimums = plan.min_latency(self.topology)
+            if minimums:
+                self.sim.install_lookahead(
+                    self._derive_lookahead_matrix(latency_min=minimums)
+                )
+        self.fault_applier = FaultApplier(self, plan).install()
+        return self.fault_applier
+
+    def _derive_lookahead_matrix(self, latency_min=None):
         """The per-domain-pair lookahead matrix for this topology,
         assignment, and binding.
 
@@ -529,6 +563,13 @@ class Emulation:
         result so relayed deliveries are covered too. Entry domain
         and host domain coincide by construction (a host lives in its
         core's domain), which is what lets R3/R4 key off the host map.
+
+        ``latency_min`` (link id -> seconds) overrides a pipe's
+        bind-time latency with the minimum its fault timeline can
+        reach, so the granted windows stay safe for the whole run; a
+        timeline minimum below the floor on a pipe that contributes a
+        cross-domain bound is refused with a typed
+        :class:`~repro.faults.FaultPlanError`.
         """
         from repro.engine.sync import LookaheadMatrix
         from repro.hardware.calibration import min_cross_core_latency
@@ -564,13 +605,39 @@ class Emulation:
                 self.domain_of_vn(vn_id)
             )
 
+        overrides = latency_min or {}
+
+        def checked(pipe: Pipe, src: int, dst: int) -> float:
+            lat = pipe.latency_s
+            timeline_min = overrides.get(pipe.link_id)
+            if timeline_min is not None and timeline_min < lat:
+                lat = timeline_min
+                if src != dst and lat < floor:
+                    from repro.faults import FaultPlanError
+
+                    raise FaultPlanError(
+                        f"fault timeline lowers link {pipe.link_id} latency "
+                        f"to {lat:.6g}s, below the cross-domain lookahead "
+                        f"floor {floor:.6g}s (domains {src}->{dst}); the "
+                        f"epoch synchronizer could not grant safe windows"
+                    )
+            return lat
+
         for pipe in self.pipes.values():
             src_domain = domain_of_pipe[pipe.id]
-            in_flight = pipe.latency_s + floor
             for next_pipe in pipes_from.get(pipe.dst_node, ()):  # R1
-                offer(src_domain, domain_of_pipe[next_pipe.id], in_flight)
+                dst_domain = domain_of_pipe[next_pipe.id]
+                offer(
+                    src_domain,
+                    dst_domain,
+                    checked(pipe, src_domain, dst_domain) + floor,
+                )
             for host_domain in host_domains_of_node.get(pipe.dst_node, ()):
-                offer(src_domain, host_domain, in_flight)  # R2
+                offer(  # R2
+                    src_domain,
+                    host_domain,
+                    checked(pipe, src_domain, host_domain) + floor,
+                )
         for vn_id, node_id in enumerate(self._node_of_vn):
             entry_domain = self.domain_of_vn(vn_id)
             for first_pipe in pipes_from.get(node_id, ()):  # R3

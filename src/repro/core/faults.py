@@ -11,9 +11,19 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.emulator import Emulation
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    LinkDown,
+    LinkUp,
+    NodeChurn,
+    Partition,
+    Perturbation,
+    SetLinkParams,
+)
 
 
 @dataclass
@@ -42,10 +52,12 @@ class FaultInjector:
     def __init__(self, emulation: Emulation, rng: Optional[random.Random] = None):
         self.emulation = emulation
         self.rng = rng or emulation.rng.stream("faults")
-        self._originals = {
-            link_id: (link.bandwidth_bps, link.latency_s, link.loss_rate)
-            for link_id, link in emulation.topology.links.items()
-        }
+        # Per-link parameter snapshots, taken *lazily* at the first
+        # perturbation of each link. An eager snapshot at construction
+        # would clobber any deliberate ``set_link_params`` made after
+        # the injector exists when a perturbation window restores
+        # "originals".
+        self._originals: Dict[int, Tuple[float, float, float]] = {}
         self.perturbations_applied = 0
         self.failures_injected = 0
         self._active: List = []
@@ -124,7 +136,7 @@ class FaultInjector:
         count = max(1, int(round(perturbation.link_fraction * len(link_ids))))
         chosen = self.rng.sample(list(link_ids), min(count, len(link_ids)))
         for link_id in chosen:
-            base_bw, base_lat, base_loss = self._originals[link_id]
+            base_bw, base_lat, base_loss = self._original_of(link_id)
             params = {}
             low, high = perturbation.latency_scale
             params["latency_s"] = base_lat * self.rng.uniform(low, high)
@@ -142,6 +154,19 @@ class FaultInjector:
         self.perturbations_applied += 1
         if on_applied:
             on_applied(sorted(chosen))
+
+    def _original_of(self, link_id: int) -> Tuple[float, float, float]:
+        """The link's parameters as of its first perturbation.
+
+        Read from the live pipe, not the topology link: a deliberate
+        ``Emulation.set_link_params`` only touches the pipes, and the
+        snapshot must honor it."""
+        snapshot = self._originals.get(link_id)
+        if snapshot is None:
+            pipe = self.emulation.pipes_of_link(link_id)[0]
+            snapshot = (pipe.bandwidth_bps, pipe.latency_s, pipe.loss_rate)
+            self._originals[link_id] = snapshot
+        return snapshot
 
     def _set_link(self, link_id: int, params: dict) -> None:
         """Update both the emulated pipes and the topology link (so
@@ -202,7 +227,14 @@ class FaultInjector:
 
     def _restore(self, link_ids: Sequence[int]) -> None:
         for link_id in link_ids:
-            base_bw, base_lat, base_loss = self._originals[link_id]
+            snapshot = self._originals.get(link_id)
+            if snapshot is None:
+                # Never perturbed: nothing to revert (and restoring a
+                # construction-time snapshot here is exactly the bug
+                # that clobbered deliberate post-construction
+                # set_link_params calls).
+                continue
+            base_bw, base_lat, base_loss = snapshot
             self._set_link(
                 link_id,
                 {
@@ -211,3 +243,307 @@ class FaultInjector:
                     "loss_rate": base_loss,
                 },
             )
+
+
+class FaultApplier:
+    """The single sanctioned applier for a declarative
+    :class:`repro.faults.FaultPlan`.
+
+    On a single-domain kernel the timeline is scheduled event-by-event
+    at exact virtual times (byte-compatible with the imperative
+    :class:`FaultInjector` schedule). On a partitioned kernel —
+    serial *or* multiprocess, any worker count — application is
+    epoch-barrier aligned: the engine calls :meth:`apply_until` with
+    the epoch's minimum grant horizon before dispatching the epoch,
+    and every participant (the serial loop, and every worker process)
+    applies the same occurrences at the same barriers, keeping the
+    per-process pipe/routing state — and therefore the dispatched
+    event stream — byte-identical.
+
+    All stochastic draws come from the plan's named RNG stream, in
+    timeline order, so the draw sequence is backend-invariant.
+    """
+
+    def __init__(self, emulation: Emulation, plan: FaultPlan):
+        self.emulation = emulation
+        self.plan = plan
+        self.rng = emulation.rng.stream(plan.stream)
+        #: Lazy per-link snapshots (see FaultInjector._original_of).
+        self._originals: Dict[int, Tuple[float, float, float]] = {}
+        self.injected = 0
+        self.recovered = 0
+        self.perturbations_applied = 0
+        #: Timeline position: occurrences applied so far. Captured by
+        #: checkpoints so a resume can verify the replayed timeline
+        #: reached the same position.
+        self.applied = 0
+        #: Applied fault events, for the RunReport
+        #: (``time``/``kind``/``links`` dicts, in application order).
+        self.events_log: List[dict] = []
+        self._occurrences = self._lower()
+        self._cursor = 0
+        self._installed = False
+
+    # -- lowering ----------------------------------------------------------
+
+    def _lower(self) -> List[Tuple[float, int, int, tuple]]:
+        """Flatten the plan into ``(time, plan_position, sub, action)``
+        occurrences sorted by time (ties: plan order). Recurring
+        perturbations expand with the same float accumulation as the
+        imperative fire/reschedule loop, so firing times are
+        bit-identical to the closure form."""
+        occurrences: List[Tuple[float, int, int, tuple]] = []
+        for position, event in enumerate(self.plan.events):
+            if isinstance(event, LinkDown):
+                occurrences.append(
+                    (event.time_s, position, 0, ("down", (event.link_id,)))
+                )
+            elif isinstance(event, LinkUp):
+                occurrences.append(
+                    (event.time_s, position, 0, ("up", (event.link_id,)))
+                )
+            elif isinstance(event, SetLinkParams):
+                occurrences.append(
+                    (event.time_s, position, 0,
+                     ("set", event.link_id, event.params()))
+                )
+            elif isinstance(event, NodeChurn):
+                kind = "up" if event.up else "down"
+                links = tuple(
+                    link.id
+                    for link in self.emulation.topology.links_of(event.node_id)
+                )
+                occurrences.append((event.time_s, position, 0, (kind, links)))
+            elif isinstance(event, Partition):
+                occurrences.append(
+                    (event.time_s, position, 0, ("down", event.link_ids))
+                )
+                if event.heal_s is not None:
+                    occurrences.append(
+                        (event.heal_s, position, 1, ("up", event.link_ids))
+                    )
+            elif isinstance(event, Perturbation):
+                candidates = tuple(
+                    event.link_ids
+                    or sorted(self.emulation.topology.links)
+                )
+                when, sub = event.start_s, 0
+                while when < event.stop_s:
+                    occurrences.append(
+                        (when, position, sub, ("perturb", event, candidates))
+                    )
+                    when += event.period_s
+                    sub += 1
+                occurrences.append(
+                    (when, position, sub, ("restore", candidates))
+                )
+            else:
+                raise FaultPlanError(f"unsupported fault event {event!r}")
+        occurrences.sort(key=lambda occ: (occ[0], occ[1], occ[2]))
+        return occurrences
+
+    def touched_links(self) -> List[int]:
+        """Every link id the timeline can mutate, sorted."""
+        touched = set()
+        for _, _, _, action in self._occurrences:
+            if action[0] in ("down", "up", "restore"):
+                touched.update(action[1])
+            elif action[0] == "set":
+                touched.add(action[1])
+            elif action[0] == "perturb":
+                touched.update(action[2])
+        return sorted(touched)
+
+    # -- installation ------------------------------------------------------
+
+    def install(self) -> "FaultApplier":
+        """Arm the timeline on the emulation's kernel. Partitioned
+        kernels get the barrier hook; a single-domain kernel gets
+        exact-time scheduling."""
+        if self._installed:
+            raise FaultPlanError("fault plan already installed")
+        self._installed = True
+        sim = self.emulation.sim
+        if self.emulation.num_domains > 1 and hasattr(sim, "fault_hook"):
+            sim.fault_hook = self.apply_until
+        else:
+            self._schedule_exact(sim)
+        return self
+
+    def _schedule_exact(self, sim) -> None:
+        """Single-domain form: one kernel event per one-shot
+        occurrence, and the fire/reschedule closure for recurring
+        perturbations (matching FaultInjector's schedule exactly)."""
+        scheduled: set = set()
+        for when, position, _, action in self._occurrences:
+            event = self.plan.events[position]
+            if isinstance(event, Perturbation):
+                if position not in scheduled:
+                    scheduled.add(position)
+                    self._schedule_perturbation(sim, event)
+                continue
+            sim.at(when, self._apply_action, action, when)
+
+    def _schedule_perturbation(self, sim, event: Perturbation) -> None:
+        candidates = list(
+            event.link_ids or sorted(self.emulation.topology.links)
+        )
+
+        def fire(when: float) -> None:
+            if when >= event.stop_s:
+                self._apply_action(("restore", tuple(candidates)), when)
+                return
+            self._apply_action(("perturb", event, tuple(candidates)), when)
+            sim.at(when + event.period_s, fire, when + event.period_s)
+
+        sim.at(event.start_s, fire, event.start_s)
+
+    # -- barrier-aligned application --------------------------------------
+
+    def apply_until(self, until: float) -> None:
+        """Apply every not-yet-applied occurrence with time <= until,
+        in timeline order. Called by the partitioned engine at each
+        epoch barrier with the epoch's minimum grant horizon;
+        idempotent for repeated horizons (the cursor only advances)."""
+        occurrences = self._occurrences
+        while self._cursor < len(occurrences):
+            when, _, _, action = occurrences[self._cursor]
+            if when > until:
+                break
+            self._apply_action(action, when)
+            self._cursor += 1
+
+    # -- primitive actions -------------------------------------------------
+
+    def _apply_action(self, action: tuple, when: float) -> None:
+        kind = action[0]
+        if kind == "down":
+            for link_id in action[1]:
+                if self.emulation.topology.links[link_id].up:
+                    self.injected += 1
+                self.emulation.set_link_up(link_id, False)
+            self._log(when, "link_down", action[1])
+        elif kind == "up":
+            for link_id in action[1]:
+                if not self.emulation.topology.links[link_id].up:
+                    self.recovered += 1
+                self.emulation.set_link_up(link_id, True)
+            self._log(when, "link_up", action[1])
+        elif kind == "set":
+            link_id, params = action[1], action[2]
+            self._set_link(link_id, params)
+            if link_id in self._originals:
+                # A deliberate mid-window change becomes the new
+                # "original" so the window's restore keeps it.
+                bw, lat, loss = self._originals[link_id]
+                self._originals[link_id] = (
+                    params.get("bandwidth_bps", bw),
+                    params.get("latency_s", lat),
+                    params.get("loss_rate", loss),
+                )
+            self._log(when, "set_link_params", (link_id,))
+        elif kind == "perturb":
+            self._perturb_once(action[1], action[2], when)
+        elif kind == "restore":
+            restored = []
+            for link_id in action[1]:
+                snapshot = self._originals.get(link_id)
+                if snapshot is None:
+                    continue
+                bw, lat, loss = snapshot
+                self._set_link(
+                    link_id,
+                    {"bandwidth_bps": bw, "latency_s": lat, "loss_rate": loss},
+                )
+                restored.append(link_id)
+            self._log(when, "restore", tuple(restored))
+        else:
+            raise FaultPlanError(f"unknown fault action {kind!r}")
+        self.applied += 1
+
+    def _perturb_once(
+        self, event: Perturbation, candidates: Sequence[int], when: float
+    ) -> None:
+        count = max(1, int(round(event.link_fraction * len(candidates))))
+        chosen = self.rng.sample(list(candidates), min(count, len(candidates)))
+        for link_id in chosen:
+            base_bw, base_lat, base_loss = self._original_of(link_id)
+            params = {}
+            low, high = event.latency_scale
+            params["latency_s"] = base_lat * self.rng.uniform(low, high)
+            if event.bandwidth_scale is not None:
+                low, high = event.bandwidth_scale
+                params["bandwidth_bps"] = max(
+                    1.0, base_bw * self.rng.uniform(low, high)
+                )
+            if event.loss_add is not None:
+                low, high = event.loss_add
+                params["loss_rate"] = min(
+                    0.99, base_loss + self.rng.uniform(low, high)
+                )
+            self._set_link(link_id, params)
+        self.perturbations_applied += 1
+        self._log(when, "perturbation", tuple(sorted(chosen)))
+
+    def _original_of(self, link_id: int) -> Tuple[float, float, float]:
+        # Live pipe state, not the topology link (see
+        # FaultInjector._original_of).
+        snapshot = self._originals.get(link_id)
+        if snapshot is None:
+            pipe = self.emulation.pipes_of_link(link_id)[0]
+            snapshot = (pipe.bandwidth_bps, pipe.latency_s, pipe.loss_rate)
+            self._originals[link_id] = snapshot
+        return snapshot
+
+    def _set_link(self, link_id: int, params: dict) -> None:
+        self.emulation.set_link_params(link_id, **params)
+        link = self.emulation.topology.links[link_id]
+        if "latency_s" in params:
+            link.latency_s = params["latency_s"]
+        if "bandwidth_bps" in params:
+            link.bandwidth_bps = params["bandwidth_bps"]
+        if "loss_rate" in params:
+            link.loss_rate = params["loss_rate"]
+
+    def _log(self, when: float, kind: str, links: Sequence[int]) -> None:
+        self.events_log.append(
+            {"time_s": round(when, 9), "kind": kind, "links": list(links)}
+        )
+
+    # -- state capture (checkpoints, multiprocess stats) -------------------
+
+    def link_state(self) -> Dict[int, Tuple[bool, float, float, float]]:
+        """(up, bandwidth, latency, loss) for every plan-touched link
+        — the restored-vs-perturbed state a checkpoint must pin down
+        so a resume can verify the replayed timeline byte-identically."""
+        out: Dict[int, Tuple[bool, float, float, float]] = {}
+        for link_id in self.touched_links():
+            pipe, _ = self.emulation.pipes_of_link(link_id)
+            out[link_id] = (
+                bool(pipe.up),
+                pipe.bandwidth_bps,
+                pipe.latency_s,
+                pipe.loss_rate,
+            )
+        return out
+
+    def counters(self) -> dict:
+        """Serializable applier state, shipped from multiprocess
+        workers (every worker applies the full timeline identically,
+        so any one worker's view is authoritative)."""
+        return {
+            "injected": self.injected,
+            "recovered": self.recovered,
+            "perturbations": self.perturbations_applied,
+            "applied": self.applied,
+            "events": list(self.events_log),
+        }
+
+    def absorb(self, counters: dict) -> None:
+        """Adopt a worker's applier state into this (never-run,
+        parent-side) applier."""
+        self.injected = counters.get("injected", 0)
+        self.recovered = counters.get("recovered", 0)
+        self.perturbations_applied = counters.get("perturbations", 0)
+        self.applied = counters.get("applied", 0)
+        self.events_log = list(counters.get("events", ()))

@@ -173,7 +173,9 @@ class DistanceVectorRouting(RoutingService):
     def link_failed(self, link: Link) -> None:
         """Endpoint detection: poison routes via the dead link and
         start triggered updates rippling outward."""
-        link.up = False
+        # Downstream half of the sanctioned seam: the applier (via
+        # Emulation.set_link_up) delegates the up-flag flip here.
+        link.up = False  # repro: allow-fault-mutation
         for node, neighbor in ((link.a, link.b), (link.b, link.a)):
             if self.topology.link_between(node, neighbor) is not None and any(
                 live.up
@@ -195,7 +197,7 @@ class DistanceVectorRouting(RoutingService):
 
     def link_recovered(self, link: Link) -> None:
         """Endpoints re-learn the direct route and re-advertise."""
-        link.up = True
+        link.up = True  # repro: allow-fault-mutation
         for node, neighbor in ((link.a, link.b), (link.b, link.a)):
             if self.distance[node][neighbor] > 1:
                 self.distance[node][neighbor] = 1

@@ -69,6 +69,7 @@ from repro.engine.sync import (
     DomainMessage,
     MSG_HOST,
     epoch_windows,
+    fault_barrier,
 )
 from repro.resilience.policy import (
     BudgetExceeded,
@@ -257,6 +258,13 @@ def _collect_worker_stats(emulation, sim, owned: Sequence[int], probes) -> dict:
         "digests": {
             d: (probe.hexdigest(), probe.count) for d, probe in probes.items()
         },
+        # Every worker applies the whole fault timeline identically;
+        # the parent adopts the view of the worker owning domain 0.
+        "faults": (
+            emulation.fault_applier.counters()
+            if emulation.fault_applier is not None
+            else None
+        ),
     }
 
 
@@ -326,6 +334,12 @@ def _worker_main(
                             for m in unpack_frame(frame)
                         ],
                     )
+                if sim.fault_hook is not None:
+                    # Barrier-aligned fault application: every worker
+                    # receives the full window list and computes the
+                    # same barrier the serial loop does, so all
+                    # processes mutate link state at identical points.
+                    sim.fault_hook(fault_barrier(windows))
                 for d in owned:
                     window = windows[d]
                     if window is not None:
@@ -712,6 +726,13 @@ def _merge_stats(scenario, stats: List[dict], until, result) -> None:
             result.domain_digests[d] = digest
             result.domain_digest_events[d] = count
         min_domain = min(worker_stats["domains"]) if worker_stats["domains"] else 0
+        fault_counters = worker_stats.get("faults")
+        if (
+            fault_counters is not None
+            and emulation.fault_applier is not None
+            and min_domain == 0
+        ):
+            emulation.fault_applier.absorb(fault_counters)
         samples.append((min_domain, m["error_samples"]))
     # Error samples merged in domain order so the stored list is
     # worker-count independent (derived stats are order-invariant

@@ -509,6 +509,27 @@ def epoch_windows(
     return windows
 
 
+def fault_barrier(
+    windows: Sequence[Optional[Tuple[float, bool]]]
+) -> float:
+    """The horizon up to which fault-timeline occurrences are applied
+    before an epoch dispatches: the epoch's minimum granted horizon.
+
+    Every participant — the serial epoch loop and every multiprocess
+    worker — evaluates this on the *same* window list (workers receive
+    the full per-domain list, not just their slice), so barrier-aligned
+    fault application happens at identical points everywhere. Occurrences
+    between this barrier and a wider domain's horizon wait one epoch;
+    that lag is itself deterministic, which is what the digest contract
+    requires.
+    """
+    barrier = INFINITY
+    for window in windows:
+        if window is not None and window[0] < barrier:
+            barrier = window[0]
+    return barrier
+
+
 class PartitionedSimulator:
     """N event domains advancing under an epoch barrier (serial
     executor).
@@ -557,6 +578,15 @@ class PartitionedSimulator:
         #: between epochs, outside any domain's dispatch loop), and the
         #: epoch structure is identical whether or not it is set.
         self.on_epoch: Optional[Callable[[int, float], None]] = None
+        #: Barrier-aligned fault application hook ``fn(apply_until)``,
+        #: installed by the sanctioned FaultApplier. Invoked with each
+        #: epoch's minimum grant horizon *before* the epoch's windows
+        #: dispatch, so link mutations land between epochs at a point
+        #: both executors (this serial loop and every multiprocess
+        #: worker, which receives the same window list) compute
+        #: identically — the digest-equality contract for dynamic
+        #: topology. See :func:`fault_barrier`.
+        self.fault_hook: Optional[Callable[[float], None]] = None
         self._running = False
         self._stopped = False
 
@@ -727,6 +757,8 @@ class PartitionedSimulator:
                 windows = epoch_windows(next_times, matrix, until)
                 if windows is None:
                     break
+                if self.fault_hook is not None:
+                    self.fault_hook(fault_barrier(windows))
                 barrier = INFINITY
                 for domain, window in zip(domains, windows):
                     if window is None:

@@ -35,6 +35,7 @@ from __future__ import annotations
 from repro.api import Scenario
 from repro.engine.randomness import RngRegistry
 from repro.exp.suite import Experiment, register_suite
+from repro.faults import FaultPlan, Perturbation
 from repro.topology import TransitStubSpec, transit_stub_topology
 from repro.topology.generators import chain_topology, dumbbell_topology
 
@@ -209,6 +210,22 @@ def _fig12_base(scale: str = "small") -> Scenario:
         Scenario.from_topology(topology, name="fig12")
         .seed(3)
         .config(reference=True)
+        # The perturbation is a declarative timeline entry; the acdc
+        # workload below keeps matching perturb_* parameters purely to
+        # window its samples. ``with_overrides`` applies perturb_*
+        # axes to both at once (PLAN_OVERRIDE_KEYS), so one sweep axis
+        # moves the plan and the sampling windows together.
+        .faults(
+            FaultPlan.of(
+                Perturbation(
+                    start_s=60.0,
+                    stop_s=180.0,
+                    period_s=25.0,
+                    link_fraction=0.25,
+                    latency_scale=(1.0, 1.25),
+                )
+            )
+        )
         .workload(
             "acdc",
             members=_FIG12_MEMBERS[scale],

@@ -21,7 +21,7 @@ import io
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional
 
 from repro.obs.metrics import MetricsRegistry
 
@@ -177,6 +177,23 @@ def collect_metrics(emulation, registry: MetricsRegistry) -> MetricsRegistry:
     for key, value in tcp_totals.items():
         registry.gauge(f"tcp.{key}").set(value)
 
+    # -- fault timeline (declarative plans only) ------------------------
+    applier = getattr(emulation, "fault_applier", None)
+    if applier is not None:
+        registry.gauge("faults.injected").set(applier.injected)
+        registry.gauge("faults.recovered").set(applier.recovered)
+        registry.gauge("faults.perturbations").set(
+            applier.perturbations_applied
+        )
+        registry.gauge("faults.applied").set(applier.applied)
+        registry.gauge("faults.planned").set(len(applier.plan.events))
+        for link_id in applier.touched_links():
+            link = emulation.topology.links.get(link_id)
+            if link is not None:
+                registry.gauge(
+                    "topology.link_up", link=link_id
+                ).set(1 if link.up else 0)
+
     return registry
 
 
@@ -220,6 +237,11 @@ class RunReport:
     #: report. Filled by the :mod:`repro.exp` runner; the aggregation
     #: layer keys tidy datasets on these instead of parsing names.
     labels: Dict[str, Any] = field(default_factory=dict)
+    #: Applied fault-timeline occurrences (``{"time_s", "kind",
+    #: "links"}`` dicts from the sanctioned applier), empty when the
+    #: run carried no :class:`repro.faults.FaultPlan`. Deterministic:
+    #: same plan + seed ⇒ same list on every backend.
+    fault_events: List[Dict[str, Any]] = field(default_factory=list)
     #: Wall-clock stamp. Left None while the report lives in memory so
     #: same-seed runs produce identical manifests (the determinism
     #: sanitizer diffs them); :meth:`save` stamps it on first write.
@@ -254,6 +276,7 @@ class RunReport:
             "wall_time_s": self.wall_time_s,
             "metrics": self.metrics,
             "labels": self.labels,
+            "fault_events": self.fault_events,
             "created_at": self.created_at,
         }
 
@@ -271,6 +294,7 @@ class RunReport:
             wall_time_s=raw.get("wall_time_s", 0.0),
             metrics=raw.get("metrics", {}),
             labels=raw.get("labels", {}),
+            fault_events=raw.get("fault_events", []),
             created_at=raw.get("created_at"),
         )
 
@@ -365,5 +389,10 @@ def build_report(
         virtual_time_s=emulation.sim.now,
         wall_time_s=wall_time_s,
         metrics=registry.snapshot(),
+        fault_events=(
+            list(emulation.fault_applier.events_log)
+            if getattr(emulation, "fault_applier", None) is not None
+            else []
+        ),
         created_at=created_at,
     )

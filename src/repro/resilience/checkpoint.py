@@ -81,6 +81,12 @@ class Checkpoint:
     rng_states: Optional[Dict[str, tuple]] = None
     metrics: Dict[str, Any] = field(default_factory=dict)
     index: int = 0  # ordinal of this checkpoint within the run
+    # Fault-timeline position and the per-link state it implies at the
+    # barrier.  Resume replays the plan from t=0 (the spec carries it),
+    # so these exist purely so the verifier can prove the replayed
+    # timeline landed in the same place.
+    fault_cursor: Optional[int] = None
+    link_state: Optional[Dict[Any, tuple]] = None
     version: int = CHECKPOINT_VERSION
 
 
@@ -163,6 +169,8 @@ class CheckpointWriter:
         snapshots: Optional[List[dict]] = None,
         rng_states: Optional[Dict[str, tuple]] = None,
         metrics: Optional[Dict[str, Any]] = None,
+        fault_cursor: Optional[int] = None,
+        link_state: Optional[Dict[Any, tuple]] = None,
     ) -> Checkpoint:
         checkpoint = Checkpoint(
             spec=self.spec,
@@ -178,6 +186,8 @@ class CheckpointWriter:
             rng_states=rng_states,
             metrics=dict(metrics or {}),
             index=self.written,
+            fault_cursor=fault_cursor,
+            link_state=link_state,
         )
         write_checkpoint(self.path, checkpoint)
         self.written += 1
@@ -199,6 +209,8 @@ class ResumeVerifier:
         events: Optional[int] = None,
         domain_digests: Optional[Dict[int, str]] = None,
         rng_states: Optional[Dict[str, tuple]] = None,
+        fault_cursor: Optional[int] = None,
+        link_state: Optional[Dict[Any, tuple]] = None,
     ) -> None:
         """Raise :class:`CheckpointDivergence` on any mismatch."""
         ckpt = self.checkpoint
@@ -226,6 +238,24 @@ class ResumeVerifier:
             )
             if bad_streams:
                 mismatches.append(f"RNG stream states differ for {bad_streams}")
+        # getattr: checkpoints pickled before the fault-timeline fields
+        # existed simply skip these comparisons.
+        ckpt_cursor = getattr(ckpt, "fault_cursor", None)
+        if fault_cursor is not None and ckpt_cursor is not None:
+            if fault_cursor != ckpt_cursor:
+                mismatches.append(
+                    f"fault timeline cursor {fault_cursor} != "
+                    f"checkpointed {ckpt_cursor}"
+                )
+        ckpt_links = getattr(ckpt, "link_state", None)
+        if link_state is not None and ckpt_links is not None:
+            bad_links = sorted(
+                str(link)
+                for link in set(ckpt_links) | set(link_state)
+                if ckpt_links.get(link) != link_state.get(link)
+            )
+            if bad_links:
+                mismatches.append(f"perturbed link state differs for {bad_links}")
         if mismatches:
             raise CheckpointDivergence(mismatches)
         self.verified = True

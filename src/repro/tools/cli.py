@@ -37,6 +37,7 @@ from repro.api import DISTILL_MODES
 from repro.core.distill import DistillationMode, distill
 from repro.core.kernel import KERNELS
 from repro.engine.randomness import RngRegistry
+from repro.faults import FaultPlanError
 from repro.routing import CachedRouting, route_latency
 from repro.topology import (
     LinkKind,
@@ -248,6 +249,14 @@ def _cmd_run(args) -> int:
                 kernel=args.kernel,
             )
         )
+    if getattr(args, "fault_plan", None):
+        from repro.faults import FaultPlan, FaultPlanError
+
+        try:
+            scenario.faults(FaultPlan.from_json_file(args.fault_plan))
+        except (OSError, ValueError, FaultPlanError) as error:
+            print(f"error: bad fault plan: {error}", file=sys.stderr)
+            return 2
     if args.reference:
         scenario.config(reference=True)
     if args.no_obs:
@@ -272,6 +281,11 @@ def _cmd_run(args) -> int:
         )
     try:
         report = scenario.run(until=args.seconds)
+    except FaultPlanError as error:
+        # Unknown links / lookahead-floor violations are detected when
+        # the plan is installed against the built topology.
+        print(f"error: bad fault plan: {error}", file=sys.stderr)
+        return 2
     except RunAborted as abort:
         # A budget abort is an *orderly* exit: the partial report (with
         # run.outcome and the resilience counters) is still emitted.
@@ -468,6 +482,10 @@ def _cmd_sanitize(args) -> int:
             # runs *inside* multiprocess workers too — divergence is
             # detected there, not masked by the parent.
             scenario.inject_fault(args.seconds)
+        if getattr(args, "fault_plan", None):
+            from repro.faults import FaultPlan
+
+            scenario.faults(FaultPlan.from_json_file(args.fault_plan))
         return scenario
 
     failures = 0
@@ -793,6 +811,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.add_argument("--flows", type=int, default=4)
     run.add_argument("--seed", type=int, default=0)
+    run.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="declarative fault timeline (FaultPlan JSON): link "
+        "down/up, parameter timelines, node churn, partitions, "
+        "recurring perturbations — applied identically on every "
+        "backend and kernel",
+    )
     _add_backend_flags(run)
     run.add_argument(
         "--reference", action="store_true",
@@ -914,6 +939,11 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize.add_argument(
         "--inject-fault", action="store_true",
         help="add an unseeded-RNG traffic source (sanitizer self-test)",
+    )
+    sanitize.add_argument(
+        "--fault-plan", default=None, metavar="JSON",
+        help="declarative fault timeline (FaultPlan JSON) to apply "
+        "during every sanitized run",
     )
     sanitize.set_defaults(func=_cmd_sanitize)
 

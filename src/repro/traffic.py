@@ -314,7 +314,7 @@ def acdc_traffic(
     worst-case delay are sampled every ``sample_every_s`` until
     ``horizon`` and summarized per phase."""
     from repro.apps.overlay import AcdcOverlay
-    from repro.core.faults import FaultInjector, LinkPerturbation
+    from repro.faults import FaultPlan, Perturbation
 
     rng = emulation.rng.stream("acdc-members")
     member_vns = sorted(
@@ -322,18 +322,25 @@ def acdc_traffic(
     )
     overlay = AcdcOverlay(emulation, member_vns, delay_target_s=1.0)
     overlay.delay_target_s = overlay.spt_delay() / target_ratio
-    injector = FaultInjector(emulation)
-    injector.start_perturbation(
-        LinkPerturbation(
-            period_s=period_s,
-            link_fraction=link_fraction,
-            latency_scale=(1.0, latency_scale_max),
-        ),
-        start_s=perturb_start,
-        stop_s=perturb_stop,
-    )
+    # The perturbation rides the declarative fault timeline. A scenario
+    # that already declared a plan (``Scenario.faults``) owns it; the
+    # standalone workload installs one from its own parameters so plain
+    # ``workload("acdc")`` keeps perturbing without extra wiring.
+    applier = emulation.fault_applier
+    if applier is None:
+        applier = emulation.install_fault_plan(
+            FaultPlan.of(
+                Perturbation(
+                    start_s=perturb_start,
+                    stop_s=perturb_stop,
+                    period_s=period_s,
+                    link_fraction=link_fraction,
+                    latency_scale=(1.0, latency_scale_max),
+                )
+            )
+        )
     handle = _AcdcHandle(
-        emulation, overlay, injector, perturb_start, perturb_stop
+        emulation, overlay, applier, perturb_start, perturb_stop
     )
     sim = emulation.sim
     for tick in range(int(horizon / sample_every_s) + 1):
@@ -344,10 +351,10 @@ def acdc_traffic(
 
 
 class _AcdcHandle:
-    def __init__(self, emulation, overlay, injector, perturb_start, perturb_stop):
+    def __init__(self, emulation, overlay, applier, perturb_start, perturb_stop):
         self.emulation = emulation
         self.overlay = overlay
-        self.injector = injector
+        self.applier = applier
         self.perturb_start = perturb_start
         self.perturb_stop = perturb_stop
         self.samples: List[Dict[str, float]] = []
@@ -369,7 +376,7 @@ class _AcdcHandle:
             "acdc.members": len(self.overlay.member_vns),
             "acdc.delay_target_s": self.overlay.delay_target_s,
             "acdc.samples": len(self.samples),
-            "acdc.perturbations_applied": self.injector.perturbations_applied,
+            "acdc.perturbations_applied": self.applier.perturbations_applied,
         }
         if not self.samples:
             return out

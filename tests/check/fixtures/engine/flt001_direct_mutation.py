@@ -1,0 +1,11 @@
+"""Seeded FLT001: link state mutated outside the sanctioned fault
+applier — a direct ``set_link_up`` call and a latency assignment, the
+two shapes the rule must flag in engine/core scope."""
+
+
+def kill_link_imperatively(emulation, link_id):
+    emulation.set_link_up(link_id, False)
+
+
+def stretch_latency(pipe):
+    pipe.latency_s = pipe.latency_s * 2.0

@@ -124,7 +124,7 @@ def test_every_seeded_fixture_rule_in_one_json_sweep(capsys):
     assert flagged == {
         "DET001", "DET002", "DET003", "DET004", "NED001", "ROB001",
         "DOM001", "DOM002", "DOM003", "EPO001", "EPO002",
-        "PORT001", "PORT002", "PORT003", "KERN001",
+        "PORT001", "PORT002", "PORT003", "KERN001", "FLT001",
     }
 
 

@@ -159,6 +159,7 @@ def _rich_scenario():
 
     from repro.core.assign import greedy_k_clusters
     from repro.core.bind import bind_vns
+    from repro.faults import FaultPlan, LinkDown
 
     topology = dumbbell_topology(clients_per_side=3)
     return (
@@ -172,6 +173,7 @@ def _rich_scenario():
         .netperf(flows=3, seed=4)
         .inject_fault(seconds=0.02)
         .workload("udp-cbr", flows=2)
+        .faults(FaultPlan.of(LinkDown(0.01, 0)))
     )
 
 
